@@ -1,0 +1,56 @@
+"""Ablation: the Improved-bandwidth reserve K_IB.
+
+Section 4: "some small amount of idle capacity could be reserved in case
+of a disk failure ... if there is sufficient reserved bandwidth to survive
+5 disk failures, then the mean time to degradation of service is ... about
+250 million years".
+
+Sweeping K: each reserved disk's worth of bandwidth costs ~13 streams
+(the per-disk bound) and buys roughly two orders of magnitude of MTTDS —
+the sharply convex trade the paper exploits.
+"""
+
+import pytest
+
+from repro.analysis import SystemParameters, max_streams, mttds_hours
+from repro.schemes import Scheme
+from repro.units import hours_to_years
+
+K_VALUES = [0, 1, 2, 3, 4, 5, 8]
+
+
+def compute_sweep():
+    rows = []
+    for k in K_VALUES:
+        params = SystemParameters.paper_table1(reserve_k=k)
+        rows.append((
+            k,
+            max_streams(params, 5, Scheme.IMPROVED_BANDWIDTH),
+            hours_to_years(mttds_hours(params, 5,
+                                       Scheme.IMPROVED_BANDWIDTH)),
+        ))
+    return rows
+
+
+def test_ib_reserve_tradeoff(benchmark):
+    rows = benchmark(compute_sweep)
+    print()
+    print("IB reserve sweep (D = 100, C = 5)")
+    print(f"{'K':>3}{'streams':>9}{'MTTDS (years)':>18}")
+    for k, streams, mttds in rows:
+        print(f"{k:>3}{streams:>9}{mttds:>18,.1f}")
+    streams = [s for _k, s, _m in rows]
+    mttds = [m for _k, _s, m in rows]
+    # Streams fall linearly-ish with K; MTTDS explodes.
+    assert streams == sorted(streams, reverse=True)
+    assert mttds == sorted(mttds)
+    # Each reserved disk costs ~the per-disk stream bound (13 here).
+    assert streams[0] - streams[3] == pytest.approx(3 * 13, abs=3)
+    # K = 5 is deep inside the paper's ">250 million years" regime (the
+    # paper quotes that bound for D = 1000; at D = 100 it is higher still).
+    by_k = {k: m for k, _s, m in rows}
+    assert by_k[5] > 250e6
+    # The trade is wildly asymmetric: each reserved disk costs ~13
+    # streams (~1%) but multiplies MTTDS by ~MTTF/(D*MTTR) = 3000.
+    for k_lo, k_hi in [(1, 2), (2, 3), (4, 5)]:
+        assert by_k[k_hi] / by_k[k_lo] > 1000

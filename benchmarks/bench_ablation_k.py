@@ -1,0 +1,64 @@
+"""Ablation: the k versus memory trade-off of Section 2.
+
+"To keep the efficiency close to 5% for the faster bandwidth objects such
+as MPEG-2 we might go with the larger values of k and pay the cost of the
+extra main memory this entails.  Evaluation of tradeoffs such as these in
+conjunction with fault tolerance is the purpose of this paper."
+
+For k = k' (whole-group delivery) the per-disk stream bound rises with k
+while the per-stream buffer requirement (2k track buffers, double
+buffering) rises linearly: this bench prints the frontier for MPEG-1 and
+MPEG-2 objects on the Section 2 drive.
+"""
+
+from repro.analysis import SystemParameters
+from repro.analysis.streams import streams_per_disk_bound
+
+K_VALUES = [1, 2, 3, 4, 6, 8, 10, 16]
+
+
+def compute_frontier():
+    frontier = {}
+    for label, mbits in [("MPEG-1", 1.5), ("MPEG-2", 4.5)]:
+        params = SystemParameters.paper_section2(
+            object_bandwidth_mbits=mbits)
+        rows = []
+        for k in K_VALUES:
+            streams = streams_per_disk_bound(params, k, k)
+            buffer_mb = 2 * k * params.track_size_mb
+            rows.append((k, streams, buffer_mb))
+        frontier[label] = rows
+    return frontier
+
+
+def test_k_memory_tradeoff(benchmark):
+    frontier = benchmark(compute_frontier)
+    print()
+    print("Section 2 trade-off: streams/disk vs per-stream buffer (2kB)")
+    for label, rows in frontier.items():
+        print(f"  {label}:")
+        print(f"    {'k':>3}{'streams/disk':>14}{'buffer MB/stream':>18}"
+              f"{'streams per buffer MB':>22}")
+        for k, streams, buffer_mb in rows:
+            print(f"    {k:>3}{streams:>14.2f}{buffer_mb:>18.2f}"
+                  f"{streams / buffer_mb:>22.1f}")
+    for label, rows in frontier.items():
+        streams = [s for _k, s, _b in rows]
+        buffers = [b for _k, _s, b in rows]
+        # Capacity rises with k, with diminishing returns...
+        assert streams == sorted(streams)
+        ks = [k for k, _s, _b in rows]
+        gains = [(s2 - s1) / (k2 - k1)
+                 for (k1, s1), (k2, s2) in zip(zip(ks, streams),
+                                               zip(ks[1:], streams[1:]))]
+        assert all(later <= earlier + 1e-9
+                   for earlier, later in zip(gains, gains[1:]))
+        # ...while memory rises linearly: efficiency per MB collapses.
+        per_mb = [s / b for (_k, s, b) in rows]
+        assert per_mb == sorted(per_mb, reverse=True)
+        assert buffers[-1] == 16 * buffers[0]
+    # MPEG-2 gains relatively more from large k than MPEG-1 (the paper's
+    # 15% vs 5% point).
+    gain = {label: (rows[-1][1] - rows[0][1]) / rows[-1][1]
+            for label, rows in frontier.items()}
+    assert gain["MPEG-2"] > 2.5 * gain["MPEG-1"]

@@ -1,0 +1,79 @@
+"""Ablation: Non-clustered transition losses versus the failed disk offset.
+
+Section 3: "The number of tracks of data per stream that will be lost
+depends on which disk fails."  Sweeping the failed data-disk offset
+k = 0..C-2 over the Figure 5 pipeline (full schedule, one stream per
+phase):
+
+* **eager** loses a constant 1 + 2 + 3 = 6 tracks — the burst always
+  moves the same triangle of reads forward, only the split between
+  "unrecoverable" (k streams caught mid-group) and "displaced" shifts;
+* **lazy** starts equal at k = 0 (the burst *is* the group start there)
+  and loses strictly less as k grows — the later the failed block, the
+  later the moved reads, the fewer displacements.  Exactly k tracks are
+  unrecoverable under either protocol.
+"""
+
+from repro.sched import TransitionProtocol
+from repro.server.metrics import HiccupCause
+from repro.schemes import Scheme
+from scenarios import build_server, tiny_catalog
+
+OFFSETS = [0, 1, 2, 3]
+
+
+def run_offset(protocol: TransitionProtocol, failed_disk: int):
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          slots_per_disk=1, catalog=tiny_catalog(7, 8),
+                          protocol=protocol, start_cluster=0)
+    names = server.catalog.names()
+    for cycle in range(3):
+        server.admit(names[cycle])
+        server.run_cycle()
+    server.admit(names[3])
+    server.fail_disk(failed_disk)
+    for cycle in range(3):
+        server.run_cycle()
+        server.admit(names[4 + cycle])
+    server.run_cycles(17)
+    return server.report
+
+
+def sweep():
+    results = {}
+    for protocol in TransitionProtocol:
+        for offset in OFFSETS:
+            results[(protocol, offset)] = run_offset(protocol, offset)
+    return results
+
+
+def test_losses_versus_failed_offset(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("NC transition losses vs failed data-disk offset (C = 5)")
+    print(f"{'offset k':>9}{'eager total':>13}{'lazy total':>12}"
+          f"{'unrecoverable':>15}")
+    lazy_totals = []
+    for offset in OFFSETS:
+        eager = results[(TransitionProtocol.EAGER, offset)]
+        lazy = results[(TransitionProtocol.LAZY, offset)]
+        failure_losses = lazy.hiccups_by_cause().get(
+            HiccupCause.DISK_FAILURE, 0)
+        lazy_totals.append(lazy.total_hiccups)
+        print(f"{offset:>9}{eager.total_hiccups:>13}"
+              f"{lazy.total_hiccups:>12}{failure_losses:>15}")
+        # Eager's burst displaces the same triangle regardless of offset.
+        assert eager.total_hiccups == 6
+        # Exactly k streams are caught mid-group and lose the failed block.
+        assert failure_losses == offset
+        assert eager.hiccups_by_cause().get(
+            HiccupCause.DISK_FAILURE, 0) == offset
+        # Lazy never loses more than eager.
+        assert lazy.total_hiccups <= eager.total_hiccups
+        # Payload integrity throughout.
+        assert eager.payload_mismatches == 0
+        assert lazy.payload_mismatches == 0
+    # Lazy's advantage grows as the failure moves later in the group.
+    assert lazy_totals[0] == 6          # k = 0: burst == group start
+    assert all(b <= a for a, b in zip(lazy_totals, lazy_totals[1:]))
+    assert lazy_totals[-1] < lazy_totals[0]

@@ -1,0 +1,76 @@
+"""Ablation: sizing the Non-clustered buffer pool (Section 3).
+
+"In a typical system, there might be 100 clusters of 10 disks, but buffer
+servers for 5 degraded mode clusters would be sufficient as the
+probability of more than 5 out of the 100 clusters having a failed disk
+is extremely low."
+
+Two views:
+
+* **analytic** — MTTDS versus pool size K (the k-concurrent-failure
+  formula): five servers already push degradation beyond the age of the
+  universe at the paper's drive reliability;
+* **simulated** — a server with more simultaneously degraded clusters
+  than buffer servers really does drop tracks (BUFFER_EXHAUSTED), while a
+  big-enough pool keeps the transition losses bounded.
+"""
+
+from repro.analysis import (
+    SystemParameters,
+    mean_time_to_k_concurrent_failures_hours,
+)
+from repro.schemes import Scheme
+from repro.server.metrics import HiccupCause
+from repro.units import hours_to_years
+from scenarios import build_server, tiny_catalog
+
+POOL_SIZES = [1, 2, 3, 5]
+
+
+def run_simulated(pool_clusters: int):
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=20,
+                          catalog=tiny_catalog(4, tracks=8),
+                          pool_clusters=pool_clusters)
+    for name in server.catalog.names():
+        server.admit(name)
+    server.fail_disk(0)   # cluster 0
+    server.fail_disk(5)   # cluster 1
+    server.run_cycles(25)
+    return server
+
+
+def compute():
+    analytic = [
+        (k, hours_to_years(
+            mean_time_to_k_concurrent_failures_hours(100, k, 300_000, 1)))
+        for k in POOL_SIZES
+    ]
+    simulated = {k: run_simulated(k) for k in (1, 3)}
+    return analytic, simulated
+
+
+def test_pool_sizing(benchmark):
+    analytic, simulated = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print()
+    print("Analytic: mean time until K clusters are degraded at once "
+          "(D = 100)")
+    for k, years in analytic:
+        print(f"  K = {k}: {years:,.1f} years")
+    print("Simulated: two clusters degraded at once")
+    for k, server in simulated.items():
+        causes = server.report.hiccups_by_cause()
+        print(f"  pool of {k}: refusals "
+              f"{server.scheduler.pool.refusals}, "
+              f"buffer-exhausted hiccups "
+              f"{causes.get(HiccupCause.BUFFER_EXHAUSTED, 0)}")
+    # Analytic: each extra buffer server multiplies MTTDS enormously.
+    years = [y for _k, y in analytic]
+    assert years == sorted(years)
+    assert years[-1] / years[0] > 1e6
+    # Simulated: an undersized pool drops tracks; a sized one does not.
+    starved = simulated[1].report.hiccups_by_cause()
+    covered = simulated[3].report.hiccups_by_cause()
+    assert starved.get(HiccupCause.BUFFER_EXHAUSTED, 0) > 0
+    assert covered.get(HiccupCause.BUFFER_EXHAUSTED, 0) == 0
+    assert simulated[1].scheduler.pool.refusals >= 1
+    assert simulated[3].scheduler.pool.refusals == 0

@@ -1,0 +1,110 @@
+"""Validate the buffer equations (12)-(15) against measured occupancy.
+
+The closed forms count buffers at the *worst instant* of a cycle (the
+double-buffered group being read plus the one being delivered); the
+simulator samples occupancy at the end of each cycle, after delivery —
+a consistent fraction of the closed form per scheme:
+
+* SR holds the just-read group: (C-1)/2C of eq. (12)'s 2C per stream;
+* SG holds the out-of-phase sawtooth sum: C/2 tracks per stream versus
+  eq. (13)'s C(C+1)/2 per C-1 streams;
+* NC holds 1 of eq. (14)'s 2 per stream;
+* IB holds (C-1) of eq. (15)'s 2(C-1).
+
+What must match — and does — is the *relative* ordering and the ratios
+between schemes at the same load: NC ~ 1/4 of SG's per-stream footprint,
+SG ~ 5/8 of SR's, IB just under SR.  This is Table 2's "Buffers" row made
+executable.
+"""
+
+import pytest
+
+from repro.analysis import SystemParameters, buffer_tracks
+from repro.schemes import Scheme
+from scenarios import TRACK_BYTES, tiny_catalog
+from repro.server import MultimediaServer
+
+SLOTS = {Scheme.STREAMING_RAID: 52, Scheme.STAGGERED_GROUP: 12,
+         Scheme.NON_CLUSTERED: 12, Scheme.IMPROVED_BANDWIDTH: 52}
+#: End-of-cycle sample as a fraction of the closed form's per-stream count.
+SAMPLE_FRACTION = {
+    Scheme.STREAMING_RAID: (5 - 1) / (2 * 5),
+    Scheme.STAGGERED_GROUP: (5 / 2) / (5 * 6 / 2 / 4),
+    Scheme.NON_CLUSTERED: 1 / 2,
+    Scheme.IMPROVED_BANDWIDTH: (5 - 1) / (2 * (5 - 1)),
+}
+
+
+def measure(scheme: Scheme):
+    num_disks = 96 if scheme is Scheme.IMPROVED_BANDWIDTH else 100
+    clusters = num_disks // (4 if scheme is Scheme.IMPROVED_BANDWIDTH else 5)
+    params = SystemParameters.paper_table1(
+        num_disks=num_disks,
+        track_size_mb=TRACK_BYTES / 1e6,
+        disk_capacity_mb=TRACK_BYTES * 4000 / 1e6,
+    )
+    tracks = 120 if scheme is Scheme.NON_CLUSTERED else 60
+    server = MultimediaServer.build(
+        params, 5, scheme, catalog=tiny_catalog(clusters, tracks=tracks),
+        slots_per_disk=SLOTS[scheme], verify_payloads=False)
+    names = server.catalog.names()
+    limit = server.scheduler.admission_limit
+    streams = 0
+    if scheme is Scheme.NON_CLUSTERED:
+        # NC fills as a pipeline: one 12-stream cohort per cycle.
+        object_index = 0
+        while streams < limit:
+            take = min(SLOTS[scheme], limit - streams)
+            for _ in range(take):
+                server.admit(names[object_index % len(names)])
+            streams += take
+            object_index += 1
+            server.run_cycle()
+    else:
+        per_object = limit // len(names)
+        for name in names:
+            for _ in range(per_object):
+                server.admit(name)
+                streams += 1
+    server.run_cycles(8)
+    assert server.report.hiccup_free()
+    analytic_tracks = buffer_tracks(params, 5, scheme, streams=streams)
+    # The NC pool term only applies in degraded mode; measure normal mode.
+    if scheme is Scheme.NON_CLUSTERED:
+        analytic_tracks = 2 * streams
+    return {
+        "streams": streams,
+        "measured_peak": server.report.peak_buffered_tracks,
+        "analytic": analytic_tracks,
+        "expected_sample": analytic_tracks * SAMPLE_FRACTION[scheme],
+    }
+
+
+def compute():
+    return {scheme: measure(scheme)
+            for scheme in (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP,
+                           Scheme.NON_CLUSTERED,
+                           Scheme.IMPROVED_BANDWIDTH)}
+
+
+def test_buffer_equations_validated(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print()
+    print("Buffer occupancy at full load: eq. (12)-(15) vs measured")
+    print(f"{'scheme':<8}{'streams':>9}{'eq tracks':>11}"
+          f"{'sample-adj.':>13}{'measured':>10}")
+    for scheme, row in results.items():
+        print(f"{scheme.value:<8}{row['streams']:>9}{row['analytic']:>11}"
+              f"{row['expected_sample']:>13.0f}{row['measured_peak']:>10}")
+    for scheme, row in results.items():
+        assert row["measured_peak"] == pytest.approx(
+            row["expected_sample"], rel=0.1)
+    # Table 2's ordering, per stream: NC < SG < IB <= SR.
+    per_stream = {s: r["measured_peak"] / r["streams"]
+                  for s, r in results.items()}
+    assert per_stream[Scheme.NON_CLUSTERED] < \
+        per_stream[Scheme.STAGGERED_GROUP]
+    assert per_stream[Scheme.STAGGERED_GROUP] < \
+        per_stream[Scheme.IMPROVED_BANDWIDTH]
+    assert per_stream[Scheme.IMPROVED_BANDWIDTH] <= \
+        per_stream[Scheme.STREAMING_RAID] + 1e-9

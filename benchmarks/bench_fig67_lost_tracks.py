@@ -1,0 +1,55 @@
+"""Reproduce Figures 6-7: Non-clustered failure-transition losses.
+
+The scenario of Figure 5: a fully loaded cluster (one stream per pipeline
+phase), disk 2 (data offset k = 2 of cluster 0, C = 5) failing just before
+a stream starts its group read.  Expected, per the paper:
+
+* **EAGER** (Figure 6): 6 tracks lost in total — W2, Y2 to the failure
+  itself; Y1, U3, W3, Y3 displaced by the shift to group-at-a-time reads.
+  The total matches the paper's switchover accounting
+  ``1 + 2 + ... + (C - k) = (C - k)(C - k + 1)/2 = 6``.
+* **LAZY** (Figure 7): only 3 tracks lost — W2, Y2 to the failure, Y3 to
+  the shift.  "Not quite as many."
+
+Stream names map as m0 = U, m1 = W, m2 = Y, m3 = A.
+"""
+
+from repro.sched import TransitionProtocol
+from scenarios import figure67_scenario
+
+C, FAILED_OFFSET = 5, 2
+EXPECTED_EAGER = {("m1", 2), ("m2", 2), ("m2", 1),
+                  ("m0", 3), ("m1", 3), ("m2", 3)}
+EXPECTED_LAZY = {("m1", 2), ("m2", 2), ("m2", 3)}
+
+
+def run_both():
+    return (figure67_scenario(TransitionProtocol.EAGER),
+            figure67_scenario(TransitionProtocol.LAZY))
+
+
+def test_figures_6_and_7(benchmark):
+    eager, lazy = benchmark(run_both)
+    print()
+    formula = (C - FAILED_OFFSET) * (C - FAILED_OFFSET + 1) // 2
+    for label, server in [("Figure 6 (eager)", eager),
+                          ("Figure 7 (lazy)", lazy)]:
+        lost = sorted((h.object_name, h.track, h.cause.value)
+                      for h in server.report.all_hiccups())
+        print(f"{label}: {len(lost)} tracks lost")
+        for name, track, cause in lost:
+            print(f"    {name}[{track}]  ({cause})")
+    print(f"paper's switchover formula (C-k)(C-k+1)/2 = {formula}")
+
+    assert {(h.object_name, h.track)
+            for h in eager.report.all_hiccups()} == EXPECTED_EAGER
+    assert eager.report.total_hiccups == formula
+    assert {(h.object_name, h.track)
+            for h in lazy.report.all_hiccups()} == EXPECTED_LAZY
+    assert lazy.report.total_hiccups < eager.report.total_hiccups
+    # Both settle into hiccup-free degraded operation afterwards.
+    assert all(h.cycle <= 9 for h in eager.report.all_hiccups())
+    assert all(h.cycle <= 9 for h in lazy.report.all_hiccups())
+    # Payloads of everything that was delivered are byte-correct.
+    assert eager.report.payload_mismatches == 0
+    assert lazy.report.payload_mismatches == 0

@@ -1,0 +1,65 @@
+"""Reproduce Figure 8 / Section 4: the Improved-bandwidth shift-right.
+
+Three regimes after disk 0 of cluster 0 fails:
+
+* lightly loaded — cluster 1 has idle slots, the parity reads fit, the
+  failure is fully masked;
+* loaded with one reserved slot per disk (the K_IB reserve) — the cascade
+  displaces local reads into idle capacity, still no hiccups;
+* saturated — "if none of the clusters in the system have sufficient idle
+  disk capacity, a degradation of service occurs, i.e., one or more
+  requests must be dropped".
+"""
+
+from repro.schemes import Scheme
+from repro.server.stream import StreamStatus
+from scenarios import build_server, tiny_catalog
+
+
+def run_regime(slots: int, admitted: int):
+    server = build_server(Scheme.IMPROVED_BANDWIDTH, num_disks=12,
+                          slots_per_disk=slots,
+                          catalog=tiny_catalog(6, tracks=24),
+                          admission_limit=6)
+    streams = [server.admit(name)
+               for name in server.catalog.names()[:admitted]]
+    server.run_cycle()
+    server.fail_disk(0)
+    server.run_cycles(10)
+    terminated = sum(1 for s in streams
+                     if s.status is StreamStatus.TERMINATED)
+    return server.report, terminated
+
+
+def compute_regimes():
+    return {
+        "light load": run_regime(slots=4, admitted=3),
+        "reserved slot": run_regime(slots=3, admitted=6),
+        "saturated": run_regime(slots=2, admitted=6),
+    }
+
+
+def test_figure8_shift_right(benchmark):
+    regimes = benchmark(compute_regimes)
+    print()
+    print("Figure 8 / Section 4: shift-to-the-right under three loads")
+    print(f"{'regime':<16}{'parity reads':>14}{'displaced':>11}"
+          f"{'hiccups':>9}{'terminated':>12}")
+    for label, (report, terminated) in regimes.items():
+        print(f"{label:<16}{report.total_parity_reads:>14}"
+              f"{report.total_dropped_reads:>11}"
+              f"{report.total_hiccups:>9}{terminated:>12}")
+
+    light, _ = regimes["light load"]
+    reserved, reserved_terminated = regimes["reserved slot"]
+    saturated, saturated_terminated = regimes["saturated"]
+    # Light load: parity comes straight from cluster 1, nothing displaced.
+    assert light.hiccup_free() and light.total_parity_reads > 0
+    assert light.total_dropped_reads == 0
+    # Reserve absorbs the shift.
+    assert reserved.hiccup_free() and reserved_terminated == 0
+    # Saturation forces degradation of service.
+    assert saturated_terminated >= 1
+    # Every regime keeps payloads byte-correct for whatever it delivered.
+    for report, _t in regimes.values():
+        assert report.payload_mismatches == 0

@@ -1,0 +1,59 @@
+"""Reproduce Figure 9(a): total storage cost versus parity-group size.
+
+W = 100,000 MB, s_d = 1000 MB, K_NC = K_IB = 5; c_b/c_d calibrated to the
+Section 5 worked examples (see EXPERIMENTS.md).  The paper's shapes:
+
+* the Non-clustered curve lies below every other scheme;
+* Streaming RAID becomes the most expensive scheme as C grows (buffer
+  cost more than offsets disk savings — the paper's headline conclusion);
+* the Improved-bandwidth curve increases with C ("the cluster size will
+  always be 2" for IB);
+* the Section 5 worked examples land at their quoted dollar figures
+  (SG and NC within ~1%, SR within ~11%).
+"""
+
+import pytest
+
+from repro.analysis import SystemParameters, figure9_cost_series, total_cost
+from repro.schemes import ALL_SCHEMES, Scheme
+
+GROUP_SIZES = list(range(2, 11))
+WORKING_SET_MB = 100_000.0
+
+
+def compute_series():
+    params = SystemParameters.paper_table1(reserve_k=5)
+    return figure9_cost_series(params, WORKING_SET_MB, GROUP_SIZES)
+
+
+def test_figure9a_cost(benchmark):
+    series = benchmark(compute_series)
+    print()
+    print("Figure 9(a): total storage cost ($) vs parity-group size")
+    print("C    " + "".join(f"{s.value:>12}" for s in ALL_SCHEMES))
+    for i, c in enumerate(GROUP_SIZES):
+        print(f"{c:<5}" + "".join(f"{series[s][i].total:>12,.0f}"
+                                  for s in ALL_SCHEMES))
+    # Shape: NC cheapest everywhere.
+    for i in range(len(GROUP_SIZES)):
+        costs = {s: series[s][i].total for s in ALL_SCHEMES}
+        assert min(costs, key=costs.get) is Scheme.NON_CLUSTERED
+    # Shape: SR most expensive from C = 5 up.
+    for i, c in enumerate(GROUP_SIZES):
+        if c >= 5:
+            costs = {s: series[s][i].total for s in ALL_SCHEMES}
+            assert max(costs, key=costs.get) is Scheme.STREAMING_RAID
+    # Shape: IB increases with C.
+    ib = [p.total for p in series[Scheme.IMPROVED_BANDWIDTH]]
+    assert ib == sorted(ib)
+    # Section 5 worked examples.
+    params = SystemParameters.paper_table1(reserve_k=5)
+    sr = total_cost(params, 4, Scheme.STREAMING_RAID, WORKING_SET_MB)
+    sg = total_cost(params, 10, Scheme.STAGGERED_GROUP, WORKING_SET_MB)
+    nc = total_cost(params, 10, Scheme.NON_CLUSTERED, WORKING_SET_MB)
+    print(f"worked examples ($): SR@C=4 {sr.total:,.0f} (paper ~173,400), "
+          f"SG@C=10 {sg.total:,.0f} (paper ~146,600), "
+          f"NC@C=10 {nc.total:,.0f} (paper ~128,600)")
+    assert sr.total == pytest.approx(173_400, rel=0.12)
+    assert sg.total == pytest.approx(146_600, rel=0.02)
+    assert nc.total == pytest.approx(128_600, rel=0.02)

@@ -1,0 +1,58 @@
+"""Reproduce Figure 9(b): supported streams versus parity-group size.
+
+The disk count at each C is the minimum that holds the working set, so the
+curves *decline* with C (fewer disks needed -> less aggregate bandwidth).
+Paper shapes:
+
+* Improved bandwidth dominates every other scheme (it alone can reach the
+  ~1500-stream regime of Section 5's second worked example);
+* Streaming RAID sits above Staggered-group/Non-clustered;
+* every curve trends downward as C grows.
+"""
+
+from repro.analysis import SystemParameters, figure9_stream_series
+from repro.schemes import ALL_SCHEMES, Scheme
+
+GROUP_SIZES = list(range(2, 11))
+WORKING_SET_MB = 100_000.0
+
+
+def compute_series():
+    params = SystemParameters.paper_table1(reserve_k=5)
+    return figure9_stream_series(params, WORKING_SET_MB, GROUP_SIZES)
+
+
+def test_figure9b_streams(benchmark):
+    series = benchmark(compute_series)
+    print()
+    print("Figure 9(b): supported streams vs parity-group size")
+    print("C    " + "".join(f"{s.value:>12}" for s in ALL_SCHEMES))
+    for i, c in enumerate(GROUP_SIZES):
+        print(f"{c:<5}" + "".join(f"{series[s][i][1]:>12}"
+                                  for s in ALL_SCHEMES))
+    # IB dominates everywhere.
+    for i in range(len(GROUP_SIZES)):
+        ib = series[Scheme.IMPROVED_BANDWIDTH][i][1]
+        for scheme in ALL_SCHEMES:
+            if scheme is not Scheme.IMPROVED_BANDWIDTH:
+                assert ib > series[scheme][i][1]
+    # SR >= SG = NC at each C.
+    for i in range(len(GROUP_SIZES)):
+        assert series[Scheme.STREAMING_RAID][i][1] >= \
+            series[Scheme.STAGGERED_GROUP][i][1]
+        assert series[Scheme.STAGGERED_GROUP][i][1] == \
+            series[Scheme.NON_CLUSTERED][i][1]
+    # The IB curve declines with C — the paper singles this out: "the
+    # number of streams that can be handled decreases (due to the total
+    # number of disks decreasing)".  The clustered schemes stay nearly
+    # flat (their per-disk efficiency gain offsets the disk decline).
+    ib = [n for _c, n in series[Scheme.IMPROVED_BANDWIDTH]]
+    assert ib == sorted(ib, reverse=True)
+    for scheme in (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP,
+                   Scheme.NON_CLUSTERED):
+        values = [n for _c, n in series[scheme]]
+        assert max(values) - min(values) < 0.15 * max(values)
+    # Section 5's 1500-stream requirement: only IB can meet it.
+    assert series[Scheme.IMPROVED_BANDWIDTH][0][1] > 1500
+    assert all(series[s][0][1] < 1500 for s in ALL_SCHEMES
+               if s is not Scheme.IMPROVED_BANDWIDTH)

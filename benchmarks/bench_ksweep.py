@@ -1,0 +1,42 @@
+"""Reproduce the Section 2 in-text k-sweep.
+
+For the 100 KB / 30 ms / 10 ms example drive the paper quotes streams per
+disk (N/D'):
+
+* b_o = 4.5 Mb/s (MPEG-2): k=1 -> 14.7, k=2 -> 16.2, k=10 -> 17.4
+  ("close to 15%" spread);
+* b_o = 1.5 Mb/s (MPEG-1): "the variation ... is only about 5%".
+"""
+
+import pytest
+
+from repro.analysis import SystemParameters, streams_per_disk_bound
+from repro.analysis.streams import k_sweep
+
+K_VALUES = [1, 2, 4, 6, 8, 10]
+
+
+def compute_sweeps():
+    mpeg2 = SystemParameters.paper_section2(object_bandwidth_mbits=4.5)
+    mpeg1 = SystemParameters.paper_section2(object_bandwidth_mbits=1.5)
+    return k_sweep(mpeg2, K_VALUES), k_sweep(mpeg1, K_VALUES)
+
+
+def test_section2_k_sweep(benchmark):
+    mpeg2, mpeg1 = benchmark(compute_sweeps)
+    print()
+    print("Section 2 in-text sweep: N/D' versus k (read tracks per cycle)")
+    print(f"{'k':>4}{'MPEG-2 (4.5 Mb/s)':>20}{'MPEG-1 (1.5 Mb/s)':>20}")
+    for k in K_VALUES:
+        print(f"{k:>4}{mpeg2[k]:>20.2f}{mpeg1[k]:>20.2f}")
+    # The paper's quoted MPEG-2 values.
+    assert mpeg2[1] == pytest.approx(14.78, abs=0.05)
+    assert mpeg2[2] == pytest.approx(16.28, abs=0.05)
+    assert mpeg2[10] == pytest.approx(17.48, abs=0.05)
+    # Spreads: ~15% for MPEG-2, ~5% for MPEG-1.
+    spread2 = (mpeg2[10] - mpeg2[1]) / mpeg2[10]
+    spread1 = (mpeg1[10] - mpeg1[1]) / mpeg1[10]
+    print(f"spread: MPEG-2 {100 * spread2:.1f}%  (paper: ~15%), "
+          f"MPEG-1 {100 * spread1:.1f}%  (paper: ~5%)")
+    assert spread2 == pytest.approx(0.15, abs=0.015)
+    assert spread1 == pytest.approx(0.05, abs=0.01)

@@ -1,0 +1,69 @@
+"""Rebuild mode (extension): rebuild duration versus load, and the
+reliability consequence.
+
+The paper's MTTF formulas all divide by MTTR — the window in which a
+second failure is catastrophic.  This bench measures how the on-line
+parity rebuild's duration (our MTTR, excluding the physical swap) grows
+with server load, and contrasts it with the tape-reload alternative the
+paper uses to motivate parity schemes in the first place (Section 1).
+"""
+
+import pytest
+
+from repro.analysis import SystemParameters
+from repro.schemes import Scheme
+from repro.tertiary import TapeLibrary, compare_rebuild_paths
+from scenarios import build_server, tiny_catalog, tiny_params
+
+
+def rebuild_duration_cycles(streams: int) -> int:
+    server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                          slots_per_disk=4,
+                          catalog=tiny_catalog(8, tracks=64),
+                          admission_limit=8)
+    for name in server.catalog.names()[:streams]:
+        server.admit(name)
+    server.run_cycle()
+    server.fail_disk(0)
+    rebuilder = server.scheduler.start_rebuild(0, writes_per_cycle=4)
+    cycles = 0
+    while not rebuilder.completed and cycles < 2000:
+        server.run_cycle()
+        cycles += 1
+    assert rebuilder.completed, "rebuild starved completely"
+    assert server.report.payload_mismatches == 0
+    return cycles
+
+
+def compute():
+    durations = {streams: rebuild_duration_cycles(streams)
+                 for streams in (0, 4, 8)}
+    params = SystemParameters.paper_table1(num_disks=10)
+    from repro.layout import ClusteredParityLayout
+    from repro.media import MediaObject
+    layout = ClusteredParityLayout(10, 5)
+    for i in range(8):
+        layout.place(MediaObject(f"m{i}", 0.1875, 500, seed=i))
+    comparison = compare_rebuild_paths(layout, 0, params, TapeLibrary(),
+                                       idle_fraction=0.2)
+    return durations, comparison
+
+
+def test_rebuild_duration_vs_load(benchmark):
+    durations, comparison = benchmark.pedantic(compute, rounds=1,
+                                               iterations=1)
+    print()
+    print("On-line rebuild duration (cycles) vs active streams "
+          "(10 disks, C = 5, 4 slots/disk):")
+    for streams, cycles in durations.items():
+        print(f"  {streams} streams: {cycles} cycles")
+    print(f"Tape vs parity rebuild for a {comparison.tracks}-track disk: "
+          f"{comparison.tape_time_s / 3600:.1f} h vs "
+          f"{comparison.online_time_s / 3600:.2f} h "
+          f"({comparison.speedup:,.0f}x)")
+    # Load stretches the rebuild window monotonically.
+    ordered = [durations[s] for s in (0, 4, 8)]
+    assert ordered == sorted(ordered)
+    assert ordered[-1] >= 1.5 * ordered[0]
+    # The paper's motivating gap: parity rebuild crushes tape reload.
+    assert comparison.speedup > 10

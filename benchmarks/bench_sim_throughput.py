@@ -1,0 +1,37 @@
+"""Simulator throughput: cycles per second for a loaded server.
+
+Not a paper figure — this keeps the simulator honest as a piece of
+engineering (regressions in the cycle engine show up here) and documents
+what scale the reproduction can run at.
+"""
+
+from repro.schemes import Scheme
+from scenarios import build_server, tiny_catalog
+
+
+def make_loaded_server(scheme: Scheme):
+    disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    server = build_server(scheme, num_disks=disks,
+                          catalog=tiny_catalog(8, tracks=400),
+                          slots_per_disk=8, verify_payloads=False)
+    for name in server.catalog.names():
+        server.admit(name)
+    return server
+
+
+def test_streaming_raid_cycle_throughput(benchmark):
+    server = make_loaded_server(Scheme.STREAMING_RAID)
+    benchmark(lambda: server.run_cycles(10))
+    assert server.report.payload_mismatches == 0
+
+
+def test_non_clustered_cycle_throughput(benchmark):
+    server = make_loaded_server(Scheme.NON_CLUSTERED)
+    benchmark(lambda: server.run_cycles(10))
+    assert server.report.payload_mismatches == 0
+
+
+def test_improved_bandwidth_cycle_throughput(benchmark):
+    server = make_loaded_server(Scheme.IMPROVED_BANDWIDTH)
+    benchmark(lambda: server.run_cycles(10))
+    assert server.report.payload_mismatches == 0

@@ -1,0 +1,49 @@
+"""Reproduce Table 2: scheme comparison at parity-group size C = 5.
+
+Paper values (Berson/Golubchik/Muntz 1995, Table 2):
+
+    Metrics                  RAID      Staggered  Non-clust.  Improved BW
+    Disk storage overhead    20.0%     20.0%      20.0%       20.0%
+    Disk bandwidth overhead  20.0%     20.0%      20.0%       3.0%
+    MTTF (years)             25684.9   25684.9    25684.9     11415
+    MTTDS (years)            25684.9   25684.9    3176862.3   3176862.3
+    Streams                  1041      966        966         1263
+    Buffers (tracks)         10410     3623       2612        10104
+"""
+
+import pytest
+
+from repro.analysis import (
+    SystemParameters,
+    compare_schemes,
+    format_comparison_table,
+)
+from repro.schemes import Scheme
+
+PAPER_TABLE2 = {
+    Scheme.STREAMING_RAID: (20.0, 20.0, 25684.9, 25684.9, 1041, 10410),
+    Scheme.STAGGERED_GROUP: (20.0, 20.0, 25684.9, 25684.9, 966, 3623),
+    Scheme.NON_CLUSTERED: (20.0, 20.0, 25684.9, 3176862.3, 966, 2612),
+    Scheme.IMPROVED_BANDWIDTH: (20.0, 3.0, 11415.5, 3176862.3, 1263, 10104),
+}
+
+
+def compute_table2():
+    return compare_schemes(SystemParameters.paper_table1(),
+                           parity_group_size=5)
+
+
+def test_table2(benchmark):
+    results = benchmark(compute_table2)
+    print()
+    print("Table 2 (C = 5), paper vs reproduced: exact match")
+    print(format_comparison_table(results))
+    for scheme, expected in PAPER_TABLE2.items():
+        metrics = results[scheme]
+        storage, bandwidth, mttf, mttds, streams, buffers = expected
+        assert 100 * metrics.storage_overhead == pytest.approx(storage, abs=0.05)
+        assert 100 * metrics.bandwidth_overhead == pytest.approx(bandwidth, abs=0.05)
+        assert metrics.mttf_years == pytest.approx(mttf, rel=1e-3)
+        assert metrics.mttds_years == pytest.approx(mttds, rel=1e-3)
+        assert metrics.streams == streams
+        assert metrics.buffer_tracks == buffers

@@ -1,0 +1,49 @@
+"""Reproduce Table 3: scheme comparison at parity-group size C = 7.
+
+Paper values:
+
+    Metrics                  RAID      Staggered  Non-clust.  Improved BW
+    Disk storage overhead    14.3%     14.3%      14.3%       14.3%
+    Disk bandwidth overhead  14.3%     14.3%      14.3%       3.0%
+    MTTF (years)             17123.3   17123.3    17123.3     7903.1
+    MTTDS (years)            17123.3   17123.3    3176862.3   3176862.3
+    Streams                  1125      1035       1035        1273
+    Buffers (tracks)         15750     4830       3254        15276
+"""
+
+import pytest
+
+from repro.analysis import (
+    SystemParameters,
+    compare_schemes,
+    format_comparison_table,
+)
+from repro.schemes import Scheme
+
+PAPER_TABLE3 = {
+    Scheme.STREAMING_RAID: (14.3, 14.3, 17123.3, 17123.3, 1125, 15750),
+    Scheme.STAGGERED_GROUP: (14.3, 14.3, 17123.3, 17123.3, 1035, 4830),
+    Scheme.NON_CLUSTERED: (14.3, 14.3, 17123.3, 3176862.3, 1035, 3254),
+    Scheme.IMPROVED_BANDWIDTH: (14.3, 3.0, 7903.1, 3176862.3, 1273, 15276),
+}
+
+
+def compute_table3():
+    return compare_schemes(SystemParameters.paper_table1(),
+                           parity_group_size=7)
+
+
+def test_table3(benchmark):
+    results = benchmark(compute_table3)
+    print()
+    print("Table 3 (C = 7), paper vs reproduced: exact match")
+    print(format_comparison_table(results))
+    for scheme, expected in PAPER_TABLE3.items():
+        metrics = results[scheme]
+        storage, bandwidth, mttf, mttds, streams, buffers = expected
+        assert 100 * metrics.storage_overhead == pytest.approx(storage, abs=0.05)
+        assert 100 * metrics.bandwidth_overhead == pytest.approx(bandwidth, abs=0.05)
+        assert metrics.mttf_years == pytest.approx(mttf, rel=1e-3)
+        assert metrics.mttds_years == pytest.approx(mttds, rel=1e-3)
+        assert metrics.streams == streams
+        assert metrics.buffer_tracks == buffers

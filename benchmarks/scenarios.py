@@ -1,0 +1,65 @@
+"""Shared scenario builders for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper; the builders
+here assemble the scaled-down simulator configurations those figures use
+(64-byte tracks so materialisation stays cheap; explicit slot budgets so
+the schedules are exactly as full as the figures assume).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import SystemParameters
+from repro.media import Catalog, MediaObject
+from repro.sched import TransitionProtocol
+from repro.schemes import Scheme
+from repro.server import MultimediaServer
+
+TRACK_BYTES = 64
+
+
+def tiny_params(num_disks: int, **overrides) -> SystemParameters:
+    """Table-1 parameters with toy 64-byte tracks."""
+    defaults = dict(
+        num_disks=num_disks,
+        track_size_mb=TRACK_BYTES / 1e6,
+        disk_capacity_mb=TRACK_BYTES * 4000 / 1e6,
+    )
+    defaults.update(overrides)
+    return SystemParameters.paper_table1(**defaults)
+
+
+def tiny_catalog(count: int, tracks: int) -> Catalog:
+    """Identical-shape objects with distinct deterministic payloads."""
+    catalog = Catalog()
+    for index in range(count):
+        catalog.add(MediaObject(f"m{index}", 0.1875, tracks, seed=index))
+    return catalog
+
+
+def build_server(scheme: Scheme, num_disks: int, parity_group_size: int = 5,
+                 slots_per_disk: int = 8, catalog: Catalog | None = None,
+                 **kwargs) -> MultimediaServer:
+    """A small, byte-verified server for one scheme."""
+    kwargs.setdefault("verify_payloads", True)
+    return MultimediaServer.build(
+        tiny_params(num_disks), parity_group_size, scheme, catalog=catalog,
+        slots_per_disk=slots_per_disk, **kwargs)
+
+
+def figure67_scenario(protocol: TransitionProtocol) -> MultimediaServer:
+    """The Figures 5-7 pipeline: one stream per phase, full schedule,
+    disk 2 of cluster 0 fails just before the fourth stream's first read."""
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          slots_per_disk=1, catalog=tiny_catalog(7, 8),
+                          protocol=protocol, start_cluster=0)
+    names = server.catalog.names()
+    for cycle in range(3):
+        server.admit(names[cycle])
+        server.run_cycle()
+    server.admit(names[3])
+    server.fail_disk(2)
+    for cycle in range(3):
+        server.run_cycle()
+        server.admit(names[4 + cycle])
+    server.run_cycles(17)
+    return server

@@ -1,0 +1,65 @@
+"""Quickstart: build a fault-tolerant multimedia server and survive a failure.
+
+Runs in two parts:
+
+1. the *analytic* comparison of the paper's four schemes at C = 5
+   (Table 2 of the paper), straight from the closed-form models;
+2. a *simulated* Streaming RAID server that loses a disk mid-playback and
+   masks the failure by on-the-fly XOR reconstruction — zero hiccups,
+   byte-verified payloads.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import SystemParameters, compare_schemes, format_comparison_table
+from repro.schemes import Scheme
+from repro.server import MultimediaServer
+
+
+def analytic_comparison() -> None:
+    print("=" * 72)
+    print("Paper Table 2: scheme comparison at parity-group size C = 5")
+    print("=" * 72)
+    params = SystemParameters.paper_table1()
+    results = compare_schemes(params, parity_group_size=5)
+    print(format_comparison_table(results))
+    print()
+
+
+def simulated_failure() -> None:
+    print("=" * 72)
+    print("Simulated Streaming RAID server: disk failure during playback")
+    print("=" * 72)
+    # A small server: 10 disks in 2 clusters of 5 (4 data + 1 parity each).
+    params = SystemParameters.paper_table1(
+        num_disks=10,
+        track_size_mb=512 / 1e6,          # toy 512-byte tracks
+        disk_capacity_mb=512 * 400 / 1e6,
+    )
+    server = MultimediaServer.build(
+        params, parity_group_size=5, scheme=Scheme.STREAMING_RAID,
+        slots_per_disk=8, verify_payloads=True)
+
+    movie = server.catalog.names()[0]
+    print(f"admitting a stream for {movie!r} "
+          f"({server.catalog.get(movie).num_tracks} tracks)")
+    server.admit(movie)
+
+    server.run_cycles(2)
+    print("cycle 2: failing disk 0 (a data disk of cluster 0)")
+    server.fail_disk(0)
+    server.run_cycles(8)
+
+    report = server.report
+    print(f"-> {report.summary()}")
+    print(f"-> parity reads while degraded : {report.total_parity_reads}")
+    print(f"-> payload mismatches          : {report.payload_mismatches}")
+    assert report.hiccup_free(), "Streaming RAID must mask a single failure"
+    assert report.payload_mismatches == 0
+    print("the viewer never noticed: every missing block was rebuilt from "
+          "parity\nbefore its delivery deadline (paper, Observation 2).")
+
+
+if __name__ == "__main__":
+    analytic_comparison()
+    simulated_failure()

@@ -1,0 +1,104 @@
+"""A day in the life of a VoD server: workload + stochastic faults.
+
+Drives the simulator with a realistic request mix — Zipf-popular movies,
+Poisson arrivals — on the DES kernel while disks fail and get repaired
+stochastically (accelerated MTTF so something actually happens), and
+reports what the viewers experienced under two schemes.
+
+Run:  python examples/vod_day.py
+"""
+
+from repro.analysis import SystemParameters
+from repro.errors import AdmissionError
+from repro.media import Catalog, MediaObject
+from repro.schemes import Scheme
+from repro.server import MultimediaServer
+from repro.sim import RandomSource
+from repro.workload import WorkloadGenerator
+
+
+def build_catalog(count: int, tracks: int) -> Catalog:
+    catalog = Catalog()
+    for i in range(count):
+        catalog.add(MediaObject(f"movie-{i:02d}", 0.1875, tracks, seed=i))
+    catalog.set_zipf_popularity(theta=1.0)
+    return catalog
+
+
+def simulate(scheme: Scheme, num_disks: int, seed: int = 42):
+    params = SystemParameters.paper_table1(
+        num_disks=num_disks,
+        track_size_mb=512 / 1e6,
+        disk_capacity_mb=512 * 2000 / 1e6,
+    )
+    catalog = build_catalog(count=8, tracks=40)
+    server = MultimediaServer.build(params, 5, scheme, catalog=catalog,
+                                    slots_per_disk=6, verify_payloads=True)
+    cycle_length = server.config.cycle_length_s
+    horizon_cycles = 400
+
+    # Requests: ~1 new viewer every 4 cycles, Zipf-popular titles.
+    generator = WorkloadGenerator(catalog,
+                                  arrival_rate_per_s=0.25 / cycle_length,
+                                  zipf_theta=1.0, seed=seed)
+    trace = generator.trace(horizon_cycles * cycle_length)
+    by_cycle: dict[int, list[str]] = {}
+    for request in trace:
+        by_cycle.setdefault(request.arrival_cycle(cycle_length),
+                            []).append(request.object_name)
+
+    # Accelerated faults: drives live ~120 cycles, repairs take ~10.
+    fault_rng = RandomSource(seed)
+    fault_clock = {d: fault_rng.exponential(f"life-{d}", 120.0)
+                   for d in range(num_disks)}
+    repair_at: dict[int, float] = {}
+
+    admitted = rejected = 0
+    for cycle in range(horizon_cycles):
+        for disk_id, due in list(repair_at.items()):
+            if cycle >= due:
+                server.repair_disk(disk_id)
+                del repair_at[disk_id]
+        for disk_id, due in list(fault_clock.items()):
+            if cycle >= due and disk_id not in repair_at \
+                    and not server.array[disk_id].is_failed:
+                server.fail_disk(disk_id)
+                repair_at[disk_id] = cycle + 10
+                fault_clock[disk_id] = cycle + 10 + \
+                    fault_rng.exponential(f"life-{disk_id}", 120.0)
+        for name in by_cycle.get(cycle, []):
+            try:
+                server.admit(name)
+                admitted += 1
+            except AdmissionError:
+                rejected += 1
+        server.run_cycle()
+
+    return server, admitted, rejected
+
+
+def main() -> None:
+    for scheme in (Scheme.STREAMING_RAID, Scheme.NON_CLUSTERED):
+        server, admitted, rejected = simulate(scheme, num_disks=10)
+        report = server.report
+        print("=" * 72)
+        print(f"{scheme.display_name}: 400 cycles, Zipf workload, "
+              "stochastic faults")
+        print("=" * 72)
+        print(f"viewers admitted / rejected : {admitted} / {rejected}")
+        print(f"tracks delivered            : {report.total_delivered}")
+        print(f"hiccups                     : {report.total_hiccups}")
+        for cause, count in sorted(report.hiccups_by_cause().items(),
+                                   key=lambda item: item[0].value):
+            print(f"    {cause.value:<22}: {count}")
+        print(f"on-the-fly reconstructions  : {report.total_reconstructions}")
+        print(f"peak buffer (tracks)        : {report.peak_buffered_tracks}")
+        print(f"payload mismatches          : {report.payload_mismatches}")
+        print()
+    print("Streaming RAID rides out every single failure; the Non-clustered")
+    print("scheme trades a handful of transition hiccups for a fraction of")
+    print("the buffer memory — the paper's core trade-off, live.")
+
+
+if __name__ == "__main__":
+    main()

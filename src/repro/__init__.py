@@ -1,0 +1,22 @@
+"""Reproduction of *Fault Tolerant Design of Multimedia Servers*
+(Berson, Golubchik, Muntz — SIGMOD 1995).
+
+The package provides:
+
+* :mod:`repro.analysis` — the paper's closed-form models (Tables 2–3,
+  Figure 9, and the in-text capacity/reliability claims);
+* :mod:`repro.server` — a discrete-event simulator of the whole server
+  (disks, layouts, cycle schedulers for the four schemes, buffer
+  accounting, byte-accurate parity, fault injection);
+* substrates: :mod:`repro.disk`, :mod:`repro.layout`, :mod:`repro.parity`,
+  :mod:`repro.media`, :mod:`repro.sched`, :mod:`repro.buffers`,
+  :mod:`repro.faults`, :mod:`repro.workload`, :mod:`repro.tertiary`,
+  :mod:`repro.sim`.
+
+Quickstart::
+
+    from repro.analysis import SystemParameters, compare_schemes
+    rows = compare_schemes(SystemParameters.paper_table1(), parity_group_size=5)
+"""
+
+__version__ = "1.0.0"

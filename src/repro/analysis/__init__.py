@@ -1,0 +1,70 @@
+"""Closed-form models: every equation of the paper, plus table/figure builders.
+
+Module map (equation numbers refer to the paper):
+
+* :mod:`repro.analysis.parameters` — Table 1 and the Figure 9 cost knobs.
+* :mod:`repro.analysis.streams` — eq. (7)–(11): stream-count bounds.
+* :mod:`repro.analysis.overheads` — eq. (1)–(3): storage/bandwidth overhead.
+* :mod:`repro.analysis.reliability` — eq. (4)–(6): MTTF and MTTDS.
+* :mod:`repro.analysis.buffering` — eq. (12)–(15): buffer space.
+* :mod:`repro.analysis.cost` — eq. (16)–(19): system cost and D(W, C).
+* :mod:`repro.analysis.comparison` — assembles Tables 2–3 and Figure 9.
+"""
+
+from repro.analysis.buffering import buffer_mb, buffer_tracks
+from repro.analysis.comparison import (
+    SchemeMetrics,
+    compare_schemes,
+    figure9_cost_series,
+    figure9_stream_series,
+    format_comparison_table,
+)
+from repro.analysis.cost import disks_for_working_set, total_cost
+from repro.analysis.design import (
+    DesignPoint,
+    enumerate_designs,
+    feasible_designs,
+    recommend_design,
+)
+from repro.analysis.overheads import (
+    bandwidth_overhead_fraction,
+    bandwidth_overhead_mb_s,
+    storage_overhead_fraction,
+    storage_overhead_mb,
+)
+from repro.analysis.parameters import SystemParameters
+from repro.analysis.reliability import (
+    mean_time_to_k_concurrent_failures_hours,
+    mttds_hours,
+    mttf_catastrophic_hours,
+)
+from repro.analysis.streams import max_streams, streams_per_disk_bound
+from repro.schemes import ALL_SCHEMES, Scheme
+
+__all__ = [
+    "ALL_SCHEMES",
+    "DesignPoint",
+    "Scheme",
+    "SchemeMetrics",
+    "SystemParameters",
+    "enumerate_designs",
+    "feasible_designs",
+    "recommend_design",
+    "bandwidth_overhead_fraction",
+    "bandwidth_overhead_mb_s",
+    "buffer_mb",
+    "buffer_tracks",
+    "compare_schemes",
+    "disks_for_working_set",
+    "figure9_cost_series",
+    "figure9_stream_series",
+    "format_comparison_table",
+    "max_streams",
+    "mean_time_to_k_concurrent_failures_hours",
+    "mttds_hours",
+    "mttf_catastrophic_hours",
+    "storage_overhead_fraction",
+    "storage_overhead_mb",
+    "streams_per_disk_bound",
+    "total_cost",
+]

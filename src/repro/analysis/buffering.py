@@ -1,0 +1,85 @@
+"""Buffer-space requirements: equations (12)–(15).
+
+All figures are *per system* (not per stream) and count track-sized
+buffers, as the "Buffers (in tracks)" row of Tables 2–3 does.  Per-stream
+requirements (Section 5):
+
+* Streaming RAID: ``2C`` buffers — double-buffering of a full parity group
+  (including the parity slot).
+* Staggered group: groups are staggered across read phases, so the system
+  needs ``(C+1) + (C-1) + (C-2) + ... + 2 = C(C+1)/2`` buffers per ``C - 1``
+  streams (Figure 4's out-of-phase sawtooth).
+* Non-clustered: ``2`` per stream in normal mode, plus a shared buffer pool
+  sized to run ``K`` clusters in degraded (group-at-a-time) mode.
+* Improved bandwidth: like SR but with no parity slot to hold: ``2(C-1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.analysis.parameters import SystemParameters
+from repro.analysis.streams import data_disk_count, max_streams
+from repro.errors import ConfigurationError
+from repro.schemes import Scheme
+
+
+def buffers_per_stream(parity_group_size: int, scheme: Scheme) -> float:
+    """Track buffers needed per active stream (may be fractional for SG/NC).
+
+    For NC this is the *normal-mode* figure (2); the degraded-mode pool is
+    accounted separately in :func:`buffer_tracks`.
+    """
+    if parity_group_size < 2:
+        raise ConfigurationError(
+            f"parity group size must be >= 2, got {parity_group_size}"
+        )
+    c = parity_group_size
+    if scheme is Scheme.STREAMING_RAID:
+        return 2.0 * c
+    if scheme is Scheme.STAGGERED_GROUP:
+        return c * (c + 1) / 2.0 / (c - 1)
+    if scheme is Scheme.NON_CLUSTERED:
+        return 2.0
+    return 2.0 * (c - 1)  # IMPROVED_BANDWIDTH
+
+
+def _buffer_tracks_real(params: SystemParameters, parity_group_size: int,
+                        scheme: Scheme, streams: int) -> float:
+    c = parity_group_size
+    base = buffers_per_stream(c, scheme) * streams
+    if scheme is not Scheme.NON_CLUSTERED:
+        return base
+    # Eq. (14): the NC pool adds K clusters' worth of staggered-group
+    # buffering, with the paper's D'/C divisor.
+    staggered = buffers_per_stream(c, Scheme.STAGGERED_GROUP) * streams
+    pool_share = staggered / (data_disk_count(params, c, scheme) / c)
+    return base + pool_share * params.reserve_k
+
+
+def buffer_tracks(params: SystemParameters, parity_group_size: int,
+                  scheme: Scheme, streams: Optional[int] = None) -> int:
+    """Total buffer requirement in tracks (eq. 12–15, Tables 2–3 row 6).
+
+    ``streams`` defaults to the scheme's maximum (eq. 8–11).
+
+    >>> p = SystemParameters.paper_table1()
+    >>> buffer_tracks(p, 5, Scheme.STREAMING_RAID)
+    10410
+    >>> buffer_tracks(p, 5, Scheme.NON_CLUSTERED)
+    2612
+    """
+    if streams is None:
+        streams = max_streams(params, parity_group_size, scheme)
+    if streams < 0:
+        raise ConfigurationError(f"stream count must be >= 0, got {streams}")
+    real = _buffer_tracks_real(params, parity_group_size, scheme, streams)
+    return int(math.ceil(real - 1e-9))
+
+
+def buffer_mb(params: SystemParameters, parity_group_size: int,
+              scheme: Scheme, streams: Optional[int] = None) -> float:
+    """Total buffer requirement in MB (tracks x track size)."""
+    tracks = buffer_tracks(params, parity_group_size, scheme, streams)
+    return tracks * params.track_size_mb

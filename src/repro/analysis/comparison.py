@@ -1,0 +1,138 @@
+"""Assemble the paper's comparisons: Tables 2–3 and Figure 9.
+
+:func:`compare_schemes` evaluates all six metrics of Tables 2–3 for each
+scheme at one parity-group size; :func:`figure9_cost_series` and
+:func:`figure9_stream_series` sweep the parity-group size for a fixed
+working set, as Figure 9 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.buffering import buffer_mb, buffer_tracks
+from repro.analysis.cost import CostBreakdown, total_cost
+from repro.analysis.overheads import (
+    bandwidth_overhead_fraction,
+    storage_overhead_fraction,
+)
+from repro.analysis.parameters import SystemParameters
+from repro.analysis.reliability import mttds_years, mttf_catastrophic_years
+from repro.analysis.streams import max_streams
+from repro.schemes import ALL_SCHEMES, Scheme
+
+
+@dataclass(frozen=True)
+class SchemeMetrics:
+    """One column of Table 2/3: all six metrics for one scheme."""
+
+    scheme: Scheme
+    parity_group_size: int
+    storage_overhead: float      # fraction of raw capacity
+    bandwidth_overhead: float    # fraction of aggregate bandwidth
+    mttf_years: float            # mean time to catastrophic failure
+    mttds_years: float           # mean time to degradation of service
+    streams: int                 # maximum simultaneous streams
+    buffer_tracks: int           # total buffer requirement, in tracks
+    buffer_mb: float             # the same, in MB
+
+    def as_row(self) -> dict[str, float]:
+        """The metrics as a flat dict (for table rendering / DataFrames)."""
+        return {
+            "scheme": self.scheme.value,
+            "storage_overhead_pct": 100.0 * self.storage_overhead,
+            "bandwidth_overhead_pct": 100.0 * self.bandwidth_overhead,
+            "mttf_years": self.mttf_years,
+            "mttds_years": self.mttds_years,
+            "streams": self.streams,
+            "buffer_tracks": self.buffer_tracks,
+        }
+
+
+def scheme_metrics(params: SystemParameters, parity_group_size: int,
+                   scheme: Scheme) -> SchemeMetrics:
+    """All Table 2/3 metrics for one scheme."""
+    streams = max_streams(params, parity_group_size, scheme)
+    return SchemeMetrics(
+        scheme=scheme,
+        parity_group_size=parity_group_size,
+        storage_overhead=storage_overhead_fraction(parity_group_size),
+        bandwidth_overhead=bandwidth_overhead_fraction(
+            params, parity_group_size, scheme),
+        mttf_years=mttf_catastrophic_years(params, parity_group_size, scheme),
+        mttds_years=mttds_years(params, parity_group_size, scheme),
+        streams=streams,
+        buffer_tracks=buffer_tracks(params, parity_group_size, scheme, streams),
+        buffer_mb=buffer_mb(params, parity_group_size, scheme, streams),
+    )
+
+
+def compare_schemes(params: SystemParameters, parity_group_size: int,
+                    schemes: Sequence[Scheme] = ALL_SCHEMES,
+                    ) -> dict[Scheme, SchemeMetrics]:
+    """Tables 2–3: every metric for every scheme at one parity-group size.
+
+    >>> rows = compare_schemes(SystemParameters.paper_table1(), 5)
+    >>> rows[Scheme.STREAMING_RAID].streams
+    1041
+    """
+    return {
+        scheme: scheme_metrics(params, parity_group_size, scheme)
+        for scheme in schemes
+    }
+
+
+def format_comparison_table(results: dict[Scheme, SchemeMetrics]) -> str:
+    """Render a comparison dict in the layout of the paper's Tables 2–3."""
+    schemes = list(results)
+    headers = ["Metrics"] + [results[s].scheme.display_name for s in schemes]
+    rows = [
+        ("Disk storage overhead",
+         [f"{100 * results[s].storage_overhead:.1f}%" for s in schemes]),
+        ("Disk bandwidth overhead",
+         [f"{100 * results[s].bandwidth_overhead:.1f}%" for s in schemes]),
+        ("MTTF (in years)",
+         [f"{results[s].mttf_years:.1f}" for s in schemes]),
+        ("MTTDS (in years)",
+         [f"{results[s].mttds_years:.1f}" for s in schemes]),
+        ("Streams",
+         [f"{results[s].streams}" for s in schemes]),
+        ("Buffers (in tracks)",
+         [f"{results[s].buffer_tracks}" for s in schemes]),
+    ]
+    table = [headers] + [[label] + values for label, values in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for row in table:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def figure9_cost_series(params: SystemParameters, working_set_mb: float,
+                        group_sizes: Iterable[int],
+                        schemes: Sequence[Scheme] = ALL_SCHEMES,
+                        ) -> dict[Scheme, list[CostBreakdown]]:
+    """Figure 9(a): total cost versus parity-group size per scheme."""
+    return {
+        scheme: [total_cost(params, c, scheme, working_set_mb)
+                 for c in group_sizes]
+        for scheme in schemes
+    }
+
+
+def figure9_stream_series(params: SystemParameters, working_set_mb: float,
+                          group_sizes: Iterable[int],
+                          schemes: Sequence[Scheme] = ALL_SCHEMES,
+                          ) -> dict[Scheme, list[tuple[int, int]]]:
+    """Figure 9(b): streams versus parity-group size at the minimum disk
+    count that holds the working set."""
+    series: dict[Scheme, list[tuple[int, int]]] = {}
+    for scheme in schemes:
+        points = []
+        for c in group_sizes:
+            breakdown = total_cost(params, c, scheme, working_set_mb)
+            points.append((c, breakdown.streams))
+        series[scheme] = points
+    return series

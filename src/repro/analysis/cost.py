@@ -1,0 +1,109 @@
+"""System cost: equations (16)–(19) and the Figure 9 sizing study.
+
+Given a working-set size ``W`` (MB of real data to keep disk-resident), the
+number of disks needed grows with the parity overhead::
+
+    D(W, C) = ceil( W / s_d * C / (C - 1) )
+
+rounded up to a whole number of clusters.  Total cost is then disk storage
+plus the buffer memory the scheme needs at that size::
+
+    cost_p = c_b * BF_p(MB) + c_d * D(W, C) * s_d
+
+The paper does not state its ``c_b``/``c_d``; the defaults carried by
+:class:`SystemParameters` (c_b = 240, c_d = 0.5 $/MB) are calibrated
+against the three Section 5 worked examples (SR ~$173,400 at C = 4,
+SG ~$146,600 and NC ~$128,600 at C = 10); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.buffering import buffer_mb
+from repro.analysis.parameters import SystemParameters
+from repro.analysis.streams import max_streams
+from repro.errors import ConfigurationError
+from repro.schemes import Scheme
+
+
+def disks_for_working_set(working_set_mb: float, disk_capacity_mb: float,
+                          parity_group_size: int, round_to: int = 1) -> int:
+    """``D(W, C)`` — disks needed to hold ``W`` MB of real data plus parity.
+
+    ``round_to`` rounds the count up to a whole number of clusters
+    (``C`` for the clustered layouts, ``C - 1`` for Improved bandwidth).
+
+    >>> disks_for_working_set(100_000, 1000, 5)
+    125
+    """
+    if working_set_mb <= 0:
+        raise ConfigurationError(
+            f"working set must be positive, got {working_set_mb}"
+        )
+    if parity_group_size < 2:
+        raise ConfigurationError(
+            f"parity group size must be >= 2, got {parity_group_size}"
+        )
+    if round_to < 1:
+        raise ConfigurationError(f"round_to must be >= 1, got {round_to}")
+    c = parity_group_size
+    raw = working_set_mb / disk_capacity_mb * c / (c - 1)
+    disks = math.ceil(raw - 1e-9)
+    return ((disks + round_to - 1) // round_to) * round_to
+
+
+def cluster_width(parity_group_size: int, scheme: Scheme) -> int:
+    """Disks per cluster: ``C`` for SR/SG/NC, ``C - 1`` for IB."""
+    if scheme is Scheme.IMPROVED_BANDWIDTH:
+        return parity_group_size - 1
+    return parity_group_size
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The result of one eq. (16)–(19) evaluation."""
+
+    scheme: Scheme
+    parity_group_size: int
+    num_disks: int
+    streams: int
+    buffer_mb: float
+    disk_cost: float
+    memory_cost: float
+
+    @property
+    def total(self) -> float:
+        """Total system cost in dollars."""
+        return self.disk_cost + self.memory_cost
+
+
+def total_cost(params: SystemParameters, parity_group_size: int,
+               scheme: Scheme, working_set_mb: float,
+               round_to_cluster: bool = False) -> CostBreakdown:
+    """Equations (16)–(19): cost of the minimum system holding ``W`` MB.
+
+    The disk count is sized to the working set (not to a stream target);
+    the streams field reports how many streams that system can then serve —
+    exactly what Figure 9(b) plots.  ``round_to_cluster`` additionally
+    rounds the disk count up to a whole number of clusters (the paper's
+    ``D(W, C)`` does not, so the Figure 9 series leave it off; building a
+    real system would turn it on).
+    """
+    round_to = cluster_width(parity_group_size, scheme) \
+        if round_to_cluster else 1
+    disks = disks_for_working_set(
+        working_set_mb, params.disk_capacity_mb, parity_group_size, round_to)
+    sized = params.with_overrides(num_disks=disks)
+    streams = max_streams(sized, parity_group_size, scheme)
+    memory_mb = buffer_mb(sized, parity_group_size, scheme, streams)
+    return CostBreakdown(
+        scheme=scheme,
+        parity_group_size=parity_group_size,
+        num_disks=disks,
+        streams=streams,
+        buffer_mb=memory_mb,
+        disk_cost=params.disk_cost_per_mb * disks * params.disk_capacity_mb,
+        memory_cost=params.memory_cost_per_mb * memory_mb,
+    )

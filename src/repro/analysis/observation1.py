@@ -1,0 +1,96 @@
+"""Observation 1: never mix data blocks of different objects in one group.
+
+Section 1: "If a parity group contains fragments of object X which is
+being delivered and fragments of object Y which is not, then a disk
+failure will generate demands for fragments of both objects ... no
+bandwidth would have been allocated for Y ... the missing data cannot be
+reconstructed in real time."
+
+This module quantifies that: with per-object groups every reconstruction
+read was *already scheduled* (the group is being read for delivery
+anyway), so a failure adds only the parity read, for which bandwidth is
+reserved.  With mixed groups, reconstructing an active block demands
+reads of the group's *inactive* members — unplanned load of up to
+``C - 2`` extra reads per affected group.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def unplanned_reads_for_group(group_objects: Sequence[str],
+                              failed_offset: int,
+                              active: Iterable[str]) -> int:
+    """Unplanned reads needed to rebuild a mixed group's failed block.
+
+    ``group_objects[i]`` names the object owning the group's i-th data
+    block.  If the failed block's object is inactive, nothing needs
+    rebuilding (0).  Otherwise every member belonging to an *inactive*
+    object must be fetched without having bandwidth allocated.
+    """
+    if not 0 <= failed_offset < len(group_objects):
+        raise ConfigurationError(
+            f"failed offset {failed_offset} out of range for a group of "
+            f"{len(group_objects)}"
+        )
+    active_set = set(active)
+    if group_objects[failed_offset] not in active_set:
+        return 0
+    return sum(1 for i, name in enumerate(group_objects)
+               if i != failed_offset and name not in active_set)
+
+
+def expected_unplanned_reads(parity_group_size: int,
+                             active_fraction: float) -> float:
+    """Expected unplanned reads per affected mixed group.
+
+    With members drawn independently from a population where a fraction
+    ``p`` of objects is active: the failed block matters with probability
+    ``p``, and each of the other ``C - 2`` members is unplanned with
+    probability ``1 - p``::
+
+        E = p * (C - 2) * (1 - p)
+
+    Per-object groups give identically zero.
+    """
+    if parity_group_size < 2:
+        raise ConfigurationError(
+            f"parity group size must be >= 2, got {parity_group_size}"
+        )
+    if not 0.0 <= active_fraction <= 1.0:
+        raise ConfigurationError(
+            f"active fraction must be in [0, 1], got {active_fraction}"
+        )
+    c = parity_group_size
+    return active_fraction * (c - 2) * (1.0 - active_fraction)
+
+
+def dedicated_group_unplanned_reads(failed_offset: int,
+                                    object_active: bool) -> int:
+    """Per-object groups never demand unplanned data reads.
+
+    If the object is active, the group's other members are already being
+    read for delivery (Streaming RAID/Staggered) or can be scheduled in
+    the stream's own slots (Non-clustered); only the parity block is
+    extra, and its bandwidth is reserved.  If the object is inactive,
+    nothing needs reconstructing at all.
+    """
+    return 0
+
+
+def mixing_amplification(parity_group_size: int, active_fraction: float,
+                         streams_per_disk: float) -> float:
+    """Extra per-disk read load after one failure, in track-reads/cycle.
+
+    Each affected active stream's group demands
+    :func:`expected_unplanned_reads` extra fetches, spread over the
+    cluster's disks — load the admission control never budgeted.  This is
+    the quantity that must fit into idle slots to avoid the paper's
+    degradation of service.
+    """
+    per_group = expected_unplanned_reads(parity_group_size, active_fraction)
+    stripe = parity_group_size - 1
+    return streams_per_disk * per_group / stripe

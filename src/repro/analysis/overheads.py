@@ -1,0 +1,70 @@
+"""Storage and bandwidth overhead: equations (1)–(3).
+
+Every scheme stores one parity block per ``C - 1`` data blocks, so the
+storage overhead is ``s_d * D / C`` regardless of where parity lives
+(eq. 1).  The clustered schemes also *reserve* the parity disks' bandwidth
+(eq. 2, a fraction ``1/C``), whereas the Improved-bandwidth scheme only
+reserves ``K_IB`` disks' worth (eq. 3, a fraction ``K_IB / D``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.parameters import SystemParameters
+from repro.errors import ConfigurationError
+from repro.schemes import Scheme
+
+
+def _check_group(parity_group_size: int) -> None:
+    if parity_group_size < 2:
+        raise ConfigurationError(
+            f"parity group size must be >= 2, got {parity_group_size}"
+        )
+
+
+def storage_overhead_mb(params: SystemParameters,
+                        parity_group_size: int) -> float:
+    """``S_p = s_d * D / C`` (eq. 1) — MB of disk devoted to parity.
+
+    Identical for all four schemes.
+    """
+    _check_group(parity_group_size)
+    return params.disk_capacity_mb * params.num_disks / parity_group_size
+
+
+def storage_overhead_fraction(parity_group_size: int) -> float:
+    """Parity storage as a fraction of raw capacity: ``1 / C``.
+
+    >>> storage_overhead_fraction(5)
+    0.2
+    """
+    _check_group(parity_group_size)
+    return 1.0 / parity_group_size
+
+
+def bandwidth_overhead_mb_s(params: SystemParameters, parity_group_size: int,
+                            scheme: Scheme) -> float:
+    """``BW_p`` — MB/s of disk bandwidth reserved for fault tolerance.
+
+    Equations (2)–(3): clustered schemes reserve the parity disks
+    (``d * D / C``); Improved-bandwidth reserves ``K_IB * d``.
+    """
+    _check_group(parity_group_size)
+    d = params.disk_bandwidth_mb_s
+    if scheme is Scheme.IMPROVED_BANDWIDTH:
+        return params.reserve_k * d
+    return d * params.num_disks / parity_group_size
+
+
+def bandwidth_overhead_fraction(params: SystemParameters,
+                                parity_group_size: int,
+                                scheme: Scheme) -> float:
+    """Reserved bandwidth as a fraction of the aggregate (Tables 2–3 rows).
+
+    >>> p = SystemParameters.paper_table1()
+    >>> bandwidth_overhead_fraction(p, 5, Scheme.STREAMING_RAID)
+    0.2
+    >>> bandwidth_overhead_fraction(p, 5, Scheme.IMPROVED_BANDWIDTH)
+    0.03
+    """
+    total = params.disk_bandwidth_mb_s * params.num_disks
+    return bandwidth_overhead_mb_s(params, parity_group_size, scheme) / total

@@ -1,0 +1,150 @@
+"""System parameters: the paper's Table 1 plus the Figure 9 cost knobs.
+
+One :class:`SystemParameters` instance carries everything the closed-form
+models need.  The classmethods reproduce the two parameterisations used in
+the paper: :meth:`SystemParameters.paper_table1` (Tables 2–3, Figure 9) and
+:meth:`SystemParameters.paper_section2` (the in-text k-sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.disk.specs import DiskSpec
+from repro.units import hours, kilobytes, mbits_per_sec, milliseconds
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """All inputs to the paper's equations.
+
+    Attributes
+    ----------
+    object_bandwidth_mb_s:
+        ``b_o`` — object delivery bandwidth (MB/s).
+    track_size_mb:
+        ``B`` — disk IO unit / track size (MB).
+    seek_time_s:
+        ``tau_seek`` — maximum seek time (s).
+    track_time_s:
+        ``tau_trk`` — per-track service time (s).
+    num_disks:
+        ``D`` — total disks in the system.
+    mttf_disk_hours / mttr_disk_hours:
+        Per-disk mean time to failure / repair (hours).
+    reserve_k:
+        ``K`` — Non-clustered buffer-server count and Improved-bandwidth
+        reserved-disk count (``K_NC = K_IB``).  Tables 2–3 are consistent
+        with ``K = 3``; Figure 9 uses ``K = 5``.
+    disk_capacity_mb:
+        ``s_d`` — usable capacity per disk (MB); Figure 9 uses 1000.
+    memory_cost_per_mb / disk_cost_per_mb:
+        ``c_b`` / ``c_d`` — $/MB of buffer memory and disk storage.  The
+        paper does not state its values; the defaults (240 and 0.5 $/MB)
+        are calibrated against its Section 5 worked examples — they land
+        within ~1% of the Staggered-group and Non-clustered figures and
+        ~10% of the Streaming RAID one — and reproduce the memory-dominant
+        regime the paper describes (IB cost increasing with cluster size).
+        See EXPERIMENTS.md for the calibration notes.
+    """
+
+    object_bandwidth_mb_s: float
+    track_size_mb: float
+    seek_time_s: float
+    track_time_s: float
+    num_disks: int
+    mttf_disk_hours: float = 300_000.0
+    mttr_disk_hours: float = 1.0
+    reserve_k: int = 3
+    disk_capacity_mb: float = 1000.0
+    memory_cost_per_mb: float = 240.0
+    disk_cost_per_mb: float = 0.5
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "object_bandwidth_mb_s", "track_size_mb", "seek_time_s",
+            "track_time_s", "mttf_disk_hours", "mttr_disk_hours",
+            "disk_capacity_mb", "memory_cost_per_mb", "disk_cost_per_mb",
+        )
+        for field_name in positive_fields:
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+        if self.num_disks < 2:
+            raise ValueError(f"need at least 2 disks, got {self.num_disks}")
+        if self.reserve_k < 0:
+            raise ValueError(f"reserve_k must be non-negative, got {self.reserve_k}")
+        if self.reserve_k >= self.num_disks:
+            raise ValueError("reserve_k must be smaller than the disk count")
+
+    # -- canonical parameterisations --------------------------------------
+
+    @classmethod
+    def paper_table1(cls, **overrides) -> "SystemParameters":
+        """Table 1: b_o = 1.5 Mb/s, B = 50 KB, 25/20 ms, D = 100."""
+        base = cls(
+            object_bandwidth_mb_s=mbits_per_sec(1.5),
+            track_size_mb=kilobytes(50),
+            seek_time_s=milliseconds(25),
+            track_time_s=milliseconds(20),
+            num_disks=100,
+        )
+        return replace(base, **overrides) if overrides else base
+
+    @classmethod
+    def paper_section2(cls, object_bandwidth_mbits: float = 1.5,
+                       **overrides) -> "SystemParameters":
+        """The Section 2 example: B = 100 KB, 30/10 ms."""
+        base = cls(
+            object_bandwidth_mb_s=mbits_per_sec(object_bandwidth_mbits),
+            track_size_mb=kilobytes(100),
+            seek_time_s=milliseconds(30),
+            track_time_s=milliseconds(10),
+            num_disks=100,
+        )
+        return replace(base, **overrides) if overrides else base
+
+    @classmethod
+    def from_disk_spec(cls, spec: DiskSpec, object_bandwidth_mb_s: float,
+                       num_disks: int, **overrides) -> "SystemParameters":
+        """Build parameters from a :class:`~repro.disk.specs.DiskSpec`."""
+        base = cls(
+            object_bandwidth_mb_s=object_bandwidth_mb_s,
+            track_size_mb=spec.track_size_mb,
+            seek_time_s=spec.seek_time_s,
+            track_time_s=spec.track_time_s,
+            num_disks=num_disks,
+            mttf_disk_hours=spec.mttf_s / hours(1),
+            mttr_disk_hours=spec.mttr_s / hours(1),
+            disk_capacity_mb=spec.capacity_mb,
+        )
+        return replace(base, **overrides) if overrides else base
+
+    # -- derived quantities -------------------------------------------------
+
+    def with_overrides(self, **changes) -> "SystemParameters":
+        """A copy with some fields replaced."""
+        return replace(self, **changes)
+
+    def to_disk_spec(self, name: str = "derived") -> DiskSpec:
+        """The :class:`DiskSpec` these parameters imply (for the simulator)."""
+        return DiskSpec(
+            name=name,
+            seek_time_s=self.seek_time_s,
+            track_time_s=self.track_time_s,
+            track_size_mb=self.track_size_mb,
+            capacity_mb=self.disk_capacity_mb,
+            mttf_s=hours(self.mttf_disk_hours),
+            mttr_s=hours(self.mttr_disk_hours),
+        )
+
+    def cycle_length_s(self, k_prime: int) -> float:
+        """``T_cyc = k' * B / b_o`` (Section 2)."""
+        if k_prime < 1:
+            raise ValueError(f"k' must be >= 1, got {k_prime}")
+        return k_prime * self.track_size_mb / self.object_bandwidth_mb_s
+
+    @property
+    def disk_bandwidth_mb_s(self) -> float:
+        """``d`` — one disk's sustained bandwidth (track per track time)."""
+        return self.track_size_mb / self.track_time_s

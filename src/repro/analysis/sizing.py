@@ -1,0 +1,107 @@
+"""System-scale arithmetic: the Section 1 back-of-envelope numbers.
+
+"1000 (1 gigabyte) disks provide enough storage for approximately 300
+(90 minute) MPEG-2 movies ... or 900 MPEG-1 movies ... Similarly, assuming
+a bandwidth of 4 megabytes per second, 1000 disk drives provide enough
+bandwidth to support approximately 6500 concurrent MPEG-2 users or 20,000
+MPEG-1 users."
+
+These helpers reproduce that arithmetic exactly (the paper rounds down to
+one significant figure) and generalise it to arbitrary drive fleets and
+object mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.media.objects import MPEG1_MB_S, MPEG2_MB_S
+from repro.units import minutes
+
+
+def movie_size_mb(bandwidth_mb_s: float, duration_s: float) -> float:
+    """Bytes of a constant-bandwidth object, in MB.
+
+    >>> round(movie_size_mb(MPEG2_MB_S, minutes(90)), 1)
+    3037.5
+    """
+    if bandwidth_mb_s <= 0 or duration_s <= 0:
+        raise ConfigurationError("bandwidth and duration must be positive")
+    return bandwidth_mb_s * duration_s
+
+
+def movies_storable(num_disks: int, disk_capacity_mb: float,
+                    movie_mb: float,
+                    parity_group_size: int | None = None) -> int:
+    """How many equal-size movies the farm can hold.
+
+    ``parity_group_size`` optionally discounts the 1/C parity overhead
+    (Section 1's estimate ignores it; pass None to match the paper).
+    """
+    if num_disks < 1 or disk_capacity_mb <= 0 or movie_mb <= 0:
+        raise ConfigurationError("sizes must be positive")
+    usable = num_disks * disk_capacity_mb
+    if parity_group_size is not None:
+        if parity_group_size < 2:
+            raise ConfigurationError("parity group size must be >= 2")
+        usable *= (parity_group_size - 1) / parity_group_size
+    return int(usable / movie_mb)
+
+
+def concurrent_users(num_disks: int, disk_bandwidth_mb_s: float,
+                     object_bandwidth_mb_s: float,
+                     parity_group_size: int | None = None) -> int:
+    """How many constant-bandwidth streams the aggregate bandwidth feeds.
+
+    Ignores seek overheads — this is the paper's raw-bandwidth estimate,
+    an upper bound that equations (8)–(11) refine.
+    """
+    if num_disks < 1 or disk_bandwidth_mb_s <= 0 \
+            or object_bandwidth_mb_s <= 0:
+        raise ConfigurationError("sizes must be positive")
+    total = num_disks * disk_bandwidth_mb_s
+    if parity_group_size is not None:
+        if parity_group_size < 2:
+            raise ConfigurationError("parity group size must be >= 2")
+        total *= (parity_group_size - 1) / parity_group_size
+    return int(total / object_bandwidth_mb_s)
+
+
+@dataclass(frozen=True)
+class SystemScale:
+    """The Figure 1 arithmetic for one drive fleet."""
+
+    num_disks: int
+    disk_capacity_mb: float
+    disk_bandwidth_mb_s: float
+    mpeg2_movies: int
+    mpeg1_movies: int
+    mpeg2_users: int
+    mpeg1_users: int
+
+
+def section1_scale(num_disks: int = 1000,
+                   disk_capacity_mb: float = 1000.0,
+                   disk_bandwidth_mb_s: float = 4.0) -> SystemScale:
+    """The paper's 1000-disk example, parameterised.
+
+    >>> scale = section1_scale()
+    >>> scale.mpeg2_movies, scale.mpeg1_movies
+    (329, 987)
+    >>> scale.mpeg2_users, scale.mpeg1_users
+    (7111, 21333)
+    """
+    mpeg2 = movie_size_mb(MPEG2_MB_S, minutes(90))
+    mpeg1 = movie_size_mb(MPEG1_MB_S, minutes(90))
+    return SystemScale(
+        num_disks=num_disks,
+        disk_capacity_mb=disk_capacity_mb,
+        disk_bandwidth_mb_s=disk_bandwidth_mb_s,
+        mpeg2_movies=movies_storable(num_disks, disk_capacity_mb, mpeg2),
+        mpeg1_movies=movies_storable(num_disks, disk_capacity_mb, mpeg1),
+        mpeg2_users=concurrent_users(num_disks, disk_bandwidth_mb_s,
+                                     MPEG2_MB_S),
+        mpeg1_users=concurrent_users(num_disks, disk_bandwidth_mb_s,
+                                     MPEG1_MB_S),
+    )

@@ -1,0 +1,93 @@
+"""Stream-count bounds: equations (7)–(11) and the Section 2 k-sweep.
+
+The core constraint (Section 2): with ``k`` tracks read per stream per
+"read cycle", ``k'`` tracks delivered per cycle, and the load spread over
+``D'`` data disks, a disk must fit ``N * k / D'`` track reads plus one
+worst-case seek inside a cycle of length ``T_cyc = k' * B / b_o``::
+
+    N <= [ B*k' / (b_o * tau_trk * k)  -  tau_seek / (tau_trk * k) ] * D'
+
+The paper's Tables 2–3 apply the floor to the *whole* right-hand side
+(e.g. ⌊1041.67⌋ = 1041 streams for SR at C = 5), which :func:`max_streams`
+follows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.parameters import SystemParameters
+from repro.errors import ConfigurationError
+from repro.schemes import Scheme
+
+
+def streams_per_disk_bound(params: SystemParameters, k: int,
+                           k_prime: int) -> float:
+    """``N / D'`` — the real-valued per-disk stream bound (Section 2).
+
+    >>> p = SystemParameters.paper_section2(object_bandwidth_mbits=4.5)
+    >>> round(streams_per_disk_bound(p, k=1, k_prime=1), 1)
+    14.8
+    """
+    if k < 1 or k_prime < 1:
+        raise ConfigurationError(f"k and k' must be >= 1, got k={k}, k'={k_prime}")
+    if k % k_prime != 0:
+        raise ConfigurationError(
+            f"k must be an integer multiple of k' (k={k}, k'={k_prime})"
+        )
+    useful_read_time = params.cycle_length_s(k_prime) - params.seek_time_s
+    return useful_read_time / (params.track_time_s * k)
+
+
+def data_disk_count(params: SystemParameters, parity_group_size: int,
+                    scheme: Scheme) -> float:
+    """``D'`` — the number of disks data is read from (Section 5, item 5-6).
+
+    Clustered schemes lose one disk per cluster to parity:
+    ``D' = (C-1)/C * D``.  The Improved-bandwidth scheme reads data from
+    every non-reserved disk: ``D' = D - K_IB``.
+    """
+    _check_group(parity_group_size)
+    if scheme is Scheme.IMPROVED_BANDWIDTH:
+        return float(params.num_disks - params.reserve_k)
+    c = parity_group_size
+    return params.num_disks * (c - 1) / c
+
+
+def max_streams(params: SystemParameters, parity_group_size: int,
+                scheme: Scheme) -> int:
+    """``N_p`` — maximum simultaneous streams, equations (8)–(11).
+
+    >>> max_streams(SystemParameters.paper_table1(), 5, Scheme.STREAMING_RAID)
+    1041
+    >>> max_streams(SystemParameters.paper_table1(), 5, Scheme.IMPROVED_BANDWIDTH)
+    1263
+    """
+    _check_group(parity_group_size)
+    if scheme is Scheme.STAGGERED_GROUP:
+        # Section 2: "the Staggered group scheme in effect uses k = 1" for
+        # the capacity bound — streams are staggered over C - 1 read
+        # phases, so each cycle only N/(C-1) streams read, each C - 1
+        # tracks, i.e. an average of one track per stream per cycle.
+        k, k_prime = 1, 1
+    else:
+        k, k_prime = scheme.read_granularity(parity_group_size)
+    per_disk = streams_per_disk_bound(params, k, k_prime)
+    total = per_disk * data_disk_count(params, parity_group_size, scheme)
+    # Guard against float fuzz on exact boundaries (e.g. 1125.0000000001).
+    return max(0, int(math.floor(total + 1e-9)))
+
+
+def k_sweep(params: SystemParameters, k_values: list[int]) -> dict[int, float]:
+    """``N / D'`` for a range of k (= k') values — the Section 2 in-text sweep.
+
+    For b_o = 4.5 Mb/s the paper quotes 14.7 / 16.2 / 17.4 at k = 1, 2, 10.
+    """
+    return {k: streams_per_disk_bound(params, k, k) for k in k_values}
+
+
+def _check_group(parity_group_size: int) -> None:
+    if parity_group_size < 2:
+        raise ConfigurationError(
+            f"parity group size must be >= 2, got {parity_group_size}"
+        )

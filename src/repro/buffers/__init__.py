@@ -1,0 +1,6 @@
+"""Buffer accounting: per-stream tracking and the shared degraded-mode pool."""
+
+from repro.buffers.pool import BufferPool
+from repro.buffers.tracker import BufferTracker
+
+__all__ = ["BufferPool", "BufferTracker"]

@@ -1,0 +1,83 @@
+"""The shared buffer-server pool of the Non-clustered scheme (Section 3).
+
+"Rather than each cluster have all the memory it needs to run in degraded
+mode (which is a rare event), we envision an architecture in which there
+are one or more extra processors containing a buffer pool ... shared by all
+the clusters in the system."
+
+The pool grants whole-cluster *leases*: when a cluster enters degraded mode
+it borrows the extra buffering that group-at-a-time reads need; the lease is
+returned when the failed disk is repaired.  A cluster that cannot get a
+lease (pool exhausted — more than ``capacity_clusters`` degraded at once)
+suffers degradation of service, which the caller records.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BufferExhausted
+
+
+class BufferPool:
+    """Cluster-granularity buffer leases plus track-level usage accounting."""
+
+    def __init__(self, capacity_clusters: int, tracks_per_cluster: int):
+        if capacity_clusters < 0:
+            raise ValueError(
+                f"pool capacity must be non-negative: {capacity_clusters}"
+            )
+        if tracks_per_cluster <= 0:
+            raise ValueError(
+                f"tracks per cluster must be positive: {tracks_per_cluster}"
+            )
+        self.capacity_clusters = capacity_clusters
+        self.tracks_per_cluster = tracks_per_cluster
+        self._leases: set[int] = set()
+        #: Highest number of simultaneous leases observed.
+        self.peak_leases = 0
+        #: Number of lease requests that were refused.
+        self.refusals = 0
+
+    @property
+    def leased_clusters(self) -> set[int]:
+        """Clusters currently holding a lease."""
+        return set(self._leases)
+
+    @property
+    def available(self) -> int:
+        """Leases still grantable."""
+        return self.capacity_clusters - len(self._leases)
+
+    @property
+    def tracks_in_use(self) -> int:
+        """Track-sized buffers currently committed to degraded clusters."""
+        return len(self._leases) * self.tracks_per_cluster
+
+    def acquire(self, cluster: int) -> None:
+        """Lease degraded-mode buffering for one cluster.
+
+        Idempotent for a cluster that already holds a lease.
+
+        Raises
+        ------
+        BufferExhausted
+            If the pool is fully committed — the paper's NC degradation
+            of service condition.
+        """
+        if cluster in self._leases:
+            return
+        if len(self._leases) >= self.capacity_clusters:
+            self.refusals += 1
+            raise BufferExhausted(
+                f"buffer pool exhausted: {len(self._leases)} clusters "
+                f"already degraded (capacity {self.capacity_clusters})"
+            )
+        self._leases.add(cluster)
+        self.peak_leases = max(self.peak_leases, len(self._leases))
+
+    def release(self, cluster: int) -> None:
+        """Return a cluster's lease (no-op if it held none)."""
+        self._leases.discard(cluster)
+
+    def holds(self, cluster: int) -> bool:
+        """True if the cluster currently holds a lease."""
+        return cluster in self._leases

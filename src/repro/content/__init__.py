@@ -1,0 +1,23 @@
+"""Content management: which objects live on disk, and churn to tertiary.
+
+The paper's architecture (Section 1, Figure 1): "The entire database
+permanently resides on tertiary storage, from which objects are retrieved
+and placed on disk drives for delivery on demand.  If the secondary
+storage capacity is exhausted when an object, which is not on the disks,
+is requested then one or more disk-resident objects must be purged to make
+space for the requested object."
+"""
+
+from repro.content.manager import (
+    ContentManager,
+    EvictionPolicy,
+    LoadTicket,
+    RequestOutcome,
+)
+
+__all__ = [
+    "ContentManager",
+    "EvictionPolicy",
+    "LoadTicket",
+    "RequestOutcome",
+]

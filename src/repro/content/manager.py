@@ -1,0 +1,184 @@
+"""The disk-resident working set and the tertiary staging path.
+
+:class:`ContentManager` decides, per request, whether an object is already
+disk-resident (a *hit* — a stream can start immediately) or must be staged
+from the tape library (a *miss* — the viewer waits for the load, and one
+or more cold objects may be purged to make room).
+
+Purge rules follow the paper's constraints:
+
+* an object with active streams is *pinned* and never purged;
+* victims are chosen by the configured policy — least-recently-requested
+  (LRU) or least-popular (the catalog's popularity weights);
+* staging time comes from the tape model: one robot exchange + seek plus
+  the transfer at tape bandwidth (objects are stored contiguously on
+  tertiary, unlike their striped disk layout).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.disk.drive import DiskArray
+from repro.errors import ConfigurationError, LayoutError
+from repro.layout.base import DataLayout
+from repro.media.catalog import Catalog
+from repro.media.objects import MediaObject
+from repro.tertiary.tape import TapeLibrary
+
+
+class EvictionPolicy(enum.Enum):
+    """How purge victims are chosen."""
+
+    LRU = "lru"                  # least-recently-requested first
+    POPULARITY = "popularity"    # least-popular (catalog weight) first
+
+
+class RequestOutcome(enum.Enum):
+    """What happened to a content request."""
+
+    HIT = "hit"          # resident; stream can start now
+    MISS = "miss"        # staged from tape; ready at ``ready_time_s``
+    REJECTED = "rejected"  # nothing evictable; request cannot be served
+
+
+@dataclass(frozen=True)
+class LoadTicket:
+    """The answer to one content request."""
+
+    object_name: str
+    outcome: RequestOutcome
+    ready_time_s: float
+    evicted: tuple[str, ...] = ()
+
+
+@dataclass
+class _Residency:
+    """Book-keeping for one disk-resident object."""
+
+    obj: MediaObject
+    last_request_s: float = 0.0
+    pins: int = 0
+
+
+class ContentManager:
+    """Manages the disk-resident subset of a (tertiary) library."""
+
+    def __init__(self, layout: DataLayout, array: DiskArray,
+                 library: Catalog,
+                 tape: Optional[TapeLibrary] = None,
+                 policy: EvictionPolicy = EvictionPolicy.LRU):
+        if layout.num_disks != len(array):
+            raise ConfigurationError(
+                "layout and array disagree on the disk count"
+            )
+        self.layout = layout
+        self.array = array
+        self.library = library
+        self.tape = tape or TapeLibrary()
+        self.policy = policy
+        self._resident: dict[str, _Residency] = {
+            obj.name: _Residency(obj) for obj in layout.objects
+        }
+        for name in self._resident:
+            if name not in library:
+                raise ConfigurationError(
+                    f"resident object {name!r} is not in the library"
+                )
+        self.hits = 0
+        self.misses = 0
+        self.rejections = 0
+        self.evictions = 0
+        self.bytes_staged_mb = 0.0
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_resident(self, name: str) -> bool:
+        """True if the object is currently on disk."""
+        return name in self._resident
+
+    @property
+    def resident_names(self) -> list[str]:
+        """Disk-resident objects, unordered guarantees aside."""
+        return list(self._resident)
+
+    def hit_rate(self) -> float:
+        """Fraction of requests served without a tape load."""
+        total = self.hits + self.misses + self.rejections
+        return self.hits / total if total else 0.0
+
+    # -- pinning (active streams) ---------------------------------------------------
+
+    def pin(self, name: str) -> None:
+        """Mark an object in active delivery (never purged while pinned)."""
+        self._residency(name).pins += 1
+
+    def unpin(self, name: str) -> None:
+        """Release one pin."""
+        residency = self._residency(name)
+        if residency.pins == 0:
+            raise ConfigurationError(f"object {name!r} is not pinned")
+        residency.pins -= 1
+
+    def _residency(self, name: str) -> _Residency:
+        try:
+            return self._resident[name]
+        except KeyError:
+            raise LayoutError(f"object {name!r} is not resident") from None
+
+    # -- the request path --------------------------------------------------------------
+
+    def request(self, name: str, now_s: float = 0.0) -> LoadTicket:
+        """Serve one content request; stage from tape on a miss."""
+        obj = self.library.get(name)
+        if name in self._resident:
+            self.hits += 1
+            self._resident[name].last_request_s = now_s
+            return LoadTicket(name, RequestOutcome.HIT, now_s)
+        evicted = []
+        while not self._fits(obj):
+            victim = self._choose_victim()
+            if victim is None:
+                self.rejections += 1
+                return LoadTicket(name, RequestOutcome.REJECTED, now_s,
+                                  tuple(evicted))
+            self._purge(victim)
+            evicted.append(victim)
+        self._stage(obj, now_s)
+        self.misses += 1
+        size_mb = obj.size_mb(self.array.spec.track_size_mb)
+        self.bytes_staged_mb += size_mb
+        ready = now_s + self.tape.fragment_fetch_time_s(size_mb)
+        return LoadTicket(name, RequestOutcome.MISS, ready, tuple(evicted))
+
+    def _fits(self, obj: MediaObject) -> bool:
+        demand = self.layout.placement_demand(obj)
+        capacity = self.array.spec.tracks_per_disk
+        return all(
+            self.layout.occupied_positions(disk_id) + count <= capacity
+            for disk_id, count in demand.items()
+        )
+
+    def _choose_victim(self) -> Optional[str]:
+        candidates = [name for name, residency in self._resident.items()
+                      if residency.pins == 0]
+        if not candidates:
+            return None
+        if self.policy is EvictionPolicy.LRU:
+            return min(candidates,
+                       key=lambda n: self._resident[n].last_request_s)
+        return min(candidates, key=self.library.popularity)
+
+    def _purge(self, name: str) -> None:
+        freed = self.layout.remove(name)
+        for address in freed:
+            self.array[address.disk_id].discard(address.position)
+        del self._resident[name]
+        self.evictions += 1
+
+    def _stage(self, obj: MediaObject, now_s: float) -> None:
+        self.layout.place(obj)
+        self.layout.materialise_object(self.array, obj.name)
+        self._resident[obj.name] = _Residency(obj, last_request_s=now_s)

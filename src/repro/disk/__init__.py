@@ -1,0 +1,36 @@
+"""Disk substrate: drive specifications, service-time models, simulated drives.
+
+The paper's analysis (Section 2) rests on a deliberately simple disk model —
+``T(r) = tau_seek + r * tau_trk`` for reading ``r`` tracks in one cycle —
+parameterised like a Seagate ST31200N (Table 1).  :class:`SimpleDiskModel`
+implements exactly that; :class:`DetailedDiskModel` is a Ruemmler–Wilkes
+style extension used to sanity-check the simple model's optimism.
+"""
+
+from repro.disk.drive import Disk, DiskArray, DiskState
+from repro.disk.model import (
+    DetailedDiskModel,
+    DiskModel,
+    SimpleDiskModel,
+    ZonedDiskModel,
+)
+from repro.disk.specs import (
+    PAPER_SECTION2_DRIVE,
+    PAPER_TABLE1_DRIVE,
+    SEAGATE_ST31200N,
+    DiskSpec,
+)
+
+__all__ = [
+    "Disk",
+    "DiskArray",
+    "DiskModel",
+    "DiskSpec",
+    "DiskState",
+    "DetailedDiskModel",
+    "PAPER_SECTION2_DRIVE",
+    "PAPER_TABLE1_DRIVE",
+    "SEAGATE_ST31200N",
+    "SimpleDiskModel",
+    "ZonedDiskModel",
+]

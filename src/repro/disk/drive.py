@@ -1,0 +1,171 @@
+"""Simulated disk drives and the disk array.
+
+A :class:`Disk` stores track payloads (bytes) indexed by an integer track
+position, and carries an operational/failed state.  Reading a failed disk
+raises :class:`~repro.errors.DiskFailedError` — schedulers must check
+:attr:`Disk.is_failed` and route around failures via parity reconstruction;
+an exception here means a scheduler bug.
+
+:class:`DiskArray` is the collection of drives of one server plus
+convenience queries (failed set, spare accounting, total capacity).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Optional
+
+from repro.disk.specs import DiskSpec
+from repro.errors import DiskFailedError, LayoutError
+
+
+class DiskState(enum.Enum):
+    """Operational state of one drive."""
+
+    OPERATIONAL = "operational"
+    FAILED = "failed"
+
+
+class Disk:
+    """One simulated drive: payload store + failure state + counters."""
+
+    def __init__(self, disk_id: int, spec: DiskSpec):
+        if disk_id < 0:
+            raise ValueError(f"disk id must be non-negative, got {disk_id}")
+        self.disk_id = disk_id
+        self.spec = spec
+        self.state = DiskState.OPERATIONAL
+        self._tracks: dict[int, bytes] = {}
+        # Lifetime counters, for reports.
+        self.reads = 0
+        self.writes = 0
+        self.failures = 0
+
+    def __repr__(self) -> str:
+        return f"Disk(id={self.disk_id}, state={self.state.value}, " \
+               f"tracks={len(self._tracks)})"
+
+    @property
+    def is_failed(self) -> bool:
+        """True while the drive is down."""
+        return self.state is DiskState.FAILED
+
+    @property
+    def stored_tracks(self) -> int:
+        """Number of track payloads currently written."""
+        return len(self._tracks)
+
+    def write(self, position: int, payload: bytes) -> None:
+        """Store a track payload at ``position`` (loading from tertiary)."""
+        if position < 0:
+            raise LayoutError(f"track position must be non-negative: {position}")
+        if position >= self.spec.tracks_per_disk:
+            raise LayoutError(
+                f"track position {position} beyond disk capacity "
+                f"({self.spec.tracks_per_disk} tracks)"
+            )
+        self._tracks[position] = bytes(payload)
+        self.writes += 1
+
+    def read(self, position: int) -> bytes:
+        """Return the payload at ``position``.
+
+        Raises
+        ------
+        DiskFailedError
+            If the drive is failed — callers must reconstruct via parity.
+        LayoutError
+            If nothing was ever written there.
+        """
+        if self.is_failed:
+            raise DiskFailedError(
+                f"read from failed disk {self.disk_id} (position {position})"
+            )
+        if position not in self._tracks:
+            raise LayoutError(
+                f"disk {self.disk_id} has no data at track position {position}"
+            )
+        self.reads += 1
+        return self._tracks[position]
+
+    def fail(self) -> None:
+        """Mark the drive failed.  Contents become unreadable (not erased:
+        the replacement-drive rebuild rewrites them explicitly)."""
+        if not self.is_failed:
+            self.state = DiskState.FAILED
+            self.failures += 1
+
+    def repair(self) -> None:
+        """Bring a (reloaded) drive back online."""
+        self.state = DiskState.OPERATIONAL
+
+    def erase(self) -> None:
+        """Drop all contents (simulates swapping in a blank spare)."""
+        self._tracks.clear()
+
+    def discard(self, position: int) -> None:
+        """Drop one track's payload (purging an object from disk)."""
+        self._tracks.pop(position, None)
+
+    def positions(self) -> Iterator[int]:
+        """Iterate stored track positions (unspecified order)."""
+        return iter(self._tracks)
+
+
+class DiskArray:
+    """All the drives of one multimedia server."""
+
+    def __init__(self, count: int, spec: DiskSpec):
+        if count <= 0:
+            raise ValueError(f"disk count must be positive, got {count}")
+        self.spec = spec
+        self.disks = [Disk(disk_id, spec) for disk_id in range(count)]
+
+    def __len__(self) -> int:
+        return len(self.disks)
+
+    def __getitem__(self, disk_id: int) -> Disk:
+        if not 0 <= disk_id < len(self.disks):
+            raise LayoutError(f"no such disk: {disk_id}")
+        return self.disks[disk_id]
+
+    def __iter__(self) -> Iterator[Disk]:
+        return iter(self.disks)
+
+    @property
+    def failed_ids(self) -> list[int]:
+        """Ids of currently failed drives, ascending."""
+        return [d.disk_id for d in self.disks if d.is_failed]
+
+    @property
+    def operational_count(self) -> int:
+        """Number of drives currently up."""
+        return sum(1 for d in self.disks if not d.is_failed)
+
+    def fail(self, disk_id: int) -> Disk:
+        """Fail one drive and return it."""
+        disk = self[disk_id]
+        disk.fail()
+        return disk
+
+    def repair(self, disk_id: int) -> Disk:
+        """Repair one drive and return it."""
+        disk = self[disk_id]
+        disk.repair()
+        return disk
+
+    def fail_many(self, disk_ids: Iterable[int]) -> None:
+        """Fail several drives at once."""
+        for disk_id in disk_ids:
+            self.fail(disk_id)
+
+    def total_capacity_mb(self) -> float:
+        """Aggregate raw capacity of the array in MB."""
+        return len(self.disks) * self.spec.capacity_mb
+
+    def first_failed(self) -> Optional[Disk]:
+        """The lowest-id failed drive, or None."""
+        for disk in self.disks:
+            if disk.is_failed:
+                return disk
+        return None

@@ -1,0 +1,259 @@
+"""Disk service-time models.
+
+The paper's whole analysis uses the *simple* model of Section 2::
+
+    T(r) = tau_seek + r * tau_trk
+
+i.e. one worst-case seek charge per cycle plus a per-track service time that
+folds in the incremental seek start/stop cost.  The planner question it
+answers is: *how many tracks can one disk serve within a cycle of length
+T_cyc?* — which is ``floor((T_cyc - tau_seek) / tau_trk)``.
+
+:class:`DetailedDiskModel` is an extension in the spirit of Ruemmler &
+Wilkes (1994): a square-root/linear seek-time curve plus explicit rotational
+positioning, used in an ablation benchmark to quantify how optimistic or
+pessimistic the simple model is for track-sized IOs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+from repro.disk.specs import DiskSpec
+
+
+class DiskModel(Protocol):
+    """Anything that can predict cycle-granularity disk service times."""
+
+    spec: DiskSpec
+
+    def read_time(self, tracks: int) -> float:
+        """Worst-case time to read ``tracks`` tracks in one cycle (seconds)."""
+        ...
+
+    def tracks_per_cycle(self, cycle_length_s: float) -> int:
+        """Max tracks one disk can serve within a cycle of the given length."""
+        ...
+
+
+class SimpleDiskModel:
+    """The paper's model: ``T(r) = tau_seek + r * tau_trk``."""
+
+    def __init__(self, spec: DiskSpec):
+        self.spec = spec
+
+    def read_time(self, tracks: int) -> float:
+        """Worst-case time to read ``tracks`` tracks in one cycle.
+
+        >>> from repro.disk.specs import PAPER_TABLE1_DRIVE
+        >>> round(SimpleDiskModel(PAPER_TABLE1_DRIVE).read_time(4), 6)
+        0.105
+        """
+        if tracks < 0:
+            raise ValueError(f"track count must be non-negative, got {tracks}")
+        if tracks == 0:
+            return 0.0
+        return self.spec.seek_time_s + tracks * self.spec.track_time_s
+
+    def tracks_per_cycle(self, cycle_length_s: float) -> int:
+        """``floor((T_cyc - tau_seek)/tau_trk)``, clamped at zero."""
+        if cycle_length_s <= 0:
+            raise ValueError(f"cycle length must be positive, got {cycle_length_s}")
+        budget = cycle_length_s - self.spec.seek_time_s
+        if budget < 0:
+            return 0
+        # Guard against float fuzz: 0.19999999/0.02 must count as 10, not 9.
+        return int(math.floor(budget / self.spec.track_time_s + 1e-9))
+
+
+class ZonedDiskModel:
+    """Zone-bit-recorded drive (extension; the real ST31200N was zoned).
+
+    Outer cylinders pack more sectors per track, so physical track
+    capacity grows roughly linearly from the innermost to the outermost
+    zone while the rotation period stays fixed.  The paper's analysis
+    assumes one fixed IO unit ``B``; on a zoned drive a *guaranteed*
+    delivery unit must fit the **innermost** track, so the paper's model
+    is safe but leaves the outer zones' extra capacity and bandwidth
+    unused.  This model quantifies that conservatism.
+    """
+
+    def __init__(self, spec: DiskSpec, zones: int = 8,
+                 outer_to_inner_ratio: float = 1.6):
+        if zones < 1:
+            raise ValueError(f"need at least one zone, got {zones}")
+        if outer_to_inner_ratio < 1.0:
+            raise ValueError(
+                "outer tracks cannot be smaller than inner ones "
+                f"(ratio {outer_to_inner_ratio})"
+            )
+        self.spec = spec
+        self.zones = zones
+        self.outer_to_inner_ratio = outer_to_inner_ratio
+        # Zone z = 0 is innermost.  Capacities interpolate linearly so the
+        # *mean* track equals the spec's nominal B.
+        mean_factor = (1.0 + outer_to_inner_ratio) / 2.0
+        self._inner_track_mb = spec.track_size_mb / mean_factor
+
+    def track_capacity_mb(self, zone: int) -> float:
+        """Physical capacity of a track in the given zone (MB)."""
+        if not 0 <= zone < self.zones:
+            raise ValueError(f"zone {zone} out of range 0..{self.zones - 1}")
+        if self.zones == 1:
+            factor = 1.0
+        else:
+            step = (self.outer_to_inner_ratio - 1.0) / (self.zones - 1)
+            factor = 1.0 + zone * step
+        return self._inner_track_mb * factor
+
+    def transfer_rate_mb_s(self, zone: int) -> float:
+        """Sustained rate in a zone: a full track per rotation period."""
+        return self.track_capacity_mb(zone) / self.spec.rotation_time_s
+
+    def guaranteed_unit_mb(self) -> float:
+        """The largest B that fits every zone: the innermost track."""
+        return self.track_capacity_mb(0)
+
+    def mean_track_mb(self) -> float:
+        """Capacity-averaged track size across the zones."""
+        total = sum(self.track_capacity_mb(z) for z in range(self.zones))
+        return total / self.zones
+
+    def wasted_capacity_fraction(self) -> float:
+        """Capacity stranded by sizing B to the innermost zone.
+
+        >>> model = ZonedDiskModel(
+        ...     __import__('repro.disk.specs', fromlist=['x']).PAPER_TABLE1_DRIVE)
+        >>> 0.2 < model.wasted_capacity_fraction() < 0.3
+        True
+        """
+        return 1.0 - self.guaranteed_unit_mb() / self.mean_track_mb()
+
+    def tracks_per_cycle(self, cycle_length_s: float, zone: int = 0) -> int:
+        """Per-cycle track budget when all IO lands in one zone.
+
+        Zone 0 (innermost) gives the guaranteed, paper-compatible figure;
+        outer zones transfer faster per byte but the cycle budget is per
+        *track*, so the count is the same — what improves outward is the
+        data moved per slot.
+        """
+        if cycle_length_s <= 0:
+            raise ValueError("cycle length must be positive")
+        self.track_capacity_mb(zone)  # validates the zone
+        budget = cycle_length_s - self.spec.seek_time_s
+        if budget < 0:
+            return 0
+        return int(math.floor(budget / self.spec.track_time_s + 1e-9))
+
+    def bandwidth_per_cycle_mb(self, cycle_length_s: float,
+                               zone: int) -> float:
+        """Deliverable bytes per cycle from one disk, zone-resident data."""
+        return self.tracks_per_cycle(cycle_length_s, zone) * \
+            self.track_capacity_mb(zone)
+
+
+class DetailedDiskModel:
+    """Ruemmler–Wilkes-flavoured model (extension, not used by the paper).
+
+    Seek time for a distance of ``d`` cylinders:
+
+    * ``d == 0``: no seek;
+    * short seeks: ``a + b * sqrt(d)`` (arm acceleration dominated);
+    * long seeks: ``c + e * d`` (coast dominated);
+
+    plus half a rotation of expected rotational latency per request unless
+    the request starts at the next sector boundary (the paper's assumption
+    for full-track reads, in which case latency is ~0).
+    """
+
+    #: Fraction of the full stroke below which the sqrt regime applies.
+    SHORT_SEEK_FRACTION = 0.1
+
+    def __init__(self, spec: DiskSpec, cylinders: int = 2700,
+                 track_aligned: bool = True):
+        if cylinders <= 1:
+            raise ValueError("a drive needs at least two cylinders")
+        self.spec = spec
+        self.cylinders = cylinders
+        self.track_aligned = track_aligned
+        # Calibrate the two regimes so that a full-stroke seek costs
+        # spec.seek_time_s and the curve is continuous at the knee.
+        self._knee = max(1, int(cylinders * self.SHORT_SEEK_FRACTION))
+        full = spec.seek_time_s
+        # Long regime: c + e*d with e chosen so the tail is linear and
+        # c matching a typical settle time of ~30% of full stroke cost.
+        self._settle = 0.3 * full
+        self._slope = (full - self._settle) / (cylinders - 1)
+        knee_time = self._settle + self._slope * self._knee
+        self._sqrt_coeff = knee_time / math.sqrt(self._knee)
+
+    def seek_time(self, distance_cylinders: int) -> float:
+        """Seek time for a given cylinder distance."""
+        d = abs(int(distance_cylinders))
+        if d == 0:
+            return 0.0
+        if d <= self._knee:
+            return self._sqrt_coeff * math.sqrt(d)
+        return self._settle + self._slope * d
+
+    def rotational_latency(self) -> float:
+        """Expected rotational delay before the transfer can start."""
+        if self.track_aligned:
+            return 0.0
+        return self.spec.rotation_time_s / 2.0
+
+    def transfer_time(self) -> float:
+        """Time to transfer one full track (one revolution's worth of media)."""
+        return self.spec.rotation_time_s
+
+    def read_time_for_positions(self, cylinders: Sequence[int]) -> float:
+        """Total service time for track reads at the given cylinder positions.
+
+        The scheduler is assumed to sort requests into an elevator sweep, as
+        cycle-based scheduling permits (Section 2), so the seeks charged are
+        the gaps of the sorted sequence starting from cylinder 0.
+        """
+        if not cylinders:
+            return 0.0
+        ordered = sorted(cylinders)
+        total = 0.0
+        position = 0
+        for cylinder in ordered:
+            total += self.seek_time(cylinder - position)
+            total += self.rotational_latency()
+            total += self.transfer_time()
+            position = cylinder
+        return total
+
+    def read_time(self, tracks: int) -> float:
+        """Worst-case-flavoured estimate compatible with :class:`DiskModel`.
+
+        Charges one average-ish sweep: a full-stroke seek split evenly
+        across the ``tracks`` requests of an elevator pass.
+        """
+        if tracks < 0:
+            raise ValueError(f"track count must be non-negative, got {tracks}")
+        if tracks == 0:
+            return 0.0
+        gap = self.cylinders // (tracks + 1)
+        per_request = self.seek_time(gap) + self.rotational_latency() \
+            + self.transfer_time()
+        return tracks * per_request
+
+    def tracks_per_cycle(self, cycle_length_s: float) -> int:
+        """Largest r with ``read_time(r) <= cycle_length_s`` (by search)."""
+        if cycle_length_s <= 0:
+            raise ValueError(f"cycle length must be positive, got {cycle_length_s}")
+        low, high = 0, 1
+        while self.read_time(high) <= cycle_length_s:
+            high *= 2
+            if high > 1_000_000:  # pragma: no cover - absurd configuration
+                break
+        while low < high - 1:
+            mid = (low + high) // 2
+            if self.read_time(mid) <= cycle_length_s:
+                low = mid
+            else:
+                high = mid
+        return low

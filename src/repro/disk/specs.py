@@ -1,0 +1,113 @@
+"""Drive specifications.
+
+:class:`DiskSpec` carries the four numbers the paper's model needs —
+maximum seek time, per-track service time, track size, and capacity — plus
+reliability figures (MTTF/MTTR) for the fault-tolerance analysis.
+
+Named instances:
+
+* :data:`PAPER_TABLE1_DRIVE` — Table 1 of the paper (the drive behind
+  Tables 2–3 and Figure 9); "characteristics similar to a Seagate ST31200N".
+* :data:`PAPER_SECTION2_DRIVE` — the slightly different example drive used
+  for the in-text k-sweep in Section 2 (B = 100 KB, 30 ms / 10 ms).
+* :data:`SEAGATE_ST31200N` — the physical drive's datasheet-style numbers,
+  used by the detailed disk model extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import hours, kilobytes, megabytes, milliseconds
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static description of one disk drive.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    seek_time_s:
+        ``tau_seek``: maximum seek time between the extreme inner and outer
+        cylinders (seconds).
+    track_time_s:
+        ``tau_trk``: maximum time attributable to reading one track,
+        including the speed-up/slow-down fraction of the seek (seconds).
+    track_size_mb:
+        ``B``: bytes per track, in megabytes.
+    capacity_mb:
+        ``s_d``: usable capacity in megabytes.
+    mttf_s / mttr_s:
+        Mean time to failure / to repair-and-reload, in seconds.
+    rpm:
+        Spindle speed; only the detailed model uses it.
+    """
+
+    name: str
+    seek_time_s: float
+    track_time_s: float
+    track_size_mb: float
+    capacity_mb: float
+    mttf_s: float = hours(300_000)
+    mttr_s: float = hours(1)
+    rpm: float = 5400.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("seek_time_s", "track_time_s", "track_size_mb",
+                           "capacity_mb", "mttf_s", "mttr_s", "rpm"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+
+    @property
+    def tracks_per_disk(self) -> int:
+        """How many B-sized tracks fit on the disk."""
+        return int(self.capacity_mb / self.track_size_mb)
+
+    @property
+    def transfer_rate_mb_s(self) -> float:
+        """Sustained transfer rate implied by the track service time."""
+        return self.track_size_mb / self.track_time_s
+
+    @property
+    def rotation_time_s(self) -> float:
+        """One full platter revolution, in seconds."""
+        return 60.0 / self.rpm
+
+    def with_overrides(self, **changes: float) -> "DiskSpec":
+        """A copy of this spec with some fields replaced."""
+        return replace(self, **changes)
+
+
+#: Table 1 of the paper: B = 50 KB, tau_seek = 25 ms, tau_trk = 20 ms,
+#: MTTF = 300,000 h, MTTR = 1 h.  Capacity is not used by Tables 2-3; the
+#: Figure 9 experiments set s_d = 1000 MB explicitly.
+PAPER_TABLE1_DRIVE = DiskSpec(
+    name="paper-table1",
+    seek_time_s=milliseconds(25),
+    track_time_s=milliseconds(20),
+    track_size_mb=kilobytes(50),
+    capacity_mb=megabytes(1000),
+)
+
+#: The Section 2 in-text example: B = 100 KB, tau_seek = 30 ms, tau_trk = 10 ms.
+PAPER_SECTION2_DRIVE = DiskSpec(
+    name="paper-section2",
+    seek_time_s=milliseconds(30),
+    track_time_s=milliseconds(10),
+    track_size_mb=kilobytes(100),
+    capacity_mb=megabytes(1000),
+)
+
+#: Datasheet-flavoured numbers for the Seagate Hawk 1LP (ST31200N):
+#: ~1.05 GB, 5411 rpm, ~10.5 ms average seek.  Used by the detailed model.
+SEAGATE_ST31200N = DiskSpec(
+    name="seagate-st31200n",
+    seek_time_s=milliseconds(22),
+    track_time_s=milliseconds(20),
+    track_size_mb=kilobytes(50),
+    capacity_mb=megabytes(1050),
+    rpm=5411.0,
+)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the multimedia-server reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to distinguish configuration mistakes from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A server/scheme configuration is internally inconsistent.
+
+    Examples: a cluster size that does not divide the disk count, a
+    non-positive track size, or ``k`` not an integer multiple of ``k'``.
+    """
+
+
+class AdmissionError(ReproError):
+    """A stream could not be admitted (no capacity under the scheme bound)."""
+
+
+class LayoutError(ReproError):
+    """A block address could not be resolved (object/track out of range)."""
+
+
+class DiskFailedError(ReproError):
+    """A read was issued to a disk that is currently failed.
+
+    Schedulers are expected to consult :attr:`repro.disk.drive.Disk.is_failed`
+    and reroute to parity reconstruction; hitting this exception means a
+    scheduler bug, so it is deliberately loud.
+    """
+
+
+class ReconstructionError(ReproError):
+    """Parity reconstruction was attempted with insufficient surviving blocks."""
+
+
+class CatastrophicFailure(ReproError):
+    """Two (or more) disks in one parity group failed: data loss.
+
+    The paper (Section 1) defines this as the failure mode requiring a
+    rebuild from tertiary storage.
+    """
+
+
+class DegradationOfService(ReproError):
+    """Insufficient disk bandwidth/buffer space to keep all streams going.
+
+    Raised (or recorded, depending on the scheduler's policy) when the
+    conditions of the paper's "degradation of service" arise, e.g. the
+    Improved-bandwidth shift-to-the-right finds no idle capacity.
+    """
+
+
+class BufferExhausted(ReproError):
+    """The shared buffer pool has no free buffer server (Non-clustered)."""
+
+
+class SimulationError(ReproError):
+    """Internal discrete-event-simulation invariant violated."""

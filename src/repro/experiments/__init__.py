@@ -1,0 +1,25 @@
+"""Programmatic access to the paper's experiments.
+
+The benchmark suite regenerates every table and figure for humans; this
+package exposes the same computations as *structured data* so downstream
+code (dashboards, regression gates, notebooks) can consume them:
+
+>>> from repro.experiments import run_experiment
+>>> result = run_experiment("table2")
+>>> result.matches_paper
+True
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    list_experiments,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "list_experiments",
+    "run_all",
+    "run_experiment",
+]

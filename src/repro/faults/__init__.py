@@ -1,0 +1,27 @@
+"""Fault injection and Monte-Carlo reliability estimation."""
+
+from repro.faults.injector import ExponentialFaultInjector, FaultEvent, FaultSchedule
+from repro.faults.markov import (
+    exact_mttf_clustered_hours,
+    exact_mttf_improved_hours,
+    exact_time_to_k_concurrent_hours,
+)
+from repro.faults.reliability import (
+    ReliabilityEstimate,
+    catastrophic_condition,
+    k_concurrent_condition,
+    simulate_mean_time_to,
+)
+
+__all__ = [
+    "ExponentialFaultInjector",
+    "FaultEvent",
+    "FaultSchedule",
+    "ReliabilityEstimate",
+    "catastrophic_condition",
+    "exact_mttf_clustered_hours",
+    "exact_mttf_improved_hours",
+    "exact_time_to_k_concurrent_hours",
+    "k_concurrent_condition",
+    "simulate_mean_time_to",
+]

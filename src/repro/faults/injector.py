@@ -1,0 +1,121 @@
+"""Fault injection for the cycle-based server simulator.
+
+Two flavours:
+
+* :class:`FaultSchedule` — deterministic scripted failures/repairs keyed by
+  cycle number, used to reproduce the paper's worked failure scenarios
+  (e.g. "disk 2 fails just before cycle 1", Figure 6).
+* :class:`ExponentialFaultInjector` — stochastic failures/repairs with
+  exponential lifetimes on the DES kernel, used by the timed co-simulation
+  (:meth:`repro.server.server.MultimediaServer.run_timed`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomSource
+
+
+class FaultAction(enum.Enum):
+    """What happens to the disk."""
+
+    FAIL = "fail"
+    REPAIR = "repair"
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """A scripted fault: *before* which cycle, what, to which disk."""
+
+    cycle: int
+    disk_id: int
+    action: FaultAction = FaultAction.FAIL
+    mid_cycle: bool = False
+
+
+class FaultSchedule:
+    """A deterministic list of fault events, applied between cycles."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._events = sorted(events)
+
+    @classmethod
+    def single_failure(cls, cycle: int, disk_id: int,
+                       repair_cycle: Optional[int] = None,
+                       mid_cycle: bool = False) -> "FaultSchedule":
+        """The common case: one disk fails, optionally repaired later."""
+        events = [FaultEvent(cycle, disk_id, FaultAction.FAIL, mid_cycle)]
+        if repair_cycle is not None:
+            if repair_cycle <= cycle:
+                raise ValueError("repair must come after the failure")
+            events.append(FaultEvent(repair_cycle, disk_id,
+                                     FaultAction.REPAIR))
+        return cls(events)
+
+    def events_before_cycle(self, cycle: int) -> list[FaultEvent]:
+        """Events that strike just before the given cycle runs."""
+        return [e for e in self._events if e.cycle == cycle]
+
+    def apply(self, scheduler, cycle: int) -> list[FaultEvent]:
+        """Apply this schedule's events due before ``cycle``; returns them."""
+        due = self.events_before_cycle(cycle)
+        for event in due:
+            if event.action is FaultAction.FAIL:
+                scheduler.fail_disk(event.disk_id, mid_cycle=event.mid_cycle)
+            else:
+                scheduler.repair_disk(event.disk_id)
+        return due
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+
+class ExponentialFaultInjector:
+    """Exponential failure/repair processes on the DES kernel.
+
+    One generator process per disk: sleep ``Exp(mttf)``, call ``on_fail``,
+    sleep ``Exp(mttr)``, call ``on_repair``, repeat.  The callbacks receive
+    the disk id, so the injector can drive either a bare
+    :class:`~repro.disk.drive.DiskArray` or a scheduler.
+    """
+
+    def __init__(self, env: Environment, num_disks: int,
+                 mttf_s: float, mttr_s: float, rng: RandomSource,
+                 on_fail: Callable[[int], None],
+                 on_repair: Callable[[int], None]):
+        if mttf_s <= 0 or mttr_s <= 0:
+            raise ValueError("mttf and mttr must be positive")
+        self.env = env
+        self.num_disks = num_disks
+        self.mttf_s = mttf_s
+        self.mttr_s = mttr_s
+        self.rng = rng
+        self.on_fail = on_fail
+        self.on_repair = on_repair
+        self.failures_injected = 0
+        self.repairs_completed = 0
+
+    def start(self) -> None:
+        """Launch one lifetime process per disk."""
+        for disk_id in range(self.num_disks):
+            self.env.process(self._lifetime(disk_id),
+                             name=f"disk-{disk_id}-faults")
+
+    def _lifetime(self, disk_id: int):
+        stream_name = f"disk-{disk_id}"
+        while True:
+            yield self.env.timeout(
+                self.rng.exponential(stream_name, self.mttf_s))
+            self.failures_injected += 1
+            self.on_fail(disk_id)
+            yield self.env.timeout(
+                self.rng.exponential(stream_name, self.mttr_s))
+            self.repairs_completed += 1
+            self.on_repair(disk_id)

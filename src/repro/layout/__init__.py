@@ -1,0 +1,27 @@
+"""Data layouts: how object tracks and parity blocks map onto disks.
+
+Two families cover the paper's four schemes:
+
+* :class:`ClusteredParityLayout` — fixed clusters of ``C`` disks with one
+  *dedicated* parity disk per cluster; parity groups allocated round-robin
+  over clusters (Section 2, Figure 3).  Shared by Streaming RAID,
+  Staggered-group, and Non-clustered scheduling.
+* :class:`ImprovedBandwidthLayout` — no dedicated parity disks; the parity
+  of cluster ``i`` is spread over the disks of cluster ``i + 1``
+  (Section 4, Figure 8), so every disk serves data in normal mode.
+"""
+
+from repro.layout.address import BlockKind, DiskAddress, GroupSpan, StoredBlock
+from repro.layout.base import DataLayout
+from repro.layout.clustered import ClusteredParityLayout
+from repro.layout.improved import ImprovedBandwidthLayout
+
+__all__ = [
+    "BlockKind",
+    "ClusteredParityLayout",
+    "DataLayout",
+    "DiskAddress",
+    "GroupSpan",
+    "ImprovedBandwidthLayout",
+    "StoredBlock",
+]

@@ -1,0 +1,54 @@
+"""Value types shared by all layouts."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class DiskAddress:
+    """A physical track slot: ``(disk_id, position)``."""
+
+    disk_id: int
+    position: int
+
+
+class BlockKind(enum.Enum):
+    """What a stored block holds."""
+
+    DATA = "data"
+    PARITY = "parity"
+
+
+@dataclass(frozen=True)
+class StoredBlock:
+    """What one physical track slot contains, from the layout's viewpoint.
+
+    For DATA blocks ``index`` is the object-relative track number; for
+    PARITY blocks it is the parity-group number.
+    """
+
+    object_name: str
+    kind: BlockKind
+    index: int
+
+
+@dataclass(frozen=True)
+class GroupSpan:
+    """The physical footprint of one parity group.
+
+    ``data`` lists the addresses of the group's data blocks in track order
+    (some trailing entries may be absent for an object's final, short
+    group); ``parity`` is the parity block's address.
+    """
+
+    object_name: str
+    group_index: int
+    data: tuple[DiskAddress, ...]
+    parity: DiskAddress
+
+    @property
+    def disk_ids(self) -> tuple[int, ...]:
+        """All disks touched by this group (data disks then parity disk)."""
+        return tuple(a.disk_id for a in self.data) + (self.parity.disk_id,)

@@ -1,0 +1,13 @@
+"""Continuous-media objects and the content catalog."""
+
+from repro.media.catalog import Catalog, uniform_catalog
+from repro.media.objects import MPEG1_MB_S, MPEG2_MB_S, MediaObject, movie
+
+__all__ = [
+    "Catalog",
+    "MPEG1_MB_S",
+    "MPEG2_MB_S",
+    "MediaObject",
+    "movie",
+    "uniform_catalog",
+]

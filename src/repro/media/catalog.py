@@ -1,0 +1,99 @@
+"""Content catalog: the set of disk-resident objects plus popularity weights.
+
+The paper assumes a working set of movies resident on disk (objects not on
+disk are fetched from tertiary storage, which this reproduction models in
+:mod:`repro.tertiary`).  The catalog tracks objects by name and exposes the
+popularity distribution used by the workload generator (video-on-demand
+request popularity is classically Zipf-like).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.media.objects import MediaObject
+
+
+class Catalog:
+    """An ordered collection of uniquely named media objects."""
+
+    def __init__(self, objects: Iterable[MediaObject] = ()):
+        self._objects: dict[str, MediaObject] = {}
+        self._weights: dict[str, float] = {}
+        for obj in objects:
+            self.add(obj)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def __iter__(self) -> Iterator[MediaObject]:
+        return iter(self._objects.values())
+
+    def add(self, obj: MediaObject, popularity: float = 1.0) -> None:
+        """Add an object with an (unnormalised) popularity weight."""
+        if obj.name in self._objects:
+            raise ValueError(f"duplicate object name: {obj.name!r}")
+        if popularity <= 0:
+            raise ValueError(f"popularity must be positive, got {popularity}")
+        self._objects[obj.name] = obj
+        self._weights[obj.name] = float(popularity)
+
+    def get(self, name: str) -> MediaObject:
+        """Look up an object by name (KeyError if absent)."""
+        return self._objects[name]
+
+    def names(self) -> list[str]:
+        """Object names in insertion order."""
+        return list(self._objects)
+
+    def objects(self) -> list[MediaObject]:
+        """Objects in insertion order."""
+        return list(self._objects.values())
+
+    def popularity(self, name: str) -> float:
+        """Normalised popularity of one object (sums to 1 over the catalog)."""
+        total = sum(self._weights.values())
+        return self._weights[name] / total
+
+    def popularity_vector(self) -> list[float]:
+        """Normalised popularity in insertion order."""
+        total = sum(self._weights.values())
+        return [self._weights[name] / total for name in self._objects]
+
+    def set_zipf_popularity(self, theta: float = 1.0) -> None:
+        """Assign Zipf(theta) weights by insertion rank (rank 1 = first added).
+
+        ``weight(rank) = 1 / rank**theta`` — the standard VoD popularity
+        skew; ``theta = 0`` gives a uniform catalog.
+        """
+        if theta < 0:
+            raise ValueError(f"zipf exponent must be non-negative, got {theta}")
+        for rank, name in enumerate(self._objects, start=1):
+            self._weights[name] = 1.0 / (rank ** theta)
+
+    def total_tracks(self) -> int:
+        """Total number of data tracks across all objects."""
+        return sum(obj.num_tracks for obj in self._objects.values())
+
+    def total_size_mb(self, track_size_mb: float) -> float:
+        """Total data volume of the catalog in MB."""
+        return self.total_tracks() * track_size_mb
+
+
+def uniform_catalog(count: int, bandwidth_mb_s: float, num_tracks: int,
+                    prefix: str = "object") -> Catalog:
+    """A catalog of ``count`` identical-shape objects with distinct payloads."""
+    if count <= 0:
+        raise ValueError(f"catalog size must be positive, got {count}")
+    catalog = Catalog()
+    for index in range(count):
+        catalog.add(MediaObject(
+            name=f"{prefix}-{index}",
+            bandwidth_mb_s=bandwidth_mb_s,
+            num_tracks=num_tracks,
+            seed=index,
+        ))
+    return catalog

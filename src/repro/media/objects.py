@@ -1,0 +1,99 @@
+"""Continuous-media objects (movies).
+
+A :class:`MediaObject` is a constant-bandwidth object striped over the
+server's disks.  Real video payloads are replaced by *deterministic
+pseudo-random track payloads* (seeded per object and track), which is enough
+for the scheme logic — only sizes and bandwidths matter — while letting the
+simulator verify XOR reconstruction byte-for-byte.  This substitution is
+recorded in DESIGN.md Section 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.units import mbits_per_sec, minutes
+
+#: MPEG-1, "low TV quality": about 1.5 megabits per second (paper Section 1).
+MPEG1_MB_S = mbits_per_sec(1.5)
+
+#: MPEG-2, "good TV quality": about 4.5 megabits per second (paper Section 1).
+MPEG2_MB_S = mbits_per_sec(4.5)
+
+
+@dataclass(frozen=True)
+class MediaObject:
+    """One continuous-media object.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a catalog.
+    bandwidth_mb_s:
+        ``b_o``: the constant delivery bandwidth in MB/s.
+    num_tracks:
+        Object length in disk tracks (units of ``B``).
+    seed:
+        Per-object payload seed; distinct seeds give distinct payloads.
+    """
+
+    name: str
+    bandwidth_mb_s: float
+    num_tracks: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mb_s <= 0:
+            raise ValueError(
+                f"object bandwidth must be positive, got {self.bandwidth_mb_s}"
+            )
+        if self.num_tracks <= 0:
+            raise ValueError(
+                f"object length must be positive, got {self.num_tracks} tracks"
+            )
+
+    def duration_s(self, track_size_mb: float) -> float:
+        """Playback duration at the object's bandwidth."""
+        return self.num_tracks * track_size_mb / self.bandwidth_mb_s
+
+    def size_mb(self, track_size_mb: float) -> float:
+        """Total object size in MB."""
+        return self.num_tracks * track_size_mb
+
+    def track_payload(self, track_index: int, track_size_bytes: int) -> bytes:
+        """Deterministic payload of one track.
+
+        Derived by expanding SHA-256 over ``(name, seed, track_index)``;
+        stable across runs and platforms.
+        """
+        if not 0 <= track_index < self.num_tracks:
+            raise IndexError(
+                f"track {track_index} out of range for {self.name!r} "
+                f"({self.num_tracks} tracks)"
+            )
+        if track_size_bytes <= 0:
+            raise ValueError("track size must be positive")
+        material = f"{self.name}:{self.seed}:{track_index}".encode("utf-8")
+        chunks: list[bytes] = []
+        produced = 0
+        counter = 0
+        while produced < track_size_bytes:
+            chunk = hashlib.sha256(material + counter.to_bytes(4, "little"))
+            chunks.append(chunk.digest())
+            produced += 32
+            counter += 1
+        return b"".join(chunks)[:track_size_bytes]
+
+
+def movie(name: str, bandwidth_mb_s: float, duration_s: float,
+          track_size_mb: float, seed: int = 0) -> MediaObject:
+    """Build a :class:`MediaObject` from a duration instead of a track count.
+
+    >>> m = movie("demo", MPEG1_MB_S, minutes(90), 0.05)
+    >>> m.num_tracks
+    20250
+    """
+    num_tracks = max(1, round(bandwidth_mb_s * duration_s / track_size_mb))
+    return MediaObject(name=name, bandwidth_mb_s=bandwidth_mb_s,
+                       num_tracks=num_tracks, seed=seed)

@@ -1,0 +1,5 @@
+"""Parity coding substrate (bitwise XOR over track payloads)."""
+
+from repro.parity.xor import ParityCodec, xor_blocks
+
+__all__ = ["ParityCodec", "xor_blocks"]

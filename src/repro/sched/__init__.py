@@ -1,0 +1,38 @@
+"""Cycle-based schedulers for the four fault-tolerance schemes.
+
+All schedulers share the cycle engine of :class:`CycleScheduler`
+(deliver from buffers, plan reads, resolve disk-slot contention, execute,
+reconstruct from parity) and differ in *what* they plan each cycle:
+
+* :class:`StreamingRAIDScheduler` — a full parity group per stream per
+  cycle (Section 2, Figure 3).
+* :class:`StaggeredGroupScheduler` — group reads staggered across C - 1
+  phases, one track delivered per cycle (Section 2, Figure 4).
+* :class:`NonClusteredScheduler` — one track per stream per cycle, with
+  the eager (Figure 6) or lazy (Figure 7) degraded-mode transition.
+* :class:`ImprovedBandwidthScheduler` — SR-style reads on the shifted
+  layout with the "shift to the right" parity cascade (Section 4).
+"""
+
+from repro.sched.base import CycleScheduler
+from repro.sched.config import SchedulerConfig
+from repro.sched.improved_bandwidth import ImprovedBandwidthScheduler
+from repro.sched.non_clustered import NonClusteredScheduler, TransitionProtocol
+from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
+from repro.sched.slots import SlotTable
+from repro.sched.staggered_group import StaggeredGroupScheduler
+from repro.sched.streaming_raid import StreamingRAIDScheduler
+
+__all__ = [
+    "CycleScheduler",
+    "ImprovedBandwidthScheduler",
+    "NonClusteredScheduler",
+    "PlannedRead",
+    "ReadKind",
+    "ReadPurpose",
+    "SchedulerConfig",
+    "SlotTable",
+    "StaggeredGroupScheduler",
+    "StreamingRAIDScheduler",
+    "TransitionProtocol",
+]

@@ -1,0 +1,524 @@
+"""The shared cycle engine behind all four scheme schedulers.
+
+Each simulated cycle proceeds in the paper's order (Section 2):
+
+1. **deliver** — every started stream sends its due ``k'`` tracks from its
+   buffer to the display station; a missing track is a *hiccup* (the
+   delivery clock never waits);
+2. **plan** — the concrete scheme decides which track/parity reads to issue
+   (:meth:`CycleScheduler.plan_reads`);
+3. **resolve** — the slot table arbitrates per-disk capacity; recovery
+   reads beat normal reads; losers are dropped;
+4. **execute** — surviving reads move payloads from disks into stream
+   buffers (data read during cycle *n* is deliverable from cycle *n + 1*);
+5. **reconstruct** — groups that now hold parity plus all-but-one data
+   block rebuild the missing block on the fly (Observation 2).
+
+Concrete schedulers implement planning and failure-transition behaviour;
+everything else — buffers, hiccup attribution, payload verification,
+metrics — lives here so the four schemes stay comparable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.analysis.streams import data_disk_count
+from repro.buffers.tracker import BufferTracker
+from repro.disk.drive import DiskArray
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ReconstructionError,
+    SimulationError,
+)
+from repro.layout.base import DataLayout
+from repro.media.objects import MediaObject
+from repro.parity.xor import ParityCodec
+from repro.sched.config import SchedulerConfig
+from repro.schemes import Scheme
+from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
+from repro.sched.slots import SlotTable
+from repro.server.metrics import (
+    CycleReport,
+    HiccupCause,
+    HiccupRecord,
+    SimulationReport,
+)
+from repro.server.stream import Stream, StreamStatus
+
+
+class CycleScheduler(abc.ABC):
+    """Cycle-synchronous scheduler: the common engine for all schemes."""
+
+    def __init__(self, layout: DataLayout, array: DiskArray,
+                 config: SchedulerConfig,
+                 admission_limit: Optional[int] = None,
+                 verify_payloads: bool = False):
+        if layout.num_disks != len(array):
+            raise ConfigurationError(
+                f"layout covers {layout.num_disks} disks, array has {len(array)}"
+            )
+        if config.params.num_disks != layout.num_disks:
+            raise ConfigurationError(
+                f"parameters describe D={config.params.num_disks} disks, "
+                f"layout has {layout.num_disks}"
+            )
+        self.layout = layout
+        self.array = array
+        self.config = config
+        self.verify_payloads = verify_payloads
+        self.track_bytes = int(round(array.spec.track_size_mb * 1_000_000))
+        self.codec = ParityCodec(self.track_bytes)
+        self.slot_table = SlotTable(array, config.slots_per_disk)
+        self.report = SimulationReport()
+        self.tracker = BufferTracker(array.spec.track_size_mb)
+        self.cycle_index = 0
+        self.streams: dict[int, Stream] = {}
+        self._next_stream_id = 0
+        self._phase_counter = 0
+        #: (stream_id, track) -> why it will hiccup at delivery time.
+        self._lost_causes: dict[tuple[int, int], HiccupCause] = {}
+        #: Reads executed during the most recent cycle (for mid-cycle
+        #: failure semantics).
+        self._last_executed: list[PlannedRead] = []
+        #: Reconstructions performed between cycles (mid-cycle failures
+        #: masked by prefetched parity); credited to the next report.
+        self._pending_reconstructions = 0
+        #: Active on-line rebuilds (rebuild mode), one per failed disk.
+        self.rebuilders: list = []
+        if admission_limit is None:
+            admission_limit = self._slot_based_stream_bound()
+        self.admission_limit = admission_limit
+
+    def _slot_based_stream_bound(self) -> int:
+        """Streams the per-disk slot budget can carry.
+
+        Each stream needs ``k`` track reads per read cycle spread over
+        ``D'`` data disks (the staggered scheme's reads amortise to one
+        per cycle — Section 2's "in effect uses k = 1").  This is the
+        simulator's own capacity constraint, the discrete counterpart of
+        equations (8)–(11).
+        """
+        effective_k = (1 if self.config.scheme is Scheme.STAGGERED_GROUP
+                       else self.config.k)
+        d_prime = data_disk_count(self.config.params,
+                                  self.config.parity_group_size,
+                                  self.config.scheme)
+        return max(0, int(self.config.slots_per_disk * d_prime
+                          // effective_k))
+
+    # -- scheme-specific hooks ------------------------------------------------
+
+    @abc.abstractmethod
+    def plan_reads(self, cycle: int) -> list[PlannedRead]:
+        """Decide this cycle's reads; may advance stream read pointers."""
+
+    def on_disk_failure(self, disk_id: int) -> None:
+        """Scheme reaction to a failure (default: none)."""
+
+    def on_disk_repair(self, disk_id: int) -> None:
+        """Scheme reaction to a repair (default: none)."""
+
+    def deliveries_per_cycle(self, stream: Stream) -> int:
+        """Tracks a started stream must send per cycle.
+
+        A rate-``r`` stream (an object ``r`` times the base bandwidth)
+        consumes ``r`` times the cycle's delivery quantum.
+        """
+        return self.config.k_prime * stream.rate
+
+    def _on_read_executed(self, stream: Stream, plan: PlannedRead,
+                          payload: bytes) -> None:
+        """Hook after each executed read (NC folds accumulators here)."""
+
+    def _on_track_delivered(self, stream: Stream, track: int,
+                            payload: bytes) -> None:
+        """Hook after each delivered track."""
+
+    def _handle_dropped(self, dropped: list[PlannedRead],
+                        report: CycleReport) -> None:
+        """Default drop policy: a dropped data read is a lost track."""
+        for plan in dropped:
+            if self.array[plan.disk_id].is_failed:
+                raise SimulationError(
+                    f"scheduler planned a read on failed disk {plan.disk_id}"
+                )
+            if plan.kind is ReadKind.DATA:
+                self._mark_lost(plan.stream_id, plan.index,
+                                HiccupCause.SLOT_OVERFLOW)
+
+    def resolve_plans(self, plans: list[PlannedRead], report: CycleReport,
+                      ) -> tuple[list[PlannedRead], list[PlannedRead]]:
+        """Arbitrate slots (IB overrides this with the shift-right cascade)."""
+        return self.slot_table.resolve(plans)
+
+    # -- stream management ------------------------------------------------------
+
+    @property
+    def active_streams(self) -> list[Stream]:
+        """Streams currently occupying server resources, by id."""
+        return [s for s in self.streams.values() if s.is_active]
+
+    @property
+    def active_load(self) -> int:
+        """Capacity units in use: the rate-weighted active stream count."""
+        return sum(s.rate for s in self.active_streams)
+
+    def _rate_of(self, obj: MediaObject) -> int:
+        """The object's bandwidth as a multiple of the server's base rate.
+
+        Only (near-)integer multiples are schedulable on a fixed cycle —
+        the paper's MPEG-2-on-an-MPEG-1-server case is exactly 3x.
+        """
+        ratio = obj.bandwidth_mb_s / self.config.params.object_bandwidth_mb_s
+        rate = round(ratio)
+        if rate < 1 or abs(ratio - rate) > 1e-6:
+            raise AdmissionError(
+                f"object {obj.name!r} needs {ratio:.3f}x the base rate; "
+                "only integer multiples are schedulable on this cycle"
+            )
+        return rate
+
+    def admit(self, obj: MediaObject) -> Stream:
+        """Admit a new stream for ``obj`` (AdmissionError if at capacity).
+
+        Admission is rate-weighted: one MPEG-2 stream on an MPEG-1-cycled
+        server consumes three capacity units (Section 1's "or some
+        combination of the two").
+        """
+        if obj.name not in {o.name for o in self.layout.objects}:
+            raise AdmissionError(f"object {obj.name!r} is not on disk")
+        rate = self._rate_of(obj)
+        if self.active_load + rate > self.admission_limit:
+            raise AdmissionError(
+                f"at capacity: load {self.active_load} of "
+                f"{self.admission_limit} units, request needs {rate}"
+            )
+        stream = Stream(
+            stream_id=self._next_stream_id,
+            obj=obj,
+            admitted_cycle=self.cycle_index,
+            phase=self._assign_phase(),
+            rate=rate,
+        )
+        self._next_stream_id += 1
+        self.streams[stream.stream_id] = stream
+        return stream
+
+    def _assign_phase(self) -> int:
+        """Assign the least-loaded read phase (staggered schemes use this).
+
+        Plain round-robin skews once streams complete unevenly; balancing
+        on the *current* rate-weighted load per phase keeps every cycle's
+        read volume equal, which the staggered capacity bound assumes.
+        """
+        width = self.config.stripe_width
+        load = [0] * width
+        for stream in self.active_streams:
+            load[stream.phase % width] += stream.rate
+        best = min(range(width), key=lambda p: (load[p], p))
+        self._phase_counter += 1
+        return best
+
+    def terminate_stream(self, stream_id: int) -> None:
+        """Drop a stream (degradation of service)."""
+        stream = self.streams[stream_id]
+        if stream.is_active:
+            stream.terminate()
+
+    def stop_stream(self, stream_id: int) -> None:
+        """A viewer leaves early: free the stream's capacity and buffers.
+
+        Unlike termination this is voluntary; the front door can admit a
+        replacement in the same cycle.
+        """
+        stream = self.streams[stream_id]
+        if stream.is_active:
+            stream.stop()
+
+    def _mark_lost(self, stream_id: int, track: int,
+                   cause: HiccupCause) -> None:
+        stream = self.streams[stream_id]
+        stream.mark_lost(track)
+        self._lost_causes.setdefault((stream_id, track), cause)
+
+    # -- failure control ---------------------------------------------------------
+
+    def fail_disk(self, disk_id: int, mid_cycle: bool = False) -> None:
+        """Fail a disk between cycles.
+
+        With ``mid_cycle=True`` the failure is deemed to have struck while
+        the just-finished cycle's reads were in flight: tracks fetched from
+        the failed disk in that cycle are invalidated and will hiccup
+        (Section 4's "if a failure occurs in the middle of a cycle ... we
+        are forced to ... cause a hiccup").
+        """
+        self.array.fail(disk_id)
+        if mid_cycle:
+            for plan in self._last_executed:
+                if plan.disk_id != disk_id or plan.kind is not ReadKind.DATA:
+                    continue
+                stream = self.streams.get(plan.stream_id)
+                if stream is None or not stream.is_active:
+                    continue
+                if stream.take_track(plan.index) is None:
+                    continue
+                # If the group's parity was prefetched (the "sophisticated
+                # scheduler" of Section 4), the block can be rebuilt right
+                # now and the hiccup avoided.
+                group, _ = self.layout.group_of(plan.object_name, plan.index)
+                if not self._try_direct_reconstruction(stream, group, None):
+                    self._mark_lost(plan.stream_id, plan.index,
+                                    HiccupCause.MID_CYCLE_FAILURE)
+        self.on_disk_failure(disk_id)
+
+    def repair_disk(self, disk_id: int) -> None:
+        """Bring a reloaded disk back online between cycles."""
+        self.array.repair(disk_id)
+        self.on_disk_repair(disk_id)
+
+    def start_rebuild(self, disk_id: int,
+                      writes_per_cycle: Optional[int] = None):
+        """Begin rebuilding a failed disk onto a spare (rebuild mode).
+
+        The rebuild consumes only idle slots; the disk is repaired
+        automatically when the last block lands.  Returns the
+        :class:`~repro.sched.rebuild.OnlineRebuilder` for progress checks.
+        """
+        from repro.sched.rebuild import OnlineRebuilder
+        rebuilder = OnlineRebuilder(self, disk_id,
+                                    writes_per_cycle=writes_per_cycle)
+        self.rebuilders.append(rebuilder)
+        return rebuilder
+
+    # -- the cycle engine -----------------------------------------------------------
+
+    def run_cycle(self) -> CycleReport:
+        """Simulate one full cycle; returns its report."""
+        report = CycleReport(cycle=self.cycle_index)
+        self._deliver_phase(report)
+        plans = self.plan_reads(self.cycle_index)
+        report.reads_planned = len(plans)
+        executed, dropped = self.resolve_plans(plans, report)
+        self._handle_dropped(dropped, report)
+        report.reads_dropped = len(dropped)
+        self._execute_reads(executed, report)
+        self._reconstruct_phase(executed, report)
+        self._rebuild_phase(executed, report)
+        self._finalise(report)
+        self.report.record(report)
+        self.cycle_index += 1
+        return report
+
+    def run_cycles(self, count: int) -> list[CycleReport]:
+        """Simulate ``count`` cycles."""
+        return [self.run_cycle() for _ in range(count)]
+
+    # -- phases ------------------------------------------------------------------------
+
+    def _deliver_phase(self, report: CycleReport) -> None:
+        for stream in self.active_streams:
+            if stream.delivery_start_cycle is None:
+                continue
+            if self.cycle_index < stream.delivery_start_cycle:
+                continue
+            due = min(self.deliveries_per_cycle(stream),
+                      stream.object.num_tracks - stream.next_delivery_track)
+            for _ in range(due):
+                track = stream.next_delivery_track
+                self._deliver_track(stream, track, report)
+                stream.next_delivery_track += 1
+                stream.activate()
+            self._release_finished_groups(stream)
+            if not stream.deliveries_remaining:
+                stream.complete()
+
+    def _deliver_track(self, stream: Stream, track: int,
+                       report: CycleReport) -> None:
+        payload = stream.take_track(track)
+        if payload is None:
+            cause = self._lost_causes.pop(
+                (stream.stream_id, track), None)
+            if cause is None:
+                address = self.layout.data_address(stream.object.name, track)
+                cause = (HiccupCause.DISK_FAILURE
+                         if self.array[address.disk_id].is_failed
+                         else HiccupCause.TRANSITION)
+            report.hiccups.append(HiccupRecord(
+                cycle=self.cycle_index,
+                stream_id=stream.stream_id,
+                object_name=stream.object.name,
+                track=track,
+                cause=cause,
+            ))
+            stream.hiccup_count += 1
+            stream.lost_tracks.discard(track)
+            return
+        if self.verify_payloads:
+            expected = stream.object.track_payload(track, self.track_bytes)
+            if payload != expected:
+                self.report.payload_mismatches += 1
+        report.tracks_delivered += 1
+        stream.delivered_tracks += 1
+        self._on_track_delivered(stream, track, payload)
+
+    def _release_finished_groups(self, stream: Stream) -> None:
+        """Drop parity/accumulator buffers of fully delivered groups."""
+        if stream.next_delivery_track == 0:
+            return
+        current_group, offset = divmod(
+            stream.next_delivery_track, self.config.stripe_width)
+        for group in list(stream.parity_buffer):
+            if group < current_group:
+                stream.drop_parity(group)
+        for group in list(stream.accumulators):
+            if group < current_group:
+                stream.drop_parity(group)
+
+    def _execute_reads(self, executed: list[PlannedRead],
+                       report: CycleReport) -> None:
+        for plan in executed:
+            stream = self.streams.get(plan.stream_id)
+            if stream is None or not stream.is_active:
+                continue
+            payload = self.array[plan.disk_id].read(plan.position)
+            if plan.kind is ReadKind.DATA:
+                stream.store_track(plan.index, payload)
+                if stream.delivery_start_cycle is None:
+                    stream.delivery_start_cycle = self.cycle_index + 1
+            else:
+                stream.store_parity(plan.index, payload)
+                report.parity_reads += 1
+            report.reads_executed += 1
+            self._on_read_executed(stream, plan, payload)
+        self._last_executed = list(executed)
+
+    def _reconstruct_phase(self, executed: list[PlannedRead],
+                           report: CycleReport) -> None:
+        """Rebuild missing blocks in groups touched this cycle."""
+        touched: set[tuple[int, int]] = set()
+        for plan in executed:
+            if plan.kind is ReadKind.PARITY:
+                touched.add((plan.stream_id, plan.index))
+            else:
+                group, _ = self.layout.group_of(plan.object_name, plan.index)
+                touched.add((plan.stream_id, group))
+        for stream_id, group in sorted(touched):
+            stream = self.streams.get(stream_id)
+            if stream is None or not stream.is_active:
+                continue
+            self._try_direct_reconstruction(stream, group, report)
+
+    def _try_direct_reconstruction(self, stream: Stream, group: int,
+                                   report: Optional[CycleReport]) -> bool:
+        """Rebuild the single missing block of a fully resident group."""
+        if group not in stream.parity_buffer:
+            return False
+        tracks = self.layout.group_tracks(stream.object.name, group)
+        missing = [t for t in tracks
+                   if t not in stream.buffer
+                   and t >= stream.next_delivery_track]
+        if len(missing) != 1:
+            return False
+        present = [t for t in tracks if t in stream.buffer]
+        if len(present) != len(tracks) - 1:
+            return False  # some member was already delivered and discarded
+        blocks: list[Optional[bytes]] = [
+            stream.buffer.get(t) for t in tracks]
+        while len(blocks) < self.config.stripe_width:
+            blocks.append(self.codec.zero_block())  # tail-group padding
+        payload = self.codec.reconstruct(blocks, stream.parity_buffer[group])
+        stream.store_track(missing[0], payload)
+        self._lost_causes.pop((stream.stream_id, missing[0]), None)
+        stream.lost_tracks.discard(missing[0])
+        stream.reconstructed_tracks += 1
+        if report is None:
+            self._pending_reconstructions += 1
+        else:
+            report.reconstructions += 1
+        return True
+
+    def _rebuild_phase(self, executed: list[PlannedRead],
+                       report: CycleReport) -> None:
+        """Feed idle slots to any active rebuilds (lowest priority)."""
+        if not self.rebuilders:
+            return
+        idle = self.slot_table.idle_slots(executed)
+        for rebuilder in list(self.rebuilders):
+            try:
+                report.blocks_rebuilt += rebuilder.run_step(idle)
+            except ReconstructionError:
+                # A second failure made the rebuild impossible: this disk
+                # now needs a tertiary reload (catastrophic failure).
+                rebuilder.completed = True
+                self.rebuilders.remove(rebuilder)
+                continue
+            if rebuilder.completed:
+                self.rebuilders.remove(rebuilder)
+
+    def _finalise(self, report: CycleReport) -> None:
+        report.reconstructions += self._pending_reconstructions
+        self._pending_reconstructions = 0
+        report.streams_active = len(
+            [s for s in self.streams.values()
+             if s.status is StreamStatus.ACTIVE])
+        report.streams_terminated = len(
+            [s for s in self.streams.values()
+             if s.status is StreamStatus.TERMINATED])
+        report.buffered_tracks = self.tracker.sample(
+            self.active_streams, extra_tracks=self._extra_buffer_tracks())
+        report.pool_tracks_in_use = self._extra_buffer_tracks()
+
+    def _extra_buffer_tracks(self) -> int:
+        """Buffers held outside streams (NC's pool overrides this)."""
+        return 0
+
+    # -- helpers shared by group-at-a-time schemes -------------------------------
+
+    def _plan_group_read(self, stream: Stream, plans: list[PlannedRead],
+                         include_parity: bool,
+                         data_purpose: ReadPurpose = ReadPurpose.NORMAL,
+                         ) -> None:
+        """Plan a whole-parity-group read for a stream's next group.
+
+        Skips members on failed disks; adds a parity read when
+        ``include_parity`` is set, a member is missing, and the parity disk
+        is up.  Advances the read pointer to the end of the group.
+        """
+        name = stream.object.name
+        group, offset = self.layout.group_of(name, stream.next_read_track)
+        if offset != 0:
+            raise SimulationError(
+                f"group read planned mid-group (stream {stream.stream_id}, "
+                f"track {stream.next_read_track})"
+            )
+        span = self.layout.group_span(name, group)
+        tracks = self.layout.group_tracks(name, group)
+        failed_members = 0
+        for track, address in zip(tracks, span.data):
+            if self.array[address.disk_id].is_failed:
+                failed_members += 1
+                continue
+            plans.append(PlannedRead(
+                disk_id=address.disk_id,
+                position=address.position,
+                stream_id=stream.stream_id,
+                object_name=name,
+                kind=ReadKind.DATA,
+                index=track,
+                purpose=data_purpose,
+            ))
+        parity_disk_ok = not self.array[span.parity.disk_id].is_failed
+        if include_parity and failed_members and parity_disk_ok:
+            plans.append(PlannedRead(
+                disk_id=span.parity.disk_id,
+                position=span.parity.position,
+                stream_id=stream.stream_id,
+                object_name=name,
+                kind=ReadKind.PARITY,
+                index=group,
+                purpose=ReadPurpose.RECOVERY,
+            ))
+        stream.next_read_track = tracks[-1] + 1

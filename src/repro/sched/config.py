@@ -1,0 +1,63 @@
+"""Scheduler configuration derived from system parameters and the scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.parameters import SystemParameters
+from repro.disk.model import SimpleDiskModel
+from repro.errors import ConfigurationError
+from repro.schemes import Scheme
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Everything a cycle scheduler needs to know about its regime.
+
+    ``slots_per_disk`` is the per-disk per-cycle track budget implied by the
+    paper's disk model: ``floor((T_cyc - tau_seek) / tau_trk)``.  It can be
+    overridden (e.g. tests pin it to small values to reproduce the exact
+    displacement counts of Figures 6–7).
+    """
+
+    params: SystemParameters
+    parity_group_size: int
+    scheme: Scheme
+    k: int
+    k_prime: int
+    cycle_length_s: float
+    slots_per_disk: int
+
+    @classmethod
+    def build(cls, params: SystemParameters, parity_group_size: int,
+              scheme: Scheme, slots_per_disk: int | None = None,
+              ) -> "SchedulerConfig":
+        """Derive the configuration for one scheme at one group size."""
+        if parity_group_size < 2:
+            raise ConfigurationError(
+                f"parity group size must be >= 2, got {parity_group_size}"
+            )
+        k, k_prime = scheme.read_granularity(parity_group_size)
+        cycle_length = params.cycle_length_s(k_prime)
+        if slots_per_disk is None:
+            model = SimpleDiskModel(params.to_disk_spec())
+            slots_per_disk = model.tracks_per_cycle(cycle_length)
+        if slots_per_disk < 1:
+            raise ConfigurationError(
+                "cycle too short for even one track read per disk "
+                f"(cycle {cycle_length:.4f}s, seek {params.seek_time_s}s)"
+            )
+        return cls(
+            params=params,
+            parity_group_size=parity_group_size,
+            scheme=scheme,
+            k=k,
+            k_prime=k_prime,
+            cycle_length_s=cycle_length,
+            slots_per_disk=slots_per_disk,
+        )
+
+    @property
+    def stripe_width(self) -> int:
+        """Data blocks per parity group (``C - 1``)."""
+        return self.parity_group_size - 1

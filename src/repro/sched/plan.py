@@ -1,0 +1,56 @@
+"""Planned disk reads: the unit the slot table arbitrates."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ReadKind(enum.Enum):
+    """What the read fetches."""
+
+    DATA = "data"
+    PARITY = "parity"
+
+
+class ReadPurpose(enum.Enum):
+    """Why the read is scheduled; determines its drop priority."""
+
+    #: Regular schedule-driven fetch.
+    NORMAL = "normal"
+    #: Parity or moved-forward fetch needed to mask a failure.  Recovery
+    #: reads win slot contention: "disks ... drop some of the local
+    #: requests in favor of reading the parity blocks" (Section 4).
+    RECOVERY = "recovery"
+    #: A nice-to-have fetch that yields to everything else.  Section 4's
+    #: "sophisticated scheduler": "Under lightly loaded conditions, the
+    #: parity blocks can be read during normal operation and the isolated
+    #: hiccup avoided.  As the load increases, reading parity blocks can
+    #: be dropped in favor of supporting more streams."
+    OPPORTUNISTIC = "opportunistic"
+
+
+@dataclass(frozen=True)
+class PlannedRead:
+    """One track-sized read planned for the coming cycle.
+
+    ``index`` is the object-relative track number for DATA reads and the
+    parity-group number for PARITY reads.
+    """
+
+    disk_id: int
+    position: int
+    stream_id: int
+    object_name: str
+    kind: ReadKind
+    index: int
+    purpose: ReadPurpose = ReadPurpose.NORMAL
+
+    @property
+    def priority(self) -> int:
+        """Slot-contention rank; lower wins."""
+        if self.purpose is ReadPurpose.RECOVERY:
+            return 0
+        if self.purpose is ReadPurpose.NORMAL:
+            return 1
+        return 2  # OPPORTUNISTIC yields to all scheduled work

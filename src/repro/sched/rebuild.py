@@ -1,0 +1,170 @@
+"""Rebuild mode: reconstructing a failed disk onto a spare, on-line.
+
+The paper names three operating modes — normal, degraded, rebuild — and
+analyses the first two ("due to lack of space, we only discuss the
+system's behavior under normal and degraded modes").  This module supplies
+the third as an extension faithful to the paper's machinery:
+
+* the failed disk's blocks are rebuilt *from parity*, one at a time:
+  read the group's surviving members and its parity block, XOR, write the
+  result to the spare;
+* rebuild traffic is strictly lower priority than stream traffic — it
+  consumes only the slots the cycle left idle, so delivery is never
+  perturbed (the flip side: a fully loaded server rebuilds slowly,
+  lengthening the window in which a second failure is catastrophic);
+* when the last block lands, the spare takes the failed disk's place and
+  the scheduler returns the cluster to normal mode.
+
+Data blocks are reconstructed from their group's survivors + parity;
+parity blocks are recomputed from the group's data members.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ConfigurationError, ReconstructionError
+from repro.layout.address import BlockKind, StoredBlock
+from repro.parity.xor import ParityCodec
+
+
+class OnlineRebuilder:
+    """Rebuilds one failed disk using the scheduler's idle slots.
+
+    Attach via :meth:`CycleScheduler.start_rebuild`; the scheduler calls
+    :meth:`run_step` at the end of every cycle with the per-disk idle slot
+    budget.  ``writes_per_cycle`` models the spare's write bandwidth (in
+    track writes per cycle); the read side is limited by the idle slots on
+    the surviving disks.
+    """
+
+    def __init__(self, scheduler, disk_id: int,
+                 writes_per_cycle: Optional[int] = None):
+        if scheduler.array[disk_id].is_failed is False:
+            raise ConfigurationError(
+                f"disk {disk_id} is not failed; nothing to rebuild"
+            )
+        self.scheduler = scheduler
+        self.disk_id = disk_id
+        self.writes_per_cycle = (writes_per_cycle if writes_per_cycle
+                                 is not None else scheduler.config.slots_per_disk)
+        if self.writes_per_cycle < 1:
+            raise ConfigurationError("spare needs at least one write/cycle")
+        self.codec: ParityCodec = scheduler.codec
+        self._pending: deque[StoredBlock] = deque(
+            scheduler.layout.blocks_on_disk(disk_id))
+        self.total_blocks = len(self._pending)
+        self.blocks_rebuilt = 0
+        self.reads_consumed = 0
+        self.completed = self.total_blocks == 0
+        # The spare starts blank; reconstructed tracks land as they come.
+        scheduler.array[disk_id].erase()
+
+    @property
+    def progress(self) -> float:
+        """Fraction of blocks rebuilt so far."""
+        if self.total_blocks == 0:
+            return 1.0
+        return self.blocks_rebuilt / self.total_blocks
+
+    def run_step(self, idle_slots: dict[int, int]) -> int:
+        """Rebuild as many blocks as this cycle's idle slots allow.
+
+        Mutates ``idle_slots`` as it consumes capacity; returns the number
+        of blocks rebuilt this cycle.
+        """
+        if self.completed:
+            return 0
+        rebuilt = 0
+        budget = self.writes_per_cycle
+        while self._pending and budget > 0:
+            block = self._pending[0]
+            sources = self._source_addresses(block)
+            if any(self.scheduler.array[a.disk_id].is_failed
+                   for a in sources):
+                # A second failure inside this block's parity group: the
+                # rebuild cannot proceed from parity — catastrophic.
+                raise ReconstructionError(
+                    f"rebuild of disk {self.disk_id} blocked by a second "
+                    "failure in the same parity group; tertiary reload "
+                    "required"
+                )
+            if any(idle_slots.get(a.disk_id, 0) < 1 for a in sources):
+                break  # not enough idle capacity this cycle
+            payloads = []
+            for address in sources:
+                idle_slots[address.disk_id] -= 1
+                self.reads_consumed += 1
+                payloads.append(
+                    self.scheduler.array[address.disk_id].read(
+                        address.position))
+            payload = self._reconstruct(block, payloads)
+            target = self._target_address(block)
+            self.scheduler.array[self.disk_id].write(target.position,
+                                                     payload)
+            self._pending.popleft()
+            self.blocks_rebuilt += 1
+            budget -= 1
+            rebuilt += 1
+        if not self._pending:
+            self.completed = True
+            self.scheduler.repair_disk(self.disk_id)
+        return rebuilt
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _group_of_block(self, block: StoredBlock) -> int:
+        if block.kind is BlockKind.PARITY:
+            return block.index
+        group, _offset = self.scheduler.layout.group_of(
+            block.object_name, block.index)
+        return group
+
+    def _source_addresses(self, block: StoredBlock):
+        layout = self.scheduler.layout
+        group = self._group_of_block(block)
+        span = layout.group_span(block.object_name, group)
+        if block.kind is BlockKind.PARITY:
+            return list(span.data)
+        sources = [a for a in span.data if a.disk_id != self.disk_id]
+        sources.append(span.parity)
+        return sources
+
+    def _target_address(self, block: StoredBlock):
+        layout = self.scheduler.layout
+        if block.kind is BlockKind.PARITY:
+            return layout.parity_address(block.object_name, block.index)
+        return layout.data_address(block.object_name, block.index)
+
+    def _reconstruct(self, block: StoredBlock,
+                     payloads: list[bytes]) -> bytes:
+        layout = self.scheduler.layout
+        group = self._group_of_block(block)
+        tracks = layout.group_tracks(block.object_name, group)
+        stripe = self.scheduler.config.stripe_width
+        if block.kind is BlockKind.PARITY:
+            # Recompute parity from the data members (zero-padded tail).
+            padded = list(payloads)
+            while len(padded) < stripe:
+                padded.append(self.codec.zero_block())
+            return self.codec.encode(padded)
+        # Rebuild the data block from survivors + parity.
+        span = layout.group_span(block.object_name, group)
+        survivors = payloads[:-1]
+        parity = payloads[-1]
+        blocks: list[Optional[bytes]] = []
+        source_iter = iter(survivors)
+        for address in span.data:
+            if address.disk_id == self.disk_id:
+                blocks.append(None)
+            else:
+                blocks.append(next(source_iter))
+        while len(blocks) < stripe:
+            blocks.append(self.codec.zero_block())
+        if blocks.count(None) != 1:
+            raise ReconstructionError(
+                "rebuild found a group with more than one missing block "
+                "(catastrophic failure); tertiary reload required"
+            )
+        return self.codec.reconstruct(blocks, parity)

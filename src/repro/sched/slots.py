@@ -1,0 +1,71 @@
+"""Per-disk per-cycle slot arbitration.
+
+Each disk can serve a bounded number of track reads in one cycle
+(``SchedulerConfig.slots_per_disk``).  The slot table takes the cycle's
+planned reads and decides which execute and which are *dropped*:
+
+* reads aimed at a failed disk never execute (the planner should not emit
+  them; they are returned as failed-disk drops so bugs surface in metrics);
+* within a disk, recovery reads beat normal reads (Section 4's "drop some
+  of the local requests in favor of reading the parity blocks");
+* ties break by planning order, keeping the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.disk.drive import DiskArray
+from repro.sched.plan import PlannedRead
+
+
+class SlotTable:
+    """Arbitrates one cycle's reads against per-disk slot budgets."""
+
+    def __init__(self, array: DiskArray, slots_per_disk: int):
+        if slots_per_disk < 1:
+            raise ValueError(
+                f"slots per disk must be >= 1, got {slots_per_disk}"
+            )
+        self.array = array
+        self.slots_per_disk = slots_per_disk
+
+    def resolve(self, plans: Sequence[PlannedRead],
+                ) -> tuple[list[PlannedRead], list[PlannedRead]]:
+        """Partition ``plans`` into (executed, dropped).
+
+        Preserves planning order within each outcome list.
+        """
+        by_disk: dict[int, list[PlannedRead]] = {}
+        for plan in plans:
+            by_disk.setdefault(plan.disk_id, []).append(plan)
+        executed: list[PlannedRead] = []
+        dropped: list[PlannedRead] = []
+        for disk_id, disk_plans in by_disk.items():
+            if self.array[disk_id].is_failed:
+                dropped.extend(disk_plans)
+                continue
+            # Stable sort: priority first, planning order second.
+            ranked = sorted(disk_plans, key=lambda p: p.priority)
+            executed.extend(ranked[:self.slots_per_disk])
+            dropped.extend(ranked[self.slots_per_disk:])
+        # Return in global planning order for determinism downstream.
+        order = {id(plan): i for i, plan in enumerate(plans)}
+        executed.sort(key=lambda p: order[id(p)])
+        dropped.sort(key=lambda p: order[id(p)])
+        return executed, dropped
+
+    def load(self, plans: Iterable[PlannedRead]) -> dict[int, int]:
+        """Reads per disk implied by a plan list (diagnostics)."""
+        loads: dict[int, int] = {}
+        for plan in plans:
+            loads[plan.disk_id] = loads.get(plan.disk_id, 0) + 1
+        return loads
+
+    def idle_slots(self, plans: Iterable[PlannedRead]) -> dict[int, int]:
+        """Free slots per operational disk under a plan list."""
+        loads = self.load(plans)
+        return {
+            disk.disk_id: self.slots_per_disk - loads.get(disk.disk_id, 0)
+            for disk in self.array if not disk.is_failed
+        }

@@ -1,0 +1,66 @@
+"""The four fault-tolerance schemes the paper compares (Section 5)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Scheme(enum.Enum):
+    """One of the paper's four data-layout/scheduling schemes."""
+
+    #: Streaming RAID (Tobagi et al. 1993; paper Section 2): clusters with a
+    #: dedicated parity disk; a full parity group is read per stream per
+    #: cycle (k = k' = C - 1).
+    STREAMING_RAID = "SR"
+
+    #: Staggered group (Section 2): same layout as SR, but a stream's group
+    #: read is staggered and delivered over the following C - 1 cycles
+    #: (k = C - 1, k' = 1), roughly halving the memory requirement.
+    STAGGERED_GROUP = "SG"
+
+    #: Non-clustered with a shared buffer pool (Section 3): only the next
+    #: track per stream is read each cycle (k = k' = 1); a disk failure
+    #: triggers a transition to degraded (group-at-a-time) reads.
+    NON_CLUSTERED = "NC"
+
+    #: Improved bandwidth (Section 4): parity of cluster i lives on cluster
+    #: i + 1, so all D disks serve data in normal mode; failures shift load
+    #: to the right (k = k' = C - 1).
+    IMPROVED_BANDWIDTH = "IB"
+
+    @property
+    def display_name(self) -> str:
+        """The scheme's human-readable name as used in the paper's tables."""
+        return {
+            Scheme.STREAMING_RAID: "Streaming RAID",
+            Scheme.STAGGERED_GROUP: "Staggered-group",
+            Scheme.NON_CLUSTERED: "Non-clustered",
+            Scheme.IMPROVED_BANDWIDTH: "Improved BW",
+        }[self]
+
+    @property
+    def uses_dedicated_parity_disks(self) -> bool:
+        """True for the clustered layouts (SR/SG/NC)."""
+        return self is not Scheme.IMPROVED_BANDWIDTH
+
+    def read_granularity(self, parity_group_size: int) -> tuple[int, int]:
+        """``(k, k')`` for this scheme at parity-group size ``C``.
+
+        Section 5: SR and IB use k = k' = C - 1; SG uses k = C - 1 with
+        k' = 1; NC uses k = k' = 1.
+        """
+        stripe = parity_group_size - 1
+        if self is Scheme.STREAMING_RAID or self is Scheme.IMPROVED_BANDWIDTH:
+            return stripe, stripe
+        if self is Scheme.STAGGERED_GROUP:
+            return stripe, 1
+        return 1, 1
+
+
+#: All schemes in the paper's presentation order.
+ALL_SCHEMES = (
+    Scheme.STREAMING_RAID,
+    Scheme.STAGGERED_GROUP,
+    Scheme.NON_CLUSTERED,
+    Scheme.IMPROVED_BANDWIDTH,
+)

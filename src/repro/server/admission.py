@@ -1,0 +1,69 @@
+"""Admission control: decide whether one more stream fits.
+
+The controller enforces the scheme's analytic stream bound (equations
+8–11), optionally shaved by a *headroom* fraction.  Headroom is how the
+Improved-bandwidth scheme keeps the idle capacity its shift-right cascade
+needs — Section 4: "some small amount of idle capacity could be reserved in
+case of a disk failure".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.parameters import SystemParameters
+from repro.analysis.streams import max_streams
+from repro.errors import AdmissionError
+from repro.schemes import Scheme
+
+
+class AdmissionController:
+    """Analytic-bound admission with optional reserved headroom."""
+
+    def __init__(self, params: SystemParameters, parity_group_size: int,
+                 scheme: Scheme, headroom_fraction: float = 0.0):
+        if not 0.0 <= headroom_fraction < 1.0:
+            raise ValueError(
+                f"headroom fraction must be in [0, 1), got {headroom_fraction}"
+            )
+        self.params = params
+        self.parity_group_size = parity_group_size
+        self.scheme = scheme
+        self.headroom_fraction = headroom_fraction
+        self._bound = max_streams(params, parity_group_size, scheme)
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def capacity(self) -> int:
+        """Admissible concurrent streams after headroom."""
+        return int(self._bound * (1.0 - self.headroom_fraction))
+
+    @property
+    def available(self) -> int:
+        """Streams that can still be admitted right now."""
+        return max(0, self.capacity - self.admitted)
+
+    def can_admit(self, count: int = 1) -> bool:
+        """Would ``count`` more streams fit?"""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return self.admitted + count <= self.capacity
+
+    def admit(self, count: int = 1) -> None:
+        """Claim capacity for ``count`` streams (AdmissionError if full)."""
+        if not self.can_admit(count):
+            self.rejected += count
+            raise AdmissionError(
+                f"cannot admit {count} stream(s): {self.admitted} active, "
+                f"capacity {self.capacity}"
+            )
+        self.admitted += count
+
+    def release(self, count: int = 1) -> None:
+        """Return capacity when streams finish."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if count > self.admitted:
+            raise ValueError(
+                f"releasing {count} streams but only {self.admitted} admitted"
+            )
+        self.admitted -= count

@@ -1,0 +1,150 @@
+"""Delivery metrics: hiccups, reconstructions, buffer profiles, reports.
+
+A *hiccup* (Section 1) is a missed track at its delivery deadline.  The
+metrics layer records every hiccup with its cause so tests can check the
+paper's transition-loss formulas, and samples buffer occupancy each cycle
+so the staggered-group memory profile (Figure 4) can be regenerated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class HiccupCause(enum.Enum):
+    """Why a track missed its delivery deadline."""
+
+    DISK_FAILURE = "disk-failure"          # data was on a failed disk
+    TRANSITION = "transition"              # displaced by a degraded-mode shift
+    SLOT_OVERFLOW = "slot-overflow"        # dropped: no disk slot in the cycle
+    MID_CYCLE_FAILURE = "mid-cycle-failure"  # IB: failure during the read
+    BUFFER_EXHAUSTED = "buffer-exhausted"  # NC: buffer pool empty
+
+
+@dataclass(frozen=True)
+class HiccupRecord:
+    """One missed track."""
+
+    cycle: int
+    stream_id: int
+    object_name: str
+    track: int
+    cause: HiccupCause
+
+
+@dataclass
+class CycleReport:
+    """What happened during one cycle."""
+
+    cycle: int
+    reads_planned: int = 0
+    reads_executed: int = 0
+    reads_dropped: int = 0
+    parity_reads: int = 0
+    tracks_delivered: int = 0
+    reconstructions: int = 0
+    blocks_rebuilt: int = 0
+    hiccups: list[HiccupRecord] = field(default_factory=list)
+    buffered_tracks: int = 0
+    pool_tracks_in_use: int = 0
+    streams_active: int = 0
+    streams_terminated: int = 0
+
+
+@dataclass
+class SimulationReport:
+    """Accumulated results of a simulation run."""
+
+    cycles: list[CycleReport] = field(default_factory=list)
+    payload_mismatches: int = 0
+
+    def record(self, cycle_report: CycleReport) -> None:
+        """Append one finished cycle."""
+        self.cycles.append(cycle_report)
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def total_delivered(self) -> int:
+        """Tracks delivered over the whole run."""
+        return sum(c.tracks_delivered for c in self.cycles)
+
+    @property
+    def total_hiccups(self) -> int:
+        """Missed tracks over the whole run."""
+        return sum(len(c.hiccups) for c in self.cycles)
+
+    @property
+    def total_reconstructions(self) -> int:
+        """Tracks rebuilt on-the-fly from parity."""
+        return sum(c.reconstructions for c in self.cycles)
+
+    @property
+    def total_parity_reads(self) -> int:
+        """Parity blocks fetched."""
+        return sum(c.parity_reads for c in self.cycles)
+
+    @property
+    def total_dropped_reads(self) -> int:
+        """Reads displaced by slot overflow."""
+        return sum(c.reads_dropped for c in self.cycles)
+
+    def all_hiccups(self) -> list[HiccupRecord]:
+        """Every hiccup in cycle order."""
+        return [h for c in self.cycles for h in c.hiccups]
+
+    def hiccups_by_cause(self) -> dict[HiccupCause, int]:
+        """Hiccup counts per cause."""
+        counts: dict[HiccupCause, int] = {}
+        for record in self.all_hiccups():
+            counts[record.cause] = counts.get(record.cause, 0) + 1
+        return counts
+
+    def buffer_profile(self) -> list[tuple[int, int]]:
+        """(cycle, buffered tracks) samples — Figure 4's sawtooth."""
+        return [(c.cycle, c.buffered_tracks) for c in self.cycles]
+
+    @property
+    def peak_buffered_tracks(self) -> int:
+        """Maximum simultaneous track buffers observed."""
+        return max((c.buffered_tracks for c in self.cycles), default=0)
+
+    def hiccup_free(self) -> bool:
+        """True if no track ever missed its deadline."""
+        return self.total_hiccups == 0
+
+    def to_rows(self) -> list[dict[str, int]]:
+        """Per-cycle metrics as flat dicts (CSV/DataFrame-friendly)."""
+        return [
+            {
+                "cycle": c.cycle,
+                "reads_planned": c.reads_planned,
+                "reads_executed": c.reads_executed,
+                "reads_dropped": c.reads_dropped,
+                "parity_reads": c.parity_reads,
+                "tracks_delivered": c.tracks_delivered,
+                "reconstructions": c.reconstructions,
+                "blocks_rebuilt": c.blocks_rebuilt,
+                "hiccups": len(c.hiccups),
+                "buffered_tracks": c.buffered_tracks,
+                "pool_tracks_in_use": c.pool_tracks_in_use,
+                "streams_active": c.streams_active,
+                "streams_terminated": c.streams_terminated,
+            }
+            for c in self.cycles
+        ]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        causes = ", ".join(
+            f"{cause.value}: {count}"
+            for cause, count in sorted(self.hiccups_by_cause().items(),
+                                       key=lambda item: item[0].value)
+        ) or "none"
+        return (
+            f"{len(self.cycles)} cycles; delivered {self.total_delivered} "
+            f"tracks; {self.total_hiccups} hiccups ({causes}); "
+            f"{self.total_reconstructions} on-the-fly reconstructions; "
+            f"peak buffer {self.peak_buffered_tracks} tracks"
+        )

@@ -1,0 +1,267 @@
+"""The multimedia-server facade: build everything, run scenarios.
+
+``MultimediaServer`` assembles the full stack for one scheme:
+
+* the data layout for the scheme family (clustered or shifted parity);
+* a :class:`~repro.disk.drive.DiskArray` materialised with deterministic
+  payloads and real XOR parity;
+* the scheme's cycle scheduler with buffer accounting;
+* optional fault scripting (:class:`~repro.faults.injector.FaultSchedule`)
+  or stochastic timed co-simulation on the DES kernel.
+
+Example
+-------
+>>> from repro.analysis import SystemParameters
+>>> from repro.schemes import Scheme
+>>> params = SystemParameters.paper_table1(num_disks=10)
+>>> server = MultimediaServer.build(params, parity_group_size=5,
+...                                 scheme=Scheme.STREAMING_RAID)
+>>> stream = server.admit(server.catalog.names()[0])
+>>> reports = server.run_cycles(4)
+>>> server.report.total_hiccups
+0
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.parameters import SystemParameters
+from repro.buffers.pool import BufferPool
+from repro.disk.drive import DiskArray
+from repro.errors import ConfigurationError
+from repro.faults.injector import ExponentialFaultInjector, FaultSchedule
+from repro.layout.base import DataLayout
+from repro.layout.clustered import ClusteredParityLayout
+from repro.layout.improved import ImprovedBandwidthLayout
+from repro.media.catalog import Catalog, uniform_catalog
+from repro.sched.base import CycleScheduler
+from repro.sched.config import SchedulerConfig
+from repro.sched.improved_bandwidth import ImprovedBandwidthScheduler
+from repro.sched.non_clustered import NonClusteredScheduler, TransitionProtocol
+from repro.sched.staggered_group import StaggeredGroupScheduler
+from repro.sched.streaming_raid import StreamingRAIDScheduler
+from repro.schemes import Scheme
+from repro.server.metrics import CycleReport, SimulationReport
+from repro.server.stream import Stream
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomSource
+
+
+class MultimediaServer:
+    """A fully assembled server for one scheme at one parity-group size."""
+
+    def __init__(self, layout: DataLayout, array: DiskArray,
+                 scheduler: CycleScheduler, catalog: Catalog):
+        self.layout = layout
+        self.array = array
+        self.scheduler = scheduler
+        self.catalog = catalog
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(cls, params: SystemParameters, parity_group_size: int,
+              scheme: Scheme,
+              catalog: Optional[Catalog] = None,
+              protocol: TransitionProtocol = TransitionProtocol.LAZY,
+              pool_clusters: Optional[int] = None,
+              slots_per_disk: Optional[int] = None,
+              admission_limit: Optional[int] = None,
+              verify_payloads: bool = False,
+              start_cluster: Optional[int] = None,
+              proactive_parity: bool = False,
+              mirror_read_balance: bool = False) -> "MultimediaServer":
+        """Assemble layout + array + scheduler for one scheme.
+
+        ``catalog`` defaults to a small synthetic one (a few objects per
+        cluster).  ``pool_clusters`` sizes the Non-clustered buffer pool
+        (defaults to ``params.reserve_k``); ``proactive_parity`` enables
+        the Improved-bandwidth scheme's opportunistic parity prefetch
+        (Section 4's "sophisticated scheduler"); other schemes ignore
+        the options that do not apply to them.
+        """
+        config = SchedulerConfig.build(params, parity_group_size, scheme,
+                                       slots_per_disk=slots_per_disk)
+        if scheme is Scheme.IMPROVED_BANDWIDTH:
+            layout: DataLayout = ImprovedBandwidthLayout(
+                params.num_disks, parity_group_size)
+        else:
+            layout = ClusteredParityLayout(params.num_disks,
+                                           parity_group_size)
+        if catalog is None:
+            catalog = uniform_catalog(
+                count=max(2, layout.num_clusters),
+                bandwidth_mb_s=params.object_bandwidth_mb_s,
+                num_tracks=4 * config.stripe_width,
+            )
+        layout.place_catalog(catalog, start_cluster=start_cluster)
+        spec = params.to_disk_spec(name=f"{scheme.value}-drive")
+        needed = max(layout.used_positions(d)
+                     for d in range(layout.num_disks))
+        if needed > spec.tracks_per_disk:
+            raise ConfigurationError(
+                f"catalog needs {needed} tracks per disk; drives hold "
+                f"{spec.tracks_per_disk}"
+            )
+        array = DiskArray(params.num_disks, spec)
+        layout.materialise(array)
+        scheduler = cls._make_scheduler(
+            scheme, layout, array, config, protocol, pool_clusters,
+            admission_limit, verify_payloads, proactive_parity,
+            mirror_read_balance)
+        return cls(layout, array, scheduler, catalog)
+
+    @staticmethod
+    def _make_scheduler(scheme: Scheme, layout: DataLayout, array: DiskArray,
+                        config: SchedulerConfig,
+                        protocol: TransitionProtocol,
+                        pool_clusters: Optional[int],
+                        admission_limit: Optional[int],
+                        verify_payloads: bool,
+                        proactive_parity: bool = False,
+                        mirror_read_balance: bool = False) -> CycleScheduler:
+        common = dict(admission_limit=admission_limit,
+                      verify_payloads=verify_payloads)
+        if scheme is Scheme.STREAMING_RAID:
+            return StreamingRAIDScheduler(layout, array, config, **common)
+        if scheme is Scheme.STAGGERED_GROUP:
+            return StaggeredGroupScheduler(layout, array, config, **common)
+        if scheme is Scheme.NON_CLUSTERED:
+            if pool_clusters is None:
+                pool_clusters = config.params.reserve_k
+            pool = BufferPool(
+                capacity_clusters=pool_clusters,
+                tracks_per_cluster=config.stripe_width * config.slots_per_disk,
+            )
+            return NonClusteredScheduler(layout, array, config,
+                                         protocol=protocol, pool=pool,
+                                         **common)
+        return ImprovedBandwidthScheduler(
+            layout, array, config, proactive_parity=proactive_parity,
+            mirror_read_balance=mirror_read_balance, **common)
+
+    # -- delegation --------------------------------------------------------------
+
+    @property
+    def config(self) -> SchedulerConfig:
+        """The scheduler's configuration."""
+        return self.scheduler.config
+
+    @property
+    def report(self) -> SimulationReport:
+        """Accumulated simulation metrics."""
+        return self.scheduler.report
+
+    @property
+    def cycle_index(self) -> int:
+        """The next cycle to run."""
+        return self.scheduler.cycle_index
+
+    def admit(self, object_name: str) -> Stream:
+        """Admit one stream for a catalog object."""
+        return self.scheduler.admit(self.catalog.get(object_name))
+
+    def admit_many(self, object_names: list[str]) -> list[Stream]:
+        """Admit several streams in order."""
+        return [self.admit(name) for name in object_names]
+
+    def run_cycle(self) -> CycleReport:
+        """Simulate one cycle."""
+        return self.scheduler.run_cycle()
+
+    def run_cycles(self, count: int) -> list[CycleReport]:
+        """Simulate ``count`` cycles."""
+        return self.scheduler.run_cycles(count)
+
+    def run_with_schedule(self, cycles: int,
+                          schedule: FaultSchedule) -> list[CycleReport]:
+        """Simulate with scripted failures applied between cycles."""
+        reports = []
+        for _ in range(cycles):
+            schedule.apply(self.scheduler, self.scheduler.cycle_index)
+            reports.append(self.scheduler.run_cycle())
+        return reports
+
+    def run_workload(self, trace, cycles: int) -> tuple[int, int]:
+        """Drive the server with a request trace for a number of cycles.
+
+        ``trace`` is a sequence of
+        :class:`~repro.workload.generator.StreamRequest`; each request is
+        admitted at the start of its arrival cycle, and requests that hit
+        the admission limit are counted as rejected (the blocking model of
+        a video-on-demand front door).  Returns ``(admitted, rejected)``.
+        """
+        from repro.errors import AdmissionError
+        by_cycle: dict[int, list[str]] = {}
+        for request in trace:
+            cycle = request.arrival_cycle(self.config.cycle_length_s)
+            by_cycle.setdefault(cycle, []).append(request.object_name)
+        admitted = rejected = 0
+        for _ in range(cycles):
+            for name in by_cycle.get(self.scheduler.cycle_index, []):
+                try:
+                    self.admit(name)
+                    admitted += 1
+                except AdmissionError:
+                    rejected += 1
+            self.scheduler.run_cycle()
+        return admitted, rejected
+
+    def fail_disk(self, disk_id: int, mid_cycle: bool = False) -> None:
+        """Fail a disk before the next cycle."""
+        self.scheduler.fail_disk(disk_id, mid_cycle=mid_cycle)
+
+    def repair_disk(self, disk_id: int) -> None:
+        """Repair a disk before the next cycle."""
+        self.scheduler.repair_disk(disk_id)
+
+    @property
+    def is_catastrophic(self) -> bool:
+        """True if the current failure set loses data."""
+        failed = self.array.failed_ids
+        return bool(failed) and self.layout.is_catastrophic_geometric(failed)
+
+    # -- timed co-simulation ---------------------------------------------------------
+
+    def run_timed(self, duration_s: float,
+                  mttf_s: Optional[float] = None,
+                  mttr_s: Optional[float] = None,
+                  seed: int = 0) -> SimulationReport:
+        """Run cycles under stochastic failures on the DES kernel.
+
+        A cycle-driver process advances the scheduler every
+        ``config.cycle_length_s`` seconds while per-disk fault processes
+        (exponential MTTF/MTTR, defaulting to the drive spec's values)
+        inject failures and repairs between cycles.
+        """
+        env = Environment()
+        spec = self.array.spec
+        injector = ExponentialFaultInjector(
+            env=env,
+            num_disks=len(self.array),
+            mttf_s=mttf_s if mttf_s is not None else spec.mttf_s,
+            mttr_s=mttr_s if mttr_s is not None else spec.mttr_s,
+            rng=RandomSource(seed),
+            on_fail=lambda disk_id: self._safe_fail(disk_id),
+            on_repair=lambda disk_id: self._safe_repair(disk_id),
+        )
+        injector.start()
+
+        def cycle_driver():
+            """Advance the scheduler once per cycle period."""
+            while True:
+                self.scheduler.run_cycle()
+                yield env.timeout(self.config.cycle_length_s)
+
+        env.process(cycle_driver(), name="cycle-driver")
+        env.run(until=duration_s)
+        return self.report
+
+    def _safe_fail(self, disk_id: int) -> None:
+        if not self.array[disk_id].is_failed:
+            self.scheduler.fail_disk(disk_id)
+
+    def _safe_repair(self, disk_id: int) -> None:
+        if self.array[disk_id].is_failed:
+            self.scheduler.repair_disk(disk_id)

@@ -1,0 +1,149 @@
+"""Stream state: one in-progress delivery of one object.
+
+The paper: "We will use the term stream to refer to the delivery of a given
+object at a given time" (Section 2).  A stream owns:
+
+* a *read pointer* (`next_read_track`) — the first track not yet fetched;
+* a *delivery pointer* (`next_delivery_track`) — the first track not yet
+  sent to the display station;
+* a buffer of fetched-but-undelivered track payloads, plus any parity
+  blocks / XOR accumulators held for on-the-fly reconstruction.
+
+Delivery is relentless: once started, the pointer advances every cycle
+whether or not the data is present (that is what makes a missing track a
+*hiccup* rather than a stall — the viewer's clock does not wait).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.media.objects import MediaObject
+
+
+class StreamStatus(enum.Enum):
+    """Lifecycle of a stream."""
+
+    ADMITTED = "admitted"      # accepted, delivery not begun
+    ACTIVE = "active"          # delivering
+    COMPLETED = "completed"    # all tracks delivered (or skipped by hiccup)
+    TERMINATED = "terminated"  # dropped by degradation of service
+    STOPPED = "stopped"        # the viewer left before the end
+
+
+class Stream:
+    """One active delivery with its buffers and pointers."""
+
+    def __init__(self, stream_id: int, obj: MediaObject,
+                 admitted_cycle: int = 0, phase: int = 0, rate: int = 1):
+        if rate < 1:
+            raise ValueError(f"stream rate must be >= 1, got {rate}")
+        self.stream_id = stream_id
+        self.object = obj
+        self.admitted_cycle = admitted_cycle
+        #: Read phase for staggered schemes (0 .. C-2).
+        self.phase = phase
+        #: Bandwidth as a multiple of the server's base object rate
+        #: (Section 1's mixed MPEG-1/MPEG-2 populations: an MPEG-2 stream
+        #: on an MPEG-1-cycled server has rate 3).
+        self.rate = rate
+        self.status = StreamStatus.ADMITTED
+        self.next_read_track = 0
+        self.next_delivery_track = 0
+        #: Cycle at which delivery begins (set when the first read lands).
+        self.delivery_start_cycle: Optional[int] = None
+        #: Fetched, undelivered data tracks: track index -> payload.
+        self.buffer: dict[int, bytes] = {}
+        #: Held parity payloads: group index -> payload.
+        self.parity_buffer: dict[int, bytes] = {}
+        #: Running-XOR accumulators (lazy NC transition): group -> payload.
+        self.accumulators: dict[int, bytes] = {}
+        #: Tracks known to be unrecoverable (will hiccup at delivery time).
+        self.lost_tracks: set[int] = set()
+        # Lifetime counters.
+        self.delivered_tracks = 0
+        self.hiccup_count = 0
+        self.reconstructed_tracks = 0
+
+    def __repr__(self) -> str:
+        return (f"Stream(id={self.stream_id}, object={self.object.name!r}, "
+                f"status={self.status.value}, "
+                f"read={self.next_read_track}/{self.object.num_tracks}, "
+                f"deliver={self.next_delivery_track})")
+
+    # -- progress queries ---------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        """True while the stream occupies server resources."""
+        return self.status in (StreamStatus.ADMITTED, StreamStatus.ACTIVE)
+
+    @property
+    def reads_remaining(self) -> bool:
+        """True while there are tracks left to fetch."""
+        return self.is_active and self.next_read_track < self.object.num_tracks
+
+    @property
+    def deliveries_remaining(self) -> bool:
+        """True while there are tracks left to send."""
+        return self.is_active and \
+            self.next_delivery_track < self.object.num_tracks
+
+    @property
+    def buffered_track_count(self) -> int:
+        """Track-sized buffers currently held (data + parity + accumulators)."""
+        return len(self.buffer) + len(self.parity_buffer) + \
+            len(self.accumulators)
+
+    # -- buffer operations ----------------------------------------------------
+
+    def store_track(self, track: int, payload: bytes) -> None:
+        """A fetched track becomes available for delivery."""
+        self.buffer[track] = payload
+
+    def store_parity(self, group: int, payload: bytes) -> None:
+        """A fetched parity block is held for reconstruction."""
+        self.parity_buffer[group] = payload
+
+    def take_track(self, track: int) -> Optional[bytes]:
+        """Remove and return a buffered track (None if absent)."""
+        return self.buffer.pop(track, None)
+
+    def drop_parity(self, group: int) -> None:
+        """Release a parity buffer once its group is fully delivered."""
+        self.parity_buffer.pop(group, None)
+        self.accumulators.pop(group, None)
+
+    def mark_lost(self, track: int) -> None:
+        """Record that a track can never be delivered (future hiccup)."""
+        if track >= self.next_delivery_track:
+            self.lost_tracks.add(track)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def activate(self) -> None:
+        """First delivery happened; the stream is live."""
+        if self.status is StreamStatus.ADMITTED:
+            self.status = StreamStatus.ACTIVE
+
+    def complete(self) -> None:
+        """All tracks delivered (or accounted as hiccups)."""
+        self.status = StreamStatus.COMPLETED
+        self.buffer.clear()
+        self.parity_buffer.clear()
+        self.accumulators.clear()
+
+    def terminate(self) -> None:
+        """Dropped by degradation of service."""
+        self.status = StreamStatus.TERMINATED
+        self.buffer.clear()
+        self.parity_buffer.clear()
+        self.accumulators.clear()
+
+    def stop(self) -> None:
+        """The viewer stopped watching; resources are released at once."""
+        self.status = StreamStatus.STOPPED
+        self.buffer.clear()
+        self.parity_buffer.clear()
+        self.accumulators.clear()

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+A small, dependency-free, simpy-style kernel: simulation *processes* are
+Python generators that ``yield`` events (timeouts, signals, other processes)
+and are resumed by the :class:`~repro.sim.kernel.Environment` when those
+events fire.  The multimedia-server simulator in :mod:`repro.server` drives
+cycles, stream lifecycles, and fault injection on top of this kernel.
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.rng import RandomSource
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomSource",
+    "Timeout",
+]

@@ -1,0 +1,17 @@
+"""Tertiary storage (tape library) model and rebuild-time estimation."""
+
+from repro.tertiary.rebuild import (
+    RebuildComparison,
+    compare_rebuild_paths,
+    estimate_online_rebuild_time_s,
+)
+from repro.tertiary.tape import TapeLibrary, TapeSpec, estimate_rebuild_time_s
+
+__all__ = [
+    "RebuildComparison",
+    "TapeLibrary",
+    "TapeSpec",
+    "compare_rebuild_paths",
+    "estimate_online_rebuild_time_s",
+    "estimate_rebuild_time_s",
+]

@@ -1,0 +1,79 @@
+"""Rebuild-mode estimates: tape reload versus on-line parity rebuild.
+
+The paper defers rebuild-mode analysis ("due to lack of space, we only
+discuss ... normal and degraded modes"), but motivates the whole design
+with how *slow* a tertiary rebuild is (Section 1).  This extension
+quantifies both paths:
+
+* **tape reload** — :func:`repro.tertiary.tape.estimate_rebuild_time_s`:
+  one robot exchange + seek per object whose fragments live on the failed
+  disk, transfers at ~4 Mb/s;
+* **on-line parity rebuild** — reconstruct each of the failed disk's
+  blocks from its parity group's survivors, using only the disk bandwidth
+  left idle by the active streams.  Each rebuilt track costs one track
+  read on each of ``C - 1`` surviving disks (they proceed in parallel, so
+  the wall-clock cost per track is one idle track-slot) plus a write to
+  the spare, which is otherwise idle and never the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.parameters import SystemParameters
+from repro.layout.base import DataLayout
+from repro.tertiary.tape import TapeLibrary, estimate_rebuild_time_s
+
+
+def estimate_online_rebuild_time_s(layout: DataLayout, disk_id: int,
+                                   params: SystemParameters,
+                                   idle_fraction: float) -> float:
+    """Wall-clock time to rebuild one disk from parity, on-line.
+
+    ``idle_fraction`` is the share of each surviving disk's bandwidth not
+    committed to active streams (the paper's reserved/idle capacity).  The
+    rebuild reads one surviving track per idle track-slot; the group's
+    survivors are read in parallel, so the group's wall-clock cost is the
+    *per-disk* cost of one track.
+    """
+    if not 0.0 < idle_fraction <= 1.0:
+        raise ValueError(
+            f"idle fraction must be in (0, 1], got {idle_fraction}"
+        )
+    tracks = layout.used_positions(disk_id)
+    if tracks == 0:
+        return 0.0
+    # One idle track-slot per rebuilt track, diluted by the idle share.
+    return tracks * params.track_time_s / idle_fraction
+
+
+@dataclass(frozen=True)
+class RebuildComparison:
+    """Tape versus on-line rebuild for one failed disk."""
+
+    disk_id: int
+    tracks: int
+    tape_time_s: float
+    online_time_s: float
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the parity rebuild is than the tape reload."""
+        if self.online_time_s == 0:
+            return float("inf")
+        return self.tape_time_s / self.online_time_s
+
+
+def compare_rebuild_paths(layout: DataLayout, disk_id: int,
+                          params: SystemParameters,
+                          library: TapeLibrary,
+                          idle_fraction: float = 0.2) -> RebuildComparison:
+    """Estimate both rebuild paths for one failed disk."""
+    return RebuildComparison(
+        disk_id=disk_id,
+        tracks=layout.used_positions(disk_id),
+        tape_time_s=estimate_rebuild_time_s(
+            layout, disk_id, params.track_size_mb, library),
+        online_time_s=estimate_online_rebuild_time_s(
+            layout, disk_id, params, idle_fraction),
+    )

@@ -1,0 +1,95 @@
+"""Tertiary storage: a tape-library model and rebuild-time estimates.
+
+The paper (Section 1): "Rebuilding a failed disk from tertiary storage can
+be a slow process.  Loading a standby disk with the missing data requires
+portions of many objects to be loaded from tertiary store; many tapes may
+need to be referenced and that is very time consuming" — and footnote 2
+prices a $1000 tape drive at ~4 megabits/s against a disk's ~32 Mb/s.
+
+This module quantifies that claim: a failed disk holds *fragments* of many
+objects (striping spreads each object thinly over all clusters), so a
+rebuild from tape touches one tape per object stored there, each paying a
+robot exchange plus a serial seek, while a parity-based on-line rebuild
+reads surviving disks at disk speed.  The paper defers rebuild-mode
+analysis; this model is an extension flagged in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.base import DataLayout
+from repro.units import mbits_per_sec
+
+
+@dataclass(frozen=True)
+class TapeSpec:
+    """One tape drive + robot, mid-1990s flavoured defaults.
+
+    ``bandwidth_mb_s`` defaults to the paper's footnote-2 figure (4 Mb/s).
+    """
+
+    bandwidth_mb_s: float = mbits_per_sec(4.0)
+    exchange_time_s: float = 30.0      # robot unload/load for a tape switch
+    average_seek_s: float = 60.0       # serial wind to the wanted offset
+    capacity_mb: float = 10_000.0      # one cartridge
+
+    def __post_init__(self) -> None:
+        for field_name in ("bandwidth_mb_s", "exchange_time_s",
+                           "average_seek_s", "capacity_mb"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+class TapeLibrary:
+    """A robot library with one or more identical drives.
+
+    Objects are stored contiguously, one (or more) per cartridge; fetching
+    a fragment of an object costs an exchange + seek + transfer.  Multiple
+    drives work fragments in parallel (perfect speedup — optimistic, which
+    only *strengthens* the paper's point that tape rebuilds are slow).
+    """
+
+    def __init__(self, spec: TapeSpec = TapeSpec(), num_drives: int = 1):
+        if num_drives < 1:
+            raise ValueError(f"need at least one drive, got {num_drives}")
+        self.spec = spec
+        self.num_drives = num_drives
+
+    def fragment_fetch_time_s(self, fragment_mb: float) -> float:
+        """Exchange + seek + transfer for one object fragment."""
+        if fragment_mb < 0:
+            raise ValueError(f"fragment size must be non-negative: {fragment_mb}")
+        if fragment_mb == 0:
+            return 0.0
+        return (self.spec.exchange_time_s + self.spec.average_seek_s +
+                fragment_mb / self.spec.bandwidth_mb_s)
+
+    def batch_fetch_time_s(self, fragments_mb: list[float]) -> float:
+        """Total time to fetch many fragments with the drive pool.
+
+        Uses the parallel lower bound ``sum / num_drives`` (plus nothing
+        for scheduling) — deliberately optimistic.
+        """
+        total = sum(self.fragment_fetch_time_s(f) for f in fragments_mb)
+        return total / self.num_drives
+
+
+def estimate_rebuild_time_s(layout: DataLayout, disk_id: int,
+                            track_size_mb: float,
+                            library: TapeLibrary) -> float:
+    """Time to reload one failed disk's contents from the tape library.
+
+    Groups the failed disk's blocks by object (each object lives on its own
+    tape region, so one exchange+seek per object) and charges transfers at
+    tape speed.  Parity blocks are recomputed from the fetched data rather
+    than fetched — they are not stored on tertiary — but the XOR time is
+    negligible next to the tape time, so it is ignored.
+    """
+    if track_size_mb <= 0:
+        raise ValueError("track size must be positive")
+    per_object_mb: dict[str, float] = {}
+    for block in layout.blocks_on_disk(disk_id):
+        per_object_mb[block.object_name] = \
+            per_object_mb.get(block.object_name, 0.0) + track_size_mb
+    return library.batch_fetch_time_s(list(per_object_mb.values()))

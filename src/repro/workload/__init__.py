@@ -1,0 +1,12 @@
+"""Workload generation: Zipf popularity, Poisson arrivals, request traces."""
+
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.generator import StreamRequest, WorkloadGenerator
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "PoissonArrivals",
+    "StreamRequest",
+    "WorkloadGenerator",
+    "ZipfSampler",
+]

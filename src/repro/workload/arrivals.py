@@ -1,0 +1,34 @@
+"""Poisson arrival process for stream requests."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.rng import RandomSource
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival times with a given rate (arrivals/second)."""
+
+    def __init__(self, rate_per_s: float, rng: RandomSource | None = None,
+                 stream: str = "arrivals"):
+        if rate_per_s <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate_per_s}")
+        self.rate_per_s = rate_per_s
+        self._rng = rng or RandomSource(0)
+        self._stream = stream
+
+    def next_interarrival(self) -> float:
+        """One inter-arrival gap in seconds."""
+        return self._rng.exponential(self._stream, 1.0 / self.rate_per_s)
+
+    def times_until(self, horizon_s: float) -> Iterator[float]:
+        """Yield absolute arrival times in [0, horizon)."""
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_s}")
+        clock = 0.0
+        while True:
+            clock += self.next_interarrival()
+            if clock >= horizon_s:
+                return
+            yield clock

@@ -1,0 +1,51 @@
+"""Zipf popularity sampling.
+
+Video-on-demand request popularity is classically modelled as Zipf-like:
+the ``r``-th most popular title draws requests proportional to
+``1 / r**theta``.  ``theta = 0`` degenerates to uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import RandomSource
+
+
+class ZipfSampler:
+    """Draws ranks 0..n-1 with probability proportional to 1/(rank+1)^theta."""
+
+    def __init__(self, n: int, theta: float = 1.0,
+                 rng: RandomSource | None = None, stream: str = "zipf"):
+        if n < 1:
+            raise ValueError(f"need at least one item, got {n}")
+        if theta < 0:
+            raise ValueError(f"theta must be non-negative, got {theta}")
+        self.n = n
+        self.theta = theta
+        self._rng = (rng or RandomSource(0)).stream(stream)
+        weights = np.array([1.0 / (rank + 1) ** theta for rank in range(n)])
+        self._pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self._pmf)
+
+    def pmf(self) -> list[float]:
+        """The probability of each rank, most popular first."""
+        return self._pmf.tolist()
+
+    def probability(self, rank: int) -> float:
+        """Probability of one rank (0-based, 0 = most popular)."""
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} out of range 0..{self.n - 1}")
+        return float(self._pmf[rank])
+
+    def sample(self) -> int:
+        """Draw one rank."""
+        u = self._rng.random()
+        return int(np.searchsorted(self._cdf, u, side="right"))
+
+    def sample_many(self, count: int) -> list[int]:
+        """Draw ``count`` ranks."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        draws = self._rng.random(count)
+        return np.searchsorted(self._cdf, draws, side="right").tolist()

@@ -1,0 +1,125 @@
+"""Tables 2-3 assembled end-to-end, and the Figure 9 series builders."""
+
+import pytest
+
+from repro.analysis import (
+    SchemeMetrics,
+    SystemParameters,
+    compare_schemes,
+    figure9_cost_series,
+    figure9_stream_series,
+    format_comparison_table,
+)
+from repro.schemes import ALL_SCHEMES, Scheme
+
+P = SystemParameters.paper_table1()
+
+#: Table 2 of the paper, verbatim.
+TABLE2 = {
+    Scheme.STREAMING_RAID: dict(
+        storage=20.0, bandwidth=20.0, mttf=25684.9, mttds=25684.9,
+        streams=1041, buffers=10410),
+    Scheme.STAGGERED_GROUP: dict(
+        storage=20.0, bandwidth=20.0, mttf=25684.9, mttds=25684.9,
+        streams=966, buffers=3623),
+    Scheme.NON_CLUSTERED: dict(
+        storage=20.0, bandwidth=20.0, mttf=25684.9, mttds=3176862.3,
+        streams=966, buffers=2612),
+    Scheme.IMPROVED_BANDWIDTH: dict(
+        storage=20.0, bandwidth=3.0, mttf=11415.5, mttds=3176862.3,
+        streams=1263, buffers=10104),
+}
+
+#: Table 3 of the paper, verbatim.
+TABLE3 = {
+    Scheme.STREAMING_RAID: dict(
+        storage=14.3, bandwidth=14.3, mttf=17123.3, mttds=17123.3,
+        streams=1125, buffers=15750),
+    Scheme.STAGGERED_GROUP: dict(
+        storage=14.3, bandwidth=14.3, mttf=17123.3, mttds=17123.3,
+        streams=1035, buffers=4830),
+    Scheme.NON_CLUSTERED: dict(
+        storage=14.3, bandwidth=14.3, mttf=17123.3, mttds=3176862.3,
+        streams=1035, buffers=3254),
+    Scheme.IMPROVED_BANDWIDTH: dict(
+        storage=14.3, bandwidth=3.0, mttf=7903.1, mttds=3176862.3,
+        streams=1273, buffers=15276),
+}
+
+
+def assert_matches(metrics: SchemeMetrics, expected: dict) -> None:
+    assert 100 * metrics.storage_overhead == pytest.approx(
+        expected["storage"], abs=0.05)
+    assert 100 * metrics.bandwidth_overhead == pytest.approx(
+        expected["bandwidth"], abs=0.05)
+    assert metrics.mttf_years == pytest.approx(expected["mttf"], rel=1e-3)
+    assert metrics.mttds_years == pytest.approx(expected["mttds"], rel=1e-3)
+    assert metrics.streams == expected["streams"]
+    assert metrics.buffer_tracks == expected["buffers"]
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_table2_exact(scheme):
+    results = compare_schemes(P, parity_group_size=5)
+    assert_matches(results[scheme], TABLE2[scheme])
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_table3_exact(scheme):
+    results = compare_schemes(P, parity_group_size=7)
+    assert_matches(results[scheme], TABLE3[scheme])
+
+
+def test_as_row_is_flat():
+    results = compare_schemes(P, 5)
+    row = results[Scheme.STREAMING_RAID].as_row()
+    assert row["scheme"] == "SR"
+    assert row["streams"] == 1041
+
+
+def test_format_table_contains_all_values():
+    text = format_comparison_table(compare_schemes(P, 5))
+    assert "Streaming RAID" in text
+    assert "1041" in text
+    assert "2612" in text
+    assert "20.0%" in text
+    assert "3176862.3" in text
+
+
+def test_subset_of_schemes():
+    results = compare_schemes(P, 5, schemes=[Scheme.NON_CLUSTERED])
+    assert list(results) == [Scheme.NON_CLUSTERED]
+
+
+class TestFigure9Series:
+    FIG9 = SystemParameters.paper_table1(reserve_k=5)
+
+    def test_cost_series_covers_all_schemes_and_sizes(self):
+        series = figure9_cost_series(self.FIG9, 100_000, range(2, 11))
+        assert set(series) == set(ALL_SCHEMES)
+        assert all(len(points) == 9 for points in series.values())
+
+    def test_cost_series_points_carry_group_size(self):
+        series = figure9_cost_series(self.FIG9, 100_000, [4, 6])
+        points = series[Scheme.STREAMING_RAID]
+        assert [p.parity_group_size for p in points] == [4, 6]
+
+    def test_stream_series_shape(self):
+        series = figure9_stream_series(self.FIG9, 100_000, range(2, 11))
+        for scheme, points in series.items():
+            assert [c for c, _n in points] == list(range(2, 11))
+            assert all(n > 0 for _c, n in points)
+
+    def test_stream_series_ib_dominates(self):
+        series = figure9_stream_series(self.FIG9, 100_000, range(2, 9))
+        for i in range(7):
+            ib = series[Scheme.IMPROVED_BANDWIDTH][i][1]
+            others = [series[s][i][1] for s in ALL_SCHEMES
+                      if s is not Scheme.IMPROVED_BANDWIDTH]
+            assert ib > max(others)
+
+    def test_stream_series_sr_beats_sg(self):
+        series = figure9_stream_series(self.FIG9, 100_000, range(3, 11))
+        for (c1, sr), (c2, sg) in zip(series[Scheme.STREAMING_RAID],
+                                      series[Scheme.STAGGERED_GROUP]):
+            assert sr >= sg

@@ -1,0 +1,77 @@
+"""The design-search API: Section 5's sizing workflow."""
+
+import pytest
+
+from repro.analysis import SystemParameters
+from repro.analysis.design import (
+    enumerate_designs,
+    feasible_designs,
+    recommend_design,
+)
+from repro.errors import ConfigurationError
+from repro.schemes import Scheme
+
+PARAMS = SystemParameters.paper_table1(reserve_k=5)
+W = 100_000.0
+
+
+def test_enumeration_covers_grid():
+    designs = enumerate_designs(PARAMS, W)
+    assert len(designs) == 4 * 9
+    assert {d.scheme for d in designs} == set(Scheme)
+    assert {d.parity_group_size for d in designs} == set(range(2, 11))
+
+
+def test_every_design_carries_reliability():
+    for design in enumerate_designs(PARAMS, W, group_sizes=[5]):
+        assert design.mttf_years > 0
+        assert design.mttds_years > 0
+
+
+def test_feasible_sorted_by_cost():
+    designs = enumerate_designs(PARAMS, W)
+    ranked = feasible_designs(designs, required_streams=1200)
+    assert ranked
+    costs = [d.total_cost for d in ranked]
+    assert costs == sorted(costs)
+    assert all(d.streams >= 1200 for d in ranked)
+
+
+def test_paper_regime_1200_streams_goes_to_non_clustered():
+    best = recommend_design(PARAMS, W, required_streams=1200)
+    assert best is not None
+    assert best.scheme is Scheme.NON_CLUSTERED
+
+
+def test_paper_regime_1500_streams_needs_improved_bandwidth_at_c2():
+    """Section 5: "if the required number of streams in our example was
+    1500" only IB qualifies, and its best cluster size is 2."""
+    best = recommend_design(PARAMS, W, required_streams=1500)
+    assert best is not None
+    assert best.scheme is Scheme.IMPROVED_BANDWIDTH
+    assert best.parity_group_size == 2
+
+
+def test_impossible_requirement_returns_none():
+    assert recommend_design(PARAMS, W, required_streams=10_000) is None
+
+
+def test_reliability_floor_filters_ib():
+    """Demanding SR-class MTTF pushes the choice off Improved bandwidth."""
+    ib = recommend_design(PARAMS, W, required_streams=1500)
+    floor = ib.mttf_years * 1.5
+    constrained = recommend_design(PARAMS, W, required_streams=1500,
+                                   min_mttf_years=floor)
+    assert constrained is None  # only IB could serve 1500
+
+
+def test_describe_mentions_key_facts():
+    best = recommend_design(PARAMS, W, required_streams=1200)
+    text = best.describe()
+    assert "Non-clustered" in text
+    assert "$" in text and "MTTF" in text
+
+
+def test_negative_requirement_rejected():
+    with pytest.raises(ConfigurationError):
+        feasible_designs([], required_streams=-1)

@@ -1,0 +1,79 @@
+"""Observation 1: mixing objects in parity groups demands unplanned reads."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.observation1 import (
+    dedicated_group_unplanned_reads,
+    expected_unplanned_reads,
+    mixing_amplification,
+    unplanned_reads_for_group,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGroupCounting:
+    def test_paper_scenario_x_active_y_not(self):
+        """Section 1's example: group mixes X (delivered) and Y (not)."""
+        group = ["X", "Y", "X", "Y"]
+        assert unplanned_reads_for_group(group, 0, active={"X"}) == 2
+
+    def test_inactive_failed_block_costs_nothing(self):
+        group = ["X", "Y", "X", "Y"]
+        assert unplanned_reads_for_group(group, 1, active={"X"}) == 0
+
+    def test_fully_active_group_costs_nothing(self):
+        group = ["X", "Y", "X", "Y"]
+        assert unplanned_reads_for_group(group, 0, active={"X", "Y"}) == 0
+
+    def test_single_object_group_is_free(self):
+        group = ["X", "X", "X", "X"]
+        assert unplanned_reads_for_group(group, 2, active={"X"}) == 0
+
+    def test_dedicated_groups_always_zero(self):
+        assert dedicated_group_unplanned_reads(0, True) == 0
+        assert dedicated_group_unplanned_reads(3, False) == 0
+
+    def test_offset_validated(self):
+        with pytest.raises(ConfigurationError):
+            unplanned_reads_for_group(["X"], 1, {"X"})
+
+
+class TestExpectedValue:
+    def test_formula(self):
+        # p (C-2) (1-p) with C = 5, p = 0.5 -> 0.75.
+        assert expected_unplanned_reads(5, 0.5) == pytest.approx(0.75)
+
+    def test_zero_at_extremes(self):
+        """All-active or all-inactive populations cost nothing."""
+        assert expected_unplanned_reads(5, 1.0) == 0.0
+        assert expected_unplanned_reads(5, 0.0) == 0.0
+
+    def test_maximised_at_half_active(self):
+        values = [expected_unplanned_reads(5, p / 10) for p in range(11)]
+        assert max(values) == values[5]
+
+    @given(c=st.integers(min_value=3, max_value=12),
+           p=st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded_by_group_size(self, c, p):
+        assert 0.0 <= expected_unplanned_reads(c, p) <= c - 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_unplanned_reads(1, 0.5)
+        with pytest.raises(ConfigurationError):
+            expected_unplanned_reads(5, 1.5)
+
+
+class TestAmplification:
+    def test_busy_server_cannot_absorb_mixing(self):
+        """At Table-1 load (~12 streams/disk, C = 5, half the catalog
+        active) a failure demands ~2.3 extra reads per disk per cycle —
+        far more than any realistic idle margin."""
+        extra = mixing_amplification(5, active_fraction=0.5,
+                                     streams_per_disk=12.0)
+        assert extra == pytest.approx(12.0 * 0.75 / 4)
+        assert extra > 2.0
+
+    def test_dedicated_layouts_have_zero_amplification(self):
+        assert mixing_amplification(5, 1.0, 12.0) == 0.0

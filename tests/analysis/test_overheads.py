@@ -1,0 +1,79 @@
+"""Storage and bandwidth overheads: eq. (1)-(3), Tables 2-3 rows 1-2."""
+
+import pytest
+
+from repro.analysis import (
+    SystemParameters,
+    bandwidth_overhead_fraction,
+    bandwidth_overhead_mb_s,
+    storage_overhead_fraction,
+    storage_overhead_mb,
+)
+from repro.errors import ConfigurationError
+from repro.schemes import ALL_SCHEMES, Scheme
+
+
+def test_storage_overhead_fraction_table2():
+    # Table 2: 20.0% at C = 5 for every scheme.
+    assert storage_overhead_fraction(5) == pytest.approx(0.20)
+
+
+def test_storage_overhead_fraction_table3():
+    # Table 3: 14.3% at C = 7.
+    assert storage_overhead_fraction(7) == pytest.approx(0.143, abs=0.001)
+
+
+def test_storage_overhead_mb_eq1():
+    p = SystemParameters.paper_table1()
+    # S_p = s_d * D / C = 1000 * 100 / 5.
+    assert storage_overhead_mb(p, 5) == pytest.approx(20_000)
+
+
+def test_storage_overhead_same_for_all_schemes():
+    """Eq. (1) has no scheme subscript: parity volume is identical."""
+    assert len({storage_overhead_fraction(5) for _ in ALL_SCHEMES}) == 1
+
+
+@pytest.mark.parametrize("scheme", [
+    Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP, Scheme.NON_CLUSTERED])
+def test_clustered_bandwidth_overhead_is_one_over_c(scheme):
+    p = SystemParameters.paper_table1()
+    assert bandwidth_overhead_fraction(p, 5, scheme) == pytest.approx(0.20)
+    assert bandwidth_overhead_fraction(p, 7, scheme) == pytest.approx(1 / 7)
+
+
+def test_ib_bandwidth_overhead_is_k_over_d():
+    """Table 3: 3.0% for Improved BW (K = 3, D = 100), independent of C."""
+    p = SystemParameters.paper_table1()
+    assert bandwidth_overhead_fraction(p, 5, Scheme.IMPROVED_BANDWIDTH) == \
+        pytest.approx(0.03)
+    assert bandwidth_overhead_fraction(p, 7, Scheme.IMPROVED_BANDWIDTH) == \
+        pytest.approx(0.03)
+
+
+def test_bandwidth_overhead_absolute_eq2():
+    p = SystemParameters.paper_table1()
+    # d = 2.5 MB/s; BW = d * D / C = 2.5 * 100 / 5 = 50 MB/s.
+    assert bandwidth_overhead_mb_s(p, 5, Scheme.STREAMING_RAID) == \
+        pytest.approx(50.0)
+
+
+def test_bandwidth_overhead_absolute_eq3():
+    p = SystemParameters.paper_table1()
+    # BW_IB = K * d = 3 * 2.5.
+    assert bandwidth_overhead_mb_s(p, 5, Scheme.IMPROVED_BANDWIDTH) == \
+        pytest.approx(7.5)
+
+
+def test_figure9_reserve_of_five():
+    p = SystemParameters.paper_table1(reserve_k=5)
+    assert bandwidth_overhead_fraction(p, 5, Scheme.IMPROVED_BANDWIDTH) == \
+        pytest.approx(0.05)
+
+
+def test_group_size_validated():
+    p = SystemParameters.paper_table1()
+    with pytest.raises(ConfigurationError):
+        storage_overhead_mb(p, 1)
+    with pytest.raises(ConfigurationError):
+        bandwidth_overhead_mb_s(p, 0, Scheme.STREAMING_RAID)

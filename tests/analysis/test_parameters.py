@@ -1,0 +1,76 @@
+"""System parameters: Table 1 values and derived quantities."""
+
+import pytest
+
+from repro.analysis import SystemParameters
+from repro.disk import PAPER_TABLE1_DRIVE
+
+
+def test_table1_values():
+    p = SystemParameters.paper_table1()
+    assert p.object_bandwidth_mb_s == pytest.approx(0.1875)  # 1.5 Mb/s
+    assert p.track_size_mb == pytest.approx(0.05)            # 50 KB
+    assert p.seek_time_s == pytest.approx(0.025)
+    assert p.track_time_s == pytest.approx(0.020)
+    assert p.num_disks == 100
+    assert p.mttf_disk_hours == 300_000
+    assert p.mttr_disk_hours == 1
+
+
+def test_section2_values():
+    p = SystemParameters.paper_section2(object_bandwidth_mbits=4.5)
+    assert p.object_bandwidth_mb_s == pytest.approx(0.5625)
+    assert p.track_size_mb == pytest.approx(0.1)
+    assert p.seek_time_s == pytest.approx(0.030)
+    assert p.track_time_s == pytest.approx(0.010)
+
+
+def test_overrides():
+    p = SystemParameters.paper_table1(num_disks=1000, reserve_k=5)
+    assert p.num_disks == 1000
+    assert p.reserve_k == 5
+    assert p.track_size_mb == pytest.approx(0.05)
+
+
+def test_cycle_length():
+    p = SystemParameters.paper_table1()
+    # T_cyc = k' * B / b_o; for k' = 1: 0.05 / 0.1875.
+    assert p.cycle_length_s(1) == pytest.approx(0.05 / 0.1875)
+    assert p.cycle_length_s(4) == pytest.approx(4 * 0.05 / 0.1875)
+
+
+def test_cycle_length_requires_positive_k_prime():
+    with pytest.raises(ValueError):
+        SystemParameters.paper_table1().cycle_length_s(0)
+
+
+def test_disk_bandwidth():
+    # 0.05 MB per 20 ms -> 2.5 MB/s.
+    assert SystemParameters.paper_table1().disk_bandwidth_mb_s == pytest.approx(2.5)
+
+
+def test_from_disk_spec_roundtrip():
+    p = SystemParameters.from_disk_spec(PAPER_TABLE1_DRIVE, 0.1875, 100)
+    q = SystemParameters.paper_table1()
+    assert p.track_size_mb == q.track_size_mb
+    assert p.seek_time_s == q.seek_time_s
+    assert p.mttf_disk_hours == q.mttf_disk_hours
+
+
+def test_to_disk_spec_roundtrip():
+    p = SystemParameters.paper_table1()
+    spec = p.to_disk_spec()
+    assert spec.seek_time_s == p.seek_time_s
+    assert spec.track_time_s == p.track_time_s
+    assert spec.mttf_s == pytest.approx(p.mttf_disk_hours * 3600)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SystemParameters.paper_table1(num_disks=1)
+    with pytest.raises(ValueError):
+        SystemParameters.paper_table1(track_size_mb=0.0)
+    with pytest.raises(ValueError):
+        SystemParameters.paper_table1(reserve_k=-1)
+    with pytest.raises(ValueError):
+        SystemParameters.paper_table1(num_disks=10, reserve_k=10)

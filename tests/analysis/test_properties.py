@@ -1,0 +1,104 @@
+"""Property-based tests on the closed-form models (hypothesis)."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis import (
+    SystemParameters,
+    buffer_tracks,
+    max_streams,
+    mttds_hours,
+    mttf_catastrophic_hours,
+    storage_overhead_fraction,
+    total_cost,
+)
+from repro.analysis.streams import streams_per_disk_bound
+from repro.schemes import ALL_SCHEMES, Scheme
+
+group_sizes = st.integers(min_value=2, max_value=12)
+disk_counts = st.integers(min_value=20, max_value=2000)
+schemes = st.sampled_from(ALL_SCHEMES)
+
+
+@given(c=group_sizes)
+def test_storage_overhead_is_reciprocal(c):
+    assert storage_overhead_fraction(c) == pytest.approx(1 / c)
+
+
+@given(c=group_sizes, d=disk_counts, scheme=schemes)
+def test_streams_scale_with_disks(c, d, scheme):
+    small = SystemParameters.paper_table1(num_disks=d)
+    large = SystemParameters.paper_table1(num_disks=2 * d)
+    assert max_streams(large, c, scheme) >= max_streams(small, c, scheme)
+
+
+@given(c=group_sizes, scheme=schemes,
+       n1=st.integers(min_value=0, max_value=2000),
+       n2=st.integers(min_value=0, max_value=2000))
+def test_buffers_monotone_in_streams(c, scheme, n1, n2):
+    params = SystemParameters.paper_table1()
+    lo, hi = sorted((n1, n2))
+    assert buffer_tracks(params, c, scheme, streams=lo) <= \
+        buffer_tracks(params, c, scheme, streams=hi)
+
+
+@given(c=group_sizes, d=disk_counts, scheme=schemes)
+def test_mttf_decreases_with_disks_and_group_size(c, d, scheme):
+    params_small = SystemParameters.paper_table1(num_disks=d)
+    params_large = SystemParameters.paper_table1(num_disks=d + 100)
+    assert mttf_catastrophic_hours(params_large, c, scheme) < \
+        mttf_catastrophic_hours(params_small, c, scheme)
+    assert mttf_catastrophic_hours(params_small, c + 1, scheme) < \
+        mttf_catastrophic_hours(params_small, c, scheme)
+
+
+@given(c=group_sizes, scheme=schemes)
+def test_ib_never_more_reliable_than_clustered(c, scheme):
+    params = SystemParameters.paper_table1()
+    assume(scheme is not Scheme.IMPROVED_BANDWIDTH)
+    assert mttf_catastrophic_hours(params, c, Scheme.IMPROVED_BANDWIDTH) < \
+        mttf_catastrophic_hours(params, c, scheme)
+
+
+@given(c=group_sizes, scheme=schemes, k=st.integers(min_value=1, max_value=8))
+def test_mttds_at_least_mttf_for_pool_schemes(c, scheme, k):
+    """With a sensibly sized reserve, DoS is rarer than catastrophe."""
+    params = SystemParameters.paper_table1(reserve_k=k)
+    if scheme in (Scheme.NON_CLUSTERED, Scheme.IMPROVED_BANDWIDTH) and k >= 3:
+        assert mttds_hours(params, c, scheme) > \
+            mttf_catastrophic_hours(params, c, scheme)
+
+
+@given(k=st.integers(min_value=1, max_value=20),
+       k_prime_index=st.integers(min_value=0, max_value=4))
+def test_per_disk_bound_monotone_in_k_at_fixed_ratio(k, k_prime_index):
+    """With k' = k (whole-group delivery), larger reads amortise the seek."""
+    params = SystemParameters.paper_table1()
+    bound_k = streams_per_disk_bound(params, k, k)
+    bound_k1 = streams_per_disk_bound(params, k + 1, k + 1)
+    assert bound_k1 >= bound_k
+
+
+@settings(max_examples=25)
+@given(c=st.integers(min_value=2, max_value=10), scheme=schemes,
+       working_set=st.floats(min_value=10_000, max_value=500_000))
+def test_cost_components_are_consistent(c, scheme, working_set):
+    params = SystemParameters.paper_table1(reserve_k=5)
+    breakdown = total_cost(params, c, scheme, working_set)
+    assert breakdown.total == pytest.approx(
+        breakdown.disk_cost + breakdown.memory_cost)
+    assert breakdown.disk_cost > 0
+    assert breakdown.num_disks * params.disk_capacity_mb * (c - 1) / c >= \
+        working_set - params.disk_capacity_mb  # holds the working set
+    assert breakdown.streams >= 0
+
+
+@settings(max_examples=25)
+@given(c=st.integers(min_value=2, max_value=10),
+       w1=st.floats(min_value=10_000, max_value=200_000),
+       w2=st.floats(min_value=10_000, max_value=200_000))
+def test_cost_monotone_in_working_set(c, w1, w2):
+    params = SystemParameters.paper_table1(reserve_k=5)
+    lo, hi = sorted((w1, w2))
+    assert total_cost(params, c, Scheme.NON_CLUSTERED, lo).total <= \
+        total_cost(params, c, Scheme.NON_CLUSTERED, hi).total

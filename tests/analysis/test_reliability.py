@@ -1,0 +1,120 @@
+"""Reliability: eq. (4)-(6), Tables 2-3 rows 3-4, and in-text MTTF claims."""
+
+import pytest
+
+from repro.analysis import (
+    SystemParameters,
+    mean_time_to_k_concurrent_failures_hours,
+    mttds_hours,
+    mttf_catastrophic_hours,
+)
+from repro.analysis.reliability import mttds_years, mttf_catastrophic_years
+from repro.errors import ConfigurationError
+from repro.schemes import Scheme
+from repro.units import hours_to_years
+
+
+class TestMTTFCatastrophic:
+    def test_table2_clustered_value(self):
+        """Table 2 (C = 5): 25,684.9 years for SR/SG/NC."""
+        p = SystemParameters.paper_table1()
+        for scheme in (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP,
+                       Scheme.NON_CLUSTERED):
+            assert mttf_catastrophic_years(p, 5, scheme) == \
+                pytest.approx(25684.9, abs=0.05)
+
+    def test_table2_improved_bandwidth_value(self):
+        """Table 2 (C = 5): 11,415 years for IB (denominator 2C-1 = 9)."""
+        p = SystemParameters.paper_table1()
+        assert mttf_catastrophic_years(p, 5, Scheme.IMPROVED_BANDWIDTH) == \
+            pytest.approx(11415.5, abs=0.1)
+
+    def test_table3_values(self):
+        """Table 3 (C = 7): 17,123.3 and 7,903.1 years."""
+        p = SystemParameters.paper_table1()
+        assert mttf_catastrophic_years(p, 7, Scheme.STREAMING_RAID) == \
+            pytest.approx(17123.3, abs=0.05)
+        assert mttf_catastrophic_years(p, 7, Scheme.IMPROVED_BANDWIDTH) == \
+            pytest.approx(7903.1, abs=0.5)
+
+    def test_section2_thousand_disk_example(self):
+        """Section 2: 1000 disks, clusters of 9 data + 1 parity -> ~1100 y."""
+        p = SystemParameters.paper_table1(num_disks=1000)
+        years = mttf_catastrophic_years(p, 10, Scheme.STREAMING_RAID)
+        assert years == pytest.approx(1141.6, abs=0.1)
+
+    def test_section4_improved_bandwidth_example(self):
+        """Section 4: D = 1000, C = 10 -> ~540 years (vs 1141)."""
+        p = SystemParameters.paper_table1(num_disks=1000)
+        years = mttf_catastrophic_years(p, 10, Scheme.IMPROVED_BANDWIDTH)
+        assert years == pytest.approx(540.8, abs=0.5)
+
+    def test_ib_is_roughly_half_as_reliable(self):
+        p = SystemParameters.paper_table1()
+        sr = mttf_catastrophic_hours(p, 10, Scheme.STREAMING_RAID)
+        ib = mttf_catastrophic_hours(p, 10, Scheme.IMPROVED_BANDWIDTH)
+        assert ib / sr == pytest.approx(9 / 19)
+
+    def test_mttf_decreases_with_system_size(self):
+        small = SystemParameters.paper_table1(num_disks=100)
+        large = SystemParameters.paper_table1(num_disks=1000)
+        assert mttf_catastrophic_hours(large, 5, Scheme.STREAMING_RAID) < \
+            mttf_catastrophic_hours(small, 5, Scheme.STREAMING_RAID)
+
+
+class TestKConcurrent:
+    def test_k1_is_single_disk_exposure(self):
+        t = mean_time_to_k_concurrent_failures_hours(100, 1, 300_000, 1)
+        assert t == pytest.approx(3000.0)
+
+    def test_k3_matches_table2_mttds(self):
+        """Tables 2-3 MTTDS: 3,176,862.3 years = 3 concurrent failures."""
+        t = mean_time_to_k_concurrent_failures_hours(100, 3, 300_000, 1)
+        assert hours_to_years(t) == pytest.approx(3_176_862.3, rel=1e-4)
+
+    def test_section3_five_disk_example(self):
+        """Section 3: D = 1000, 5 concurrent -> > 250 million years."""
+        t = mean_time_to_k_concurrent_failures_hours(1000, 5, 300_000, 1)
+        assert hours_to_years(t) > 250e6
+
+    def test_monotone_in_k(self):
+        values = [mean_time_to_k_concurrent_failures_hours(100, k, 300_000, 1)
+                  for k in range(1, 5)]
+        assert values == sorted(values)
+
+    def test_k_bounds(self):
+        with pytest.raises(ConfigurationError):
+            mean_time_to_k_concurrent_failures_hours(100, 0, 300_000, 1)
+        with pytest.raises(ConfigurationError):
+            mean_time_to_k_concurrent_failures_hours(10, 11, 300_000, 1)
+
+
+class TestMTTDS:
+    def test_sr_sg_mttds_equals_mttf(self):
+        p = SystemParameters.paper_table1()
+        for scheme in (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP):
+            assert mttds_hours(p, 5, scheme) == \
+                mttf_catastrophic_hours(p, 5, scheme)
+
+    @pytest.mark.parametrize("scheme", [
+        Scheme.NON_CLUSTERED, Scheme.IMPROVED_BANDWIDTH])
+    def test_nc_ib_mttds_matches_table2(self, scheme):
+        p = SystemParameters.paper_table1()  # reserve_k = 3
+        assert mttds_years(p, 5, scheme) == pytest.approx(3_176_862.3, rel=1e-4)
+
+    def test_nc_ib_mttds_independent_of_group_size(self):
+        p = SystemParameters.paper_table1()
+        assert mttds_hours(p, 5, Scheme.NON_CLUSTERED) == \
+            mttds_hours(p, 7, Scheme.NON_CLUSTERED)
+
+    def test_zero_reserve_degrades_at_first_failure(self):
+        p = SystemParameters.paper_table1(reserve_k=0)
+        assert mttds_hours(p, 5, Scheme.IMPROVED_BANDWIDTH) == \
+            pytest.approx(3000.0)
+
+    def test_nc_mttds_far_exceeds_mttf(self):
+        """The paper's selling point: DoS is ~100x rarer than catastrophe."""
+        p = SystemParameters.paper_table1()
+        assert mttds_years(p, 5, Scheme.NON_CLUSTERED) > \
+            100 * hours_to_years(
+                mttf_catastrophic_hours(p, 5, Scheme.NON_CLUSTERED))

@@ -1,0 +1,76 @@
+"""Section 1's back-of-envelope scale numbers."""
+
+import pytest
+
+from repro.analysis.sizing import (
+    SystemScale,
+    concurrent_users,
+    movie_size_mb,
+    movies_storable,
+    section1_scale,
+)
+from repro.errors import ConfigurationError
+from repro.media.objects import MPEG1_MB_S, MPEG2_MB_S
+from repro.units import minutes
+
+
+def test_mpeg2_movie_size():
+    # 4.5 Mb/s * 90 min ~ 3 GB.
+    assert movie_size_mb(MPEG2_MB_S, minutes(90)) == pytest.approx(3037.5)
+
+
+def test_mpeg1_movie_size_about_1gb():
+    assert movie_size_mb(MPEG1_MB_S, minutes(90)) == pytest.approx(1012.5)
+
+
+class TestSection1Claims:
+    """The paper rounds to one significant figure; the exact arithmetic:"""
+
+    def test_approximately_300_mpeg2_movies(self):
+        scale = section1_scale()
+        assert scale.mpeg2_movies == 329          # "approximately 300"
+
+    def test_approximately_900_mpeg1_movies(self):
+        assert section1_scale().mpeg1_movies == 987   # "900 MPEG-1 movies"
+
+    def test_approximately_6500_mpeg2_users(self):
+        assert section1_scale().mpeg2_users == 7111   # "approximately 6500"
+
+    def test_approximately_20000_mpeg1_users(self):
+        assert section1_scale().mpeg1_users == 21333  # "20,000 MPEG-1 users"
+
+    def test_combination_of_the_two(self):
+        """"or some combination of the two": the capacities are convex."""
+        scale = section1_scale()
+        half_each = (scale.mpeg2_movies // 2 * 3037.5 +
+                     scale.mpeg1_movies // 2 * 1012.5)
+        assert half_each <= scale.num_disks * scale.disk_capacity_mb
+
+
+def test_parity_overhead_discount():
+    plain = movies_storable(1000, 1000, 3037.5)
+    with_parity = movies_storable(1000, 1000, 3037.5, parity_group_size=5)
+    assert with_parity == pytest.approx(plain * 0.8, abs=1)
+
+
+def test_users_with_parity_discount():
+    plain = concurrent_users(1000, 4.0, MPEG2_MB_S)
+    reserved = concurrent_users(1000, 4.0, MPEG2_MB_S, parity_group_size=5)
+    assert reserved == pytest.approx(plain * 0.8, abs=1)
+
+
+def test_scale_is_linear_in_disks():
+    small = section1_scale(num_disks=100)
+    big = section1_scale(num_disks=1000)
+    assert big.mpeg2_users == pytest.approx(10 * small.mpeg2_users, abs=10)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        movie_size_mb(0, 100)
+    with pytest.raises(ConfigurationError):
+        movies_storable(0, 1000, 100)
+    with pytest.raises(ConfigurationError):
+        movies_storable(10, 1000, 100, parity_group_size=1)
+    with pytest.raises(ConfigurationError):
+        concurrent_users(10, -1, 0.5)

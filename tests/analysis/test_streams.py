@@ -1,0 +1,115 @@
+"""Stream bounds: eq. (7)-(11) and the Section 2 in-text k-sweep."""
+
+import pytest
+
+from repro.analysis import SystemParameters, max_streams, streams_per_disk_bound
+from repro.analysis.streams import data_disk_count, k_sweep
+from repro.errors import ConfigurationError
+from repro.schemes import Scheme
+
+
+class TestSection2KSweep:
+    """The in-text N/D' numbers for the 100 KB / 30 ms / 10 ms drive."""
+
+    def test_mpeg2_values_match_paper(self):
+        p = SystemParameters.paper_section2(object_bandwidth_mbits=4.5)
+        # Paper: k=1 -> 14.7, k=2 -> 16.2, k=10 -> 17.4.
+        assert streams_per_disk_bound(p, 1, 1) == pytest.approx(14.78, abs=0.01)
+        assert streams_per_disk_bound(p, 2, 2) == pytest.approx(16.28, abs=0.01)
+        assert streams_per_disk_bound(p, 10, 10) == pytest.approx(17.48, abs=0.01)
+
+    def test_mpeg1_variation_is_about_five_percent(self):
+        """Paper: for b_o = 1.5 Mb/s the spread across k is only ~5%."""
+        p = SystemParameters.paper_section2(object_bandwidth_mbits=1.5)
+        sweep = k_sweep(p, [1, 2, 10])
+        spread = (sweep[10] - sweep[1]) / sweep[10]
+        assert spread == pytest.approx(0.05, abs=0.01)
+
+    def test_mpeg2_variation_is_about_fifteen_percent(self):
+        p = SystemParameters.paper_section2(object_bandwidth_mbits=4.5)
+        sweep = k_sweep(p, [1, 10])
+        spread = (sweep[10] - sweep[1]) / sweep[10]
+        assert spread == pytest.approx(0.15, abs=0.01)
+
+    def test_bound_increases_with_k(self):
+        p = SystemParameters.paper_section2(object_bandwidth_mbits=4.5)
+        values = [streams_per_disk_bound(p, k, k) for k in range(1, 12)]
+        assert values == sorted(values)
+
+
+class TestDataDiskCount:
+    def test_clustered_excludes_parity_disks(self):
+        p = SystemParameters.paper_table1()
+        assert data_disk_count(p, 5, Scheme.STREAMING_RAID) == pytest.approx(80)
+        assert data_disk_count(p, 7, Scheme.NON_CLUSTERED) == pytest.approx(600 / 7)
+
+    def test_improved_bandwidth_excludes_reserve(self):
+        p = SystemParameters.paper_table1()  # reserve_k = 3
+        assert data_disk_count(p, 5, Scheme.IMPROVED_BANDWIDTH) == pytest.approx(97)
+
+
+class TestTable2Streams:
+    """Table 2 (C = 5): 1041 / 966 / 966 / 1263."""
+
+    @pytest.mark.parametrize("scheme,expected", [
+        (Scheme.STREAMING_RAID, 1041),
+        (Scheme.STAGGERED_GROUP, 966),
+        (Scheme.NON_CLUSTERED, 966),
+        (Scheme.IMPROVED_BANDWIDTH, 1263),
+    ])
+    def test_streams(self, scheme, expected):
+        p = SystemParameters.paper_table1()
+        assert max_streams(p, 5, scheme) == expected
+
+
+class TestTable3Streams:
+    """Table 3 (C = 7): 1125 / 1035 / 1035 / 1273."""
+
+    @pytest.mark.parametrize("scheme,expected", [
+        (Scheme.STREAMING_RAID, 1125),
+        (Scheme.STAGGERED_GROUP, 1035),
+        (Scheme.NON_CLUSTERED, 1035),
+        (Scheme.IMPROVED_BANDWIDTH, 1273),
+    ])
+    def test_streams(self, scheme, expected):
+        p = SystemParameters.paper_table1()
+        assert max_streams(p, 7, scheme) == expected
+
+
+class TestBoundaryBehaviour:
+    def test_k_must_be_multiple_of_k_prime(self):
+        p = SystemParameters.paper_table1()
+        with pytest.raises(ConfigurationError):
+            streams_per_disk_bound(p, 3, 2)
+
+    def test_k_must_be_positive(self):
+        p = SystemParameters.paper_table1()
+        with pytest.raises(ConfigurationError):
+            streams_per_disk_bound(p, 0, 1)
+
+    def test_group_size_validation(self):
+        p = SystemParameters.paper_table1()
+        with pytest.raises(ConfigurationError):
+            max_streams(p, 1, Scheme.STREAMING_RAID)
+
+    def test_streams_never_negative(self):
+        """A pathological drive (seek longer than the cycle) gives 0."""
+        p = SystemParameters.paper_table1(seek_time_s=10.0)
+        assert max_streams(p, 5, Scheme.NON_CLUSTERED) == 0
+
+    def test_sr_equals_ib_per_disk_bound(self):
+        """SR and IB share k = k' = C-1; they differ only in D'."""
+        p = SystemParameters.paper_table1()
+        c = 5
+        sr = max_streams(p, c, Scheme.STREAMING_RAID)
+        ib = max_streams(p, c, Scheme.IMPROVED_BANDWIDTH)
+        # Same per-disk bound, D' = 80 vs 97.
+        assert ib > sr
+
+    def test_sg_equals_nc(self):
+        """SG (k = C-1, k' = 1) and NC (k = k' = 1) give the same bound:
+        both amortise one seek per track-time slot."""
+        p = SystemParameters.paper_table1()
+        for c in (3, 5, 7, 10):
+            assert max_streams(p, c, Scheme.STAGGERED_GROUP) == \
+                max_streams(p, c, Scheme.NON_CLUSTERED)

@@ -1,0 +1,64 @@
+"""Content-churn trends: popularity skew drives the hit rate."""
+
+import pytest
+
+from repro.content import ContentManager, EvictionPolicy
+from repro.disk import DiskArray, PAPER_TABLE1_DRIVE
+from repro.layout import ClusteredParityLayout
+from repro.media import Catalog, MediaObject
+from repro.tertiary import TapeLibrary
+from repro.workload import WorkloadGenerator
+
+TRACK_BYTES = 64
+
+
+def run_churn(zipf_theta: float, policy: EvictionPolicy,
+              library_size: int = 30, resident: int = 8,
+              requests_horizon_s: float = 40_000.0) -> ContentManager:
+    library = Catalog()
+    for index in range(library_size):
+        library.add(MediaObject(f"m{index}", 0.1875, 16, seed=index))
+    library.set_zipf_popularity(theta=max(zipf_theta, 1e-9))
+    spec = PAPER_TABLE1_DRIVE.with_overrides(
+        track_size_mb=TRACK_BYTES / 1e6,
+        capacity_mb=TRACK_BYTES * 2 * resident / 1e6,
+    )
+    layout = ClusteredParityLayout(10, 5)
+    array = DiskArray(10, spec)
+    for name in library.names()[:resident]:
+        layout.place(library.get(name))
+    layout.materialise(array)
+    manager = ContentManager(layout, array, library, tape=TapeLibrary(),
+                             policy=policy)
+    generator = WorkloadGenerator(library, arrival_rate_per_s=1 / 100,
+                                  zipf_theta=zipf_theta, seed=11)
+    for request in generator.trace(requests_horizon_s):
+        manager.request(request.object_name, now_s=request.arrival_time_s)
+    return manager
+
+
+def test_hit_rate_rises_with_popularity_skew():
+    rates = [run_churn(theta, EvictionPolicy.LRU).hit_rate()
+             for theta in (0.0, 1.0, 1.5)]
+    assert rates[0] < rates[1] < rates[2]
+
+
+def test_popularity_policy_beats_lru_under_skew():
+    lru = run_churn(1.2, EvictionPolicy.LRU)
+    popularity = run_churn(1.2, EvictionPolicy.POPULARITY)
+    assert popularity.hit_rate() >= lru.hit_rate()
+
+
+def test_uniform_requests_on_small_residency_mostly_miss():
+    manager = run_churn(0.0, EvictionPolicy.LRU)
+    assert manager.hit_rate() < 0.5
+    assert manager.evictions > 0
+
+
+def test_churn_never_corrupts_resident_payloads():
+    manager = run_churn(1.0, EvictionPolicy.LRU)
+    for name in manager.resident_names:
+        obj = manager.library.get(name)
+        address = manager.layout.data_address(name, 0)
+        assert manager.array[address.disk_id].read(address.position) == \
+            obj.track_payload(0, TRACK_BYTES)

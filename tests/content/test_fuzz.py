@@ -1,0 +1,80 @@
+"""Property-based churn on the content manager (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.content import ContentManager, EvictionPolicy, RequestOutcome
+from repro.disk import DiskArray, PAPER_TABLE1_DRIVE
+from repro.layout import ClusteredParityLayout
+from repro.media import Catalog, MediaObject
+from repro.tertiary import TapeLibrary
+
+TRACK_BYTES = 64
+LIBRARY = 12
+
+
+def fresh_manager(policy, capacity_tracks):
+    library = Catalog()
+    for index in range(LIBRARY):
+        library.add(MediaObject(f"m{index}", 0.1875, 8, seed=index))
+    spec = PAPER_TABLE1_DRIVE.with_overrides(
+        track_size_mb=TRACK_BYTES / 1e6,
+        capacity_mb=TRACK_BYTES * capacity_tracks / 1e6,
+    )
+    layout = ClusteredParityLayout(10, 5)
+    array = DiskArray(10, spec)
+    layout.place(library.get("m0"))
+    layout.materialise(array)
+    return ContentManager(layout, array, library, tape=TapeLibrary(),
+                          policy=policy)
+
+
+@st.composite
+def request_scripts(draw):
+    policy = draw(st.sampled_from(list(EvictionPolicy)))
+    capacity = draw(st.integers(min_value=1, max_value=4))
+    steps = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=LIBRARY - 1),  # object
+            st.sampled_from(["request", "pin", "unpin"]),
+        ),
+        min_size=1, max_size=40,
+    ))
+    return policy, capacity, steps
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=request_scripts())
+def test_random_churn_keeps_invariants(script):
+    policy, capacity, steps = script
+    manager = fresh_manager(policy, capacity)
+    clock = 0.0
+    requests = 0
+    for object_index, action in steps:
+        name = f"m{object_index}"
+        clock += 1.0
+        if action == "request":
+            requests += 1
+            ticket = manager.request(name, now_s=clock)
+            if ticket.outcome is not RequestOutcome.REJECTED:
+                assert manager.is_resident(name)
+            assert ticket.ready_time_s >= clock
+        elif action == "pin" and manager.is_resident(name):
+            manager.pin(name)
+        elif action == "unpin" and manager.is_resident(name) \
+                and manager._resident[name].pins > 0:
+            manager.unpin(name)
+    # Conservation of outcomes.
+    assert manager.hits + manager.misses + manager.rejections == requests
+    # Per-disk occupancy never exceeds capacity.
+    spec_capacity = manager.array.spec.tracks_per_disk
+    for disk_id in range(10):
+        assert manager.layout.occupied_positions(disk_id) <= spec_capacity
+    # Pinned objects are all resident, and resident payloads are intact.
+    for name in manager.resident_names:
+        obj = manager.library.get(name)
+        address = manager.layout.data_address(name, 0)
+        assert manager.array[address.disk_id].read(address.position) == \
+            obj.track_payload(0, TRACK_BYTES)
+    # The layout and residency book-keeping agree.
+    assert {o.name for o in manager.layout.objects} == \
+        set(manager.resident_names)

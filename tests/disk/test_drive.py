@@ -1,0 +1,126 @@
+"""Simulated drives and the disk array."""
+
+import pytest
+
+from repro.disk import Disk, DiskArray, DiskState, PAPER_TABLE1_DRIVE
+from repro.errors import DiskFailedError, LayoutError
+
+SMALL = PAPER_TABLE1_DRIVE.with_overrides(capacity_mb=1.0)  # 20 tracks
+
+
+@pytest.fixture
+def disk():
+    return Disk(0, SMALL)
+
+
+class TestDisk:
+    def test_new_disk_is_operational_and_empty(self, disk):
+        assert disk.state is DiskState.OPERATIONAL
+        assert not disk.is_failed
+        assert disk.stored_tracks == 0
+
+    def test_write_then_read_roundtrip(self, disk):
+        disk.write(3, b"payload")
+        assert disk.read(3) == b"payload"
+
+    def test_read_unwritten_position_is_layout_error(self, disk):
+        with pytest.raises(LayoutError):
+            disk.read(5)
+
+    def test_write_beyond_capacity_rejected(self, disk):
+        with pytest.raises(LayoutError):
+            disk.write(SMALL.tracks_per_disk, b"x")
+
+    def test_negative_position_rejected(self, disk):
+        with pytest.raises(LayoutError):
+            disk.write(-1, b"x")
+
+    def test_read_from_failed_disk_raises(self, disk):
+        disk.write(0, b"x")
+        disk.fail()
+        with pytest.raises(DiskFailedError):
+            disk.read(0)
+
+    def test_repair_restores_contents(self, disk):
+        disk.write(0, b"x")
+        disk.fail()
+        disk.repair()
+        assert disk.read(0) == b"x"
+
+    def test_erase_simulates_blank_spare(self, disk):
+        disk.write(0, b"x")
+        disk.erase()
+        assert disk.stored_tracks == 0
+
+    def test_failure_counter(self, disk):
+        disk.fail()
+        disk.fail()  # idempotent while down
+        assert disk.failures == 1
+        disk.repair()
+        disk.fail()
+        assert disk.failures == 2
+
+    def test_read_write_counters(self, disk):
+        disk.write(0, b"x")
+        disk.write(1, b"y")
+        disk.read(0)
+        assert disk.writes == 2
+        assert disk.reads == 1
+
+    def test_negative_disk_id_rejected(self):
+        with pytest.raises(ValueError):
+            Disk(-1, SMALL)
+
+    def test_write_stores_copy(self, disk):
+        payload = bytearray(b"abc")
+        disk.write(0, bytes(payload))
+        payload[0] = 0
+        assert disk.read(0) == b"abc"
+
+
+class TestDiskArray:
+    def test_array_has_requested_size(self):
+        array = DiskArray(10, SMALL)
+        assert len(array) == 10
+        assert array.operational_count == 10
+
+    def test_indexing_and_iteration(self):
+        array = DiskArray(4, SMALL)
+        assert array[2].disk_id == 2
+        assert [d.disk_id for d in array] == [0, 1, 2, 3]
+
+    def test_bad_index_rejected(self):
+        array = DiskArray(4, SMALL)
+        with pytest.raises(LayoutError):
+            array[4]
+        with pytest.raises(LayoutError):
+            array[-1]
+
+    def test_fail_and_repair_tracking(self):
+        array = DiskArray(6, SMALL)
+        array.fail(2)
+        array.fail(5)
+        assert array.failed_ids == [2, 5]
+        assert array.operational_count == 4
+        array.repair(2)
+        assert array.failed_ids == [5]
+
+    def test_fail_many(self):
+        array = DiskArray(6, SMALL)
+        array.fail_many([0, 1, 3])
+        assert array.failed_ids == [0, 1, 3]
+
+    def test_first_failed(self):
+        array = DiskArray(6, SMALL)
+        assert array.first_failed() is None
+        array.fail(4)
+        array.fail(1)
+        assert array.first_failed().disk_id == 1
+
+    def test_total_capacity(self):
+        array = DiskArray(10, SMALL)
+        assert array.total_capacity_mb() == pytest.approx(10.0)
+
+    def test_zero_disks_rejected(self):
+        with pytest.raises(ValueError):
+            DiskArray(0, SMALL)

@@ -1,0 +1,95 @@
+"""Disk service-time models."""
+
+import pytest
+
+from repro.disk import (
+    PAPER_TABLE1_DRIVE,
+    DetailedDiskModel,
+    SimpleDiskModel,
+)
+
+
+@pytest.fixture
+def simple():
+    return SimpleDiskModel(PAPER_TABLE1_DRIVE)
+
+
+class TestSimpleModel:
+    def test_read_time_is_seek_plus_tracks(self, simple):
+        # T(r) = 25 ms + r * 20 ms.
+        assert simple.read_time(1) == pytest.approx(0.045)
+        assert simple.read_time(4) == pytest.approx(0.105)
+
+    def test_zero_tracks_zero_time(self, simple):
+        assert simple.read_time(0) == 0.0
+
+    def test_negative_tracks_rejected(self, simple):
+        with pytest.raises(ValueError):
+            simple.read_time(-1)
+
+    def test_tracks_per_cycle_basic(self, simple):
+        # Cycle of 0.225 s: (0.225 - 0.025) / 0.020 = 10 tracks exactly.
+        assert simple.tracks_per_cycle(0.225) == 10
+
+    def test_tracks_per_cycle_floors(self, simple):
+        assert simple.tracks_per_cycle(0.230) == 10
+        assert simple.tracks_per_cycle(0.244) == 10
+        assert simple.tracks_per_cycle(0.245) == 11
+
+    def test_cycle_shorter_than_seek_gives_zero(self, simple):
+        assert simple.tracks_per_cycle(0.010) == 0
+
+    def test_non_positive_cycle_rejected(self, simple):
+        with pytest.raises(ValueError):
+            simple.tracks_per_cycle(0.0)
+
+    def test_consistency_between_read_time_and_tracks_per_cycle(self, simple):
+        for cycle in (0.1, 0.2, 0.3, 0.5, 1.0):
+            r = simple.tracks_per_cycle(cycle)
+            assert simple.read_time(r) <= cycle + 1e-9
+            assert simple.read_time(r + 1) > cycle
+
+
+class TestDetailedModel:
+    def test_zero_distance_seek_is_free(self):
+        model = DetailedDiskModel(PAPER_TABLE1_DRIVE)
+        assert model.seek_time(0) == 0.0
+
+    def test_full_stroke_seek_matches_spec(self):
+        model = DetailedDiskModel(PAPER_TABLE1_DRIVE, cylinders=2700)
+        full = model.seek_time(2700 - 1)
+        assert full == pytest.approx(PAPER_TABLE1_DRIVE.seek_time_s, rel=0.01)
+
+    def test_seek_curve_is_monotone(self):
+        model = DetailedDiskModel(PAPER_TABLE1_DRIVE)
+        times = [model.seek_time(d) for d in range(0, 2700, 27)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_track_aligned_reads_skip_rotational_latency(self):
+        aligned = DetailedDiskModel(PAPER_TABLE1_DRIVE, track_aligned=True)
+        unaligned = DetailedDiskModel(PAPER_TABLE1_DRIVE, track_aligned=False)
+        assert aligned.rotational_latency() == 0.0
+        assert unaligned.rotational_latency() == pytest.approx(
+            PAPER_TABLE1_DRIVE.rotation_time_s / 2)
+
+    def test_elevator_sweep_cheaper_than_random_order_bound(self):
+        model = DetailedDiskModel(PAPER_TABLE1_DRIVE)
+        sweep = model.read_time_for_positions([100, 2000, 500, 1500])
+        # An upper bound if each request paid a full-stroke seek:
+        worst = 4 * (PAPER_TABLE1_DRIVE.seek_time_s + model.transfer_time())
+        assert sweep < worst
+
+    def test_empty_positions_cost_nothing(self):
+        model = DetailedDiskModel(PAPER_TABLE1_DRIVE)
+        assert model.read_time_for_positions([]) == 0.0
+
+    def test_tracks_per_cycle_inverse_of_read_time(self):
+        model = DetailedDiskModel(PAPER_TABLE1_DRIVE)
+        for cycle in (0.1, 0.3, 0.6):
+            r = model.tracks_per_cycle(cycle)
+            assert model.read_time(r) <= cycle
+            assert model.read_time(r + 1) > cycle
+
+    def test_needs_at_least_two_cylinders(self):
+        with pytest.raises(ValueError):
+            DetailedDiskModel(PAPER_TABLE1_DRIVE, cylinders=1)

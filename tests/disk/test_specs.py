@@ -1,0 +1,61 @@
+"""Disk specifications: paper Table 1 and Section 2 drives."""
+
+import pytest
+
+from repro.disk import PAPER_SECTION2_DRIVE, PAPER_TABLE1_DRIVE, SEAGATE_ST31200N, DiskSpec
+
+
+def test_table1_drive_matches_paper():
+    spec = PAPER_TABLE1_DRIVE
+    assert spec.seek_time_s == pytest.approx(0.025)
+    assert spec.track_time_s == pytest.approx(0.020)
+    assert spec.track_size_mb == pytest.approx(0.05)
+    assert spec.mttf_s == pytest.approx(300_000 * 3600)
+    assert spec.mttr_s == pytest.approx(3600)
+
+
+def test_section2_drive_matches_paper():
+    spec = PAPER_SECTION2_DRIVE
+    assert spec.seek_time_s == pytest.approx(0.030)
+    assert spec.track_time_s == pytest.approx(0.010)
+    assert spec.track_size_mb == pytest.approx(0.100)
+
+
+def test_tracks_per_disk():
+    # 1000 MB of 0.05 MB tracks.
+    assert PAPER_TABLE1_DRIVE.tracks_per_disk == 20_000
+
+
+def test_transfer_rate():
+    # 0.05 MB in 20 ms -> 2.5 MB/s sustained.
+    assert PAPER_TABLE1_DRIVE.transfer_rate_mb_s == pytest.approx(2.5)
+
+
+def test_rotation_time_for_5400_rpm():
+    assert PAPER_TABLE1_DRIVE.rotation_time_s == pytest.approx(1 / 90)
+
+
+def test_seagate_spec_has_plausible_capacity():
+    assert SEAGATE_ST31200N.capacity_mb == pytest.approx(1050)
+
+
+def test_with_overrides_changes_only_requested_fields():
+    spec = PAPER_TABLE1_DRIVE.with_overrides(capacity_mb=2000.0)
+    assert spec.capacity_mb == 2000.0
+    assert spec.seek_time_s == PAPER_TABLE1_DRIVE.seek_time_s
+
+
+@pytest.mark.parametrize("field", [
+    "seek_time_s", "track_time_s", "track_size_mb", "capacity_mb",
+    "mttf_s", "mttr_s", "rpm",
+])
+def test_non_positive_fields_rejected(field):
+    with pytest.raises(ValueError):
+        PAPER_TABLE1_DRIVE.with_overrides(**{field: 0.0})
+
+
+def test_spec_is_hashable_and_frozen():
+    spec = DiskSpec("x", 0.01, 0.01, 0.05, 100.0)
+    assert hash(spec) == hash(DiskSpec("x", 0.01, 0.01, 0.05, 100.0))
+    with pytest.raises(AttributeError):
+        spec.rpm = 7200.0  # type: ignore[misc]

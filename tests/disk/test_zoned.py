@@ -1,0 +1,80 @@
+"""Zone-bit-recording extension: the cost of the paper's fixed B."""
+
+import pytest
+
+from repro.disk import PAPER_TABLE1_DRIVE, SimpleDiskModel, ZonedDiskModel
+
+
+@pytest.fixture
+def zoned():
+    return ZonedDiskModel(PAPER_TABLE1_DRIVE, zones=8,
+                          outer_to_inner_ratio=1.6)
+
+
+class TestGeometry:
+    def test_capacity_grows_monotonically_outward(self, zoned):
+        capacities = [zoned.track_capacity_mb(z) for z in range(8)]
+        assert capacities == sorted(capacities)
+        assert capacities[-1] / capacities[0] == pytest.approx(1.6)
+
+    def test_mean_track_equals_nominal_spec(self, zoned):
+        assert zoned.mean_track_mb() == pytest.approx(
+            PAPER_TABLE1_DRIVE.track_size_mb, rel=1e-6)
+
+    def test_guaranteed_unit_is_innermost_track(self, zoned):
+        assert zoned.guaranteed_unit_mb() == zoned.track_capacity_mb(0)
+        assert zoned.guaranteed_unit_mb() < \
+            PAPER_TABLE1_DRIVE.track_size_mb
+
+    def test_transfer_rate_scales_with_zone(self, zoned):
+        inner = zoned.transfer_rate_mb_s(0)
+        outer = zoned.transfer_rate_mb_s(7)
+        assert outer / inner == pytest.approx(1.6)
+
+    def test_single_zone_degenerates_to_flat_disk(self):
+        flat = ZonedDiskModel(PAPER_TABLE1_DRIVE, zones=1,
+                              outer_to_inner_ratio=1.0)
+        assert flat.track_capacity_mb(0) == pytest.approx(
+            PAPER_TABLE1_DRIVE.track_size_mb)
+        assert flat.wasted_capacity_fraction() == pytest.approx(0.0)
+
+
+class TestPaperConservatism:
+    def test_fixed_b_strands_about_a_quarter_of_capacity(self, zoned):
+        """Sizing B to the innermost zone strands (ratio-1)/(ratio+1)
+        of the media: ~23% at a typical 1.6x zone spread."""
+        wasted = zoned.wasted_capacity_fraction()
+        assert wasted == pytest.approx(0.6 / 2.6, rel=1e-6)
+
+    def test_track_budget_matches_simple_model(self, zoned):
+        """Per-cycle *track* counts are zone-independent (one track per
+        rotation regardless); only bytes-per-slot differ."""
+        simple = SimpleDiskModel(PAPER_TABLE1_DRIVE)
+        for cycle in (0.1, 0.2667, 1.0667):
+            assert zoned.tracks_per_cycle(cycle, zone=0) == \
+                simple.tracks_per_cycle(cycle)
+            assert zoned.tracks_per_cycle(cycle, zone=7) == \
+                simple.tracks_per_cycle(cycle)
+
+    def test_outer_zones_deliver_more_bytes_per_cycle(self, zoned):
+        inner = zoned.bandwidth_per_cycle_mb(0.2667, zone=0)
+        outer = zoned.bandwidth_per_cycle_mb(0.2667, zone=7)
+        assert outer > 1.5 * inner
+
+
+class TestValidation:
+    def test_zone_bounds(self, zoned):
+        with pytest.raises(ValueError):
+            zoned.track_capacity_mb(8)
+        with pytest.raises(ValueError):
+            zoned.track_capacity_mb(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ZonedDiskModel(PAPER_TABLE1_DRIVE, zones=0)
+        with pytest.raises(ValueError):
+            ZonedDiskModel(PAPER_TABLE1_DRIVE, outer_to_inner_ratio=0.9)
+
+    def test_cycle_validation(self, zoned):
+        with pytest.raises(ValueError):
+            zoned.tracks_per_cycle(0.0)

@@ -1,0 +1,62 @@
+"""The experiment registry: every entry regenerates and matches."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    list_experiments,
+    run_all,
+    run_experiment,
+)
+
+
+def test_registry_lists_the_analytic_experiments():
+    assert list_experiments() == [
+        "table2", "table3", "ksweep", "fig9a", "fig9b",
+        "reliability", "sizing",
+    ]
+
+
+@pytest.mark.parametrize("experiment_id", [
+    "table2", "table3", "ksweep", "fig9a", "fig9b", "reliability", "sizing",
+])
+def test_every_experiment_matches_the_paper(experiment_id):
+    result = run_experiment(experiment_id)
+    assert result.experiment_id == experiment_id
+    assert result.matches_paper, result.title
+    assert result.rows
+
+
+def test_rows_are_json_serialisable():
+    for result in run_all():
+        encoded = json.dumps(result.rows)
+        assert json.loads(encoded) == result.rows
+
+
+def test_table2_rows_carry_all_metrics():
+    result = run_experiment("table2")
+    assert len(result.rows) == 4
+    assert result.rows[0]["scheme"] == "SR"
+    assert result.rows[0]["streams"] == 1041
+    assert result.rows[2]["buffer_tracks"] == 2612
+    assert result.rows[3]["bandwidth_overhead_pct"] == pytest.approx(3.0)
+
+
+def test_fig9a_rows_span_the_group_sizes():
+    result = run_experiment("fig9a")
+    assert [row["parity_group_size"] for row in result.rows] == \
+        list(range(2, 11))
+    assert all(row["cost_NC"] <= row["cost_SG"] for row in result.rows)
+
+
+def test_run_all_covers_the_registry():
+    results = run_all()
+    assert [r.experiment_id for r in results] == list_experiments()
+    assert all(r.matches_paper for r in results)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ConfigurationError):
+        run_experiment("table99")

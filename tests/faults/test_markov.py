@@ -1,0 +1,152 @@
+"""Exact Markov chains versus the paper's approximations (eq. 4-6)."""
+
+import pytest
+
+from repro.analysis import (
+    SystemParameters,
+    mean_time_to_k_concurrent_failures_hours,
+    mttf_catastrophic_hours,
+)
+from repro.errors import ConfigurationError
+from repro.faults import catastrophic_condition, simulate_mean_time_to
+from repro.faults.markov import (
+    exact_mttf_clustered_hours,
+    exact_mttf_improved_hours,
+    exact_time_to_k_concurrent_hours,
+)
+from repro.layout import ClusteredParityLayout, ImprovedBandwidthLayout
+from repro.schemes import Scheme
+
+
+class TestClusteredExactness:
+    def test_equation4_is_accurate_at_paper_parameters(self):
+        """MTTR/MTTF = 3.3e-6: the approximation error is ~0.01%."""
+        exact = exact_mttf_clustered_hours(100, 5, 300_000, 1)
+        params = SystemParameters.paper_table1()
+        approx = mttf_catastrophic_hours(params, 5, Scheme.STREAMING_RAID)
+        assert exact / approx == pytest.approx(1.0, abs=2e-3)
+
+    def test_approximation_degrades_as_mttr_grows(self):
+        """The error scales with MTTR/MTTF, as the derivation assumes."""
+        params = SystemParameters.paper_table1(
+            num_disks=20, mttf_disk_hours=100.0, mttr_disk_hours=10.0)
+        exact = exact_mttf_clustered_hours(20, 5, 100.0, 10.0)
+        approx = mttf_catastrophic_hours(params, 5, Scheme.STREAMING_RAID)
+        small_error = abs(exact_mttf_clustered_hours(20, 5, 100.0, 0.1) /
+                          mttf_catastrophic_hours(
+                              params.with_overrides(mttr_disk_hours=0.1),
+                              5, Scheme.STREAMING_RAID) - 1)
+        big_error = abs(exact / approx - 1)
+        assert big_error > 10 * small_error
+
+    def test_exact_chain_matches_monte_carlo(self):
+        layout = ClusteredParityLayout(20, 5)
+        estimate = simulate_mean_time_to(
+            20, 200.0, 1.0, catastrophic_condition(layout),
+            replications=400, seed=21)
+        exact = exact_mttf_clustered_hours(20, 5, 200.0, 1.0)
+        assert estimate.consistent_with(exact)
+
+    def test_exact_scales_like_mttf_squared(self):
+        base = exact_mttf_clustered_hours(100, 5, 1000.0, 1.0)
+        doubled = exact_mttf_clustered_hours(100, 5, 2000.0, 1.0)
+        assert doubled / base == pytest.approx(4.0, rel=0.01)
+
+
+class TestImprovedBandwidthExposure:
+    def test_true_exposure_is_3c_minus_4(self):
+        """The content-based layout check agrees: a disk shares groups
+        with 3C-4 partners, not eq. (5)'s 2C-1."""
+        from repro.media import MediaObject
+        c = 5
+        layout = ImprovedBandwidthLayout(24, c)
+        for i in range(24):
+            layout.place(MediaObject(f"m{i}", 0.1875, 48, seed=i))
+        probe = 5  # a middle disk
+        partners = [d for d in range(24) if d != probe
+                    and layout.groups_sharing_disk_pair(probe, d)]
+        assert len(partners) == 3 * c - 4
+
+    def test_equation5_overstates_ib_mttf(self):
+        """eq. (5) divides by 2C-1 where the layout's exposure is 3C-4:
+        it is optimistic by ~(3C-4)/(2C-1) — about 22% at C = 5."""
+        params = SystemParameters.paper_table1()
+        exact = exact_mttf_improved_hours(100, 5, 300_000, 1)
+        approx = mttf_catastrophic_hours(params, 5,
+                                         Scheme.IMPROVED_BANDWIDTH)
+        ratio = approx / exact
+        expected = (3 * 5 - 4) / (2 * 5 - 1)
+        assert ratio == pytest.approx(expected, rel=0.02)
+
+    def test_exact_ib_matches_monte_carlo(self):
+        """The refined chain agrees with brute-force simulation of the
+        actual layout geometry — eq. (5) does not."""
+        layout = ImprovedBandwidthLayout(20, 5)
+        estimate = simulate_mean_time_to(
+            20, 200.0, 1.0, catastrophic_condition(layout),
+            replications=400, seed=22)
+        exact = exact_mttf_improved_hours(20, 5, 200.0, 1.0)
+        assert estimate.consistent_with(exact)
+
+    def test_qualitative_conclusion_survives(self):
+        """IB is still 'roughly half as reliable' — just a bit worse."""
+        clustered = exact_mttf_clustered_hours(100, 10, 300_000, 1)
+        improved = exact_mttf_improved_hours(99, 10, 300_000, 1)
+        assert 0.25 < improved / clustered < 0.55
+
+
+class TestKConcurrent:
+    def test_equation6_assumes_a_single_repairman(self):
+        """With one repair at a time the exact chain IS eq. (6)."""
+        exact = exact_time_to_k_concurrent_hours(
+            100, 3, 300_000, 1, repair_policy="single")
+        approx = mean_time_to_k_concurrent_failures_hours(100, 3, 300_000, 1)
+        assert exact / approx == pytest.approx(1.0, abs=1e-3)
+
+    def test_parallel_repair_beats_equation6_by_k_minus_1_factorial(self):
+        """Physically, every failed disk reloads concurrently: deep
+        pile-ups get (k-1)! times harder to reach — eq. (6) understates
+        MTTDS (a conservative error)."""
+        import math
+        for k in (2, 3, 4):
+            exact = exact_time_to_k_concurrent_hours(
+                100, k, 300_000, 1, repair_policy="parallel")
+            approx = mean_time_to_k_concurrent_failures_hours(
+                100, k, 300_000, 1)
+            assert exact / approx == pytest.approx(
+                math.factorial(k - 1), rel=1e-2)
+
+    def test_k1_is_exactly_first_failure(self):
+        exact = exact_time_to_k_concurrent_hours(10, 1, 300.0, 1.0)
+        assert exact == pytest.approx(30.0)
+
+    def test_k2_has_no_policy_dependence(self):
+        """At k = 2 at most one disk is down pre-absorption: both repair
+        policies coincide and eq. (6) is exact up to O(MTTR/MTTF)."""
+        single = exact_time_to_k_concurrent_hours(
+            100, 2, 300_000, 1, repair_policy="single")
+        parallel = exact_time_to_k_concurrent_hours(
+            100, 2, 300_000, 1, repair_policy="parallel")
+        assert single == pytest.approx(parallel)
+
+    def test_monotone_in_k(self):
+        values = [exact_time_to_k_concurrent_hours(50, k, 1000.0, 1.0)
+                  for k in (1, 2, 3, 4)]
+        assert values == sorted(values)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_time_to_k_concurrent_hours(10, 2, 100.0, 1.0,
+                                             repair_policy="magic")
+
+
+class TestValidation:
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_mttf_clustered_hours(3, 5, 100.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            exact_mttf_clustered_hours(10, 1, 100.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            exact_time_to_k_concurrent_hours(10, 0, 100.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            exact_time_to_k_concurrent_hours(10, 2, -1.0, 1.0)

@@ -1,0 +1,111 @@
+"""Monte-Carlo reliability versus the paper's closed forms.
+
+Per-disk MTTF is accelerated (hours-scale instead of 300,000 h) so each
+replication finishes quickly; the closed-form/simulation *ratio* is what
+matters and it is scale-free under MTTR << MTTF.
+"""
+
+import pytest
+
+from repro.analysis import (
+    SystemParameters,
+    mean_time_to_k_concurrent_failures_hours,
+    mttf_catastrophic_hours,
+)
+from repro.errors import ConfigurationError
+from repro.faults import (
+    catastrophic_condition,
+    k_concurrent_condition,
+    simulate_mean_time_to,
+)
+from repro.layout import ClusteredParityLayout, ImprovedBandwidthLayout
+from repro.schemes import Scheme
+
+MTTF = 200.0   # hours, accelerated
+MTTR = 1.0
+
+
+def test_clustered_mttf_matches_equation4():
+    layout = ClusteredParityLayout(20, 5)
+    estimate = simulate_mean_time_to(
+        20, MTTF, MTTR, catastrophic_condition(layout),
+        replications=300, seed=1)
+    params = SystemParameters.paper_table1(
+        num_disks=20, mttf_disk_hours=MTTF, mttr_disk_hours=MTTR)
+    expected = mttf_catastrophic_hours(params, 5, Scheme.STREAMING_RAID)
+    assert estimate.mean_hours == pytest.approx(expected, rel=0.25)
+
+
+def test_improved_bandwidth_mttf_matches_equation5():
+    layout = ImprovedBandwidthLayout(20, 5)
+    estimate = simulate_mean_time_to(
+        20, MTTF, MTTR, catastrophic_condition(layout),
+        replications=300, seed=2)
+    params = SystemParameters.paper_table1(
+        num_disks=20, mttf_disk_hours=MTTF, mttr_disk_hours=MTTR)
+    expected = mttf_catastrophic_hours(params, 5, Scheme.IMPROVED_BANDWIDTH)
+    assert estimate.mean_hours == pytest.approx(expected, rel=0.25)
+
+
+def test_ib_layout_is_roughly_half_as_reliable():
+    """Section 4: the (2C-1)/(C-1) exposure penalty, here ~9/4."""
+    clustered = ClusteredParityLayout(20, 5)
+    shifted = ImprovedBandwidthLayout(20, 5)
+    t_clustered = simulate_mean_time_to(
+        20, MTTF, MTTR, catastrophic_condition(clustered),
+        replications=300, seed=3)
+    t_shifted = simulate_mean_time_to(
+        20, MTTF, MTTR, catastrophic_condition(shifted),
+        replications=300, seed=3)
+    ratio = t_clustered.mean_hours / t_shifted.mean_hours
+    assert ratio == pytest.approx((2 * 5 - 1) / (5 - 1), rel=0.3)
+
+
+def test_k_concurrent_matches_equation6():
+    estimate = simulate_mean_time_to(
+        10, MTTF, MTTR, k_concurrent_condition(2),
+        replications=300, seed=4)
+    expected = mean_time_to_k_concurrent_failures_hours(10, 2, MTTF, MTTR)
+    assert estimate.mean_hours == pytest.approx(expected, rel=0.25)
+
+
+def test_mttf_scales_quadratically_with_disk_mttf():
+    """MTTF_sys ~ MTTF(disk)^2: doubling disk MTTF quadruples system MTTF."""
+    layout = ClusteredParityLayout(10, 5)
+    base = simulate_mean_time_to(10, 100.0, MTTR,
+                                 catastrophic_condition(layout),
+                                 replications=300, seed=5)
+    doubled = simulate_mean_time_to(10, 200.0, MTTR,
+                                    catastrophic_condition(layout),
+                                    replications=300, seed=5)
+    assert doubled.mean_hours / base.mean_hours == pytest.approx(4.0, rel=0.35)
+
+
+def test_estimate_statistics():
+    estimate = simulate_mean_time_to(
+        10, MTTF, MTTR, k_concurrent_condition(2),
+        replications=50, seed=6)
+    assert estimate.samples == 50
+    assert estimate.ci95_hours > 0
+    assert estimate.mean_years == pytest.approx(estimate.mean_hours / 8760)
+    assert estimate.consistent_with(estimate.mean_hours)
+
+
+def test_k1_is_first_failure():
+    estimate = simulate_mean_time_to(
+        10, MTTF, MTTR, k_concurrent_condition(1),
+        replications=400, seed=7)
+    # First failure among 10 disks: Exp(MTTF/10).
+    assert estimate.mean_hours == pytest.approx(MTTF / 10, rel=0.15)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        simulate_mean_time_to(0, MTTF, MTTR, k_concurrent_condition(1))
+    with pytest.raises(ValueError):
+        simulate_mean_time_to(10, -1, MTTR, k_concurrent_condition(1))
+    with pytest.raises(ValueError):
+        simulate_mean_time_to(10, MTTF, MTTR, k_concurrent_condition(1),
+                              replications=0)
+    with pytest.raises(ValueError):
+        k_concurrent_condition(0)

@@ -1,0 +1,114 @@
+"""Cross-scheme conservation invariants.
+
+Whatever happens — failures, transitions, cascades — every track of a
+completed stream is accounted for exactly once: delivered, hiccuped, or
+(for terminated streams) abandoned.  These invariants hold for all four
+schemes under a matrix of failure scenarios.
+"""
+
+import pytest
+
+from repro.schemes import ALL_SCHEMES, Scheme
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server, tiny_catalog
+
+
+def disks_for(scheme: Scheme) -> int:
+    return 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+
+
+def run_scenario(scheme: Scheme, fail_at=None, fail_disk=0, repair_at=None,
+                 streams=3, cycles=60, **kwargs):
+    catalog = tiny_catalog(max(streams, 2), tracks=16)
+    server = build_server(scheme, num_disks=disks_for(scheme),
+                          catalog=catalog, **kwargs)
+    admitted = [server.admit(name)
+                for name in server.catalog.names()[:streams]]
+    for cycle in range(cycles):
+        if fail_at is not None and cycle == fail_at:
+            server.fail_disk(fail_disk)
+        if repair_at is not None and cycle == repair_at:
+            server.repair_disk(fail_disk)
+        server.run_cycle()
+    return server, admitted
+
+
+def assert_conservation(server, streams):
+    report = server.report
+    delivered_by_stream = {s.stream_id: s.delivered_tracks for s in streams}
+    for stream in streams:
+        if stream.status is StreamStatus.COMPLETED:
+            assert stream.delivered_tracks + stream.hiccup_count == \
+                stream.object.num_tracks, (
+                    f"stream {stream.stream_id} lost accounting: "
+                    f"{stream.delivered_tracks} + {stream.hiccup_count} != "
+                    f"{stream.object.num_tracks}")
+    # Report totals agree with per-stream counters.
+    assert report.total_delivered == sum(delivered_by_stream.values())
+    assert report.total_hiccups == sum(s.hiccup_count for s in streams)
+    # No stream ever delivered a wrong byte.
+    assert report.payload_mismatches == 0
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_normal_operation_conserves_tracks(scheme):
+    server, streams = run_scenario(scheme)
+    assert_conservation(server, streams)
+    assert all(s.status is StreamStatus.COMPLETED for s in streams)
+    assert server.report.hiccup_free()
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+@pytest.mark.parametrize("fail_at", [0, 1, 3, 7])
+def test_single_failure_conserves_tracks(scheme, fail_at):
+    server, streams = run_scenario(scheme, fail_at=fail_at)
+    assert_conservation(server, streams)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_failure_then_repair_conserves_tracks(scheme):
+    server, streams = run_scenario(scheme, fail_at=2, repair_at=10)
+    assert_conservation(server, streams)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_catastrophic_failure_still_conserves_tracks(scheme):
+    """Two failures in one cluster lose data but never double-count it."""
+    server, streams = run_scenario(scheme, fail_at=2)
+    server.fail_disk(1)
+    server.run_cycles(40)
+    assert_conservation(server, streams)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_mid_cycle_failure_conserves_tracks(scheme):
+    catalog = tiny_catalog(3, tracks=16)
+    server = build_server(scheme, num_disks=disks_for(scheme),
+                          catalog=catalog)
+    streams = [server.admit(n) for n in server.catalog.names()]
+    server.run_cycles(2)
+    server.fail_disk(0, mid_cycle=True)
+    server.run_cycles(50)
+    assert_conservation(server, streams)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_buffers_return_to_zero_after_completion(scheme):
+    server, streams = run_scenario(scheme)
+    assert all(s.buffered_track_count == 0 for s in streams)
+    assert server.report.cycles[-1].buffered_tracks == 0
+
+
+def test_delivery_pointer_is_monotone_per_cycle():
+    """Once delivery starts it advances k' tracks per cycle, no stalls."""
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=tiny_catalog(2, tracks=12))
+    stream = server.admit(server.catalog.names()[0])
+    server.run_cycle()
+    positions = []
+    for _ in range(12):
+        server.run_cycle()
+        positions.append(stream.next_delivery_track)
+    deltas = [b - a for a, b in zip(positions, positions[1:])
+              if b <= stream.object.num_tracks and a < stream.object.num_tracks]
+    assert all(d == 1 for d in deltas)

@@ -1,0 +1,97 @@
+"""Failure masking at full scale: the reserved-bandwidth claims.
+
+Section 2: "In this scheme there can never be a degradation of service
+without data loss, since enough bandwidth is reserved in a cluster to make
+up for a single disk failure."  At the Table-1 operating point this is
+*exactly* tight: a full SR cluster serves 52 group reads per cycle and its
+parity disk has exactly 52 slots.  These tests drive the 100-disk system
+at its bound, fail a disk, and verify the claim holds — and that the
+Improved-bandwidth scheme, which reserved nothing, degrades instead.
+"""
+
+import pytest
+
+from repro.schemes import Scheme
+from repro.server.metrics import HiccupCause
+from tests.integration.test_capacity_validation import (
+    build_full_scale,
+    load_group_scheme,
+)
+
+
+def test_streaming_raid_masks_failure_at_exact_full_load():
+    """1040 streams, disk 0 fails: 52 parity reads/cycle fit the parity
+    disk's 52 slots exactly — zero hiccups at 100% utilisation."""
+    server = build_full_scale(Scheme.STREAMING_RAID)
+    streams = load_group_scheme(server)
+    server.run_cycle()
+    server.fail_disk(0)
+    reports = server.run_cycles(5)
+    assert server.report.hiccup_free()
+    assert server.report.total_dropped_reads == 0
+    # Every affected group read its parity block: 52 streams per cluster.
+    assert all(r.parity_reads == 52 for r in reports)
+    assert all(r.reconstructions == 52 for r in reports)
+
+
+def test_staggered_group_masks_failure_at_exact_full_load():
+    """960 streams: 12 of the degraded cluster's streams read per cycle,
+    and the parity disk has exactly 12 slots."""
+    server = build_full_scale(Scheme.STAGGERED_GROUP)
+    load_group_scheme(server)
+    server.run_cycle()
+    server.fail_disk(0)
+    reports = server.run_cycles(8)
+    assert server.report.hiccup_free()
+    assert all(r.parity_reads == 12 for r in reports)
+
+
+def test_improved_bandwidth_at_full_load_degrades_on_failure():
+    """The flip side of using the parity bandwidth for streams: with no
+    reserve, the shift-right cascade finds no idle capacity and requests
+    are terminated (Section 4)."""
+    server = build_full_scale(Scheme.IMPROVED_BANDWIDTH)
+    streams = load_group_scheme(server)  # 1200 of 1209: ~0 idle
+    server.run_cycle()
+    server.fail_disk(0)
+    server.run_cycles(5)
+    assert server.report.cycles[-1].streams_terminated >= 1
+
+
+def test_improved_bandwidth_with_reserved_headroom_masks_failure():
+    """Reserving bandwidth (admitting well below the bound) leaves the
+    idle slots the cascade needs — Section 4's K_IB prescription."""
+    server = build_full_scale(Scheme.IMPROVED_BANDWIDTH)
+    names = server.catalog.names()
+    # 36 streams per object = 864 streams: ~16 idle slots per disk.
+    for name in names:
+        for _ in range(36):
+            server.admit(name)
+    server.run_cycle()
+    server.fail_disk(0)
+    server.run_cycles(5)
+    assert server.report.hiccup_free()
+    assert server.report.cycles[-1].streams_terminated == 0
+    assert server.report.total_reconstructions > 0
+
+
+def test_sr_catastrophic_at_scale_hiccups_only_affected_cluster():
+    server = build_full_scale(Scheme.STREAMING_RAID)
+    streams = load_group_scheme(server)
+    server.run_cycle()
+    server.fail_disk(0)
+    server.fail_disk(1)  # same cluster: catastrophic
+    server.run_cycles(4)
+    hiccups = server.report.all_hiccups()
+    assert hiccups
+    assert {h.cause for h in hiccups} == {HiccupCause.DISK_FAILURE}
+    # Every lost track's parity group sits on the dead cluster — objects
+    # rotate through it one group per cycle (round-robin striping), so the
+    # affected *object* changes each cycle but the *cluster* never does.
+    layout = server.layout
+    for hiccup in hiccups:
+        group, _ = layout.group_of(hiccup.object_name, hiccup.track)
+        assert layout.group_cluster(hiccup.object_name, group) == 0
+    # Unaffected clusters kept every stream whole: exactly 2 tracks lost
+    # per affected stream per failed cycle.
+    assert len(hiccups) % 2 == 0

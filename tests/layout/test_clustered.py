@@ -1,0 +1,222 @@
+"""Clustered parity layout (Streaming RAID / Staggered / Non-clustered)."""
+
+import pytest
+
+from repro.disk import DiskArray, PAPER_TABLE1_DRIVE
+from repro.errors import ConfigurationError, LayoutError
+from repro.layout import BlockKind, ClusteredParityLayout
+from repro.media import MediaObject
+from repro.parity import ParityCodec
+
+# 64-byte tracks keep materialisation cheap in tests.
+TINY = PAPER_TABLE1_DRIVE.with_overrides(
+    track_size_mb=64 / 1_000_000, capacity_mb=64 * 200 / 1_000_000)
+
+
+def make_layout(disks=10, group=5):
+    return ClusteredParityLayout(disks, group)
+
+
+def obj(name="x", tracks=12):
+    return MediaObject(name, 0.1875, tracks)
+
+
+class TestGeometry:
+    def test_cluster_count(self):
+        assert make_layout(10, 5).num_clusters == 2
+        assert make_layout(100, 5).num_clusters == 20
+
+    def test_disk_count_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            make_layout(11, 5)
+
+    def test_cluster_membership(self):
+        layout = make_layout(10, 5)
+        assert layout.cluster_disks(0) == [0, 1, 2, 3, 4]
+        assert layout.cluster_disks(1) == [5, 6, 7, 8, 9]
+        assert layout.cluster_of(7) == 1
+
+    def test_parity_disk_is_last_of_cluster(self):
+        layout = make_layout(10, 5)
+        assert layout.parity_disk(0) == 4
+        assert layout.parity_disk(1) == 9
+        assert layout.is_parity_disk(4)
+        assert not layout.is_parity_disk(3)
+
+    def test_data_disks(self):
+        layout = make_layout(10, 5)
+        assert layout.data_disks(1) == [5, 6, 7, 8]
+
+    def test_data_disk_count_matches_paper_definition(self):
+        # D' = (C-1)/C * D.
+        assert make_layout(100, 5).data_disk_count == 80
+        assert make_layout(98, 7).data_disk_count == 84
+
+    def test_group_size_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredParityLayout(10, 1)
+        with pytest.raises(ConfigurationError):
+            ClusteredParityLayout(3, 5)
+
+
+class TestPlacement:
+    def test_figure3_style_striping(self):
+        """First parity group on cluster 0: tracks 0-3 on disks 0-3,
+        parity on disk 4; next group shifts to cluster 1 (Figure 3)."""
+        layout = make_layout(10, 5)
+        layout.place(obj("X", 12), start_cluster=0)
+        assert [layout.data_address("X", t).disk_id for t in range(4)] == [0, 1, 2, 3]
+        assert layout.parity_address("X", 0).disk_id == 4
+        assert [layout.data_address("X", t).disk_id for t in range(4, 8)] == [5, 6, 7, 8]
+        assert layout.parity_address("X", 1).disk_id == 9
+        # Round-robin wraps back to cluster 0.
+        assert layout.data_address("X", 8).disk_id == 0
+
+    def test_group_of(self):
+        layout = make_layout(10, 5)
+        layout.place(obj("X", 12))
+        assert layout.group_of("X", 0) == (0, 0)
+        assert layout.group_of("X", 5) == (1, 1)
+        assert layout.group_of("X", 11) == (2, 3)
+
+    def test_group_tracks_full_and_tail(self):
+        layout = make_layout(10, 5)
+        layout.place(obj("X", 10))  # 2 full groups + tail of 2
+        assert layout.group_tracks("X", 0) == [0, 1, 2, 3]
+        assert layout.group_tracks("X", 2) == [8, 9]
+        assert layout.group_count(obj("X", 10)) == 3
+
+    def test_group_span_disks(self):
+        layout = make_layout(10, 5)
+        layout.place(obj("X", 8), start_cluster=1)
+        span = layout.group_span("X", 0)
+        assert span.disk_ids == (5, 6, 7, 8, 9)
+
+    def test_observation1_no_mixing_of_objects_in_groups(self):
+        """Observation 1: a parity group contains blocks of one object only."""
+        layout = make_layout(10, 5)
+        layout.place(obj("X", 8), start_cluster=0)
+        layout.place(obj("Y", 8), start_cluster=0)
+        span_x = layout.group_span("X", 0)
+        span_y = layout.group_span("Y", 0)
+        assert span_x.object_name == "X"
+        assert span_y.object_name == "Y"
+        assert span_x.parity != span_y.parity  # distinct parity blocks
+
+    def test_start_cluster_round_robins_by_default(self):
+        layout = make_layout(10, 5)
+        layout.place(obj("A", 4))
+        layout.place(obj("B", 4))
+        layout.place(obj("C", 4))
+        assert layout.start_cluster("A") == 0
+        assert layout.start_cluster("B") == 1
+        assert layout.start_cluster("C") == 0
+
+    def test_duplicate_placement_rejected(self):
+        layout = make_layout(10, 5)
+        layout.place(obj("X"))
+        with pytest.raises(LayoutError):
+            layout.place(obj("X"))
+
+    def test_lookup_of_unplaced_object_rejected(self):
+        layout = make_layout(10, 5)
+        with pytest.raises(LayoutError):
+            layout.data_address("nope", 0)
+
+    def test_track_out_of_range_rejected(self):
+        layout = make_layout(10, 5)
+        layout.place(obj("X", 8))
+        with pytest.raises(LayoutError):
+            layout.data_address("X", 8)
+
+    def test_blocks_on_disk_inventory(self):
+        layout = make_layout(10, 5)
+        layout.place(obj("X", 8), start_cluster=0)
+        on_disk0 = layout.blocks_on_disk(0)
+        assert len(on_disk0) == 1
+        assert on_disk0[0].kind is BlockKind.DATA
+        assert on_disk0[0].index == 0
+        on_parity = layout.blocks_on_disk(4)
+        assert all(b.kind is BlockKind.PARITY for b in on_parity)
+
+    def test_parity_disks_hold_only_parity(self):
+        layout = make_layout(10, 5)
+        for i in range(6):
+            layout.place(obj(f"m{i}", 20))
+        for disk_id in range(10):
+            blocks = layout.blocks_on_disk(disk_id)
+            if layout.is_parity_disk(disk_id):
+                assert all(b.kind is BlockKind.PARITY for b in blocks)
+            else:
+                assert all(b.kind is BlockKind.DATA for b in blocks)
+
+
+class TestCatastrophe:
+    def test_single_failure_not_catastrophic(self):
+        layout = make_layout(10, 5)
+        assert not layout.is_catastrophic_geometric([3])
+
+    def test_two_failures_same_cluster_catastrophic(self):
+        layout = make_layout(10, 5)
+        assert layout.is_catastrophic_geometric([1, 3])
+        assert layout.is_catastrophic_geometric([5, 9])
+
+    def test_failures_in_distinct_clusters_survivable(self):
+        layout = make_layout(20, 5)
+        assert not layout.is_catastrophic_geometric([0, 5, 11, 16])
+
+    def test_content_based_catastrophe_matches_geometry(self):
+        layout = make_layout(10, 5)
+        for i in range(4):
+            layout.place(obj(f"m{i}", 16))
+        assert layout.is_catastrophic([0, 2])
+        assert not layout.is_catastrophic([0, 5])
+
+    def test_data_plus_parity_disk_failure_is_catastrophic(self):
+        layout = make_layout(10, 5)
+        layout.place(obj("X", 8))
+        assert layout.is_catastrophic([0, 4])
+
+
+class TestMaterialisation:
+    def test_payloads_and_parity_written(self):
+        layout = make_layout(10, 5)
+        x = obj("X", 8)
+        layout.place(x, start_cluster=0)
+        array = DiskArray(10, TINY)
+        layout.materialise(array)
+        address = layout.data_address("X", 2)
+        assert array[address.disk_id].read(address.position) == \
+            x.track_payload(2, 64)
+
+    def test_parity_reconstructs_any_track(self):
+        layout = make_layout(10, 5)
+        x = obj("X", 8)
+        layout.place(x, start_cluster=0)
+        array = DiskArray(10, TINY)
+        layout.materialise(array)
+        codec = ParityCodec(64)
+        span = layout.group_span("X", 0)
+        parity = array[span.parity.disk_id].read(span.parity.position)
+        blocks = [array[a.disk_id].read(a.position) for a in span.data]
+        for missing in range(4):
+            holed = list(blocks)
+            holed[missing] = None
+            assert codec.reconstruct(holed, parity) == blocks[missing]
+
+    def test_tail_group_parity_uses_zero_padding(self):
+        layout = make_layout(10, 5)
+        x = obj("X", 5)  # tail group of 1 track
+        layout.place(x, start_cluster=0)
+        array = DiskArray(10, TINY)
+        layout.materialise(array)
+        span = layout.group_span("X", 1)
+        assert len(span.data) == 1
+        parity = array[span.parity.disk_id].read(span.parity.position)
+        track = array[span.data[0].disk_id].read(span.data[0].position)
+        assert parity == track  # XOR with zero padding is identity
+
+    def test_wrong_array_size_rejected(self):
+        layout = make_layout(10, 5)
+        with pytest.raises(ConfigurationError):
+            layout.materialise(DiskArray(5, TINY))

@@ -1,0 +1,134 @@
+"""Property-based tests on layout invariants (hypothesis).
+
+For any geometry and any catalog of objects:
+
+* every (object, track) maps to exactly one physical slot and no two
+  blocks ever share a slot;
+* a parity group's blocks sit on pairwise distinct disks (otherwise one
+  failure could take out two members);
+* clustered layouts confine a group's data to one cluster and its parity
+  to the same cluster's parity disk; the shifted layout puts parity on
+  the *next* cluster;
+* the content-based catastrophe test agrees with the geometric shortcut.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import BlockKind, ClusteredParityLayout, ImprovedBandwidthLayout
+from repro.media import MediaObject
+
+
+@st.composite
+def clustered_layouts(draw):
+    group = draw(st.integers(min_value=2, max_value=6))
+    clusters = draw(st.integers(min_value=1, max_value=4))
+    layout = ClusteredParityLayout(group * clusters, group)
+    _place_objects(draw, layout)
+    return layout
+
+
+@st.composite
+def improved_layouts(draw):
+    group = draw(st.integers(min_value=2, max_value=6))
+    clusters = draw(st.integers(min_value=2, max_value=4))
+    layout = ImprovedBandwidthLayout((group - 1) * clusters, group)
+    _place_objects(draw, layout)
+    return layout
+
+
+def _place_objects(draw, layout):
+    count = draw(st.integers(min_value=1, max_value=5))
+    for index in range(count):
+        tracks = draw(st.integers(min_value=1, max_value=30))
+        layout.place(MediaObject(f"m{index}", 0.1875, tracks, seed=index))
+
+
+def all_addresses(layout):
+    addresses = []
+    for obj in layout.objects:
+        for track in range(obj.num_tracks):
+            addresses.append(layout.data_address(obj.name, track))
+        for group in range(layout.group_count(obj)):
+            addresses.append(layout.parity_address(obj.name, group))
+    return addresses
+
+
+@settings(max_examples=40)
+@given(layout=st.one_of(clustered_layouts(), improved_layouts()))
+def test_no_two_blocks_share_a_slot(layout):
+    addresses = all_addresses(layout)
+    assert len(addresses) == len(set(addresses))
+
+
+@settings(max_examples=40)
+@given(layout=st.one_of(clustered_layouts(), improved_layouts()))
+def test_group_members_on_distinct_disks(layout):
+    for obj in layout.objects:
+        for group in range(layout.group_count(obj)):
+            span = layout.group_span(obj.name, group)
+            assert len(set(span.disk_ids)) == len(span.disk_ids)
+
+
+@settings(max_examples=40)
+@given(layout=clustered_layouts())
+def test_clustered_group_confined_to_one_cluster(layout):
+    for obj in layout.objects:
+        for group in range(layout.group_count(obj)):
+            span = layout.group_span(obj.name, group)
+            clusters = {layout.cluster_of(a.disk_id) for a in span.data}
+            assert len(clusters) == 1
+            cluster = clusters.pop()
+            assert span.parity.disk_id == layout.parity_disk(cluster)
+
+
+@settings(max_examples=40)
+@given(layout=improved_layouts())
+def test_improved_parity_on_next_cluster(layout):
+    for obj in layout.objects:
+        for group in range(layout.group_count(obj)):
+            span = layout.group_span(obj.name, group)
+            data_cluster = layout.cluster_of(span.data[0].disk_id)
+            parity_cluster = layout.cluster_of(span.parity.disk_id)
+            assert parity_cluster == (data_cluster + 1) % layout.num_clusters
+
+
+@settings(max_examples=40)
+@given(layout=st.one_of(clustered_layouts(), improved_layouts()))
+def test_disk_inventory_matches_addresses(layout):
+    """blocks_on_disk is the exact inverse of the address maps."""
+    counted = 0
+    for disk_id in range(layout.num_disks):
+        for block in layout.blocks_on_disk(disk_id):
+            counted += 1
+            if block.kind is BlockKind.DATA:
+                assert layout.data_address(block.object_name,
+                                           block.index).disk_id == disk_id
+            else:
+                assert layout.parity_address(block.object_name,
+                                             block.index).disk_id == disk_id
+    assert counted == len(all_addresses(layout))
+
+
+@settings(max_examples=30)
+@given(layout=st.one_of(clustered_layouts(), improved_layouts()),
+       data=st.data())
+def test_content_catastrophe_implies_geometric(layout, data):
+    """The geometric shortcut is a *superset* of the content-based check:
+    any actually-lost data implies a geometric catastrophe flag."""
+    if layout.num_disks < 2:
+        return
+    failed = data.draw(st.sets(
+        st.integers(min_value=0, max_value=layout.num_disks - 1),
+        min_size=1, max_size=min(4, layout.num_disks)))
+    if layout.is_catastrophic(failed):
+        assert layout.is_catastrophic_geometric(failed)
+
+
+@settings(max_examples=30)
+@given(layout=st.one_of(clustered_layouts(), improved_layouts()))
+def test_every_track_of_every_object_is_placed(layout):
+    total_blocks = sum(layout.used_positions(d)
+                       for d in range(layout.num_disks))
+    expected = sum(obj.num_tracks + layout.group_count(obj)
+                   for obj in layout.objects)
+    assert total_blocks == expected

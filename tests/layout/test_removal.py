@@ -1,0 +1,122 @@
+"""Object removal, slot reuse, and placement-demand prediction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout import ClusteredParityLayout, ImprovedBandwidthLayout
+from repro.media import MediaObject
+
+
+def obj(name, tracks=8, seed=0):
+    return MediaObject(name, 0.1875, tracks, seed=seed)
+
+
+class TestRemove:
+    def test_remove_frees_every_block(self):
+        layout = ClusteredParityLayout(10, 5)
+        layout.place(obj("x", 8))
+        before = [layout.occupied_positions(d) for d in range(10)]
+        freed = layout.remove("x")
+        assert len(freed) == 8 + 2  # tracks + 2 parity blocks
+        assert all(layout.occupied_positions(d) == 0 for d in range(10))
+        assert sum(before) == len(freed)
+
+    def test_removed_object_is_unknown(self):
+        layout = ClusteredParityLayout(10, 5)
+        layout.place(obj("x"))
+        layout.remove("x")
+        with pytest.raises(LayoutError):
+            layout.data_address("x", 0)
+        with pytest.raises(LayoutError):
+            layout.remove("x")
+
+    def test_disk_inventory_updated(self):
+        layout = ClusteredParityLayout(10, 5)
+        layout.place(obj("x"), start_cluster=0)
+        layout.place(obj("y"), start_cluster=0)
+        layout.remove("x")
+        for disk_id in range(10):
+            names = {b.object_name for b in layout.blocks_on_disk(disk_id)}
+            assert "x" not in names
+
+    def test_freed_slots_reused_before_high_water_grows(self):
+        layout = ClusteredParityLayout(10, 5)
+        layout.place(obj("x", 8), start_cluster=0)
+        high_water = [layout.used_positions(d) for d in range(10)]
+        layout.remove("x")
+        layout.place(obj("y", 8), start_cluster=0)
+        assert [layout.used_positions(d) for d in range(10)] == high_water
+
+    def test_replacement_object_is_fully_addressable(self):
+        layout = ClusteredParityLayout(10, 5)
+        layout.place(obj("x", 8), start_cluster=0)
+        layout.remove("x")
+        layout.place(obj("y", 12, seed=1), start_cluster=1)
+        for track in range(12):
+            layout.data_address("y", track)  # no gaps, no collisions
+        addresses = [layout.data_address("y", t) for t in range(12)]
+        assert len(set(addresses)) == 12
+
+
+class TestPlacementDemand:
+    def test_demand_matches_actual_placement(self):
+        layout = ClusteredParityLayout(10, 5)
+        demand = layout.placement_demand(obj("x", 10), start_cluster=0)
+        layout.place(obj("x", 10), start_cluster=0)
+        for disk_id, count in demand.items():
+            assert layout.occupied_positions(disk_id) == count
+        assert sum(demand.values()) == 10 + 3  # 3 groups' parity
+
+    def test_demand_is_side_effect_free(self):
+        layout = ClusteredParityLayout(10, 5)
+        layout.placement_demand(obj("x", 10))
+        assert layout.objects == []
+        assert all(layout.occupied_positions(d) == 0 for d in range(10))
+        # The same object can still be placed afterwards.
+        layout.place(obj("x", 10))
+
+    def test_demand_for_placed_object_rejected(self):
+        layout = ClusteredParityLayout(10, 5)
+        layout.place(obj("x"))
+        with pytest.raises(LayoutError):
+            layout.placement_demand(obj("x"))
+
+    def test_demand_on_improved_layout(self):
+        layout = ImprovedBandwidthLayout(8, 5)
+        demand = layout.placement_demand(obj("x", 8), start_cluster=0)
+        layout.place(obj("x", 8), start_cluster=0)
+        for disk_id, count in demand.items():
+            assert layout.occupied_positions(disk_id) == count
+
+
+@settings(max_examples=30)
+@given(st.data())
+def test_churn_preserves_layout_invariants(data):
+    """Random place/remove churn: no slot ever double-booked, occupancy
+    always equals the live blocks."""
+    layout = ClusteredParityLayout(10, 5)
+    live: dict[str, int] = {}
+    counter = 0
+    for _step in range(data.draw(st.integers(min_value=1, max_value=25))):
+        if live and data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from(sorted(live)))
+            layout.remove(victim)
+            del live[victim]
+        else:
+            name = f"o{counter}"
+            counter += 1
+            tracks = data.draw(st.integers(min_value=1, max_value=20))
+            layout.place(obj(name, tracks, seed=counter))
+            live[name] = tracks
+    # Every live block addressable, all addresses distinct.
+    addresses = []
+    for name, tracks in live.items():
+        for track in range(tracks):
+            addresses.append(layout.data_address(name, track))
+        groups = (tracks + 3) // 4
+        for group in range(groups):
+            addresses.append(layout.parity_address(name, group))
+    assert len(addresses) == len(set(addresses))
+    assert sum(layout.occupied_positions(d) for d in range(10)) == \
+        len(addresses)

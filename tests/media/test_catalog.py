@@ -1,0 +1,83 @@
+"""Content catalog: membership, popularity, Zipf weights."""
+
+import pytest
+
+from repro.media import Catalog, MediaObject, uniform_catalog
+from repro.media.catalog import uniform_catalog as uc  # alias import check
+
+
+def make_object(name, tracks=10):
+    return MediaObject(name, 0.1875, tracks)
+
+
+def test_add_and_get():
+    catalog = Catalog()
+    catalog.add(make_object("a"))
+    assert "a" in catalog
+    assert catalog.get("a").name == "a"
+    assert len(catalog) == 1
+
+
+def test_duplicate_names_rejected():
+    catalog = Catalog([make_object("a")])
+    with pytest.raises(ValueError):
+        catalog.add(make_object("a"))
+
+
+def test_iteration_preserves_insertion_order():
+    catalog = Catalog([make_object("b"), make_object("a"), make_object("c")])
+    assert catalog.names() == ["b", "a", "c"]
+    assert [o.name for o in catalog] == ["b", "a", "c"]
+
+
+def test_default_popularity_is_uniform():
+    catalog = Catalog([make_object("a"), make_object("b")])
+    assert catalog.popularity("a") == pytest.approx(0.5)
+    assert sum(catalog.popularity_vector()) == pytest.approx(1.0)
+
+
+def test_zipf_popularity_is_rank_skewed():
+    catalog = Catalog([make_object(f"m{i}") for i in range(5)])
+    catalog.set_zipf_popularity(theta=1.0)
+    vector = catalog.popularity_vector()
+    assert vector == sorted(vector, reverse=True)
+    assert vector[0] / vector[4] == pytest.approx(5.0)
+
+
+def test_zipf_theta_zero_is_uniform():
+    catalog = Catalog([make_object(f"m{i}") for i in range(4)])
+    catalog.set_zipf_popularity(theta=0.0)
+    assert catalog.popularity_vector() == pytest.approx([0.25] * 4)
+
+
+def test_negative_theta_rejected():
+    catalog = Catalog([make_object("a")])
+    with pytest.raises(ValueError):
+        catalog.set_zipf_popularity(theta=-1.0)
+
+
+def test_non_positive_popularity_rejected():
+    catalog = Catalog()
+    with pytest.raises(ValueError):
+        catalog.add(make_object("a"), popularity=0.0)
+
+
+def test_total_tracks_and_size():
+    catalog = Catalog([make_object("a", 10), make_object("b", 20)])
+    assert catalog.total_tracks() == 30
+    assert catalog.total_size_mb(0.05) == pytest.approx(1.5)
+
+
+def test_uniform_catalog_builder():
+    catalog = uniform_catalog(5, 0.1875, 12, prefix="movie")
+    assert len(catalog) == 5
+    assert catalog.names()[0] == "movie-0"
+    assert all(o.num_tracks == 12 for o in catalog)
+    # Distinct seeds -> distinct payloads.
+    objs = catalog.objects()
+    assert objs[0].track_payload(0, 32) != objs[1].track_payload(0, 32)
+
+
+def test_uniform_catalog_requires_positive_count():
+    with pytest.raises(ValueError):
+        uc(0, 0.1875, 10)

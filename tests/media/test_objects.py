@@ -1,0 +1,75 @@
+"""Media objects: bandwidths, durations, deterministic payloads."""
+
+import pytest
+
+from repro.media import MPEG1_MB_S, MPEG2_MB_S, MediaObject, movie
+from repro.units import minutes
+
+
+def test_mpeg_constants_match_paper():
+    # 1.5 Mb/s and 4.5 Mb/s (Section 1).
+    assert MPEG1_MB_S == pytest.approx(0.1875)
+    assert MPEG2_MB_S == pytest.approx(0.5625)
+
+
+def test_duration_of_90_minute_mpeg1_movie():
+    obj = movie("m", MPEG1_MB_S, minutes(90), track_size_mb=0.05)
+    assert obj.duration_s(0.05) == pytest.approx(minutes(90), rel=1e-3)
+
+
+def test_size_of_90_minute_mpeg1_movie_about_1gb():
+    # Paper Section 1: a 90-minute MPEG-1 movie is ~1 GB (900 movies on
+    # 1000 x 1GB disks).
+    obj = movie("m", MPEG1_MB_S, minutes(90), track_size_mb=0.05)
+    assert obj.size_mb(0.05) == pytest.approx(1012.5, rel=0.01)
+
+
+def test_movie_builder_counts_tracks():
+    obj = movie("m", 0.1, 100.0, track_size_mb=0.05)
+    assert obj.num_tracks == 200
+
+
+def test_payload_is_deterministic():
+    obj = MediaObject("m", 0.1875, 10, seed=3)
+    assert obj.track_payload(4, 128) == obj.track_payload(4, 128)
+
+
+def test_payload_differs_across_tracks():
+    obj = MediaObject("m", 0.1875, 10)
+    assert obj.track_payload(0, 64) != obj.track_payload(1, 64)
+
+
+def test_payload_differs_across_seeds():
+    a = MediaObject("m", 0.1875, 10, seed=0)
+    b = MediaObject("m", 0.1875, 10, seed=1)
+    assert a.track_payload(0, 64) != b.track_payload(0, 64)
+
+
+def test_payload_has_exact_size():
+    obj = MediaObject("m", 0.1875, 10)
+    for size in (1, 31, 32, 33, 100):
+        assert len(obj.track_payload(0, size)) == size
+
+
+def test_payload_out_of_range_rejected():
+    obj = MediaObject("m", 0.1875, 10)
+    with pytest.raises(IndexError):
+        obj.track_payload(10, 64)
+    with pytest.raises(IndexError):
+        obj.track_payload(-1, 64)
+
+
+def test_zero_size_payload_rejected():
+    obj = MediaObject("m", 0.1875, 10)
+    with pytest.raises(ValueError):
+        obj.track_payload(0, 0)
+
+
+def test_invalid_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        MediaObject("m", 0.0, 10)
+
+
+def test_invalid_length_rejected():
+    with pytest.raises(ValueError):
+        MediaObject("m", 0.1875, 0)

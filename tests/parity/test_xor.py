@@ -1,0 +1,109 @@
+"""XOR parity codec: encode, verify, reconstruct, running accumulation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReconstructionError
+from repro.parity import ParityCodec, xor_blocks
+
+
+def blocks_strategy(min_blocks=2, max_blocks=8, size=16):
+    return st.lists(st.binary(min_size=size, max_size=size),
+                    min_size=min_blocks, max_size=max_blocks)
+
+
+class TestXorBlocks:
+    def test_paper_example_shape(self):
+        # XOp = X0 ^ X1 ^ X2 ^ X3 (Section 1).
+        x = [bytes([i] * 4) for i in (0x0F, 0xF0, 0xAA, 0x55)]
+        parity = xor_blocks(x)
+        assert parity == bytes([0x0F ^ 0xF0 ^ 0xAA ^ 0x55] * 4)
+
+    def test_single_block_is_identity(self):
+        assert xor_blocks([b"abc"]) == b"abc"
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ReconstructionError):
+            xor_blocks([])
+
+    def test_unequal_sizes_rejected(self):
+        with pytest.raises(ReconstructionError):
+            xor_blocks([b"ab", b"abc"])
+
+    @given(blocks_strategy())
+    def test_xor_is_self_inverse(self, blocks):
+        parity = xor_blocks(blocks)
+        assert xor_blocks(blocks + [parity]) == bytes(len(parity))
+
+    @given(blocks_strategy())
+    def test_xor_is_order_independent(self, blocks):
+        assert xor_blocks(blocks) == xor_blocks(list(reversed(blocks)))
+
+
+class TestParityCodec:
+    def test_encode_verify_roundtrip(self):
+        codec = ParityCodec(8)
+        data = [bytes([i] * 8) for i in range(4)]
+        parity = codec.encode(data)
+        assert codec.verify(data, parity)
+
+    def test_verify_detects_corruption(self):
+        codec = ParityCodec(8)
+        data = [bytes([i] * 8) for i in range(4)]
+        parity = codec.encode(data)
+        corrupted = [data[0], bytes(8), data[2], data[3]]
+        assert not codec.verify(corrupted, parity)
+
+    @given(blocks_strategy(), st.integers(min_value=0, max_value=7))
+    def test_reconstruct_recovers_any_missing_block(self, blocks, position):
+        position %= len(blocks)
+        codec = ParityCodec(len(blocks[0]))
+        parity = codec.encode(blocks)
+        holed = list(blocks)
+        holed[position] = None
+        assert codec.reconstruct(holed, parity) == blocks[position]
+
+    def test_two_missing_blocks_is_catastrophic(self):
+        codec = ParityCodec(4)
+        data = [bytes([i] * 4) for i in range(4)]
+        parity = codec.encode(data)
+        with pytest.raises(ReconstructionError):
+            codec.reconstruct([None, None, data[2], data[3]], parity)
+
+    def test_zero_missing_blocks_rejected(self):
+        codec = ParityCodec(4)
+        data = [bytes([i] * 4) for i in range(4)]
+        parity = codec.encode(data)
+        with pytest.raises(ReconstructionError):
+            codec.reconstruct(data, parity)
+
+    def test_wrong_block_size_rejected(self):
+        codec = ParityCodec(4)
+        with pytest.raises(ReconstructionError):
+            codec.encode([b"toolongblock"])
+
+    def test_encode_empty_rejected(self):
+        codec = ParityCodec(4)
+        with pytest.raises(ReconstructionError):
+            codec.encode([])
+
+    def test_non_positive_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            ParityCodec(0)
+
+    @given(blocks_strategy(min_blocks=3, max_blocks=6))
+    def test_running_accumulation_matches_direct_reconstruction(self, blocks):
+        """Figure 7's lazy protocol: fold blocks in one at a time."""
+        codec = ParityCodec(len(blocks[0]))
+        parity = codec.encode(blocks)
+        missing_index = 1
+        accumulator = codec.zero_block()
+        for i, block in enumerate(blocks):
+            if i != missing_index:
+                accumulator = codec.accumulate(accumulator, block)
+        accumulator = codec.accumulate(accumulator, parity)
+        assert accumulator == blocks[missing_index]
+
+    def test_zero_block_is_xor_identity(self):
+        codec = ParityCodec(4)
+        assert codec.accumulate(codec.zero_block(), b"abcd") == b"abcd"

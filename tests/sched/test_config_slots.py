@@ -1,0 +1,109 @@
+"""Scheduler configuration and slot arbitration."""
+
+import pytest
+
+from repro.analysis import SystemParameters
+from repro.disk import DiskArray, PAPER_TABLE1_DRIVE
+from repro.errors import ConfigurationError
+from repro.sched import PlannedRead, ReadKind, ReadPurpose, SchedulerConfig, SlotTable
+from repro.schemes import Scheme
+
+
+class TestSchedulerConfig:
+    def test_sr_granularity_and_cycle(self):
+        p = SystemParameters.paper_table1()
+        config = SchedulerConfig.build(p, 5, Scheme.STREAMING_RAID)
+        assert config.k == 4 and config.k_prime == 4
+        # T_cyc = 4 * 0.05 / 0.1875.
+        assert config.cycle_length_s == pytest.approx(4 * 0.05 / 0.1875)
+        # (1.0667 - 0.025) / 0.02 = 52.08 -> 52 slots.
+        assert config.slots_per_disk == 52
+
+    def test_nc_granularity_and_cycle(self):
+        p = SystemParameters.paper_table1()
+        config = SchedulerConfig.build(p, 5, Scheme.NON_CLUSTERED)
+        assert config.k == 1 and config.k_prime == 1
+        assert config.slots_per_disk == 12  # (0.2667 - 0.025)/0.02
+
+    def test_sg_has_short_cycles(self):
+        p = SystemParameters.paper_table1()
+        sr = SchedulerConfig.build(p, 5, Scheme.STREAMING_RAID)
+        sg = SchedulerConfig.build(p, 5, Scheme.STAGGERED_GROUP)
+        assert sg.k == 4 and sg.k_prime == 1
+        assert sg.cycle_length_s == pytest.approx(sr.cycle_length_s / 4)
+
+    def test_explicit_slot_override(self):
+        p = SystemParameters.paper_table1()
+        config = SchedulerConfig.build(p, 5, Scheme.NON_CLUSTERED,
+                                       slots_per_disk=3)
+        assert config.slots_per_disk == 3
+
+    def test_zero_slots_rejected(self):
+        p = SystemParameters.paper_table1(seek_time_s=10.0)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig.build(p, 5, Scheme.NON_CLUSTERED)
+
+    def test_stripe_width(self):
+        p = SystemParameters.paper_table1()
+        assert SchedulerConfig.build(p, 7, Scheme.STREAMING_RAID).stripe_width == 6
+
+
+def make_read(disk, stream=0, index=0, purpose=ReadPurpose.NORMAL):
+    return PlannedRead(disk_id=disk, position=index, stream_id=stream,
+                       object_name="x", kind=ReadKind.DATA, index=index,
+                       purpose=purpose)
+
+
+class TestSlotTable:
+    @pytest.fixture
+    def array(self):
+        return DiskArray(4, PAPER_TABLE1_DRIVE)
+
+    def test_within_capacity_all_execute(self, array):
+        table = SlotTable(array, slots_per_disk=2)
+        plans = [make_read(0, index=i) for i in range(2)]
+        executed, dropped = table.resolve(plans)
+        assert len(executed) == 2 and not dropped
+
+    def test_overflow_drops_latest_normal_reads(self, array):
+        table = SlotTable(array, slots_per_disk=2)
+        plans = [make_read(0, stream=s, index=s) for s in range(3)]
+        executed, dropped = table.resolve(plans)
+        assert [p.stream_id for p in executed] == [0, 1]
+        assert [p.stream_id for p in dropped] == [2]
+
+    def test_recovery_reads_beat_normal_reads(self, array):
+        table = SlotTable(array, slots_per_disk=2)
+        plans = [
+            make_read(0, stream=0, index=0),
+            make_read(0, stream=1, index=1),
+            make_read(0, stream=2, index=2, purpose=ReadPurpose.RECOVERY),
+        ]
+        executed, dropped = table.resolve(plans)
+        assert {p.stream_id for p in executed} == {0, 2}
+        assert [p.stream_id for p in dropped] == [1]
+
+    def test_failed_disk_reads_dropped(self, array):
+        array.fail(1)
+        table = SlotTable(array, slots_per_disk=2)
+        plans = [make_read(1), make_read(2)]
+        executed, dropped = table.resolve(plans)
+        assert [p.disk_id for p in executed] == [2]
+        assert [p.disk_id for p in dropped] == [1]
+
+    def test_independent_disks_do_not_contend(self, array):
+        table = SlotTable(array, slots_per_disk=1)
+        plans = [make_read(d) for d in range(4)]
+        executed, dropped = table.resolve(plans)
+        assert len(executed) == 4 and not dropped
+
+    def test_load_and_idle_slots(self, array):
+        table = SlotTable(array, slots_per_disk=3)
+        plans = [make_read(0), make_read(0), make_read(2)]
+        assert table.load(plans) == {0: 2, 2: 1}
+        idle = table.idle_slots(plans)
+        assert idle[0] == 1 and idle[1] == 3 and idle[2] == 2
+
+    def test_zero_slots_rejected(self, array):
+        with pytest.raises(ValueError):
+            SlotTable(array, slots_per_disk=0)

@@ -1,0 +1,79 @@
+"""Viewers leaving early: capacity is reclaimed immediately."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.schemes import ALL_SCHEMES, Scheme
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server, tiny_catalog
+
+
+def disks_for(scheme):
+    return 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_stopped_stream_frees_everything(scheme):
+    server = build_server(scheme, num_disks=disks_for(scheme),
+                          catalog=tiny_catalog(2, tracks=32))
+    stream = server.admit(server.catalog.names()[0])
+    server.run_cycles(4)
+    delivered_so_far = stream.delivered_tracks
+    server.scheduler.stop_stream(stream.stream_id)
+    assert stream.status is StreamStatus.STOPPED
+    assert not stream.is_active
+    assert stream.buffered_track_count == 0
+    server.run_cycles(4)
+    # No further reads or deliveries for the departed viewer.
+    assert stream.delivered_tracks == delivered_so_far
+    assert all(c.reads_executed == 0 for c in server.report.cycles[-4:])
+
+
+def test_departure_frees_admission_capacity_same_cycle():
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=tiny_catalog(3, tracks=16),
+                          admission_limit=2)
+    a = server.admit(server.catalog.names()[0])
+    server.admit(server.catalog.names()[1])
+    with pytest.raises(AdmissionError):
+        server.admit(server.catalog.names()[2])
+    server.scheduler.stop_stream(a.stream_id)
+    replacement = server.admit(server.catalog.names()[2])
+    server.run_cycles(20)
+    assert replacement.status is StreamStatus.COMPLETED
+    assert server.report.payload_mismatches == 0
+
+
+def test_departure_mid_degraded_mode_is_clean():
+    """Stopping during a reconstruction leaves no dangling accumulator."""
+    from repro.sched import TransitionProtocol
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=tiny_catalog(2, tracks=8),
+                          protocol=TransitionProtocol.LAZY,
+                          start_cluster=0)
+    server.fail_disk(2)
+    stream = server.admit(server.catalog.names()[0])
+    server.run_cycles(2)   # accumulator open for group 0
+    server.scheduler.stop_stream(stream.stream_id)
+    server.run_cycles(10)  # must not crash folding into a dead stream
+    assert stream.buffered_track_count == 0
+    assert server.report.payload_mismatches == 0
+
+
+def test_churning_viewers_conserve_accounting():
+    """A revolving door of viewers: every stream's ledger stays exact."""
+    server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                          catalog=tiny_catalog(4, tracks=24))
+    names = server.catalog.names()
+    streams = []
+    for round_index in range(4):
+        stream = server.admit(names[round_index])
+        streams.append(stream)
+        server.run_cycles(2)
+        server.scheduler.stop_stream(stream.stream_id)
+        server.run_cycles(1)
+    for stream in streams:
+        assert stream.status is StreamStatus.STOPPED
+        assert stream.delivered_tracks + stream.hiccup_count <= \
+            stream.object.num_tracks
+    assert server.report.payload_mismatches == 0

@@ -1,0 +1,175 @@
+"""Scheduler edge cases across schemes."""
+
+import pytest
+
+from repro.media import Catalog, MediaObject
+from repro.sched import TransitionProtocol
+from repro.schemes import ALL_SCHEMES, Scheme
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server, tiny_catalog
+
+
+def disks_for(scheme):
+    return 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+
+
+class TestMixedLengthObjects:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_objects_of_different_lengths_complete(self, scheme):
+        catalog = Catalog()
+        for index, tracks in enumerate([3, 7, 16, 21]):
+            catalog.add(MediaObject(f"m{index}", 0.1875, tracks, seed=index))
+        server = build_server(scheme, num_disks=disks_for(scheme),
+                              catalog=catalog)
+        streams = [server.admit(n) for n in server.catalog.names()]
+        server.run_cycles(40)
+        assert all(s.status is StreamStatus.COMPLETED for s in streams)
+        assert server.report.hiccup_free()
+        assert server.report.total_delivered == 3 + 7 + 16 + 21
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_single_track_object(self, scheme):
+        catalog = Catalog([MediaObject("tiny", 0.1875, 1),
+                           MediaObject("pad", 0.1875, 4)])
+        server = build_server(scheme, num_disks=disks_for(scheme),
+                              catalog=catalog)
+        stream = server.admit("tiny")
+        server.run_cycles(5)
+        assert stream.status is StreamStatus.COMPLETED
+        assert stream.delivered_tracks == 1
+
+
+class TestTailGroupsUnderFailure:
+    @pytest.mark.parametrize("scheme", [Scheme.STREAMING_RAID,
+                                        Scheme.IMPROVED_BANDWIDTH])
+    def test_failure_hitting_tail_group_is_masked(self, scheme):
+        """An object whose last group is short (zero-padded parity)."""
+        catalog = Catalog([MediaObject("m0", 0.1875, 9),   # tail of 1
+                           MediaObject("m1", 0.1875, 10)])  # tail of 2
+        server = build_server(scheme, num_disks=disks_for(scheme),
+                              catalog=catalog, start_cluster=0)
+        streams = [server.admit(n) for n in server.catalog.names()]
+        server.fail_disk(0)
+        server.run_cycles(12)
+        assert server.report.hiccup_free()
+        assert all(s.status is StreamStatus.COMPLETED for s in streams)
+        assert server.report.payload_mismatches == 0
+
+    def test_nc_failure_beyond_tail_length_costs_nothing(self):
+        """Failed offset 3 cannot hurt a 2-track tail group."""
+        catalog = Catalog([MediaObject("m0", 0.1875, 6)])  # groups: 4 + 2
+        server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                              catalog=catalog, start_cluster=0)
+        server.admit("m0")
+        server.fail_disk(3)  # offset 3 of cluster 0; tail lives on cluster 1
+        server.run_cycles(12)
+        assert server.report.hiccup_free()
+
+
+class TestAdmissionDuringDegradedMode:
+    @pytest.mark.parametrize("protocol", list(TransitionProtocol))
+    def test_stream_admitted_after_failure_is_served(self, protocol):
+        server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                              catalog=tiny_catalog(3, tracks=8),
+                              protocol=protocol, start_cluster=0)
+        server.fail_disk(1)   # degraded before anyone arrives
+        stream = server.admit(server.catalog.names()[0])
+        server.run_cycles(15)
+        assert stream.status is StreamStatus.COMPLETED
+        # Group-boundary arrival: fully reconstructable, zero hiccups.
+        assert stream.hiccup_count == 0
+        assert stream.reconstructed_tracks >= 1
+
+    def test_sr_admission_during_degraded_mode(self):
+        server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                              catalog=tiny_catalog(3, tracks=8),
+                              start_cluster=0)
+        server.fail_disk(0)
+        stream = server.admit(server.catalog.names()[0])
+        server.run_cycles(8)
+        assert stream.status is StreamStatus.COMPLETED
+        assert server.report.hiccup_free()
+
+
+class TestRepeatedFailures:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_same_disk_fails_repairs_twice(self, scheme):
+        server = build_server(scheme, num_disks=disks_for(scheme),
+                              catalog=tiny_catalog(2, tracks=24))
+        streams = [server.admit(n) for n in server.catalog.names()]
+        for start in (1, 9):
+            server.run_cycles(start)
+            server.fail_disk(0)
+            server.run_cycles(3)
+            server.repair_disk(0)
+        server.run_cycles(40)
+        assert server.report.payload_mismatches == 0
+        for stream in streams:
+            if stream.status is StreamStatus.COMPLETED:
+                assert stream.delivered_tracks + stream.hiccup_count == \
+                    stream.object.num_tracks
+
+    def test_nc_second_failure_in_other_cluster_needs_second_lease(self):
+        server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                              catalog=tiny_catalog(2, tracks=8),
+                              pool_clusters=2)
+        server.fail_disk(0)
+        server.fail_disk(5)
+        pool = server.scheduler.pool
+        assert pool.holds(0) and pool.holds(1)
+        server.repair_disk(0)
+        assert not pool.holds(0) and pool.holds(1)
+
+
+class TestSmallGeometries:
+    def test_clustered_c2_masks_failure(self):
+        """C = 2 clustered: one data + one parity disk per cluster
+        (RAID-1-like with a dedicated mirror)."""
+        catalog = Catalog([MediaObject("m0", 0.1875, 4),
+                           MediaObject("m1", 0.1875, 4)])
+        server = build_server(Scheme.STREAMING_RAID, num_disks=4,
+                              parity_group_size=2, catalog=catalog)
+        streams = [server.admit(n) for n in server.catalog.names()]
+        server.run_cycle()
+        server.fail_disk(0)
+        server.run_cycles(8)
+        assert server.report.hiccup_free()
+        assert all(s.status is StreamStatus.COMPLETED for s in streams)
+
+    def test_single_cluster_system(self):
+        catalog = Catalog([MediaObject("m0", 0.1875, 8)])
+        server = build_server(Scheme.NON_CLUSTERED, num_disks=5,
+                              catalog=catalog)
+        stream = server.admit("m0")
+        server.run_cycles(12)
+        assert stream.status is StreamStatus.COMPLETED
+        assert server.report.hiccup_free()
+
+
+class TestTermination:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_terminated_stream_frees_resources(self, scheme):
+        server = build_server(scheme, num_disks=disks_for(scheme),
+                              catalog=tiny_catalog(2, tracks=24))
+        stream = server.admit(server.catalog.names()[0])
+        server.run_cycles(3)
+        server.scheduler.terminate_stream(stream.stream_id)
+        assert stream.status is StreamStatus.TERMINATED
+        assert stream.buffered_track_count == 0
+        before = server.report.total_delivered
+        server.run_cycles(5)
+        # A terminated stream neither delivers nor reads.
+        assert server.report.total_delivered == before
+        assert all(c.reads_executed == 0
+                   for c in server.report.cycles[-5:])
+
+    def test_terminated_stream_frees_admission_capacity(self):
+        server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                              slots_per_disk=4,
+                              catalog=tiny_catalog(9, tracks=16))
+        streams = [server.admit(n) for n in server.catalog.names()[:8]]
+        from repro.errors import AdmissionError
+        with pytest.raises(AdmissionError):
+            server.admit(server.catalog.names()[8])
+        server.scheduler.terminate_stream(streams[0].stream_id)
+        server.admit(server.catalog.names()[8])  # now fits

@@ -1,0 +1,91 @@
+"""Failure-scenario fuzzing (hypothesis).
+
+Random scheme, random failure/repair times and disks, random loads: the
+simulator must always uphold its hard invariants —
+
+* delivered payloads are byte-identical to the source object;
+* completed streams account every track as delivered or hiccuped;
+* buffers drain to zero after completion;
+* the engine never crashes.
+
+This is the catch-all net under the carefully scripted scenario tests.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.media import Catalog, MediaObject
+from repro.sched import TransitionProtocol
+from repro.schemes import ALL_SCHEMES, Scheme
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server, tiny_catalog
+
+
+@st.composite
+def scenarios(draw):
+    scheme = draw(st.sampled_from(ALL_SCHEMES))
+    num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    protocol = draw(st.sampled_from(list(TransitionProtocol)))
+    streams = draw(st.integers(min_value=1, max_value=4))
+    slots = draw(st.integers(min_value=2, max_value=8))
+    # Mixed-rate populations (Section 1's MPEG-1 + MPEG-2 combinations).
+    rates = draw(st.lists(st.sampled_from([1, 1, 1, 2, 3]),
+                          min_size=streams, max_size=streams))
+    events = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),        # cycle
+            st.integers(min_value=0, max_value=num_disks - 1),  # disk
+            st.booleans(),                                  # mid_cycle
+            st.integers(min_value=2, max_value=15),         # repair delay
+        ),
+        min_size=0, max_size=3,
+    ))
+    return scheme, protocol, streams, slots, rates, events
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario=scenarios())
+def test_random_failure_scenarios_keep_invariants(scenario):
+    scheme, protocol, stream_count, slots, rates, events = scenario
+    num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    kwargs = {}
+    if scheme is Scheme.NON_CLUSTERED:
+        kwargs["protocol"] = protocol
+    catalog = Catalog()
+    for index, rate in enumerate(rates):
+        catalog.add(MediaObject(f"m{index}", rate * 0.1875, 16 * rate,
+                                seed=index))
+    while len(catalog) < 2:
+        catalog.add(MediaObject(f"pad{len(catalog)}", 0.1875, 16, seed=99))
+    server = build_server(scheme, num_disks=num_disks,
+                          slots_per_disk=slots,
+                          catalog=catalog,
+                          **kwargs)
+    streams = []
+    for name in server.catalog.names()[:stream_count]:
+        try:
+            streams.append(server.admit(name))
+        except Exception:
+            break  # admission limit under small slot budgets: fine
+    fail_at = {}
+    repair_at = {}
+    for cycle, disk, mid_cycle, delay in events:
+        fail_at.setdefault(cycle, []).append((disk, mid_cycle))
+        repair_at.setdefault(cycle + delay, []).append(disk)
+    for cycle in range(60):
+        for disk in repair_at.get(cycle, []):
+            if server.array[disk].is_failed:
+                server.repair_disk(disk)
+        for disk, mid_cycle in fail_at.get(cycle, []):
+            if not server.array[disk].is_failed:
+                server.fail_disk(disk, mid_cycle=mid_cycle)
+        server.run_cycle()
+
+    report = server.report
+    assert report.payload_mismatches == 0
+    for stream in streams:
+        if stream.status is StreamStatus.COMPLETED:
+            assert stream.delivered_tracks + stream.hiccup_count == \
+                stream.object.num_tracks
+            assert stream.buffered_track_count == 0
+    assert report.total_delivered == \
+        sum(s.delivered_tracks for s in streams)

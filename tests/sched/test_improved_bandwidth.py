@@ -1,0 +1,166 @@
+"""Improved-bandwidth scheduler: Figure 8 and the shift-right cascade."""
+
+import pytest
+
+from repro.schemes import Scheme
+from repro.server.metrics import HiccupCause
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server, tiny_catalog
+
+
+class TestNormalMode:
+    def test_delivers_everything(self, ib_server):
+        streams = [ib_server.admit(n) for n in ib_server.catalog.names()[:2]]
+        ib_server.run_cycles(12)
+        assert ib_server.report.total_delivered == \
+            sum(s.object.num_tracks for s in streams)
+        assert ib_server.report.hiccup_free()
+        assert ib_server.report.payload_mismatches == 0
+
+    def test_no_parity_reads_in_normal_mode(self, ib_server):
+        """The scheme's selling point: parity bandwidth is not consumed."""
+        ib_server.admit(ib_server.catalog.names()[0])
+        ib_server.run_cycles(6)
+        assert ib_server.report.total_parity_reads == 0
+
+    def test_all_disks_carry_data_load(self):
+        """Unlike SR, no disk idles as a dedicated parity spindle."""
+        catalog = tiny_catalog(6, tracks=16)
+        server = build_server(Scheme.IMPROVED_BANDWIDTH, num_disks=12,
+                              catalog=catalog)
+        for name in server.catalog.names():
+            server.admit(name)
+        server.run_cycles(6)
+        assert all(disk.reads > 0 for disk in server.array)
+
+    def test_sr_parity_disks_idle_by_contrast(self):
+        catalog = tiny_catalog(6, tracks=16)
+        server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                              catalog=catalog)
+        for name in server.catalog.names():
+            server.admit(name)
+        server.run_cycles(6)
+        for disk in server.array:
+            if server.layout.is_parity_disk(disk.disk_id):
+                assert disk.reads == 0
+            else:
+                assert disk.reads > 0
+
+
+class TestFailureMasking:
+    def test_failure_masked_with_idle_capacity(self, ib_server):
+        ib_server.admit(ib_server.catalog.names()[0])
+        ib_server.run_cycle()
+        ib_server.fail_disk(0)
+        ib_server.run_cycles(10)
+        report = ib_server.report
+        assert report.hiccup_free()
+        assert report.total_reconstructions > 0
+        assert report.total_parity_reads == report.total_reconstructions
+        assert report.payload_mismatches == 0
+
+    def test_parity_comes_from_next_cluster(self, ib_server):
+        """Figure 8: X0's parity is read from cluster 1's disks."""
+        stream = ib_server.admit(ib_server.catalog.names()[0])
+        ib_server.fail_disk(0)
+        ib_server.run_cycles(4)
+        group0_parity = ib_server.layout.parity_address(
+            stream.object.name, 0)
+        assert ib_server.layout.cluster_of(group0_parity.disk_id) == 1
+        assert ib_server.array[group0_parity.disk_id].reads > 0
+
+    def test_mid_cycle_failure_single_hiccup(self, ib_server):
+        """Section 4: a mid-cycle failure cannot be masked for the group in
+        flight; there are no further hiccups afterwards."""
+        ib_server.admit(ib_server.catalog.names()[0])
+        ib_server.run_cycle()
+        ib_server.fail_disk(0, mid_cycle=True)
+        ib_server.run_cycles(10)
+        causes = ib_server.report.hiccups_by_cause()
+        assert causes.get(HiccupCause.MID_CYCLE_FAILURE, 0) == 1
+        assert ib_server.report.total_hiccups == 1
+
+
+class TestShiftRightCascade:
+    def make_loaded_server(self, slots=2):
+        """12 disks, C = 5 (3 clusters of 4); every disk slot occupied.
+
+        The default admission bound reserves K disks' bandwidth; this
+        scenario deliberately over-admits to saturate every slot, so the
+        limit is raised explicitly.
+        """
+        catalog = tiny_catalog(6, tracks=24)
+        return build_server(Scheme.IMPROVED_BANDWIDTH, num_disks=12,
+                            slots_per_disk=slots, catalog=catalog,
+                            admission_limit=6)
+
+    def test_cascade_drops_local_reads_for_parity(self):
+        """A failure under full load forces the next cluster to drop local
+        reads, which are themselves reconstructed one cluster further."""
+        server = self.make_loaded_server(slots=2)
+        for name in server.catalog.names():
+            server.admit(name)
+        server.run_cycle()
+        server.fail_disk(0)
+        server.run_cycles(10)
+        report = server.report
+        # Parity reads happened on more than one cluster: the cascade ran.
+        assert report.total_parity_reads > 0
+        assert report.total_dropped_reads > 0
+        assert report.payload_mismatches == 0
+
+    def test_cascade_masks_failure_when_idle_capacity_exists(self):
+        server = self.make_loaded_server(slots=3)  # one idle slot per disk
+        for name in server.catalog.names():
+            server.admit(name)
+        server.run_cycle()
+        server.fail_disk(0)
+        server.run_cycles(10)
+        assert server.report.hiccup_free()
+        assert server.report.total_reconstructions > 0
+
+    def test_no_idle_capacity_terminates_streams(self):
+        """Section 4: "if none of the clusters ... have sufficient idle
+        disk capacity, a degradation of service occurs, i.e., one or more
+        requests must be dropped"."""
+        server = self.make_loaded_server(slots=2)
+        streams = [server.admit(name) for name in server.catalog.names()]
+        server.run_cycle()
+        server.fail_disk(0)
+        reports = server.run_cycles(10)
+        terminated = [s for s in streams
+                      if s.status is StreamStatus.TERMINATED]
+        assert len(terminated) >= 1
+        # The surviving streams keep playing hiccup-free.
+        survivors = [s for s in streams
+                     if s.status is not StreamStatus.TERMINATED]
+        assert survivors
+        assert server.report.payload_mismatches == 0
+
+    def test_admission_headroom_prevents_degradation(self):
+        """Reserving K disks' worth of bandwidth (lower admission) leaves
+        idle slots for the cascade."""
+        server = self.make_loaded_server(slots=2)
+        # Admit fewer streams than capacity: leave one slot free per disk.
+        for name in server.catalog.names()[:3]:
+            server.admit(name)
+        server.run_cycle()
+        server.fail_disk(0)
+        server.run_cycles(10)
+        assert server.report.hiccup_free()
+        streams_terminated = server.report.cycles[-1].streams_terminated
+        assert streams_terminated == 0
+
+
+class TestMirroringSpecialCase:
+    def test_c2_is_mirroring_and_masks_failures(self):
+        """Footnote 11: C = 2 under IB is effectively mirroring."""
+        catalog = tiny_catalog(2, tracks=8)
+        server = build_server(Scheme.IMPROVED_BANDWIDTH, num_disks=4,
+                              parity_group_size=2, catalog=catalog)
+        server.admit(server.catalog.names()[0])
+        server.run_cycle()
+        server.fail_disk(0)
+        server.run_cycles(12)
+        assert server.report.hiccup_free()
+        assert server.report.payload_mismatches == 0

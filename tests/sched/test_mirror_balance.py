@@ -1,0 +1,120 @@
+"""Footnote 11: C = 2 mirroring with read balancing.
+
+"When the cluster size is 2 we effectively have mirroring and one could
+use the two copies to get even more stream capacity.  This can however
+lead to trouble when there is a failure since some streams would have to
+be dropped."
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schemes import Scheme
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server, tiny_catalog
+
+
+def make_server(balance=True, slots=4, **kwargs):
+    return build_server(Scheme.IMPROVED_BANDWIDTH, num_disks=4,
+                        parity_group_size=2, slots_per_disk=slots,
+                        catalog=tiny_catalog(4, tracks=8),
+                        mirror_read_balance=balance, **kwargs)
+
+
+class TestCapacityDoubling:
+    def test_balanced_bound_is_twice_the_plain_bound(self):
+        plain = make_server(balance=False)
+        balanced = make_server(balance=True)
+        assert balanced.scheduler.admission_limit == \
+            2 * plain.scheduler.admission_limit
+
+    def test_double_load_runs_hiccup_free(self):
+        """2x the plain bound of streams, byte-verified, no hiccups."""
+        server = make_server(balance=True)
+        limit = server.scheduler.admission_limit
+        names = server.catalog.names()
+        for index in range(limit):
+            server.admit(names[index % len(names)])
+        server.run_cycles(10)
+        assert server.report.hiccup_free()
+        assert server.report.payload_mismatches == 0
+        assert server.report.total_delivered == limit * 8
+
+    def test_reads_spread_over_both_copies(self):
+        server = make_server(balance=True)
+        names = server.catalog.names()
+        for index in range(8):
+            server.admit(names[index % len(names)])
+        server.run_cycles(4)
+        assert all(disk.reads > 0 for disk in server.array)
+
+    def test_plain_scheduler_cannot_carry_double_load(self):
+        from repro.errors import AdmissionError
+        server = make_server(balance=False)
+        limit = server.scheduler.admission_limit
+        names = server.catalog.names()
+        for index in range(limit):
+            server.admit(names[index % len(names)])
+        with pytest.raises(AdmissionError):
+            server.admit(names[0])
+
+
+class TestFootnoteTrouble:
+    def test_failure_at_saturated_load_degrades_service(self):
+        """The footnote's warning: the surviving copies cannot carry both
+        halves of a slot-saturated mirrored load (8 streams on 4 disks x
+        2 slots; a failure leaves 6 slots for 8 reads).  Degradation shows
+        up as persistent hiccups — there is no clean transition window
+        after which delivery recovers, unlike every reserved-bandwidth
+        scheme."""
+        server = make_server(balance=True, slots=2, admission_limit=8)
+        names = server.catalog.names()
+        streams = [server.admit(names[index % len(names)])
+                   for index in range(8)]
+        server.run_cycle()
+        server.fail_disk(0)
+        server.run_cycles(8)
+        report = server.report
+        assert report.total_hiccups > 0
+        late_hiccups = [h for h in report.all_hiccups() if h.cycle >= 5]
+        assert late_hiccups, "degradation persists beyond any transition"
+        degraded = [s for s in streams
+                    if s.status is StreamStatus.TERMINATED
+                    or s.hiccup_count > 0
+                    or s.delivery_start_cycle is None]
+        assert degraded, "some streams must suffer"
+        assert report.payload_mismatches == 0
+
+    def test_failure_at_half_load_is_masked_by_the_mirror(self):
+        server = make_server(balance=True)
+        names = server.catalog.names()
+        half = server.scheduler.admission_limit // 2
+        streams = [server.admit(names[index % len(names)])
+                   for index in range(half)]
+        server.run_cycle()
+        server.fail_disk(0)
+        server.run_cycles(10)
+        assert server.report.hiccup_free()
+        assert server.report.payload_mismatches == 0
+        assert all(s.status is StreamStatus.COMPLETED for s in streams)
+
+    def test_both_copies_failed_loses_the_track(self):
+        server = make_server(balance=True)
+        stream = server.admit(server.catalog.names()[0])
+        # Find the pair holding track 0 and its mirror.
+        primary = server.layout.data_address(stream.object.name, 0)
+        mirror = server.layout.parity_address(stream.object.name, 0)
+        server.fail_disk(primary.disk_id)
+        server.fail_disk(mirror.disk_id)
+        server.run_cycles(10)
+        lost = {h.track for h in server.report.all_hiccups()}
+        assert 0 in lost
+
+
+class TestValidation:
+    def test_balancing_requires_c2(self):
+        with pytest.raises(ConfigurationError):
+            build_server(Scheme.IMPROVED_BANDWIDTH, num_disks=12,
+                         parity_group_size=5,
+                         catalog=tiny_catalog(3, tracks=8),
+                         mirror_read_balance=True)

@@ -1,0 +1,149 @@
+"""Heterogeneous stream rates: MPEG-1 and MPEG-2 on one server.
+
+Section 1 sizes the 1000-disk example for "some combination of the two";
+the scheduler supports it by letting an object whose bandwidth is an
+integer multiple of the base rate consume proportionally more read slots
+and delivery quanta per cycle.
+"""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.media import Catalog, MediaObject
+from repro.sched import TransitionProtocol
+from repro.schemes import ALL_SCHEMES, Scheme
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server
+
+BASE = 0.1875          # the server's cycle is sized for MPEG-1
+FAST = 3 * BASE        # MPEG-2 = 3x MPEG-1 (4.5 vs 1.5 Mb/s)
+
+
+def mixed_catalog(slow_tracks=8, fast_tracks=24):
+    return Catalog([
+        MediaObject("slow", BASE, slow_tracks, seed=0),
+        MediaObject("fast", FAST, fast_tracks, seed=1),
+        MediaObject("slow2", BASE, slow_tracks, seed=2),
+    ])
+
+
+def disks_for(scheme):
+    return 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_mixed_population_plays_out_correctly(scheme):
+    server = build_server(scheme, num_disks=disks_for(scheme),
+                          catalog=mixed_catalog())
+    slow = server.admit("slow")
+    fast = server.admit("fast")
+    assert slow.rate == 1 and fast.rate == 3
+    server.run_cycles(40)
+    assert slow.status is StreamStatus.COMPLETED
+    assert fast.status is StreamStatus.COMPLETED
+    assert server.report.hiccup_free()
+    assert server.report.payload_mismatches == 0
+    assert server.report.total_delivered == 8 + 24
+
+
+def test_fast_stream_finishes_proportionally_sooner():
+    """A 3x-rate object of 3x the length plays in the same wall-clock."""
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=mixed_catalog(slow_tracks=8,
+                                                fast_tracks=24))
+    slow = server.admit("slow")
+    fast = server.admit("fast")
+    finish = {}
+    for cycle in range(40):
+        server.run_cycle()
+        for stream, label in ((slow, "slow"), (fast, "fast")):
+            if stream.status is StreamStatus.COMPLETED \
+                    and label not in finish:
+                finish[label] = cycle
+    assert finish["fast"] == finish["slow"]  # 24 tracks at 3x == 8 at 1x
+
+
+def test_fast_stream_delivers_rate_tracks_per_cycle():
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=mixed_catalog())
+    fast = server.admit("fast")
+    server.run_cycle()
+    deliveries = [server.run_cycle().tracks_delivered for _ in range(4)]
+    assert deliveries == [3, 3, 3, 3]
+
+
+def test_admission_is_rate_weighted():
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=mixed_catalog(), admission_limit=4)
+    server.admit("fast")          # 3 units
+    server.admit("slow")          # 1 unit -> full
+    with pytest.raises(AdmissionError):
+        server.admit("slow2")
+    assert server.scheduler.active_load == 4
+
+
+def test_capacity_frees_when_fast_stream_ends():
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=mixed_catalog(fast_tracks=6),
+                          admission_limit=3)
+    server.admit("fast")
+    with pytest.raises(AdmissionError):
+        server.admit("slow")
+    server.run_cycles(6)  # fast (6 tracks at 3x) completes
+    assert server.scheduler.active_load == 0
+    server.admit("slow")  # now fits
+
+
+def test_non_integer_rate_rejected():
+    catalog = Catalog([MediaObject("odd", 1.5 * BASE, 8, seed=0),
+                       MediaObject("pad", BASE, 8, seed=1)])
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=catalog)
+    with pytest.raises(AdmissionError):
+        server.admit("odd")
+
+
+@pytest.mark.parametrize("protocol", list(TransitionProtocol))
+def test_failure_masking_with_mixed_rates(protocol):
+    """A disk failure before arrival: both rates reconstruct on the fly."""
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=mixed_catalog(fast_tracks=24),
+                          protocol=protocol, start_cluster=0)
+    server.fail_disk(0)
+    slow = server.admit("slow")
+    fast = server.admit("fast")
+    server.run_cycles(40)
+    assert slow.status is StreamStatus.COMPLETED
+    assert fast.status is StreamStatus.COMPLETED
+    assert server.report.payload_mismatches == 0
+    # Group-boundary arrivals: everything reconstructable.
+    assert server.report.hiccup_free()
+    assert slow.reconstructed_tracks + fast.reconstructed_tracks > 0
+
+
+def test_sr_failure_masking_with_fast_stream():
+    server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                          catalog=mixed_catalog(fast_tracks=24))
+    fast = server.admit("fast")
+    server.run_cycle()
+    server.fail_disk(0)
+    server.run_cycles(12)
+    assert fast.status is StreamStatus.COMPLETED
+    assert server.report.hiccup_free()
+    assert server.report.payload_mismatches == 0
+
+
+def test_conservation_with_mixed_rates_under_failure():
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=mixed_catalog(fast_tracks=24),
+                          start_cluster=0)
+    slow = server.admit("slow")
+    fast = server.admit("fast")
+    server.run_cycles(2)
+    server.fail_disk(2)
+    server.run_cycles(40)
+    for stream in (slow, fast):
+        assert stream.status is StreamStatus.COMPLETED
+        assert stream.delivered_tracks + stream.hiccup_count == \
+            stream.object.num_tracks
+    assert server.report.payload_mismatches == 0

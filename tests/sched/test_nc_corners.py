@@ -1,0 +1,140 @@
+"""Non-clustered corner paths: parity contention, accumulator accounting,
+failures of the parity disk during lazy reconstruction, starvation."""
+
+import pytest
+
+from repro.media import Catalog, MediaObject
+from repro.sched import TransitionProtocol
+from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
+from repro.schemes import Scheme
+from repro.server.metrics import CycleReport, HiccupCause
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server, tiny_catalog
+
+
+def test_dropped_parity_read_cancels_the_reconstruction():
+    """The _handle_dropped parity branch: losing the parity read's slot
+    dooms the running XOR and the failed block with it."""
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=tiny_catalog(2, 8),
+                          protocol=TransitionProtocol.LAZY, start_cluster=0)
+    scheduler = server.scheduler
+    server.fail_disk(2)
+    stream = server.admit(server.catalog.names()[0])
+    server.run_cycle()  # track 0 read; accumulator open for group 0
+    assert (stream.stream_id, 0) in scheduler._accumulators
+    parity_plan = scheduler._parity_read(stream, 0)
+    scheduler._handle_dropped([parity_plan], CycleReport(cycle=1))
+    assert (stream.stream_id, 0) not in scheduler._accumulators
+    server.run_cycles(15)
+    lost = {h.track for h in server.report.all_hiccups()}
+    assert 2 in lost
+    assert server.report.payload_mismatches == 0
+
+
+def test_lazy_accumulator_counts_as_buffer():
+    """The running XOR occupies a track-sized buffer until it completes."""
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=tiny_catalog(2, 8),
+                          protocol=TransitionProtocol.LAZY, start_cluster=0)
+    server.fail_disk(2)
+    stream = server.admit(server.catalog.names()[0])
+    server.run_cycle()
+    # After the first read the accumulator for group 0 is open.
+    assert stream.accumulators
+    assert stream.buffered_track_count >= 2  # track + accumulator
+    server.run_cycles(15)
+    assert stream.accumulators == {}  # completed and released
+    assert stream.hiccup_count == 0
+
+
+def test_parity_disk_fails_during_lazy_reconstruction():
+    """If the cluster's parity disk dies before the burst cycle, the
+    reconstruction cannot finish; the failed block hiccups, the rest of
+    the group still plays."""
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=tiny_catalog(2, 8),
+                          protocol=TransitionProtocol.LAZY, start_cluster=0)
+    server.fail_disk(2)                       # data disk: offset 2
+    stream = server.admit(server.catalog.names()[0])
+    server.run_cycle()                        # track 0 read, acc open
+    server.fail_disk(4)                       # the cluster's parity disk
+    server.run_cycles(15)
+    assert stream.hiccup_count >= 1
+    lost = {h.track for h in server.report.all_hiccups()}
+    assert 2 in lost                          # the offset-2 block
+    assert server.report.payload_mismatches == 0
+
+
+def test_eager_and_lazy_equivalent_when_failure_precedes_arrival():
+    """A failure before any stream exists: both protocols reconstruct the
+    affected group (only group 0 sits on the failed cluster) with zero
+    hiccups."""
+    results = {}
+    for protocol in TransitionProtocol:
+        server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                              catalog=tiny_catalog(2, 8),
+                              protocol=protocol, start_cluster=0)
+        server.fail_disk(0)
+        stream = server.admit(server.catalog.names()[0])
+        server.run_cycles(15)
+        results[protocol] = (stream.hiccup_count,
+                             stream.reconstructed_tracks,
+                             server.report.payload_mismatches)
+    assert results[TransitionProtocol.EAGER] == (0, 1, 0)
+    assert results[TransitionProtocol.LAZY] == (0, 1, 0)
+
+
+def test_unprotected_cluster_skips_exactly_the_failed_offsets():
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          catalog=tiny_catalog(2, 8),
+                          pool_clusters=0,  # no buffer servers at all
+                          start_cluster=0)
+    stream = server.admit(server.catalog.names()[0])
+    server.fail_disk(1)
+    server.run_cycles(15)
+    causes = server.report.hiccups_by_cause()
+    # Only group 0 sits on cluster 0; its offset-1 block is the sole loss,
+    # attributed to the missing buffer servers.
+    assert causes == {HiccupCause.BUFFER_EXHAUSTED: 1}
+    lost = {h.track for h in server.report.all_hiccups()}
+    assert lost == {1}
+    assert stream.delivered_tracks == 7
+
+
+def test_oversubscribed_slots_starve_the_youngest_stream():
+    """Over-admitted identical streams collide on every disk: the loser
+    never gets its first read, so its delivery clock never starts — it
+    starves silently rather than hiccuping (admission control exists to
+    prevent exactly this state)."""
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          slots_per_disk=1, catalog=tiny_catalog(2, 8),
+                          admission_limit=20, start_cluster=0)
+    winner = server.admit(server.catalog.names()[0])
+    loser = server.admit(server.catalog.names()[1])
+    server.run_cycles(15)
+    assert winner.status is StreamStatus.COMPLETED
+    assert winner.delivered_tracks == 8
+    assert loser.status is StreamStatus.ADMITTED
+    assert loser.delivered_tracks == 0
+    assert loser.delivery_start_cycle is None
+
+
+def test_partial_contention_yields_slot_overflow_hiccups():
+    """A stream that wins some slots but not others hiccups the dropped
+    tracks with the SLOT_OVERFLOW cause (no failure anywhere)."""
+    catalog = Catalog([MediaObject("short", 0.1875, 4, seed=0),
+                       MediaObject("long", 0.1875, 8, seed=1)])
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          slots_per_disk=1, catalog=catalog,
+                          admission_limit=20, start_cluster=0)
+    server.admit("short")          # wins the shared slots for 4 cycles
+    late = server.admit("long")    # loses tracks 0-3, then runs free
+    server.run_cycles(20)
+    causes = server.report.hiccups_by_cause()
+    assert set(causes) == {HiccupCause.SLOT_OVERFLOW}
+    assert causes[HiccupCause.SLOT_OVERFLOW] == 4
+    lost = {h.track for h in server.report.all_hiccups()}
+    assert lost == {0, 1, 2, 3}
+    assert late.status is StreamStatus.COMPLETED
+    assert late.delivered_tracks == 4  # tracks 4-7 played normally

@@ -1,0 +1,238 @@
+"""Non-clustered scheduler: Figures 5-7, both transition protocols."""
+
+import pytest
+
+from repro.sched import TransitionProtocol
+from repro.schemes import Scheme
+from repro.server.metrics import HiccupCause
+from tests.conftest import build_server, tiny_catalog
+
+
+class TestNormalMode:
+    def test_delivers_everything(self, nc_server):
+        streams = [nc_server.admit(n) for n in nc_server.catalog.names()[:2]]
+        nc_server.run_cycles(30)
+        assert nc_server.report.total_delivered == \
+            sum(s.object.num_tracks for s in streams)
+        assert nc_server.report.hiccup_free()
+        assert nc_server.report.payload_mismatches == 0
+
+    def test_reads_exactly_one_track_per_stream_per_cycle(self, nc_server):
+        nc_server.admit(nc_server.catalog.names()[0])
+        nc_server.admit(nc_server.catalog.names()[1])
+        for _ in range(6):
+            report = nc_server.run_cycle()
+            assert report.reads_executed == 2
+
+    def test_minimal_buffering(self, nc_server):
+        """Figure 5's selling point: one undelivered track per stream."""
+        for name in nc_server.catalog.names()[:2]:
+            nc_server.admit(name)
+        nc_server.run_cycles(6)
+        # Sampled after delivery: each stream holds just the track read
+        # this cycle.
+        assert nc_server.report.peak_buffered_tracks == 2
+
+    def test_reads_walk_disks_diagonally(self, nc_server):
+        """Consecutive tracks live on consecutive disks (Figure 5)."""
+        stream = nc_server.admit(nc_server.catalog.names()[0])
+        layout = nc_server.layout
+        disks = [layout.data_address(stream.object.name, t).disk_id
+                 for t in range(4)]
+        assert disks == [0, 1, 2, 3]
+
+
+def figure_scenario(protocol, rolling_admissions=True):
+    """The Figure 5/6/7 set-up: one stream per pipeline phase, full load.
+
+    Streams admitted one per cycle read objects striped from cluster 0;
+    disk 2 (data offset 2 of cluster 0) fails just before cycle 3, at which
+    point streams sit at offsets 3, 2, 1, 0 of their first parity groups —
+    exactly the paper's U/W/Y/A pipeline.  ``slots_per_disk=1`` makes the
+    schedule full, so every moved-forward read displaces a real one.
+    """
+    catalog = tiny_catalog(7, tracks=8)
+    server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                          slots_per_disk=1, catalog=catalog,
+                          protocol=protocol, start_cluster=0)
+    names = server.catalog.names()
+    streams = {}
+    for cycle in range(3):
+        streams[names[cycle]] = server.admit(names[cycle])
+        server.run_cycle()
+    streams[names[3]] = server.admit(names[3])
+    server.fail_disk(2)
+    if rolling_admissions:
+        for cycle in range(3):
+            server.run_cycle()
+            streams[names[4 + cycle]] = server.admit(names[4 + cycle])
+        server.run_cycles(17)
+    else:
+        server.run_cycles(20)
+    return server, streams
+
+
+class TestFigure6EagerTransition:
+    def test_exact_loss_count_matches_formula(self):
+        """Total losses = (C-k)(C-k+1)/2 = 6 for C = 5, failed offset k = 2
+        (the paper's 1 + 2 + ... + (C-k) switchover accounting)."""
+        server, _ = figure_scenario(TransitionProtocol.EAGER)
+        assert server.report.total_hiccups == 6
+
+    def test_losses_split_between_failure_and_shift(self):
+        """Figure 6: W2, Y2 lost to the failure; Y1, U3, W3, Y3 to the
+        shift into degraded mode."""
+        server, _ = figure_scenario(TransitionProtocol.EAGER)
+        causes = server.report.hiccups_by_cause()
+        assert causes[HiccupCause.DISK_FAILURE] == 2
+        assert causes[HiccupCause.TRANSITION] == 4
+
+    def test_lost_tracks_are_the_figures(self):
+        server, _ = figure_scenario(TransitionProtocol.EAGER)
+        lost = {(h.object_name, h.track)
+                for h in server.report.all_hiccups()}
+        # Streams admitted at cycles 0..3 are U, W, Y, A in paper terms;
+        # m0=U, m1=W, m2=Y.  Failed-disk tracks: W2 ("m1", 2), Y2 ("m2", 2);
+        # displaced: Y1 ("m2", 1), U3 ("m0", 3), W3 ("m1", 3), Y3 ("m2", 3).
+        assert lost == {("m1", 2), ("m2", 2), ("m2", 1),
+                        ("m0", 3), ("m1", 3), ("m2", 3)}
+
+    def test_no_hiccups_after_transition_completes(self):
+        """Section 3: "once the transition to degraded mode is complete,
+        all data will be delivered according to the original schedule"."""
+        server, _ = figure_scenario(TransitionProtocol.EAGER)
+        last_hiccup_cycle = max(h.cycle for h in server.report.all_hiccups())
+        transition_window = 3 + 5 + 1  # failure cycle + C cycles + delivery lag
+        assert last_hiccup_cycle <= transition_window
+
+    def test_group_boundary_streams_are_reconstructed(self):
+        server, streams = figure_scenario(TransitionProtocol.EAGER)
+        # Stream admitted exactly at the failure (m3 = "A") loses nothing.
+        assert streams["m3"].hiccup_count == 0
+        assert streams["m3"].reconstructed_tracks >= 1
+        assert server.report.payload_mismatches == 0
+
+
+class TestIdleSlotsAbsorbTheShift:
+    def test_half_occupied_schedule_loses_only_the_unavoidable(self):
+        """Section 3: "if there are 20 slots ... but only 15 are occupied,
+        then when a disk fails up to 5 tracks can be moved forward to this
+        disk and cycle without dropping any of the originally scheduled
+        tracks."  With 2 slots per disk and a 1-slot load, the eager shift
+        displaces nothing: only W2 and Y2 (unreconstructable) are lost."""
+        catalog = tiny_catalog(7, tracks=8)
+        server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                              slots_per_disk=2, catalog=catalog,
+                              protocol=TransitionProtocol.EAGER,
+                              start_cluster=0)
+        names = server.catalog.names()
+        for cycle in range(3):
+            server.admit(names[cycle])
+            server.run_cycle()
+        server.admit(names[3])
+        server.fail_disk(2)
+        for cycle in range(3):
+            server.run_cycle()
+            server.admit(names[4 + cycle])
+        server.run_cycles(17)
+        causes = server.report.hiccups_by_cause()
+        assert causes == {HiccupCause.DISK_FAILURE: 2}
+        lost = {(h.object_name, h.track)
+                for h in server.report.all_hiccups()}
+        assert lost == {("m1", 2), ("m2", 2)}  # W2 and Y2 only
+
+
+class TestFigure7LazyTransition:
+    def test_exact_loss_count(self):
+        """Figure 7: only W2, Y2 (failure) and Y3 (shift) are lost."""
+        server, _ = figure_scenario(TransitionProtocol.LAZY)
+        assert server.report.total_hiccups == 3
+
+    def test_lost_tracks_are_the_figures(self):
+        server, _ = figure_scenario(TransitionProtocol.LAZY)
+        lost = {(h.object_name, h.track)
+                for h in server.report.all_hiccups()}
+        assert lost == {("m1", 2), ("m2", 2), ("m2", 3)}
+
+    def test_lazy_loses_fewer_than_eager(self):
+        """The paper's point in proposing the alternate transition."""
+        eager, _ = figure_scenario(TransitionProtocol.EAGER)
+        lazy, _ = figure_scenario(TransitionProtocol.LAZY)
+        assert lazy.report.total_hiccups < eager.report.total_hiccups
+
+    def test_running_xor_reconstructs_on_schedule(self):
+        server, streams = figure_scenario(TransitionProtocol.LAZY)
+        assert streams["m3"].hiccup_count == 0
+        assert streams["m3"].reconstructed_tracks >= 1
+        assert server.report.payload_mismatches == 0
+
+    def test_steady_state_degraded_mode_is_hiccup_free(self):
+        """New groups on the degraded cluster reconstruct via the running
+        XOR with no further losses."""
+        server, _ = figure_scenario(TransitionProtocol.LAZY)
+        late = [h for h in server.report.all_hiccups() if h.cycle > 9]
+        assert late == []
+
+
+class TestPoolAndRepair:
+    def test_pool_lease_acquired_on_failure(self, nc_server):
+        nc_server.admit(nc_server.catalog.names()[0])
+        nc_server.fail_disk(0)
+        pool = nc_server.scheduler.pool
+        assert pool.holds(0)
+        assert pool.tracks_in_use > 0
+
+    def test_pool_released_on_repair(self, nc_server):
+        nc_server.fail_disk(0)
+        nc_server.repair_disk(0)
+        assert not nc_server.scheduler.pool.holds(0)
+
+    def test_parity_disk_failure_needs_no_lease(self, nc_server):
+        nc_server.fail_disk(4)  # dedicated parity disk of cluster 0
+        assert not nc_server.scheduler.pool.holds(0)
+
+    def test_pool_exhaustion_degrades_service(self):
+        """More degraded clusters than buffer servers: the paper's NC
+        degradation-of-service condition."""
+        catalog = tiny_catalog(4, tracks=8)
+        server = build_server(Scheme.NON_CLUSTERED, num_disks=20,
+                              catalog=catalog, pool_clusters=1,
+                              start_cluster=None)
+        # Two objects start on cluster 0, two on cluster 1 (round-robin
+        # over 4 clusters with 4 objects: clusters 0, 1, 2, 3).
+        for name in server.catalog.names():
+            server.admit(name)
+        server.fail_disk(0)    # cluster 0 -> takes the only lease
+        server.fail_disk(5)    # cluster 1 -> pool exhausted
+        server.run_cycles(20)
+        causes = server.report.hiccups_by_cause()
+        assert causes.get(HiccupCause.BUFFER_EXHAUSTED, 0) > 0
+        assert server.scheduler.pool.refusals == 1
+
+    def test_repair_restores_hiccup_free_operation(self, nc_server):
+        nc_server.admit(nc_server.catalog.names()[0])
+        nc_server.run_cycle()
+        nc_server.fail_disk(0)
+        nc_server.run_cycles(6)
+        nc_server.repair_disk(0)
+        hiccups_at_repair = nc_server.report.total_hiccups
+        nc_server.run_cycles(15)
+        assert nc_server.report.total_hiccups == hiccups_at_repair
+
+
+class TestObservation2Violation:
+    def test_nc_hiccups_where_sr_does_not(self):
+        """Observation 2: NC delivers blocks before the full group is read,
+        so a mid-group failure costs data that SR would have masked."""
+        catalog = tiny_catalog(2, tracks=8)
+        results = {}
+        for scheme in (Scheme.NON_CLUSTERED, Scheme.STREAMING_RAID):
+            server = build_server(scheme, num_disks=10, catalog=catalog,
+                                  start_cluster=0)
+            server.admit(server.catalog.names()[0])
+            server.run_cycles(2)  # NC: mid-group; SR: groups 0-1 read
+            server.fail_disk(2)
+            server.run_cycles(12)
+            results[scheme] = server.report.total_hiccups
+        assert results[Scheme.STREAMING_RAID] == 0
+        assert results[Scheme.NON_CLUSTERED] > 0

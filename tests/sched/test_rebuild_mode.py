@@ -1,0 +1,148 @@
+"""Rebuild mode: on-line reconstruction of a failed disk onto a spare."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schemes import ALL_SCHEMES, Scheme
+from repro.server.stream import StreamStatus
+from tests.conftest import TRACK_BYTES, build_server, tiny_catalog
+
+
+def make_server(scheme=Scheme.STREAMING_RAID, streams=1, slots=8,
+                tracks=16, num_disks=10, **kwargs):
+    server = build_server(scheme, num_disks=num_disks, slots_per_disk=slots,
+                          catalog=tiny_catalog(max(streams, 2), tracks),
+                          **kwargs)
+    for name in server.catalog.names()[:streams]:
+        server.admit(name)
+    return server
+
+
+class TestRebuildCompletes:
+    def test_idle_server_rebuilds_in_one_pass(self):
+        server = make_server(streams=0)
+        blocks = server.layout.used_positions(0)
+        server.fail_disk(0)
+        rebuilder = server.scheduler.start_rebuild(0)
+        assert rebuilder.total_blocks == blocks
+        reports = server.run_cycles(10)
+        assert rebuilder.completed
+        assert rebuilder.progress == 1.0
+        assert not server.array[0].is_failed
+        assert sum(r.blocks_rebuilt for r in reports) == blocks
+
+    def test_rebuilt_contents_are_byte_identical(self):
+        server = make_server(streams=0)
+        # Snapshot the original contents.
+        original = {pos: server.array[0].read(pos)
+                    for pos in list(server.array[0].positions())}
+        server.fail_disk(0)
+        server.scheduler.start_rebuild(0)
+        server.run_cycles(10)
+        for position, payload in original.items():
+            assert server.array[0].read(position) == payload
+
+    def test_parity_blocks_are_recomputed(self):
+        """A failed *parity* disk's blocks are re-encoded from data."""
+        server = make_server(streams=0)
+        parity_disk = server.layout.parity_disk(0)
+        original = {pos: server.array[parity_disk].read(pos)
+                    for pos in list(server.array[parity_disk].positions())}
+        server.fail_disk(parity_disk)
+        server.scheduler.start_rebuild(parity_disk)
+        server.run_cycles(10)
+        assert not server.array[parity_disk].is_failed
+        for position, payload in original.items():
+            assert server.array[parity_disk].read(position) == payload
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_rebuild_under_load_for_every_scheme(self, scheme):
+        num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+        server = make_server(scheme=scheme, streams=2, num_disks=num_disks)
+        server.run_cycle()
+        server.fail_disk(1)
+        rebuilder = server.scheduler.start_rebuild(1)
+        server.run_cycles(60)
+        assert rebuilder.completed
+        assert not server.array[1].is_failed
+        assert server.report.payload_mismatches == 0
+
+
+class TestRebuildIsLowestPriority:
+    def test_streams_unperturbed_by_rebuild(self):
+        with_rebuild = make_server(streams=2)
+        without = make_server(streams=2)
+        for server, rebuild in [(with_rebuild, True), (without, False)]:
+            server.run_cycle()
+            server.fail_disk(0)
+            if rebuild:
+                server.scheduler.start_rebuild(0)
+            server.run_cycles(12)
+        assert with_rebuild.report.total_delivered == \
+            without.report.total_delivered
+        assert with_rebuild.report.total_hiccups == \
+            without.report.total_hiccups == 0
+
+    def test_loaded_server_rebuilds_slower(self):
+        def rebuild_cycles(streams):
+            server = make_server(streams=streams, slots=4, tracks=32,
+                                 admission_limit=8)
+            server.fail_disk(0)
+            rebuilder = server.scheduler.start_rebuild(0,
+                                                       writes_per_cycle=4)
+            cycles = 0
+            while not rebuilder.completed and cycles < 200:
+                server.run_cycle()
+                cycles += 1
+            assert rebuilder.completed
+            return cycles
+
+        assert rebuild_cycles(streams=0) < rebuild_cycles(streams=2)
+
+    def test_write_bandwidth_caps_progress(self):
+        server = make_server(streams=0)
+        server.fail_disk(0)
+        rebuilder = server.scheduler.start_rebuild(0, writes_per_cycle=1)
+        report = server.run_cycle()
+        assert report.blocks_rebuilt == 1
+        assert rebuilder.blocks_rebuilt == 1
+
+
+class TestRebuildEdgeCases:
+    def test_rebuilding_healthy_disk_rejected(self):
+        server = make_server(streams=0)
+        with pytest.raises(ConfigurationError):
+            server.scheduler.start_rebuild(0)
+
+    def test_second_failure_aborts_rebuild(self):
+        """A failure in the same cluster mid-rebuild is catastrophic; the
+        rebuild abandons (tertiary reload territory) without crashing."""
+        server = make_server(streams=0)
+        server.fail_disk(0)
+        rebuilder = server.scheduler.start_rebuild(0, writes_per_cycle=2)
+        server.run_cycle()
+        server.fail_disk(1)  # same cluster: survivors incomplete
+        server.run_cycles(5)
+        assert rebuilder.progress < 1.0
+        assert server.array[0].is_failed  # never came back on its own
+        assert rebuilder not in server.scheduler.rebuilders
+
+    def test_streams_read_rebuilt_disk_after_completion(self):
+        server = make_server(streams=0, tracks=16)
+        server.fail_disk(0)
+        server.scheduler.start_rebuild(0)
+        server.run_cycles(10)
+        stream = server.admit(server.catalog.names()[0])
+        server.run_cycles(8)
+        assert stream.status is StreamStatus.COMPLETED
+        assert server.report.hiccup_free()
+        assert server.report.payload_mismatches == 0
+
+    def test_rebuild_reads_consume_accounting(self):
+        server = make_server(streams=0)
+        server.fail_disk(0)
+        rebuilder = server.scheduler.start_rebuild(0)
+        server.run_cycles(10)
+        # Each data block costs C-1 source reads (C-2 survivors + parity);
+        # each parity block costs C-1 data reads.
+        assert rebuilder.reads_consumed == rebuilder.total_blocks * 4

@@ -1,0 +1,87 @@
+"""Property-based tests on slot arbitration (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.disk import DiskArray, PAPER_TABLE1_DRIVE
+from repro.sched import PlannedRead, ReadKind, ReadPurpose, SlotTable
+
+NUM_DISKS = 6
+
+
+@st.composite
+def plan_lists(draw):
+    count = draw(st.integers(min_value=0, max_value=40))
+    plans = []
+    for index in range(count):
+        plans.append(PlannedRead(
+            disk_id=draw(st.integers(min_value=0, max_value=NUM_DISKS - 1)),
+            position=index,
+            stream_id=draw(st.integers(min_value=0, max_value=5)),
+            object_name="x",
+            kind=draw(st.sampled_from(list(ReadKind))),
+            index=index,
+            purpose=draw(st.sampled_from(list(ReadPurpose))),
+        ))
+    return plans
+
+
+@st.composite
+def tables(draw):
+    array = DiskArray(NUM_DISKS, PAPER_TABLE1_DRIVE)
+    for disk_id in draw(st.sets(
+            st.integers(min_value=0, max_value=NUM_DISKS - 1), max_size=3)):
+        array.fail(disk_id)
+    slots = draw(st.integers(min_value=1, max_value=5))
+    return SlotTable(array, slots)
+
+
+@settings(max_examples=80)
+@given(plans=plan_lists(), table=tables())
+def test_resolve_is_a_partition(plans, table):
+    executed, dropped = table.resolve(plans)
+    assert len(executed) + len(dropped) == len(plans)
+    assert {id(p) for p in executed} | {id(p) for p in dropped} == \
+        {id(p) for p in plans}
+    assert {id(p) for p in executed} & {id(p) for p in dropped} == set()
+
+
+@settings(max_examples=80)
+@given(plans=plan_lists(), table=tables())
+def test_capacity_never_exceeded(plans, table):
+    executed, _dropped = table.resolve(plans)
+    per_disk = {}
+    for plan in executed:
+        per_disk[plan.disk_id] = per_disk.get(plan.disk_id, 0) + 1
+    assert all(count <= table.slots_per_disk
+               for count in per_disk.values())
+
+
+@settings(max_examples=80)
+@given(plans=plan_lists(), table=tables())
+def test_failed_disks_never_execute(plans, table):
+    executed, _dropped = table.resolve(plans)
+    assert all(not table.array[p.disk_id].is_failed for p in executed)
+
+
+@settings(max_examples=80)
+@given(plans=plan_lists(), table=tables())
+def test_priority_dominance(plans, table):
+    """No dropped read outranks an executed read on the same healthy disk."""
+    executed, dropped = table.resolve(plans)
+    for lost in dropped:
+        if table.array[lost.disk_id].is_failed:
+            continue
+        rivals = [p for p in executed if p.disk_id == lost.disk_id]
+        assert len(rivals) == table.slots_per_disk  # disk genuinely full
+        assert all(p.priority <= lost.priority for p in rivals)
+
+
+@settings(max_examples=80)
+@given(plans=plan_lists(), table=tables())
+def test_order_preserved_within_outcomes(plans, table):
+    executed, dropped = table.resolve(plans)
+    order = {id(p): i for i, p in enumerate(plans)}
+    assert [order[id(p)] for p in executed] == \
+        sorted(order[id(p)] for p in executed)
+    assert [order[id(p)] for p in dropped] == \
+        sorted(order[id(p)] for p in dropped)

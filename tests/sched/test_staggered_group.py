@@ -1,0 +1,127 @@
+"""Staggered-group scheduler: Figure 4 memory behaviour."""
+
+import pytest
+
+from repro.schemes import Scheme
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server, tiny_catalog
+
+
+def test_normal_mode_delivers_everything(sg_server):
+    streams = [sg_server.admit(n) for n in sg_server.catalog.names()[:2]]
+    sg_server.run_cycles(30)
+    assert sg_server.report.total_delivered == \
+        sum(s.object.num_tracks for s in streams)
+    assert sg_server.report.hiccup_free()
+    assert sg_server.report.payload_mismatches == 0
+
+
+def test_one_track_delivered_per_cycle(sg_server):
+    stream = sg_server.admit(sg_server.catalog.names()[0])
+    sg_server.run_cycle()  # phase-0 stream reads its first group
+    for _ in range(4):
+        report = sg_server.run_cycle()
+        assert report.tracks_delivered == 1
+
+
+def test_group_read_every_stripe_cycles(sg_server):
+    sg_server.admit(sg_server.catalog.names()[0])  # phase 0
+    reads = [sg_server.run_cycle().reads_executed for _ in range(8)]
+    # Bursts of 4 reads at cycles 0, 4; nothing between.
+    assert reads == [4, 0, 0, 0, 4, 0, 0, 0]
+
+
+def test_phases_are_assigned_round_robin(sg_server):
+    streams = [sg_server.admit(n) for n in sg_server.catalog.names()[:2]]
+    assert [s.phase for s in streams] == [0, 1]
+
+
+def test_phase_assignment_rebalances_after_departures():
+    """When one phase empties (its streams completed), the next admission
+    fills that phase rather than blindly advancing a counter."""
+    from repro.media import Catalog, MediaObject
+    catalog = Catalog([MediaObject("short", 0.1875, 4, seed=0),
+                       MediaObject("long0", 0.1875, 32, seed=1),
+                       MediaObject("long1", 0.1875, 32, seed=2),
+                       MediaObject("long2", 0.1875, 32, seed=3),
+                       MediaObject("late", 0.1875, 16, seed=4)])
+    server = build_server(Scheme.STAGGERED_GROUP, num_disks=10,
+                          catalog=catalog)
+    short = server.admit("short")    # phase 0, finishes quickly
+    for name in ("long0", "long1", "long2"):
+        server.admit(name)           # phases 1, 2, 3
+    server.run_cycles(8)             # short has completed
+    assert short.status.value == "completed"
+    late = server.admit("late")
+    assert late.phase == 0           # the emptied phase, not counter % 4
+
+
+def test_out_of_phase_streams_spread_reads(sg_server):
+    for name in sg_server.catalog.names()[:2]:
+        sg_server.admit(name)
+    reads = [sg_server.run_cycle().reads_executed for _ in range(8)]
+    # Stream 0 reads at cycles 0, 4, ...; stream 1 at cycles 1, 5, ...
+    assert reads[0] == 4 and reads[1] == 4
+    assert reads[2] == 0 and reads[3] == 0
+
+
+def test_memory_profile_sawtooth(sg_server):
+    """Figure 4(b): a stream's buffer peaks right after its group read and
+    drains by one track per cycle."""
+    sg_server.admit(sg_server.catalog.names()[0])
+    occupancy = [sg_server.run_cycle().buffered_tracks for _ in range(5)]
+    assert occupancy[0] == 4          # group just read
+    assert occupancy[1:5] == [3, 2, 1, 4]  # drains, then next group
+
+
+def test_staggering_halves_peak_memory_versus_sr():
+    """Figure 4(a): staggered groups overlap out of phase.
+
+    With C - 1 streams at full load, SR peaks at ~2 groups per stream
+    simultaneously, SG at ~(C+1)/2 per C-1 streams."""
+    catalog = tiny_catalog(4, tracks=16)
+    sr = build_server(Scheme.STREAMING_RAID, num_disks=10, catalog=catalog)
+    sg = build_server(Scheme.STAGGERED_GROUP, num_disks=10, catalog=catalog)
+    for server in (sr, sg):
+        for name in server.catalog.names():
+            server.admit(name)
+    sr.run_cycles(6)
+    sg.run_cycles(24)
+    assert sg.report.peak_buffered_tracks < sr.report.peak_buffered_tracks
+
+
+def test_single_failure_masked_without_hiccup(sg_server):
+    sg_server.admit(sg_server.catalog.names()[0])
+    sg_server.run_cycle()
+    sg_server.fail_disk(0)
+    sg_server.run_cycles(30)
+    report = sg_server.report
+    assert report.hiccup_free()
+    assert report.total_reconstructions > 0
+    assert report.payload_mismatches == 0
+
+
+def test_streams_complete(sg_server):
+    streams = [sg_server.admit(n) for n in sg_server.catalog.names()[:2]]
+    sg_server.run_cycles(40)
+    assert all(s.status is StreamStatus.COMPLETED for s in streams)
+
+
+def test_admission_bound_uses_effective_k_of_one():
+    server = build_server(Scheme.STAGGERED_GROUP, num_disks=10,
+                          slots_per_disk=4,
+                          catalog=tiny_catalog(40, tracks=16))
+    # slots=4, effective k=1, D'=8 -> bound = 32 streams.
+    assert server.scheduler.admission_limit == 32
+
+
+def test_full_load_runs_hiccup_free():
+    """All phases loaded to the slot budget: still no hiccups."""
+    catalog = tiny_catalog(16, tracks=16)
+    server = build_server(Scheme.STAGGERED_GROUP, num_disks=10,
+                          slots_per_disk=4, catalog=catalog)
+    for name in server.catalog.names():
+        server.admit(name)
+    server.run_cycles(24)
+    assert server.report.hiccup_free()
+    assert server.report.total_delivered == 16 * 16

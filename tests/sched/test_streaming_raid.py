@@ -1,0 +1,146 @@
+"""Streaming RAID scheduler: Figure 3 semantics and degraded mode."""
+
+import pytest
+
+from repro.schemes import Scheme
+from repro.server.metrics import HiccupCause
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server, tiny_catalog
+
+
+def test_normal_mode_delivers_everything(sr_server):
+    streams = [sr_server.admit(n) for n in sr_server.catalog.names()[:2]]
+    sr_server.run_cycles(10)
+    assert sr_server.report.total_delivered == \
+        sum(s.object.num_tracks for s in streams)
+    assert sr_server.report.hiccup_free()
+    assert sr_server.report.payload_mismatches == 0
+
+
+def test_delivery_lags_read_by_one_cycle(sr_server):
+    stream = sr_server.admit(sr_server.catalog.names()[0])
+    first = sr_server.run_cycle()
+    assert first.reads_executed == 4      # one full group
+    assert first.tracks_delivered == 0    # nothing to send yet
+    second = sr_server.run_cycle()
+    assert second.tracks_delivered == 4   # previous group goes out
+
+
+def test_reads_one_parity_group_per_cycle(sr_server):
+    sr_server.admit(sr_server.catalog.names()[0])
+    report = sr_server.run_cycle()
+    assert report.reads_planned == 4
+    assert report.parity_reads == 0  # parity bandwidth reserved, unused
+
+
+def test_stream_completes(sr_server):
+    stream = sr_server.admit(sr_server.catalog.names()[0])
+    sr_server.run_cycles(10)
+    assert stream.status is StreamStatus.COMPLETED
+    assert stream.delivered_tracks == stream.object.num_tracks
+
+
+def test_single_failure_masked_without_hiccup(sr_server):
+    """The paper's central SR property: on-the-fly reconstruction."""
+    sr_server.admit(sr_server.catalog.names()[0])
+    sr_server.run_cycle()
+    sr_server.fail_disk(0)
+    sr_server.run_cycles(10)
+    report = sr_server.report
+    assert report.hiccup_free()
+    assert report.total_reconstructions > 0
+    assert report.total_parity_reads == report.total_reconstructions
+    assert report.payload_mismatches == 0
+
+
+def test_failure_of_parity_disk_is_free(sr_server):
+    sr_server.admit(sr_server.catalog.names()[0])
+    sr_server.fail_disk(4)  # cluster 0's parity disk
+    sr_server.run_cycles(10)
+    assert sr_server.report.hiccup_free()
+    assert sr_server.report.total_parity_reads == 0
+
+
+def test_failures_in_distinct_clusters_both_masked(sr_server):
+    for name in sr_server.catalog.names()[:2]:
+        sr_server.admit(name)
+    sr_server.fail_disk(0)   # cluster 0
+    sr_server.fail_disk(7)   # cluster 1
+    sr_server.run_cycles(12)
+    assert sr_server.report.hiccup_free()
+    assert sr_server.report.total_reconstructions > 0
+
+
+def test_catastrophic_failure_causes_hiccups(sr_server):
+    """Two failed disks in one cluster: groups there cannot be rebuilt."""
+    sr_server.admit(sr_server.catalog.names()[0])
+    sr_server.run_cycle()
+    sr_server.fail_disk(0)
+    sr_server.fail_disk(2)  # same cluster -> catastrophic
+    assert sr_server.is_catastrophic
+    sr_server.run_cycles(10)
+    report = sr_server.report
+    assert report.total_hiccups > 0
+    causes = report.hiccups_by_cause()
+    assert set(causes) == {HiccupCause.DISK_FAILURE}
+    # Unaffected groups still delivered.
+    assert report.total_delivered > 0
+
+
+def test_repair_restores_normal_operation(sr_server):
+    sr_server.admit(sr_server.catalog.names()[0])
+    sr_server.run_cycle()
+    sr_server.fail_disk(0)
+    sr_server.run_cycles(2)
+    parity_during_failure = sr_server.report.total_parity_reads
+    sr_server.repair_disk(0)
+    sr_server.run_cycles(6)
+    assert sr_server.report.hiccup_free()
+    # No more parity reads after the repair.
+    assert sr_server.report.total_parity_reads == parity_during_failure
+
+
+def test_buffer_peak_scales_with_group_size(sr_server):
+    """SR holds ~2C buffers per stream (eq. 12's per-stream factor)."""
+    stream = sr_server.admit(sr_server.catalog.names()[0])
+    sr_server.run_cycles(3)
+    # After delivery, one group in flight: at least C-1 tracks buffered.
+    tracker = sr_server.scheduler.tracker
+    assert tracker.stream_peak(stream.stream_id) >= 4
+
+
+def test_mid_cycle_failure_hiccups_once(sr_server):
+    """Mid-cycle failure invalidates the in-flight reads from that disk."""
+    sr_server.admit(sr_server.catalog.names()[0])
+    sr_server.run_cycle()           # group 0 read
+    sr_server.fail_disk(0, mid_cycle=True)
+    sr_server.run_cycles(8)
+    report = sr_server.report
+    causes = report.hiccups_by_cause()
+    assert causes.get(HiccupCause.MID_CYCLE_FAILURE, 0) == 1
+    # Everything after the transition is masked.
+    assert report.total_hiccups == 1
+
+
+def test_admission_respects_slot_capacity():
+    server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                          slots_per_disk=4,
+                          catalog=tiny_catalog(12, tracks=16))
+    # slots=4, k=4, D'=8 -> bound = 8 streams.
+    assert server.scheduler.admission_limit == 8
+    for name in server.catalog.names()[:8]:
+        server.admit(name)
+    from repro.errors import AdmissionError
+    with pytest.raises(AdmissionError):
+        server.admit(server.catalog.names()[8])
+
+
+def test_full_load_runs_hiccup_free():
+    server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                          slots_per_disk=4,
+                          catalog=tiny_catalog(8, tracks=16))
+    for name in server.catalog.names():
+        server.admit(name)
+    server.run_cycles(8)
+    assert server.report.hiccup_free()
+    assert server.report.total_delivered == 8 * 16

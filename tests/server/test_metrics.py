@@ -1,0 +1,68 @@
+"""Simulation metrics aggregation."""
+
+from repro.server.metrics import (
+    CycleReport,
+    HiccupCause,
+    HiccupRecord,
+    SimulationReport,
+)
+
+
+def make_report():
+    report = SimulationReport()
+    c0 = CycleReport(cycle=0, reads_planned=4, reads_executed=4,
+                     tracks_delivered=0, buffered_tracks=4)
+    c1 = CycleReport(cycle=1, reads_planned=4, reads_executed=3,
+                     reads_dropped=1, parity_reads=1, tracks_delivered=4,
+                     reconstructions=1, buffered_tracks=8)
+    c1.hiccups.append(HiccupRecord(1, 0, "m0", 5, HiccupCause.TRANSITION))
+    c1.hiccups.append(HiccupRecord(1, 1, "m1", 2, HiccupCause.DISK_FAILURE))
+    report.record(c0)
+    report.record(c1)
+    return report
+
+
+def test_totals():
+    report = make_report()
+    assert report.total_delivered == 4
+    assert report.total_hiccups == 2
+    assert report.total_reconstructions == 1
+    assert report.total_parity_reads == 1
+    assert report.total_dropped_reads == 1
+
+
+def test_hiccups_by_cause():
+    causes = make_report().hiccups_by_cause()
+    assert causes[HiccupCause.TRANSITION] == 1
+    assert causes[HiccupCause.DISK_FAILURE] == 1
+
+
+def test_buffer_profile_and_peak():
+    report = make_report()
+    assert report.buffer_profile() == [(0, 4), (1, 8)]
+    assert report.peak_buffered_tracks == 8
+
+
+def test_hiccup_free():
+    assert not make_report().hiccup_free()
+    assert SimulationReport().hiccup_free()
+
+
+def test_all_hiccups_in_order():
+    hiccups = make_report().all_hiccups()
+    assert [h.track for h in hiccups] == [5, 2]
+
+
+def test_summary_mentions_key_figures():
+    text = make_report().summary()
+    assert "2 cycles" in text
+    assert "4 tracks" in text.replace("delivered ", "delivered ")
+    assert "2 hiccups" in text
+    assert "transition: 1" in text
+
+
+def test_empty_report_defaults():
+    report = SimulationReport()
+    assert report.total_delivered == 0
+    assert report.peak_buffered_tracks == 0
+    assert report.summary().startswith("0 cycles")

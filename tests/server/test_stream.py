@@ -1,0 +1,72 @@
+"""Stream lifecycle and buffer bookkeeping."""
+
+import pytest
+
+from repro.media import MediaObject
+from repro.server import Stream, StreamStatus
+
+
+@pytest.fixture
+def stream():
+    return Stream(0, MediaObject("m", 0.1875, 8))
+
+
+def test_initial_state(stream):
+    assert stream.status is StreamStatus.ADMITTED
+    assert stream.is_active
+    assert stream.reads_remaining
+    assert stream.deliveries_remaining
+    assert stream.buffered_track_count == 0
+
+
+def test_store_and_take_track(stream):
+    stream.store_track(0, b"payload")
+    assert stream.buffered_track_count == 1
+    assert stream.take_track(0) == b"payload"
+    assert stream.take_track(0) is None
+
+
+def test_parity_and_accumulator_count_as_buffers(stream):
+    stream.store_parity(0, b"p")
+    stream.accumulators[0] = b"a"
+    assert stream.buffered_track_count == 2
+    stream.drop_parity(0)
+    assert stream.buffered_track_count == 0
+
+
+def test_activate_and_complete(stream):
+    stream.activate()
+    assert stream.status is StreamStatus.ACTIVE
+    stream.store_track(3, b"x")
+    stream.complete()
+    assert stream.status is StreamStatus.COMPLETED
+    assert not stream.is_active
+    assert stream.buffered_track_count == 0
+
+
+def test_terminate_clears_buffers(stream):
+    stream.store_track(0, b"x")
+    stream.terminate()
+    assert stream.status is StreamStatus.TERMINATED
+    assert stream.buffered_track_count == 0
+
+
+def test_mark_lost_ignores_already_delivered(stream):
+    stream.next_delivery_track = 3
+    stream.mark_lost(2)
+    assert stream.lost_tracks == set()
+    stream.mark_lost(5)
+    assert stream.lost_tracks == {5}
+
+
+def test_reads_and_deliveries_remaining_track_pointers(stream):
+    stream.next_read_track = 8
+    assert not stream.reads_remaining
+    assert stream.deliveries_remaining
+    stream.next_delivery_track = 8
+    assert not stream.deliveries_remaining
+
+
+def test_repr_is_informative(stream):
+    text = repr(stream)
+    assert "m" in text and "admitted" in text

@@ -1,0 +1,136 @@
+"""The end-to-end VoD pipeline: content tier + streaming tier."""
+
+import pytest
+
+from repro.content import EvictionPolicy, RequestOutcome
+from repro.media import Catalog, MediaObject
+from repro.schemes import Scheme
+from repro.server.stream import StreamStatus
+from repro.server.vod import VideoOnDemandSystem
+from repro.tertiary import TapeLibrary, TapeSpec
+from tests.conftest import TRACK_BYTES, tiny_params
+
+#: A fast tape so staging completes within test-sized horizons.
+FAST_TAPE = TapeLibrary(TapeSpec(bandwidth_mb_s=1000.0,
+                                 exchange_time_s=0.01,
+                                 average_seek_s=0.01))
+
+
+def build_system(resident=3, library_size=6, tracks=8,
+                 slots_per_disk=8, capacity_tracks=None, **kwargs):
+    from repro.server import MultimediaServer
+    library = Catalog()
+    for index in range(library_size):
+        library.add(MediaObject(f"m{index}", 0.1875, tracks, seed=index))
+    initial = Catalog()
+    for name in library.names()[:resident]:
+        initial.add(library.get(name))
+    if capacity_tracks is None:
+        capacity_tracks = 3  # three 8-track objects over 10 disks
+    params = tiny_params(
+        10, disk_capacity_mb=TRACK_BYTES * capacity_tracks / 1e6)
+    server = MultimediaServer.build(
+        params, 5, Scheme.STREAMING_RAID, catalog=initial,
+        slots_per_disk=slots_per_disk, verify_payloads=True)
+    return VideoOnDemandSystem(server, library, tape=FAST_TAPE, **kwargs)
+
+
+class TestImmediateStarts:
+    def test_resident_request_streams_now(self):
+        system = build_system()
+        stream = system.request("m0")
+        assert stream is not None
+        system.run_cycles(5)
+        assert stream.status is StreamStatus.COMPLETED
+        assert system.stats.started_immediately == 1
+        assert system.report.hiccup_free()
+
+    def test_active_object_is_pinned(self):
+        system = build_system()
+        system.request("m0")
+        assert system.manager._resident["m0"].pins == 1
+
+    def test_pin_released_on_completion(self):
+        system = build_system()
+        system.request("m0")
+        system.run_cycles(6)
+        assert system.manager._resident["m0"].pins == 0
+
+
+class TestStagedStarts:
+    def test_cold_title_starts_after_staging(self):
+        system = build_system()
+        stream = system.request("m5")
+        assert stream is None
+        assert system.stats.pending == 1
+        system.run_cycles(40)  # the robot's 20 ms spans ~15 toy cycles
+        assert system.stats.started_after_staging == 1
+        assert system.stats.pending == 0
+        # The staged title's stream completed, byte-verified.
+        assert system.report.total_delivered == 8
+        assert system.report.payload_mismatches == 0
+
+    def test_staging_evicts_an_unpinned_resident(self):
+        system = build_system()
+        system.request("m5")
+        assert system.manager.is_resident("m5")
+        assert len(system.manager.resident_names) == 3  # one was purged
+
+    def test_playing_titles_never_purged_by_staging(self):
+        system = build_system()
+        playing = [system.request("m0"), system.request("m1"),
+                   system.request("m2")]
+        assert all(s is not None for s in playing)
+        system.request("m5")  # needs space; everyone is pinned
+        assert system.stats.rejected_capacity == 1
+        # All three still resident and still playing.
+        for name in ("m0", "m1", "m2"):
+            assert system.manager.is_resident(name)
+        system.run_cycles(6)
+        assert system.report.hiccup_free()
+
+    def test_slow_tape_delays_the_start(self):
+        slow = TapeLibrary(TapeSpec(bandwidth_mb_s=0.5,
+                                    exchange_time_s=30.0,
+                                    average_seek_s=60.0))
+        system = build_system()
+        system.manager.tape = slow
+        system.request("m5")
+        ready_cycle, _name = system._pending_starts[0]
+        # 90+ seconds of robot time vs sub-second cycles.
+        assert ready_cycle > 100
+
+
+class TestAdmissionInterplay:
+    def test_resident_but_bandwidth_full_is_admission_rejection(self):
+        system = build_system(slots_per_disk=4)  # bound: 4*8/4 = 8 streams
+        for _ in range(8):
+            assert system.request("m0") is not None
+        assert system.request("m1") is None
+        assert system.stats.rejected_admission == 1
+
+    def test_summary_mentions_everything(self):
+        system = build_system()
+        system.request("m0")
+        system.request("m5")
+        text = system.summary()
+        assert "immediate 1" in text
+        assert "pending 1" in text
+        assert "hit rate" in text
+
+
+class TestEndToEndChurn:
+    def test_mixed_day_keeps_payloads_correct(self):
+        system = build_system(library_size=8)
+        script = ["m0", "m5", "m1", "m6", "m0", "m7", "m2", "m3"]
+        for index, name in enumerate(script):
+            system.request(name)
+            system.run_cycles(3)
+        system.run_cycles(30)
+        assert system.report.payload_mismatches == 0
+        assert system.stats.pending == 0
+        served = (system.stats.started_immediately +
+                  system.stats.started_after_staging)
+        rejected = (system.stats.rejected_capacity +
+                    system.stats.rejected_admission)
+        assert served + rejected == len(script)

@@ -1,0 +1,58 @@
+"""Workload-driven server runs and report export."""
+
+import pytest
+
+from repro.schemes import Scheme
+from repro.workload import StreamRequest, WorkloadGenerator
+from tests.conftest import build_server, tiny_catalog
+
+
+def make_server(admission_limit=None):
+    return build_server(Scheme.NON_CLUSTERED, num_disks=10,
+                        catalog=tiny_catalog(4, tracks=8),
+                        admission_limit=admission_limit)
+
+
+def test_run_workload_admits_requests_at_their_cycle():
+    server = make_server()
+    cycle_length = server.config.cycle_length_s
+    trace = [StreamRequest(0.0, "m0"),
+             StreamRequest(2.5 * cycle_length, "m1")]
+    admitted, rejected = server.run_workload(trace, cycles=20)
+    assert (admitted, rejected) == (2, 0)
+    assert server.report.total_delivered == 16
+    assert server.report.hiccup_free()
+
+
+def test_run_workload_counts_rejections():
+    server = make_server(admission_limit=1)
+    trace = [StreamRequest(0.0, "m0"), StreamRequest(0.0, "m1")]
+    admitted, rejected = server.run_workload(trace, cycles=5)
+    assert admitted == 1
+    assert rejected == 1
+
+
+def test_run_workload_with_generator_trace():
+    server = make_server()
+    cycle_length = server.config.cycle_length_s
+    generator = WorkloadGenerator(server.catalog,
+                                  arrival_rate_per_s=0.2 / cycle_length,
+                                  seed=3)
+    trace = generator.trace(30 * cycle_length)
+    admitted, rejected = server.run_workload(trace, cycles=60)
+    assert admitted == len(trace) - rejected
+    assert server.report.payload_mismatches == 0
+
+
+def test_to_rows_matches_cycles():
+    server = make_server()
+    server.admit("m0")
+    server.run_cycles(5)
+    rows = server.report.to_rows()
+    assert len(rows) == 5
+    assert rows[0]["cycle"] == 0
+    assert rows[1]["tracks_delivered"] == 1
+    assert set(rows[0]) >= {"reads_executed", "hiccups", "buffered_tracks",
+                            "streams_active"}
+    assert sum(r["tracks_delivered"] for r in rows) == \
+        server.report.total_delivered

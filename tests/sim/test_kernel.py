@@ -1,0 +1,244 @@
+"""The discrete-event kernel: timeouts, processes, conditions, interrupts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(5.0)
+    env.run()
+    assert env.now == 5.0
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        env.timeout(delay).add_callback(
+            lambda _e, d=delay: order.append(d))
+    env.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fire_fifo():
+    env = Environment()
+    order = []
+    for tag in range(5):
+        env.timeout(1.0).add_callback(lambda _e, t=tag: order.append(t))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_runs_and_returns_value():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(2.0)
+        yield env.timeout(3.0)
+        return "done"
+
+    proc = env.process(worker())
+    result = env.run(until=proc)
+    assert result == "done"
+    assert env.now == 5.0
+
+
+def test_process_waits_on_event():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(4.0)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(4.0, "open")]
+
+
+def test_process_is_event_other_process_can_wait_on():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(1.5)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        log.append(value)
+
+    env.process(parent())
+    env.run()
+    assert log == [42]
+
+
+def test_failed_event_raises_inside_process():
+    env = Environment()
+    caught = []
+
+    def worker():
+        try:
+            yield env.timeout(1.0, value=None)
+            bad = env.event()
+            bad.fail(RuntimeError("boom"))
+            yield bad
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(worker())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_uncaught_process_exception_propagates_via_run_until():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        raise ValueError("bad worker")
+
+    proc = env.process(worker())
+    with pytest.raises(ValueError, match="bad worker"):
+        env.run(until=proc)
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(target):
+        yield env.timeout(2.0)
+        target.interrupt("failure")
+
+    proc = env.process(sleeper())
+    env.process(interrupter(proc))
+    env.run()
+    assert log == [(2.0, "failure")]
+
+
+def test_interrupting_finished_process_is_an_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(0.5)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_value_before_trigger_is_an_error():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = []
+
+    def worker():
+        values = yield AllOf(env, [env.timeout(1.0, "a"), env.timeout(3.0, "b")])
+        results.append((env.now, values))
+
+    env.process(worker())
+    env.run()
+    assert results == [(3.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    results = []
+
+    def worker():
+        value = yield AnyOf(env, [env.timeout(5.0, "slow"), env.timeout(1.0, "fast")])
+        results.append((env.now, value))
+
+    env.process(worker())
+    env.run()
+    assert results == [(1.0, "fast")]
+
+
+def test_run_until_event_without_events_is_an_error():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.run(until=env.event())
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_run_to_past_rejected():
+    env = Environment()
+    env.timeout(5.0)
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def worker():
+        yield 42  # type: ignore[misc]
+
+    proc = env.process(worker())
+    with pytest.raises(SimulationError):
+        env.run(until=proc)
+
+
+def test_callback_after_processed_runs_immediately():
+    env = Environment()
+    event = env.timeout(1.0, "x")
+    env.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]

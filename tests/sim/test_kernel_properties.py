@@ -1,0 +1,75 @@
+"""Property-based tests on the DES kernel (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import AllOf, AnyOf, Environment
+
+delays = st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=1, max_size=25)
+
+
+@given(delays=delays)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        env.timeout(delay).add_callback(lambda _e, d=delay: fired.append(d))
+    env.run()
+    assert fired == sorted(delays)
+    assert env.now == max(delays)
+
+
+@given(delays=delays)
+def test_equal_delays_fire_fifo(delays):
+    env = Environment()
+    order = []
+    for index, delay in enumerate(delays):
+        env.timeout(1.0).add_callback(lambda _e, i=index: order.append(i))
+    env.run()
+    assert order == list(range(len(delays)))
+
+
+@given(delays=delays)
+def test_all_of_fires_at_max_any_of_at_min(delays):
+    env = Environment()
+    events = [env.timeout(d) for d in delays]
+    results = {}
+
+    def waiter():
+        yield AnyOf(env, events)
+        results["any_at"] = env.now
+        yield AllOf(env, events)
+        results["all_at"] = env.now
+
+    env.process(waiter())
+    env.run()
+    assert results["any_at"] == min(delays)
+    assert results["all_at"] == max(delays)
+
+
+@given(depth=st.integers(min_value=1, max_value=30),
+       step=st.floats(min_value=0.01, max_value=10.0))
+def test_nested_processes_accumulate_time(depth, step):
+    env = Environment()
+
+    def worker(level):
+        yield env.timeout(step)
+        if level > 1:
+            yield env.process(worker(level - 1))
+        return level
+
+    proc = env.process(worker(depth))
+    assert env.run(until=proc) == depth
+    assert abs(env.now - depth * step) < 1e-6 * depth
+
+
+@given(delays=delays, horizon=st.floats(min_value=0.0, max_value=1000.0))
+def test_run_until_horizon_fires_exactly_due_events(delays, horizon):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        env.timeout(delay).add_callback(lambda _e, d=delay: fired.append(d))
+    env.run(until=horizon)
+    assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+    assert env.now == horizon

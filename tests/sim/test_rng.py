@@ -1,0 +1,65 @@
+"""Seeded random streams: determinism and independence."""
+
+import pytest
+
+from repro.sim import RandomSource
+
+
+def test_same_seed_same_stream_is_deterministic():
+    a = RandomSource(seed=7).stream("failures")
+    b = RandomSource(seed=7).stream("failures")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_give_independent_streams():
+    source = RandomSource(seed=7)
+    xs = [source.stream("a").random() for _ in range(5)]
+    ys = [source.stream("b").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_differ():
+    a = RandomSource(seed=1).stream("x").random()
+    b = RandomSource(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached_not_restarted():
+    source = RandomSource(seed=3)
+    first = source.stream("x").random()
+    second = source.stream("x").random()
+    assert first != second  # continuing one stream, not restarting it
+
+
+def test_exponential_mean_roughly_respected():
+    source = RandomSource(seed=11)
+    draws = [source.exponential("life", mean=100.0) for _ in range(4000)]
+    assert sum(draws) / len(draws) == pytest.approx(100.0, rel=0.1)
+
+
+def test_exponential_requires_positive_mean():
+    with pytest.raises(ValueError):
+        RandomSource(seed=0).exponential("x", mean=0.0)
+
+
+def test_uniform_bounds():
+    source = RandomSource(seed=5)
+    draws = [source.uniform("u", 2.0, 3.0) for _ in range(100)]
+    assert all(2.0 <= d < 3.0 for d in draws)
+
+
+def test_integers_bounds():
+    source = RandomSource(seed=5)
+    draws = [source.integers("i", 0, 10) for _ in range(100)]
+    assert all(0 <= d < 10 for d in draws)
+    assert len(set(draws)) > 1
+
+
+def test_spawn_creates_independent_child():
+    parent = RandomSource(seed=9)
+    child_a = parent.spawn("replica-0")
+    child_b = parent.spawn("replica-1")
+    assert child_a.stream("x").random() != child_b.stream("x").random()
+    # Spawning is deterministic too.
+    again = RandomSource(seed=9).spawn("replica-0")
+    assert again.stream("x").random() == RandomSource(seed=9).spawn("replica-0").stream("x").random()

@@ -1,0 +1,59 @@
+"""Rebuild-mode extension: tape versus on-line parity rebuild."""
+
+import pytest
+
+from repro.analysis import SystemParameters
+from repro.layout import ClusteredParityLayout
+from repro.media import MediaObject
+from repro.tertiary import TapeLibrary
+from repro.tertiary.rebuild import (
+    compare_rebuild_paths,
+    estimate_online_rebuild_time_s,
+)
+
+
+@pytest.fixture
+def loaded_layout():
+    layout = ClusteredParityLayout(10, 5)
+    for i in range(10):
+        layout.place(MediaObject(f"m{i}", 0.1875, 40, seed=i))
+    return layout
+
+
+def test_online_rebuild_scales_with_tracks(loaded_layout):
+    params = SystemParameters.paper_table1(num_disks=10)
+    t = estimate_online_rebuild_time_s(loaded_layout, 0, params,
+                                       idle_fraction=0.2)
+    tracks = loaded_layout.used_positions(0)
+    assert t == pytest.approx(tracks * params.track_time_s / 0.2)
+
+
+def test_more_idle_bandwidth_rebuilds_faster(loaded_layout):
+    params = SystemParameters.paper_table1(num_disks=10)
+    slow = estimate_online_rebuild_time_s(loaded_layout, 0, params, 0.1)
+    fast = estimate_online_rebuild_time_s(loaded_layout, 0, params, 0.5)
+    assert fast < slow
+
+
+def test_empty_disk_rebuilds_instantly():
+    layout = ClusteredParityLayout(10, 5)
+    params = SystemParameters.paper_table1(num_disks=10)
+    assert estimate_online_rebuild_time_s(layout, 0, params, 0.2) == 0.0
+
+
+def test_idle_fraction_validated(loaded_layout):
+    params = SystemParameters.paper_table1(num_disks=10)
+    with pytest.raises(ValueError):
+        estimate_online_rebuild_time_s(loaded_layout, 0, params, 0.0)
+    with pytest.raises(ValueError):
+        estimate_online_rebuild_time_s(loaded_layout, 0, params, 1.5)
+
+
+def test_parity_rebuild_beats_tape_by_orders_of_magnitude(loaded_layout):
+    """The paper's motivation: tape rebuilds are unacceptably slow."""
+    params = SystemParameters.paper_table1(num_disks=10)
+    comparison = compare_rebuild_paths(loaded_layout, 0, params,
+                                       TapeLibrary(), idle_fraction=0.2)
+    assert comparison.speedup > 100
+    assert comparison.tracks == loaded_layout.used_positions(0)
+    assert comparison.tape_time_s > comparison.online_time_s

@@ -1,0 +1,71 @@
+"""Tape-library model and rebuild-time estimation."""
+
+import pytest
+
+from repro.layout import ClusteredParityLayout
+from repro.media import MediaObject
+from repro.tertiary import TapeLibrary, TapeSpec, estimate_rebuild_time_s
+from repro.units import mbits_per_sec
+
+
+def test_default_spec_matches_paper_footnote():
+    """Footnote 2: a $1000 tape drive does ~4 Mb/s."""
+    assert TapeSpec().bandwidth_mb_s == pytest.approx(mbits_per_sec(4.0))
+
+
+def test_fragment_fetch_time_components():
+    spec = TapeSpec(bandwidth_mb_s=0.5, exchange_time_s=30, average_seek_s=60)
+    library = TapeLibrary(spec)
+    # 100 MB: 30 + 60 + 200 s.
+    assert library.fragment_fetch_time_s(100.0) == pytest.approx(290.0)
+
+
+def test_zero_fragment_is_free():
+    assert TapeLibrary().fragment_fetch_time_s(0.0) == 0.0
+
+
+def test_batch_parallelises_over_drives():
+    single = TapeLibrary(num_drives=1)
+    quad = TapeLibrary(num_drives=4)
+    fragments = [100.0] * 8
+    assert quad.batch_fetch_time_s(fragments) == \
+        pytest.approx(single.batch_fetch_time_s(fragments) / 4)
+
+
+def test_rebuild_time_counts_one_exchange_per_object():
+    """Striping spreads many objects thinly over each disk, so a rebuild
+    pays the robot/seek cost once per object — the paper's 'many tapes may
+    need to be referenced'."""
+    layout = ClusteredParityLayout(10, 5)
+    for i in range(8):
+        layout.place(MediaObject(f"m{i}", 0.1875, 16))
+    library = TapeLibrary()
+    time_s = estimate_rebuild_time_s(layout, 0, track_size_mb=0.05,
+                                     library=library)
+    objects_on_disk = {b.object_name for b in layout.blocks_on_disk(0)}
+    overhead = len(objects_on_disk) * (library.spec.exchange_time_s +
+                                       library.spec.average_seek_s)
+    assert time_s > overhead  # transfers come on top of per-object overhead
+
+
+def test_rebuild_slower_than_disk_volume_suggests():
+    """The qualitative claim: tape rebuild time >> data volume / tape rate."""
+    layout = ClusteredParityLayout(10, 5)
+    for i in range(12):
+        layout.place(MediaObject(f"m{i}", 0.1875, 16))
+    library = TapeLibrary()
+    time_s = estimate_rebuild_time_s(layout, 0, 0.05, library)
+    volume_mb = len(layout.blocks_on_disk(0)) * 0.05
+    assert time_s > volume_mb / library.spec.bandwidth_mb_s
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TapeSpec(bandwidth_mb_s=0.0)
+    with pytest.raises(ValueError):
+        TapeLibrary(num_drives=0)
+    with pytest.raises(ValueError):
+        TapeLibrary().fragment_fetch_time_s(-1.0)
+    layout = ClusteredParityLayout(10, 5)
+    with pytest.raises(ValueError):
+        estimate_rebuild_time_s(layout, 0, 0.0, TapeLibrary())

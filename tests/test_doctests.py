@@ -1,0 +1,26 @@
+"""Run the package's docstring examples as tests.
+
+Every ``>>>`` example in the public API must stay executable — they are
+the first thing a reader tries.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name for _finder, name, _is_pkg
+    in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,90 @@
+"""The docs/TUTORIAL.md snippets must keep executing as written.
+
+Each test mirrors one tutorial section; if an API change breaks a
+snippet, this file fails before a reader does.
+"""
+
+import pytest
+
+from repro.analysis import SystemParameters, recommend_design
+from repro.analysis.sizing import section1_scale
+from repro.faults import (
+    catastrophic_condition,
+    exact_mttf_clustered_hours,
+    simulate_mean_time_to,
+)
+from repro.layout import ClusteredParityLayout
+from repro.media import Catalog, MediaObject
+from repro.schemes import Scheme
+from repro.server import MultimediaServer, VideoOnDemandSystem
+from repro.tertiary import TapeLibrary, compare_rebuild_paths
+
+
+def test_section1_arithmetic():
+    scale = section1_scale()
+    assert (scale.mpeg2_movies, scale.mpeg1_movies) == (329, 987)
+    assert (scale.mpeg2_users, scale.mpeg1_users) == (7111, 21333)
+
+
+def test_section1_rebuild_gap():
+    layout = ClusteredParityLayout(20, 5)
+    for i in range(40):
+        layout.place(MediaObject(f"movie-{i}", 0.1875, 500, seed=i))
+    params = SystemParameters.paper_table1(num_disks=20)
+    comparison = compare_rebuild_paths(layout, 0, params, TapeLibrary())
+    assert comparison.speedup > 10
+
+
+def test_section2_design_workflow():
+    params = SystemParameters.paper_table1(reserve_k=5)
+    best = recommend_design(params, working_set_mb=100_000,
+                            required_streams=1200)
+    assert best.scheme is Scheme.NON_CLUSTERED
+    fast = recommend_design(params, working_set_mb=100_000,
+                            required_streams=1500)
+    assert fast.scheme is Scheme.IMPROVED_BANDWIDTH
+    assert fast.parity_group_size == 2
+
+
+def test_section3_masked_failure():
+    params = SystemParameters.paper_table1(
+        num_disks=10, track_size_mb=512 / 1e6, disk_capacity_mb=0.25)
+    server = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID,
+                                    slots_per_disk=8, verify_payloads=True)
+    server.admit(server.catalog.names()[0])
+    server.run_cycles(2)
+    server.fail_disk(0)
+    server.run_cycles(8)
+    assert server.report.hiccup_free()
+    assert server.report.total_reconstructions > 0
+    assert server.report.payload_mismatches == 0
+
+
+def test_section6_three_routes_to_mttf():
+    layout = ClusteredParityLayout(20, 5)
+    mc = simulate_mean_time_to(20, 200.0, 1.0,
+                               catastrophic_condition(layout),
+                               replications=150, seed=9)
+    exact = exact_mttf_clustered_hours(20, 5, 200.0, 1.0)
+    assert mc.consistent_with(exact)
+
+
+def test_section7_full_pipeline():
+    library = Catalog()
+    for i in range(40):
+        library.add(MediaObject(f"movie-{i:02d}", 0.1875, 16, seed=i))
+    library.set_zipf_popularity(theta=1.0)
+    initial = Catalog()
+    for name in library.names()[:10]:
+        initial.add(library.get(name))
+    params = SystemParameters.paper_table1(
+        num_disks=10, track_size_mb=512 / 1e6,
+        disk_capacity_mb=512 * 200 / 1e6)
+    server = MultimediaServer.build(params, 5, Scheme.NON_CLUSTERED,
+                                    catalog=initial, slots_per_disk=8)
+    system = VideoOnDemandSystem(server, library)
+    assert system.request("movie-00") is not None     # hit
+    assert system.request("movie-35") is None         # staged
+    system.run_cycles(50)
+    assert system.stats.started_immediately == 1
+    assert "hit rate" in system.summary()
