@@ -1,0 +1,177 @@
+"""Paper-scale sweep: 100/500/1000 disks, all four schemes.
+
+Not a paper figure — the paper's analysis stops at D = 100 because its
+numbers are closed-form.  This benchmark demonstrates that the simulator
+itself reaches the paper's *deployment* scale: a thousand disks serving a
+thousand concurrent streams, with and without a disk failure, in
+metadata-only mode (``verify_payloads=False`` — occupancy and counters,
+no payload bytes).
+
+Each run admits one stream per disk (spread one object per cluster so the
+slot schedule stays balanced), simulates 20 cycles, and records wall-clock
+build/run times plus the usual fault-tolerance metrics.  The failure
+variant fails one disk a quarter of the way in and repairs it at the
+three-quarter mark.
+
+Results land in ``benchmarks/BENCH_scale.json``.  Run standalone::
+
+    python benchmarks/bench_scale.py
+
+or through pytest (the acceptance gate — the 1000-disk Streaming-RAID run
+must finish in under 60 s)::
+
+    pytest benchmarks/bench_scale.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.schemes import Scheme
+from repro.server import MultimediaServer
+from scenarios import tiny_catalog, tiny_params
+
+SIZES = (100, 500, 1000)
+CYCLES = 20
+TRACKS = 100           # > CYCLES * k' so no stream completes mid-run
+FAIL_CYCLE = 5
+REPAIR_CYCLE = 15
+SLOTS_PER_DISK = 8
+OUTPUT = Path(__file__).resolve().parent / "BENCH_scale.json"
+
+ALL_SCHEMES = (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP,
+               Scheme.NON_CLUSTERED, Scheme.IMPROVED_BANDWIDTH)
+
+
+def cluster_size(scheme: Scheme, parity_group_size: int = 5) -> int:
+    """Disks per cluster: C, except IB's C - 1 data-disk clusters."""
+    if scheme is Scheme.IMPROVED_BANDWIDTH:
+        return parity_group_size - 1
+    return parity_group_size
+
+
+def build_scale_server(scheme: Scheme, num_disks: int) -> MultimediaServer:
+    """A metadata-only server with one object per cluster."""
+    objects = num_disks // cluster_size(scheme)
+    return MultimediaServer.build(
+        tiny_params(num_disks), 5, scheme,
+        catalog=tiny_catalog(objects, tracks=TRACKS),
+        slots_per_disk=SLOTS_PER_DISK, verify_payloads=False)
+
+
+def run_one(scheme: Scheme, num_disks: int, with_failure: bool) -> dict:
+    """Build, load to one stream per disk, run 20 cycles; return metrics."""
+    t0 = time.perf_counter()
+    server = build_scale_server(scheme, num_disks)
+    build_s = time.perf_counter() - t0
+
+    names = server.catalog.names()
+    per_object = max(1, num_disks // len(names))
+    target = min(num_disks, server.scheduler.admission_limit)
+    admitted = 0
+    for name in names:
+        for _ in range(per_object):
+            if admitted >= target:
+                break
+            server.admit(name)
+            admitted += 1
+
+    t0 = time.perf_counter()
+    for cycle in range(CYCLES):
+        if with_failure:
+            if cycle == FAIL_CYCLE:
+                server.fail_disk(0)
+            elif cycle == REPAIR_CYCLE:
+                server.repair_disk(0)
+        server.run_cycle()
+    run_s = time.perf_counter() - t0
+
+    report = server.report
+    cycles = report.cycles
+    result = {
+        "scheme": scheme.value,
+        "num_disks": num_disks,
+        "streams": admitted,
+        "cycles": CYCLES,
+        "with_failure": with_failure,
+        "build_s": round(build_s, 4),
+        "run_s": round(run_s, 4),
+        "us_per_cycle": round(1e6 * run_s / CYCLES, 1),
+        "cycles_per_s": round(CYCLES / run_s, 1),
+        "reads_executed": sum(r.reads_executed for r in cycles),
+        "parity_reads": sum(r.parity_reads for r in cycles),
+        "tracks_delivered": sum(r.tracks_delivered for r in cycles),
+        "reconstructions": sum(r.reconstructions for r in cycles),
+        "hiccups": sum(len(r.hiccups) for r in cycles),
+    }
+    if with_failure:
+        assert not server.is_catastrophic
+    assert result["tracks_delivered"] > 0
+    return result
+
+
+def run_sweep(sizes=SIZES, schemes=ALL_SCHEMES) -> list[dict]:
+    results = []
+    for num_disks in sizes:
+        for scheme in schemes:
+            for with_failure in (False, True):
+                result = run_one(scheme, num_disks, with_failure)
+                results.append(result)
+                print(f"  {scheme.value:24s} D={num_disks:<5d} "
+                      f"failure={'y' if with_failure else 'n'}  "
+                      f"build {result['build_s']:.2f}s  "
+                      f"run {result['run_s']:.2f}s  "
+                      f"({result['us_per_cycle']:.0f} us/cycle, "
+                      f"{result['streams']} streams, "
+                      f"{result['hiccups']} hiccups)")
+    return results
+
+
+def write_report(results: list[dict]) -> None:
+    OUTPUT.write_text(json.dumps({
+        "benchmark": "bench_scale",
+        "track_bytes": 64,
+        "cycles_per_run": CYCLES,
+        "runs": results,
+    }, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def test_scale_sweep():
+    """Full sweep completes; healthy fault-tolerant runs are hiccup-free
+    and the 1000-disk Streaming-RAID run beats the 60 s gate."""
+    results = run_sweep()
+    write_report(results)
+    for result in results:
+        # Metadata mode must not silently drop the workload.
+        assert result["tracks_delivered"] > 0, result
+        if not result["with_failure"] \
+                and result["scheme"] != Scheme.NON_CLUSTERED.value:
+            # Healthy full-redundancy schedules deliver without hiccups
+            # (NC's lazy protocol is only exercised under failures, but
+            # its pool bookkeeping differs enough to keep it out of the
+            # blanket assertion).
+            assert result["hiccups"] == 0, result
+    flagship = [r for r in results
+                if r["scheme"] == Scheme.STREAMING_RAID.value
+                and r["num_disks"] == 1000 and not r["with_failure"]]
+    assert flagship, "1000-disk Streaming-RAID run missing from sweep"
+    run = flagship[0]
+    assert run["streams"] == 1000
+    assert run["build_s"] + run["run_s"] < 60.0, run
+
+
+def test_streaming_raid_failure_zero_hiccups_at_scale():
+    """Observation 2 holds at 1000 disks: a between-cycle failure is fully
+    masked by reserved parity bandwidth."""
+    result = run_one(Scheme.STREAMING_RAID, 1000, with_failure=True)
+    assert result["hiccups"] == 0, result
+    assert result["reconstructions"] > 0, result
+
+
+if __name__ == "__main__":
+    write_report(run_sweep())

@@ -8,6 +8,20 @@ an exception here means a scheduler bug.
 
 :class:`DiskArray` is the collection of drives of one server plus
 convenience queries (failed set, spare accounting, total capacity).
+
+Two I/O modes exist:
+
+* **payload mode** (``store_payloads=True``, the default): every write
+  stores real bytes and every read returns them, so XOR parity can be
+  verified byte-for-byte;
+* **metadata-only mode** (``store_payloads=False``): the drive tracks
+  *occupancy* and read/write counters but stores no payload bytes — reads
+  return the zero-length :data:`~repro.parity.xor.META_PAYLOAD` token.
+  Occupancy, failure semantics, and counters are identical to payload
+  mode, so cycle metrics match bit for bit while writes and reads are O(1)
+  regardless of track size.  Actual payloads stay lazily derivable from
+  the layout's deterministic seed function
+  (:meth:`~repro.layout.base.DataLayout.resolve_payload`).
 """
 
 from __future__ import annotations
@@ -17,6 +31,7 @@ from typing import Iterable, Iterator, Optional
 
 from repro.disk.specs import DiskSpec
 from repro.errors import DiskFailedError, LayoutError
+from repro.parity.xor import META_PAYLOAD
 
 
 class DiskState(enum.Enum):
@@ -26,37 +41,46 @@ class DiskState(enum.Enum):
     FAILED = "failed"
 
 
+#: Sentinel stored per occupied position in metadata-only mode.
+_META = None
+
+
 class Disk:
     """One simulated drive: payload store + failure state + counters."""
 
-    def __init__(self, disk_id: int, spec: DiskSpec):
+    __slots__ = ("disk_id", "spec", "state", "is_failed", "store_payloads",
+                 "_tracks", "reads", "writes", "failures", "state_changes")
+
+    def __init__(self, disk_id: int, spec: DiskSpec,
+                 store_payloads: bool = True):
         if disk_id < 0:
             raise ValueError(f"disk id must be non-negative, got {disk_id}")
         self.disk_id = disk_id
         self.spec = spec
         self.state = DiskState.OPERATIONAL
-        self._tracks: dict[int, bytes] = {}
+        #: Kept in lockstep with ``state``: a plain attribute because the
+        #: schedulers consult it once per planned read.
+        self.is_failed = False
+        self.store_payloads = store_payloads
+        #: position -> payload bytes (payload mode) or ``None`` (metadata).
+        self._tracks: dict[int, Optional[bytes]] = {}
         # Lifetime counters, for reports.
         self.reads = 0
         self.writes = 0
         self.failures = 0
+        #: Failure/repair transitions; the plan-cache invalidation epoch.
+        self.state_changes = 0
 
     def __repr__(self) -> str:
         return f"Disk(id={self.disk_id}, state={self.state.value}, " \
                f"tracks={len(self._tracks)})"
 
     @property
-    def is_failed(self) -> bool:
-        """True while the drive is down."""
-        return self.state is DiskState.FAILED
-
-    @property
     def stored_tracks(self) -> int:
         """Number of track payloads currently written."""
         return len(self._tracks)
 
-    def write(self, position: int, payload: bytes) -> None:
-        """Store a track payload at ``position`` (loading from tertiary)."""
+    def _check_position(self, position: int) -> None:
         if position < 0:
             raise LayoutError(f"track position must be non-negative: {position}")
         if position >= self.spec.tracks_per_disk:
@@ -64,11 +88,35 @@ class Disk:
                 f"track position {position} beyond disk capacity "
                 f"({self.spec.tracks_per_disk} tracks)"
             )
-        self._tracks[position] = bytes(payload)
+
+    def write(self, position: int, payload: bytes) -> None:
+        """Store a track payload at ``position`` (loading from tertiary)."""
+        self._check_position(position)
+        if self.store_payloads:
+            # Avoid a redundant copy when the payload is already bytes.
+            self._tracks[position] = (payload if type(payload) is bytes
+                                      else bytes(payload))
+        else:
+            self._tracks[position] = _META
+        self.writes += 1
+
+    def write_meta(self, position: int) -> None:
+        """Mark ``position`` occupied without materialising any payload.
+
+        The metadata-mode loader path: occupancy and the write counter
+        advance exactly as :meth:`write` would, but no bytes are generated
+        or stored, so materialising a whole catalog is O(1) per track.
+        """
+        self._check_position(position)
+        self._tracks[position] = _META if not self.store_payloads else \
+            self._tracks.get(position, _META)
         self.writes += 1
 
     def read(self, position: int) -> bytes:
         """Return the payload at ``position``.
+
+        In metadata-only mode the returned payload is the zero-length
+        token; occupancy and failure checks are identical to payload mode.
 
         Raises
         ------
@@ -81,23 +129,48 @@ class Disk:
             raise DiskFailedError(
                 f"read from failed disk {self.disk_id} (position {position})"
             )
-        if position not in self._tracks:
+        try:
+            payload = self._tracks[position]
+        except KeyError:
             raise LayoutError(
                 f"disk {self.disk_id} has no data at track position {position}"
-            )
+            ) from None
         self.reads += 1
-        return self._tracks[position]
+        return META_PAYLOAD if payload is None else payload
+
+    def peek(self, position: int) -> Optional[bytes]:
+        """The stored payload without touching counters or failure state.
+
+        Returns ``None`` for an occupied metadata-only position (the bytes
+        are derivable from the layout's seed function, not stored here).
+
+        Raises
+        ------
+        LayoutError
+            If the position holds nothing at all.
+        """
+        try:
+            return self._tracks[position]
+        except KeyError:
+            raise LayoutError(
+                f"disk {self.disk_id} has no data at track position {position}"
+            ) from None
 
     def fail(self) -> None:
         """Mark the drive failed.  Contents become unreadable (not erased:
         the replacement-drive rebuild rewrites them explicitly)."""
         if not self.is_failed:
             self.state = DiskState.FAILED
+            self.is_failed = True
             self.failures += 1
+            self.state_changes += 1
 
     def repair(self) -> None:
         """Bring a (reloaded) drive back online."""
+        if self.is_failed:
+            self.state_changes += 1
         self.state = DiskState.OPERATIONAL
+        self.is_failed = False
 
     def erase(self) -> None:
         """Drop all contents (simulates swapping in a blank spare)."""
@@ -115,11 +188,14 @@ class Disk:
 class DiskArray:
     """All the drives of one multimedia server."""
 
-    def __init__(self, count: int, spec: DiskSpec):
+    def __init__(self, count: int, spec: DiskSpec,
+                 store_payloads: bool = True):
         if count <= 0:
             raise ValueError(f"disk count must be positive, got {count}")
         self.spec = spec
-        self.disks = [Disk(disk_id, spec) for disk_id in range(count)]
+        self.store_payloads = store_payloads
+        self.disks = [Disk(disk_id, spec, store_payloads=store_payloads)
+                      for disk_id in range(count)]
 
     def __len__(self) -> int:
         return len(self.disks)
@@ -141,6 +217,16 @@ class DiskArray:
     def operational_count(self) -> int:
         """Number of drives currently up."""
         return sum(1 for d in self.disks if not d.is_failed)
+
+    @property
+    def state_epoch(self) -> int:
+        """Total failure/repair transitions across all drives.
+
+        Monotonic; any change means some disk's operational state flipped
+        since the epoch was last sampled.  Schedulers key their cycle-plan
+        caches on this (plus the layout's placement epoch).
+        """
+        return sum(d.state_changes for d in self.disks)
 
     def fail(self, disk_id: int) -> Disk:
         """Fail one drive and return it."""

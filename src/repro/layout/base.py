@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError, LayoutError
 from repro.layout.address import BlockKind, DiskAddress, GroupSpan, StoredBlock
 from repro.media.catalog import Catalog
 from repro.media.objects import MediaObject
-from repro.parity.xor import ParityCodec
+from repro.parity.xor import xor_blocks, xor_matrix
 
 
 class DataLayout(abc.ABC):
@@ -62,6 +62,34 @@ class DataLayout(abc.ABC):
         self._free_positions: dict[int, list[int]] = {
             disk_id: [] for disk_id in range(num_disks)
         }
+        #: Placement epoch: bumped whenever addresses change (place/remove).
+        #: Schedulers key their cycle-plan caches on this.
+        self._epoch = 0
+        # Memoized hot-path lookups, flushed on every placement change.
+        self._span_cache: dict[tuple[str, int], GroupSpan] = {}
+        self._tracks_cache: dict[tuple[str, int], list[int]] = {}
+        self._cluster_cache: dict[tuple[str, int], int] = {}
+        self._geometry_cache: dict[
+            tuple[str, int],
+            tuple[tuple[tuple[int, int], ...], tuple[int, int]]] = {}
+        self._names_cache: Optional[frozenset[str]] = None
+        self._block_index: Optional[dict[tuple[int, int], StoredBlock]] = None
+
+    # -- cache management ---------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic counter of placement changes (place/remove calls)."""
+        return self._epoch
+
+    def _invalidate_caches(self) -> None:
+        self._epoch += 1
+        self._span_cache.clear()
+        self._tracks_cache.clear()
+        self._cluster_cache.clear()
+        self._geometry_cache.clear()
+        self._names_cache = None
+        self._block_index = None
 
     # -- geometry to be provided by subclasses ---------------------------
 
@@ -139,6 +167,7 @@ class DataLayout(abc.ABC):
             self._disk_contents[parity_disk].append(
                 StoredBlock(obj.name, BlockKind.PARITY, group)
             )
+        self._invalidate_caches()
 
     def place_catalog(self, catalog: Catalog,
                       start_cluster: Optional[int] = None) -> None:
@@ -181,6 +210,7 @@ class DataLayout(abc.ABC):
             ]
         del self._objects[name]
         del self._start_cluster[name]
+        self._invalidate_caches()
         return freed
 
     def occupied_positions(self, disk_id: int) -> int:
@@ -226,6 +256,21 @@ class DataLayout(abc.ABC):
         except KeyError:
             raise LayoutError(f"object {name!r} is not placed") from None
 
+    def has_object(self, name: str) -> bool:
+        """True if an object of that name is currently placed (O(1))."""
+        return name in self._objects
+
+    @property
+    def object_names(self) -> frozenset[str]:
+        """Names of every placed object, cached until placement changes.
+
+        Admission consults this on every request; rebuilding a set from
+        :attr:`objects` per admission is O(catalog) and shows up at scale.
+        """
+        if self._names_cache is None:
+            self._names_cache = frozenset(self._objects)
+        return self._names_cache
+
     def start_cluster(self, name: str) -> int:
         """Cluster of object ``name``'s first parity group."""
         self.object(name)
@@ -248,13 +293,22 @@ class DataLayout(abc.ABC):
         return track // stripe, track % stripe
 
     def group_tracks(self, name: str, group: int) -> list[int]:
-        """The data-track indices of one parity group, ascending."""
+        """The data-track indices of one parity group, ascending.
+
+        Returns the memoized list itself — treat it as immutable.
+        """
+        key = (name, group)
+        cached = self._tracks_cache.get(key)
+        if cached is not None:
+            return cached
         obj = self.object(name)
         stripe = self.data_disks_per_group
         first = group * stripe
         if not 0 <= first < obj.num_tracks:
             raise LayoutError(f"group {group} out of range for {name!r}")
-        return list(range(first, min(first + stripe, obj.num_tracks)))
+        tracks = list(range(first, min(first + stripe, obj.num_tracks)))
+        self._tracks_cache[key] = tracks
+        return tracks
 
     def data_address(self, name: str, track: int) -> DiskAddress:
         """Physical address of one data track."""
@@ -269,19 +323,58 @@ class DataLayout(abc.ABC):
         return self._parity_addr[key]
 
     def group_span(self, name: str, group: int) -> GroupSpan:
-        """The full physical footprint of one parity group."""
+        """The full physical footprint of one parity group (memoized)."""
+        key = (name, group)
+        cached = self._span_cache.get(key)
+        if cached is not None:
+            return cached
         tracks = self.group_tracks(name, group)
-        return GroupSpan(
+        span = GroupSpan(
             object_name=name,
             group_index=group,
             data=tuple(self._data_addr[(name, t)] for t in tracks),
             parity=self.parity_address(name, group),
         )
+        self._span_cache[key] = span
+        return span
+
+    def group_geometry(self, name: str, group: int,
+                       ) -> tuple[tuple[tuple[int, int], ...],
+                                  tuple[int, int]]:
+        """``((disk_id, position) per data track, (disk_id, position))``.
+
+        The plain-tuple counterpart of :meth:`group_span` for the
+        schedulers' per-cycle plan building: no dataclass construction,
+        memoized until placement changes.  Treat the result as immutable.
+        """
+        key = (name, group)
+        cached = self._geometry_cache.get(key)
+        if cached is None:
+            num_tracks = self.object(name).num_tracks
+            stripe = self.data_disks_per_group
+            first = group * stripe
+            if not 0 <= first < num_tracks:
+                raise LayoutError(f"group {group} out of range for {name!r}")
+            data_addr = self._data_addr
+            members = []
+            for track in range(first, min(first + stripe, num_tracks)):
+                addr = data_addr[(name, track)]
+                members.append((addr.disk_id, addr.position))
+            parity = self.parity_address(name, group)
+            cached = (tuple(members), (parity.disk_id, parity.position))
+            self._geometry_cache[key] = cached
+        return cached
 
     def group_cluster(self, name: str, group: int) -> int:
         """Cluster holding the *data* blocks of one parity group."""
+        key = (name, group)
+        cached = self._cluster_cache.get(key)
+        if cached is not None:
+            return cached
         span = self.group_span(name, group)
-        return self.cluster_of(span.data[0].disk_id)
+        cluster = self.cluster_of(span.data[0].disk_id)
+        self._cluster_cache[key] = cluster
+        return cluster
 
     def blocks_on_disk(self, disk_id: int) -> list[StoredBlock]:
         """Everything stored on one disk, in allocation order."""
@@ -332,6 +425,11 @@ class DataLayout(abc.ABC):
         Tracks shorter groups (an object's tail) are padded with zero blocks
         for the parity computation, matching how a real loader would zero
         the unused stripe units.
+
+        On a metadata-only array (``store_payloads=False``) no bytes are
+        generated at all: each address is merely marked occupied — O(1) per
+        track — and the real payloads stay derivable on demand through
+        :meth:`resolve_payload`.
         """
         if len(array) != self.num_disks:
             raise ConfigurationError(
@@ -344,20 +442,105 @@ class DataLayout(abc.ABC):
         """Write one placed object's payloads and parity onto the array
         (the per-object loader the tertiary staging path uses)."""
         obj = self.object(name)
+        if not array.store_payloads:
+            # Metadata-only: mark occupancy, derive payloads lazily.
+            for track in range(obj.num_tracks):
+                address = self._data_addr[(name, track)]
+                array[address.disk_id].write_meta(address.position)
+            for group in range(self.group_count(obj)):
+                address = self._parity_addr[(name, group)]
+                array[address.disk_id].write_meta(address.position)
+            return
         track_bytes = int(array.spec.track_size_mb * 1_000_000)
-        codec = ParityCodec(track_bytes)
+        # Generate and write every data track, collecting the group rows;
+        # then encode every group's parity as one matrix XOR (short tail
+        # rows are implicitly zero-padded — the XOR identity).
+        rows: list[list[bytes]] = []
         for group in range(self.group_count(obj)):
             payloads: list[bytes] = []
-            for track in self.group_tracks(obj.name, group):
+            for track in self.group_tracks(name, group):
                 payload = obj.track_payload(track, track_bytes)
-                address = self._data_addr[(obj.name, track)]
+                address = self._data_addr[(name, track)]
                 array[address.disk_id].write(address.position, payload)
                 payloads.append(payload)
-            while len(payloads) < self.data_disks_per_group:
-                payloads.append(codec.zero_block())
-            parity = codec.encode(payloads)
-            address = self._parity_addr[(obj.name, group)]
+            rows.append(payloads)
+        for group, parity in enumerate(xor_matrix(rows)):
+            address = self._parity_addr[(name, group)]
             array[address.disk_id].write(address.position, parity)
+
+    # -- lazy payload derivation (metadata-only mode) -----------------------
+
+    def block_at(self, disk_id: int, position: int) -> StoredBlock:
+        """The logical block stored at one physical address.
+
+        Backed by a reverse index built lazily and flushed on placement
+        changes; raises :class:`LayoutError` for unoccupied addresses.
+        """
+        if self._block_index is None:
+            index: dict[tuple[int, int], StoredBlock] = {}
+            for (name, track), address in self._data_addr.items():
+                index[(address.disk_id, address.position)] = StoredBlock(
+                    name, BlockKind.DATA, track)
+            for (name, group), address in self._parity_addr.items():
+                index[(address.disk_id, address.position)] = StoredBlock(
+                    name, BlockKind.PARITY, group)
+            self._block_index = index
+        try:
+            return self._block_index[(disk_id, position)]
+        except KeyError:
+            raise LayoutError(
+                f"disk {disk_id} position {position} holds no placed block"
+            ) from None
+
+    def resolve_payload(self, disk_id: int, position: int,
+                        track_bytes: int) -> bytes:
+        """Derive the bytes one physical address *should* hold.
+
+        This is the deterministic seed function behind metadata-only mode:
+        data tracks expand from the object's seeded generator, parity
+        blocks are the XOR of their group's data tracks.  Works in either
+        mode (in payload mode it reproduces what was written).
+        """
+        block = self.block_at(disk_id, position)
+        obj = self.object(block.object_name)
+        if block.kind is BlockKind.DATA:
+            return obj.track_payload(block.index, track_bytes)
+        tracks = self.group_tracks(block.object_name, block.index)
+        return xor_blocks([obj.track_payload(t, track_bytes)
+                           for t in tracks])
+
+    def spot_check(self, array: DiskArray, name: str, group: int) -> bool:
+        """Verify one parity group's stored state on demand.
+
+        In payload mode, compares the stored data and parity bytes against
+        the deterministic generator.  In metadata-only mode, checks that
+        every group address is occupied and that the lazily derived
+        payloads at those addresses satisfy the parity relation — the
+        on-demand verification hook the fast path keeps available.
+        """
+        span = self.group_span(name, group)
+        obj = self.object(name)
+        track_bytes = int(array.spec.track_size_mb * 1_000_000)
+        tracks = self.group_tracks(name, group)
+        expected = [obj.track_payload(t, track_bytes) for t in tracks]
+        expected_parity = xor_blocks(expected)
+        if array.store_payloads:
+            for address, payload in zip(span.data, expected):
+                if array[address.disk_id].peek(address.position) != payload:
+                    return False
+            return array[span.parity.disk_id].peek(
+                span.parity.position) == expected_parity
+        # Metadata mode: every address must be occupied (peek raises on
+        # holes) and the derived payloads must satisfy the parity relation.
+        for address in span.data:
+            array[address.disk_id].peek(address.position)
+        array[span.parity.disk_id].peek(span.parity.position)
+        derived = [self.resolve_payload(a.disk_id, a.position, track_bytes)
+                   for a in span.data]
+        derived_parity = self.resolve_payload(
+            span.parity.disk_id, span.parity.position, track_bytes)
+        return xor_blocks(derived) == derived_parity \
+            and derived == expected and derived_parity == expected_parity
 
     # -- misc ---------------------------------------------------------------
 

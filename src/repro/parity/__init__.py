@@ -1,5 +1,12 @@
 """Parity coding substrate (bitwise XOR over track payloads)."""
 
-from repro.parity.xor import ParityCodec, xor_blocks
+from repro.parity.xor import (
+    META_PAYLOAD,
+    MetaParityCodec,
+    ParityCodec,
+    xor_blocks,
+    xor_matrix,
+)
 
-__all__ = ["ParityCodec", "xor_blocks"]
+__all__ = ["META_PAYLOAD", "MetaParityCodec", "ParityCodec", "xor_blocks",
+           "xor_matrix"]

@@ -10,6 +10,16 @@ verify reconstruction *byte-for-byte* rather than just book-keeping block
 identities.  It also supports the Non-clustered "lazy" transition protocol
 (Figure 7), which keeps a *running* XOR of already-delivered blocks and
 folds in later arrivals — :meth:`ParityCodec.accumulate`.
+
+Two batching/performance layers sit on top of the per-block primitives:
+
+* :func:`xor_matrix` XOR-reduces many groups in one 2-D numpy operation —
+  the cycle engine hands it every parity group reconstructed in a cycle at
+  once instead of XORing blocks one at a time;
+* :class:`MetaParityCodec` is the metadata-only counterpart used by the
+  ``verify_payloads=False`` fast path: payloads are zero-length tokens, so
+  every operation is O(1) while the *accounting* (exactly-one-missing
+  checks, accumulator folding) stays identical to the byte-level codec.
 """
 
 from __future__ import annotations
@@ -43,6 +53,48 @@ def xor_blocks(blocks: Iterable[bytes]) -> bytes:
     if accumulator is None:
         raise ReconstructionError("parity of an empty block list is undefined")
     return accumulator.tobytes()
+
+
+def xor_matrix(rows: Sequence[Sequence[bytes]]) -> list[bytes]:
+    """XOR-reduce each row of blocks in one vectorized 2-D operation.
+
+    ``rows`` is a list of block lists (one per parity group); every block
+    must have the same byte length, but rows may hold different block
+    *counts* — short rows are implicitly padded with zero blocks, the XOR
+    identity (exactly how tail parity groups are padded on disk).
+
+    Returns one reduced block per row.  This is the batched equivalent of
+    calling :func:`xor_blocks` once per row, used by the cycle engine to
+    rebuild every group touched in a cycle with a single numpy reduction.
+
+    >>> xor_matrix([[b"\\x0f", b"\\xf0"], [b"\\x01"]])
+    [b'\\xff', b'\\x01']
+    """
+    if not rows:
+        return []
+    length: Optional[int] = None
+    for row in rows:
+        if not row:
+            raise ReconstructionError(
+                "parity of an empty block list is undefined")
+        for block in row:
+            if length is None:
+                length = len(block)
+            elif len(block) != length:
+                raise ReconstructionError(
+                    f"parity over unequal block sizes: {len(block)} "
+                    f"vs {length}"
+                )
+    assert length is not None
+    if length == 0:
+        return [b""] * len(rows)
+    width = max(len(row) for row in rows)
+    matrix = np.zeros((len(rows), width, length), dtype=np.uint8)
+    for i, row in enumerate(rows):
+        for j, block in enumerate(row):
+            matrix[i, j] = np.frombuffer(block, dtype=np.uint8)
+    reduced = np.bitwise_xor.reduce(matrix, axis=1)
+    return [reduced[i].tobytes() for i in range(len(rows))]
 
 
 class ParityCodec:
@@ -100,6 +152,19 @@ class ParityCodec:
             self._check(block, "data")
         return xor_blocks(survivors + [parity])
 
+    def reconstruct_batch(self, rows: Sequence[Sequence[bytes]],
+                          ) -> list[bytes]:
+        """Rebuild one missing block per row in a single matrix XOR.
+
+        Each row holds a group's *surviving* data blocks plus its parity
+        block (zero padding is unnecessary: zero blocks are the XOR
+        identity).  Returns the reconstructed blocks, row for row.
+        """
+        for row in rows:
+            for block in row:
+                self._check(block, "data")
+        return xor_matrix(rows)
+
     def zero_block(self) -> bytes:
         """An all-zero block: the XOR identity, used to seed accumulators."""
         return bytes(self.block_size_bytes)
@@ -115,3 +180,74 @@ class ParityCodec:
         self._check(accumulator, "accumulator")
         self._check(block, "data")
         return xor_blocks([accumulator, block])
+
+
+#: The token standing in for any payload in metadata-only mode.
+META_PAYLOAD = b""
+
+
+class MetaParityCodec(ParityCodec):
+    """The metadata-only codec: every payload is the zero-length token.
+
+    Used by the ``verify_payloads=False`` fast path.  All the *accounting*
+    of the byte-level codec is preserved — reconstruction still demands
+    exactly one missing block, accumulators still fold — but no bytes are
+    ever XORed or copied, so every operation is O(1) regardless of the
+    track size.  Cycle metrics are therefore bit-identical to payload mode.
+    """
+
+    def __init__(self, block_size_bytes: int):
+        # The *logical* block size is remembered for reports; physical
+        # payloads are zero-length tokens.
+        if block_size_bytes <= 0:
+            raise ValueError(
+                f"block size must be positive, got {block_size_bytes}"
+            )
+        self.block_size_bytes = block_size_bytes
+
+    def _check(self, block: bytes, role: str) -> None:
+        if block != META_PAYLOAD:
+            raise ReconstructionError(
+                f"{role} block carries {len(block)} payload bytes; the "
+                "metadata-only codec expects zero-length tokens"
+            )
+
+    def encode(self, data_blocks: Sequence[bytes]) -> bytes:
+        if not data_blocks:
+            raise ReconstructionError("cannot encode parity of zero blocks")
+        for block in data_blocks:
+            self._check(block, "data")
+        return META_PAYLOAD
+
+    def verify(self, data_blocks: Sequence[bytes], parity: bytes) -> bool:
+        self._check(parity, "parity")
+        return self.encode(data_blocks) == parity
+
+    def reconstruct(self, blocks: Sequence[Optional[bytes]],
+                    parity: bytes) -> bytes:
+        self._check(parity, "parity")
+        missing = sum(1 for block in blocks if block is None)
+        if missing != 1:
+            raise ReconstructionError(
+                f"single-parity reconstruction needs exactly one missing "
+                f"block, found {missing}"
+            )
+        return META_PAYLOAD
+
+    def reconstruct_batch(self, rows: Sequence[Sequence[bytes]],
+                          ) -> list[bytes]:
+        for row in rows:
+            if not row:
+                raise ReconstructionError(
+                    "parity of an empty block list is undefined")
+            for block in row:
+                self._check(block, "data")
+        return [META_PAYLOAD] * len(rows)
+
+    def zero_block(self) -> bytes:
+        return META_PAYLOAD
+
+    def accumulate(self, accumulator: bytes, block: bytes) -> bytes:
+        self._check(accumulator, "accumulator")
+        self._check(block, "data")
+        return META_PAYLOAD

@@ -35,7 +35,7 @@ from repro.errors import (
 )
 from repro.layout.base import DataLayout
 from repro.media.objects import MediaObject
-from repro.parity.xor import ParityCodec
+from repro.parity.xor import MetaParityCodec, ParityCodec
 from repro.sched.config import SchedulerConfig
 from repro.schemes import Scheme
 from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
@@ -47,6 +47,27 @@ from repro.server.metrics import (
     SimulationReport,
 )
 from repro.server.stream import Stream, StreamStatus
+
+
+class GroupPlan:
+    """The cached read plan for one (object, group) under one epoch.
+
+    Resolves once per failure/placement epoch what `_plan_group_read`
+    previously recomputed per stream per cycle: which members are on
+    healthy disks (and where), how many are failed, and where the group's
+    parity lives (``None`` when the parity disk is down).
+    """
+
+    __slots__ = ("healthy", "failed_members", "parity", "next_read_track")
+
+    def __init__(self, healthy: tuple, failed_members: int,
+                 parity, next_read_track: int):
+        #: ``(disk_id, position, track)`` per member on an operational disk.
+        self.healthy = healthy
+        self.failed_members = failed_members
+        #: ``(disk_id, position)`` of the parity block, or ``None``.
+        self.parity = parity
+        self.next_read_track = next_read_track
 
 
 class CycleScheduler(abc.ABC):
@@ -69,8 +90,16 @@ class CycleScheduler(abc.ABC):
         self.array = array
         self.config = config
         self.verify_payloads = verify_payloads
+        #: Metadata-only fast path: the array stores occupancy, not bytes.
+        self.metadata_only = not array.store_payloads
+        if verify_payloads and self.metadata_only:
+            raise ConfigurationError(
+                "byte-level payload verification needs a payload-storing "
+                "array; build with store_payloads=True"
+            )
         self.track_bytes = int(round(array.spec.track_size_mb * 1_000_000))
-        self.codec = ParityCodec(self.track_bytes)
+        self.codec = (MetaParityCodec(self.track_bytes) if self.metadata_only
+                      else ParityCodec(self.track_bytes))
         self.slot_table = SlotTable(array, config.slots_per_disk)
         self.report = SimulationReport()
         self.tracker = BufferTracker(array.spec.track_size_mb)
@@ -88,6 +117,23 @@ class CycleScheduler(abc.ABC):
         self._pending_reconstructions = 0
         #: Active on-line rebuilds (rebuild mode), one per failed disk.
         self.rebuilders: list = []
+        #: Data blocks per parity group; group arithmetic on the hot path.
+        self._stripe = config.stripe_width
+        #: Cycle-plan cache: (object name, group) -> GroupPlan, valid for
+        #: one (placement epoch, array state epoch) pair.
+        self._plan_cache: dict[tuple[str, int], GroupPlan] = {}
+        self._plan_cache_key: Optional[tuple[int, int]] = None
+        #: Skips per-member failure checks while no disk is down.
+        self._all_disks_up = not any(d.is_failed for d in array.disks)
+        # Skip per-read/per-track hook dispatch for schemes that keep the
+        # base no-op hooks (everything but Non-clustered).
+        cls = type(self)
+        self._read_hook_active = (
+            cls._on_read_executed is not CycleScheduler._on_read_executed)
+        self._delivery_hook_active = (
+            cls._on_track_delivered is not CycleScheduler._on_track_delivered)
+        self._base_quota = (
+            cls.deliveries_per_cycle is CycleScheduler.deliveries_per_cycle)
         if admission_limit is None:
             admission_limit = self._slot_based_stream_bound()
         self.admission_limit = admission_limit
@@ -188,7 +234,7 @@ class CycleScheduler(abc.ABC):
         server consumes three capacity units (Section 1's "or some
         combination of the two").
         """
-        if obj.name not in {o.name for o in self.layout.objects}:
+        if not self.layout.has_object(obj.name):
             raise AdmissionError(f"object {obj.name!r} is not on disk")
         rate = self._rate_of(obj)
         if self.active_load + rate > self.admission_limit:
@@ -256,6 +302,7 @@ class CycleScheduler(abc.ABC):
         are forced to ... cause a hiccup").
         """
         self.array.fail(disk_id)
+        self._invalidate_plan_cache()
         if mid_cycle:
             for plan in self._last_executed:
                 if plan.disk_id != disk_id or plan.kind is not ReadKind.DATA:
@@ -268,7 +315,7 @@ class CycleScheduler(abc.ABC):
                 # If the group's parity was prefetched (the "sophisticated
                 # scheduler" of Section 4), the block can be rebuilt right
                 # now and the hiccup avoided.
-                group, _ = self.layout.group_of(plan.object_name, plan.index)
+                group = plan.index // self._stripe
                 if not self._try_direct_reconstruction(stream, group, None):
                     self._mark_lost(plan.stream_id, plan.index,
                                     HiccupCause.MID_CYCLE_FAILURE)
@@ -277,6 +324,7 @@ class CycleScheduler(abc.ABC):
     def repair_disk(self, disk_id: int) -> None:
         """Bring a reloaded disk back online between cycles."""
         self.array.repair(disk_id)
+        self._invalidate_plan_cache()
         self.on_disk_repair(disk_id)
 
     def start_rebuild(self, disk_id: int,
@@ -293,10 +341,63 @@ class CycleScheduler(abc.ABC):
         self.rebuilders.append(rebuilder)
         return rebuilder
 
+    # -- the cycle-plan cache ---------------------------------------------------
+
+    def _invalidate_plan_cache(self) -> None:
+        """Drop every memoized group plan (failure/repair/placement)."""
+        self._plan_cache.clear()
+        self._plan_cache_key = None
+        self._all_disks_up = not any(
+            disk.is_failed for disk in self.array.disks)
+
+    def _refresh_plan_cache(self) -> None:
+        """Flush the plan cache if the layout or array state moved on.
+
+        The epoch pair catches *every* invalidation source — scheduler-level
+        ``fail_disk``/``repair_disk``, direct ``array.fail`` calls, and
+        content-manager placements — at one O(D) check per cycle.
+        """
+        key = (self.layout.epoch, self.array.state_epoch)
+        if key != self._plan_cache_key:
+            self._plan_cache.clear()
+            self._plan_cache_key = key
+            self._all_disks_up = not any(
+                disk.is_failed for disk in self.array.disks)
+
+    def _group_plan(self, name: str, group: int) -> GroupPlan:
+        """The memoized read plan for one (object, group)."""
+        key = (name, group)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            members, parity_addr = self.layout.group_geometry(name, group)
+            track = group * self._stripe
+            if self._all_disks_up:
+                healthy = []
+                for disk_id, position in members:
+                    healthy.append((disk_id, position, track))
+                    track += 1
+                plan = GroupPlan(tuple(healthy), 0, parity_addr, track)
+            else:
+                disks = self.array.disks
+                healthy = []
+                failed = 0
+                for disk_id, position in members:
+                    if disks[disk_id].is_failed:
+                        failed += 1
+                    else:
+                        healthy.append((disk_id, position, track))
+                    track += 1
+                parity = (None if disks[parity_addr[0]].is_failed
+                          else parity_addr)
+                plan = GroupPlan(tuple(healthy), failed, parity, track)
+            self._plan_cache[key] = plan
+        return plan
+
     # -- the cycle engine -----------------------------------------------------------
 
     def run_cycle(self) -> CycleReport:
         """Simulate one full cycle; returns its report."""
+        self._refresh_plan_cache()
         report = CycleReport(cycle=self.cycle_index)
         self._deliver_phase(report)
         plans = self.plan_reads(self.cycle_index)
@@ -318,26 +419,55 @@ class CycleScheduler(abc.ABC):
 
     # -- phases ------------------------------------------------------------------------
 
+    def _delivery_hook_needed(self) -> bool:
+        """Whether ``_on_track_delivered`` has any work this cycle.
+
+        Schemes overriding the hook can override this too (NC: only while
+        accumulators are open) so healthy cycles keep the fast path.
+        """
+        return True
+
     def _deliver_phase(self, report: CycleReport) -> None:
+        verify = self.verify_payloads
+        hook_active = (self._delivery_hook_active
+                       and self._delivery_hook_needed())
+        cycle = self.cycle_index
+        k_prime = self.config.k_prime
+        base_quota = self._base_quota
         for stream in self.active_streams:
-            if stream.delivery_start_cycle is None:
+            start = stream.delivery_start_cycle
+            if start is None or cycle < start:
                 continue
-            if self.cycle_index < stream.delivery_start_cycle:
-                continue
-            due = min(self.deliveries_per_cycle(stream),
-                      stream.object.num_tracks - stream.next_delivery_track)
+            quota = (k_prime * stream.rate if base_quota
+                     else self.deliveries_per_cycle(stream))
+            due = min(quota, stream.num_tracks - stream.next_delivery_track)
+            buffer = stream.buffer
+            delivered = 0
             for _ in range(due):
                 track = stream.next_delivery_track
-                self._deliver_track(stream, track, report)
+                payload = buffer.pop(track, None)
+                if payload is None or verify or hook_active:
+                    self._deliver_track(stream, track, payload, report)
+                else:
+                    delivered += 1
                 stream.next_delivery_track += 1
+            if due:
+                if delivered:
+                    report.tracks_delivered += delivered
+                    stream.delivered_tracks += delivered
                 stream.activate()
-            self._release_finished_groups(stream)
-            if not stream.deliveries_remaining:
+            if stream.parity_buffer or stream.accumulators:
+                self._release_finished_groups(stream)
+            if stream.next_delivery_track >= stream.num_tracks \
+                    and stream.is_active:
                 stream.complete()
 
     def _deliver_track(self, stream: Stream, track: int,
+                       payload: Optional[bytes],
                        report: CycleReport) -> None:
-        payload = stream.take_track(track)
+        """The slow delivery path: a hiccup, byte verification, or a
+        scheme delivery hook (the healthy metadata-mode fast path is
+        inlined in :meth:`_deliver_phase`)."""
         if payload is None:
             cause = self._lost_causes.pop(
                 (stream.stream_id, track), None)
@@ -362,11 +492,14 @@ class CycleScheduler(abc.ABC):
                 self.report.payload_mismatches += 1
         report.tracks_delivered += 1
         stream.delivered_tracks += 1
-        self._on_track_delivered(stream, track, payload)
+        if self._delivery_hook_active:
+            self._on_track_delivered(stream, track, payload)
 
     def _release_finished_groups(self, stream: Stream) -> None:
         """Drop parity/accumulator buffers of fully delivered groups."""
         if stream.next_delivery_track == 0:
+            return
+        if not stream.parity_buffer and not stream.accumulators:
             return
         current_group, offset = divmod(
             stream.next_delivery_track, self.config.stripe_width)
@@ -379,65 +512,129 @@ class CycleScheduler(abc.ABC):
 
     def _execute_reads(self, executed: list[PlannedRead],
                        report: CycleReport) -> None:
+        streams = self.streams
+        disks = self.array.disks
+        data_kind = ReadKind.DATA
+        next_cycle = self.cycle_index + 1
+        hook = self._on_read_executed if self._read_hook_active else None
+        # Plans arrive grouped by stream; hoist the lookup across the run.
+        last_id = None
+        stream = None
         for plan in executed:
-            stream = self.streams.get(plan.stream_id)
-            if stream is None or not stream.is_active:
+            if plan.stream_id != last_id:
+                last_id = plan.stream_id
+                candidate = streams.get(last_id)
+                stream = (candidate if candidate is not None
+                          and candidate.is_active else None)
+            if stream is None:
                 continue
-            payload = self.array[plan.disk_id].read(plan.position)
-            if plan.kind is ReadKind.DATA:
-                stream.store_track(plan.index, payload)
+            payload = disks[plan.disk_id].read(plan.position)
+            if plan.kind is data_kind:
+                stream.buffer[plan.index] = payload
                 if stream.delivery_start_cycle is None:
-                    stream.delivery_start_cycle = self.cycle_index + 1
+                    stream.delivery_start_cycle = next_cycle
             else:
-                stream.store_parity(plan.index, payload)
+                stream.parity_buffer[plan.index] = payload
                 report.parity_reads += 1
             report.reads_executed += 1
-            self._on_read_executed(stream, plan, payload)
-        self._last_executed = list(executed)
+            if hook is not None:
+                hook(stream, plan, payload)
+        self._last_executed = executed
 
     def _reconstruct_phase(self, executed: list[PlannedRead],
                            report: CycleReport) -> None:
-        """Rebuild missing blocks in groups touched this cycle."""
+        """Rebuild missing blocks in groups touched this cycle.
+
+        All eligible groups of the cycle are XOR-reduced together in one
+        matrix operation (:meth:`ParityCodec.reconstruct_batch`) instead of
+        block by block.
+        """
+        streams = self.streams
         touched: set[tuple[int, int]] = set()
+        stripe = self._stripe
+        parity_kind = ReadKind.PARITY
+        last_id = None
+        has_parity = False
         for plan in executed:
-            if plan.kind is ReadKind.PARITY:
+            # Only streams holding a parity block can reconstruct; in the
+            # healthy steady state no parity is buffered and the whole
+            # phase is a cheap scan.
+            if plan.stream_id != last_id:
+                last_id = plan.stream_id
+                stream = streams.get(last_id)
+                has_parity = stream is not None and bool(stream.parity_buffer)
+            if not has_parity:
+                continue
+            if plan.kind is parity_kind:
                 touched.add((plan.stream_id, plan.index))
             else:
-                group, _ = self.layout.group_of(plan.object_name, plan.index)
-                touched.add((plan.stream_id, group))
+                touched.add((plan.stream_id, plan.index // stripe))
+        if not touched:
+            return
+        candidates: list[tuple[Stream, int, int]] = []
+        rows: list[list[bytes]] = []
         for stream_id, group in sorted(touched):
-            stream = self.streams.get(stream_id)
+            stream = streams.get(stream_id)
             if stream is None or not stream.is_active:
                 continue
-            self._try_direct_reconstruction(stream, group, report)
+            found = self._reconstruction_candidate(stream, group)
+            if found is None:
+                continue
+            missing_track, row = found
+            candidates.append((stream, group, missing_track))
+            rows.append(row)
+        if not candidates:
+            return
+        payloads = self.codec.reconstruct_batch(rows)
+        for (stream, group, missing_track), payload in zip(candidates,
+                                                           payloads):
+            self._commit_reconstruction(stream, missing_track, payload,
+                                        report)
 
-    def _try_direct_reconstruction(self, stream: Stream, group: int,
-                                   report: Optional[CycleReport]) -> bool:
-        """Rebuild the single missing block of a fully resident group."""
-        if group not in stream.parity_buffer:
-            return False
+    def _reconstruction_candidate(self, stream: Stream, group: int,
+                                  ) -> Optional[tuple[int, list[bytes]]]:
+        """``(missing track, survivors + parity row)`` if the group is one
+        fetched block short and everything else is resident; else None."""
+        parity = stream.parity_buffer.get(group)
+        if parity is None:
+            return None
         tracks = self.layout.group_tracks(stream.object.name, group)
+        buffer = stream.buffer
         missing = [t for t in tracks
-                   if t not in stream.buffer
+                   if t not in buffer
                    and t >= stream.next_delivery_track]
         if len(missing) != 1:
-            return False
-        present = [t for t in tracks if t in stream.buffer]
+            return None
+        present = [buffer[t] for t in tracks if t in buffer]
         if len(present) != len(tracks) - 1:
-            return False  # some member was already delivered and discarded
-        blocks: list[Optional[bytes]] = [
-            stream.buffer.get(t) for t in tracks]
-        while len(blocks) < self.config.stripe_width:
-            blocks.append(self.codec.zero_block())  # tail-group padding
-        payload = self.codec.reconstruct(blocks, stream.parity_buffer[group])
-        stream.store_track(missing[0], payload)
-        self._lost_causes.pop((stream.stream_id, missing[0]), None)
-        stream.lost_tracks.discard(missing[0])
+            return None  # some member was already delivered and discarded
+        # Zero padding for short tail groups is unnecessary: zero blocks
+        # are the XOR identity.
+        present.append(parity)
+        return missing[0], present
+
+    def _commit_reconstruction(self, stream: Stream, track: int,
+                               payload: bytes,
+                               report: Optional[CycleReport]) -> None:
+        stream.store_track(track, payload)
+        self._lost_causes.pop((stream.stream_id, track), None)
+        stream.lost_tracks.discard(track)
         stream.reconstructed_tracks += 1
         if report is None:
             self._pending_reconstructions += 1
         else:
             report.reconstructions += 1
+
+    def _try_direct_reconstruction(self, stream: Stream, group: int,
+                                   report: Optional[CycleReport]) -> bool:
+        """Rebuild the single missing block of a fully resident group."""
+        found = self._reconstruction_candidate(stream, group)
+        if found is None:
+            return False
+        missing_track, row = found
+        payload = self.codec.reconstruct(
+            [None] + row[:-1], row[-1])
+        self._commit_reconstruction(stream, missing_track, payload, report)
         return True
 
     def _rebuild_phase(self, executed: list[PlannedRead],
@@ -461,12 +658,16 @@ class CycleScheduler(abc.ABC):
     def _finalise(self, report: CycleReport) -> None:
         report.reconstructions += self._pending_reconstructions
         self._pending_reconstructions = 0
-        report.streams_active = len(
-            [s for s in self.streams.values()
-             if s.status is StreamStatus.ACTIVE])
-        report.streams_terminated = len(
-            [s for s in self.streams.values()
-             if s.status is StreamStatus.TERMINATED])
+        active = terminated = 0
+        active_status = StreamStatus.ACTIVE
+        terminated_status = StreamStatus.TERMINATED
+        for stream in self.streams.values():
+            if stream.status is active_status:
+                active += 1
+            elif stream.status is terminated_status:
+                terminated += 1
+        report.streams_active = active
+        report.streams_terminated = terminated
         report.buffered_tracks = self.tracker.sample(
             self.active_streams, extra_tracks=self._extra_buffer_tracks())
         report.pool_tracks_in_use = self._extra_buffer_tracks()
@@ -488,37 +689,22 @@ class CycleScheduler(abc.ABC):
         is up.  Advances the read pointer to the end of the group.
         """
         name = stream.object.name
-        group, offset = self.layout.group_of(name, stream.next_read_track)
+        group, offset = divmod(stream.next_read_track, self._stripe)
         if offset != 0:
             raise SimulationError(
                 f"group read planned mid-group (stream {stream.stream_id}, "
                 f"track {stream.next_read_track})"
             )
-        span = self.layout.group_span(name, group)
-        tracks = self.layout.group_tracks(name, group)
-        failed_members = 0
-        for track, address in zip(tracks, span.data):
-            if self.array[address.disk_id].is_failed:
-                failed_members += 1
-                continue
-            plans.append(PlannedRead(
-                disk_id=address.disk_id,
-                position=address.position,
-                stream_id=stream.stream_id,
-                object_name=name,
-                kind=ReadKind.DATA,
-                index=track,
-                purpose=data_purpose,
-            ))
-        parity_disk_ok = not self.array[span.parity.disk_id].is_failed
-        if include_parity and failed_members and parity_disk_ok:
-            plans.append(PlannedRead(
-                disk_id=span.parity.disk_id,
-                position=span.parity.position,
-                stream_id=stream.stream_id,
-                object_name=name,
-                kind=ReadKind.PARITY,
-                index=group,
-                purpose=ReadPurpose.RECOVERY,
-            ))
-        stream.next_read_track = tracks[-1] + 1
+        entry = self._group_plan(name, group)
+        stream_id = stream.stream_id
+        append = plans.append
+        data_kind = ReadKind.DATA
+        for disk_id, position, track in entry.healthy:
+            append(PlannedRead(disk_id, position, stream_id, name,
+                               data_kind, track, data_purpose))
+        if include_parity and entry.failed_members \
+                and entry.parity is not None:
+            append(PlannedRead(entry.parity[0], entry.parity[1], stream_id,
+                               name, ReadKind.PARITY, group,
+                               ReadPurpose.RECOVERY))
+        stream.next_read_track = entry.next_read_track

@@ -79,19 +79,18 @@ class ImprovedBandwidthScheduler(CycleScheduler):
         # get their parity read planned up front, with their surviving
         # data reads elevated so the group cannot lose a second block.
         name = stream.object.name
-        group, _ = self.layout.group_of(name, stream.next_read_track)
-        span = self.layout.group_span(name, group)
-        group_hit = any(self.array[a.disk_id].is_failed
-                        for a in span.data)
+        group = stream.next_read_track // self._stripe
+        entry = self._group_plan(name, group)
+        group_hit = entry.failed_members > 0
         purpose = (ReadPurpose.RECOVERY if group_hit
                    else ReadPurpose.NORMAL)
         self._plan_group_read(stream, plans, include_parity=group_hit,
                               data_purpose=purpose)
         if self.proactive_parity and not group_hit \
-                and not self.array[span.parity.disk_id].is_failed:
+                and entry.parity is not None:
             plans.append(PlannedRead(
-                disk_id=span.parity.disk_id,
-                position=span.parity.position,
+                disk_id=entry.parity[0],
+                position=entry.parity[1],
                 stream_id=stream.stream_id,
                 object_name=name,
                 kind=ReadKind.PARITY,
@@ -110,7 +109,7 @@ class ImprovedBandwidthScheduler(CycleScheduler):
         """
         name = stream.object.name
         track = stream.next_read_track
-        group, _ = self.layout.group_of(name, track)
+        group = track // self._stripe
         primary = self.layout.data_address(name, track)
         mirror = self.layout.parity_address(name, group)
         # The coin must decorrelate from the disk walk: successive groups
@@ -191,8 +190,7 @@ class ImprovedBandwidthScheduler(CycleScheduler):
     def _group_key(self, plan: PlannedRead) -> tuple[int, int]:
         if plan.kind is ReadKind.PARITY:
             return (plan.stream_id, plan.index)
-        group, _ = self.layout.group_of(plan.object_name, plan.index)
-        return (plan.stream_id, group)
+        return (plan.stream_id, plan.index // self._stripe)
 
     def _protect_group(self, work: list[PlannedRead], dropped: PlannedRead,
                        key: tuple[int, int]) -> list[PlannedRead]:

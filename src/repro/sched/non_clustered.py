@@ -160,8 +160,7 @@ class NonClusteredScheduler(CycleScheduler):
         if not stream.reads_remaining:
             return None
         name = stream.object.name
-        group, next_offset = self.layout.group_of(name,
-                                                  stream.next_read_track)
+        group, next_offset = divmod(stream.next_read_track, self._stripe)
         tracks = self.layout.group_tracks(name, group)
         cluster = self.layout.group_cluster(name, group)
         failed_offsets = sorted(self._degraded.get(cluster, ()))
@@ -192,6 +191,13 @@ class NonClusteredScheduler(CycleScheduler):
     def _plan_one_quantum(self, stream: Stream,
                           plans: list[PlannedRead]) -> None:
         """One planning action: a track read, a skip, or a burst."""
+        if not self._degraded:
+            # No cluster is degraded: every stream is on its natural
+            # one-track schedule (bursts and skips only exist in degraded
+            # mode), so skip the group-state resolution entirely.
+            if stream.reads_remaining:
+                self._plan_one_track(stream, plans)
+            return
         state = self._group_state(stream)
         if state is None:
             return
@@ -338,18 +344,24 @@ class NonClusteredScheduler(CycleScheduler):
             del self._accumulators[key]
             stream.accumulators.pop(group, None)
 
+    def _delivery_hook_needed(self) -> bool:
+        return bool(self._accumulators)
+
     def _on_read_executed(self, stream: Stream, plan: PlannedRead,
                           payload: bytes) -> None:
+        if not self._accumulators:
+            return
         if plan.kind is ReadKind.PARITY:
             self._fold(stream, plan.index, "parity", payload)
         else:
-            group, _ = self.layout.group_of(plan.object_name, plan.index)
-            self._fold(stream, group, plan.index, payload)
+            self._fold(stream, plan.index // self._stripe, plan.index,
+                       payload)
 
     def _on_track_delivered(self, stream: Stream, track: int,
                             payload: bytes) -> None:
-        group, _ = self.layout.group_of(stream.object.name, track)
-        self._fold(stream, group, track, payload)
+        if not self._accumulators:
+            return
+        self._fold(stream, track // self._stripe, track, payload)
 
     # -- drop handling ----------------------------------------------------------------
 

@@ -36,19 +36,40 @@ class SlotTable:
 
         Preserves planning order within each outcome list.
         """
+        # Fast path: every touched disk is up and under budget — all plans
+        # execute, nothing is dropped, no per-disk ranking is needed.  This
+        # is the overwhelmingly common healthy-cycle case; it only counts
+        # loads, deferring the per-disk plan lists to the slow path.
+        slots = self.slots_per_disk
+        array = self.array
+        counts: dict[int, int] = {}
+        over_budget = False
+        for plan in plans:
+            disk_id = plan.disk_id
+            load = counts.get(disk_id, 0) + 1
+            counts[disk_id] = load
+            if load > slots:
+                over_budget = True
+        if not over_budget and not any(array[disk_id].is_failed
+                                       for disk_id in counts):
+            plans = plans if type(plans) is list else list(plans)
+            return plans, []
         by_disk: dict[int, list[PlannedRead]] = {}
         for plan in plans:
             by_disk.setdefault(plan.disk_id, []).append(plan)
         executed: list[PlannedRead] = []
         dropped: list[PlannedRead] = []
         for disk_id, disk_plans in by_disk.items():
-            if self.array[disk_id].is_failed:
+            if array[disk_id].is_failed:
                 dropped.extend(disk_plans)
+                continue
+            if len(disk_plans) <= slots:
+                executed.extend(disk_plans)
                 continue
             # Stable sort: priority first, planning order second.
             ranked = sorted(disk_plans, key=lambda p: p.priority)
-            executed.extend(ranked[:self.slots_per_disk])
-            dropped.extend(ranked[self.slots_per_disk:])
+            executed.extend(ranked[:slots])
+            dropped.extend(ranked[slots:])
         # Return in global planning order for determinism downstream.
         order = {id(plan): i for i, plan in enumerate(plans)}
         executed.sort(key=lambda p: order[id(p)])

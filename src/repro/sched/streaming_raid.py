@@ -23,9 +23,11 @@ class StreamingRAIDScheduler(CycleScheduler):
         """One full parity-group read per stream rate-unit per cycle."""
         plans: list[PlannedRead] = []
         for stream in self.active_streams:
-            # A rate-r stream consumes r parity groups per cycle.
+            # A rate-r stream consumes r parity groups per cycle.  Streams
+            # from ``active_streams`` are live, so ``reads_remaining``
+            # reduces to the pointer check.
             for _ in range(stream.rate):
-                if not stream.reads_remaining:
+                if stream.next_read_track >= stream.num_tracks:
                     break
                 self._plan_group_read(stream, plans, include_parity=True)
         return plans

@@ -80,6 +80,13 @@ class MultimediaServer:
         the Improved-bandwidth scheme's opportunistic parity prefetch
         (Section 4's "sophisticated scheduler"); other schemes ignore
         the options that do not apply to them.
+
+        ``verify_payloads=True`` materialises real deterministic payload
+        bytes and byte-checks every delivery and reconstruction.  The
+        default (``False``) runs in *metadata-only* mode: disks track
+        occupancy and read counters without storing bytes, all cycle
+        metrics are bit-identical, and large configurations run orders of
+        magnitude faster.
         """
         config = SchedulerConfig.build(params, parity_group_size, scheme,
                                        slots_per_disk=slots_per_disk)
@@ -104,7 +111,10 @@ class MultimediaServer:
                 f"catalog needs {needed} tracks per disk; drives hold "
                 f"{spec.tracks_per_disk}"
             )
-        array = DiskArray(params.num_disks, spec)
+        # Metadata-only mode: unless payloads are to be byte-verified, the
+        # array tracks occupancy and counters without storing any bytes.
+        array = DiskArray(params.num_disks, spec,
+                          store_payloads=verify_payloads)
         layout.materialise(array)
         scheduler = cls._make_scheduler(
             scheme, layout, array, config, protocol, pool_clusters,

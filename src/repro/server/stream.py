@@ -35,12 +35,20 @@ class StreamStatus(enum.Enum):
 class Stream:
     """One active delivery with its buffers and pointers."""
 
+    __slots__ = ("stream_id", "object", "num_tracks", "admitted_cycle",
+                 "phase", "rate", "status", "is_active", "next_read_track",
+                 "next_delivery_track", "delivery_start_cycle", "buffer",
+                 "parity_buffer", "accumulators", "lost_tracks",
+                 "delivered_tracks", "hiccup_count", "reconstructed_tracks")
+
     def __init__(self, stream_id: int, obj: MediaObject,
                  admitted_cycle: int = 0, phase: int = 0, rate: int = 1):
         if rate < 1:
             raise ValueError(f"stream rate must be >= 1, got {rate}")
         self.stream_id = stream_id
         self.object = obj
+        #: Denormalised from ``object`` for the cycle engine's hot loops.
+        self.num_tracks = obj.num_tracks
         self.admitted_cycle = admitted_cycle
         #: Read phase for staggered schemes (0 .. C-2).
         self.phase = phase
@@ -49,6 +57,9 @@ class Stream:
         #: on an MPEG-1-cycled server has rate 3).
         self.rate = rate
         self.status = StreamStatus.ADMITTED
+        #: Kept in lockstep with ``status``: a plain attribute because the
+        #: cycle engine consults it once per planned read.
+        self.is_active = True
         self.next_read_track = 0
         self.next_delivery_track = 0
         #: Cycle at which delivery begins (set when the first read lands).
@@ -75,20 +86,15 @@ class Stream:
     # -- progress queries ---------------------------------------------------
 
     @property
-    def is_active(self) -> bool:
-        """True while the stream occupies server resources."""
-        return self.status in (StreamStatus.ADMITTED, StreamStatus.ACTIVE)
-
-    @property
     def reads_remaining(self) -> bool:
         """True while there are tracks left to fetch."""
-        return self.is_active and self.next_read_track < self.object.num_tracks
+        return self.is_active and self.next_read_track < self.num_tracks
 
     @property
     def deliveries_remaining(self) -> bool:
         """True while there are tracks left to send."""
         return self.is_active and \
-            self.next_delivery_track < self.object.num_tracks
+            self.next_delivery_track < self.num_tracks
 
     @property
     def buffered_track_count(self) -> int:
@@ -130,6 +136,7 @@ class Stream:
     def complete(self) -> None:
         """All tracks delivered (or accounted as hiccups)."""
         self.status = StreamStatus.COMPLETED
+        self.is_active = False
         self.buffer.clear()
         self.parity_buffer.clear()
         self.accumulators.clear()
@@ -137,6 +144,7 @@ class Stream:
     def terminate(self) -> None:
         """Dropped by degradation of service."""
         self.status = StreamStatus.TERMINATED
+        self.is_active = False
         self.buffer.clear()
         self.parity_buffer.clear()
         self.accumulators.clear()
@@ -144,6 +152,7 @@ class Stream:
     def stop(self) -> None:
         """The viewer stopped watching; resources are released at once."""
         self.status = StreamStatus.STOPPED
+        self.is_active = False
         self.buffer.clear()
         self.parity_buffer.clear()
         self.accumulators.clear()

@@ -46,6 +46,8 @@ class Event:
     is stable.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[[Event], None]]] = []
@@ -117,6 +119,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after it is created."""
 
+    __slots__ = ("delay", "_value_on_fire")
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -134,6 +138,8 @@ class Process(Event):
     The process is itself an event: it triggers with the generator's return
     value when the generator finishes, or fails with the uncaught exception.
     """
+
+    __slots__ = ("_generator", "name", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: str = ""):
@@ -198,6 +204,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf/AnyOf composition events."""
 
+    __slots__ = ("_events", "_pending")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
@@ -226,6 +234,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires when every component event has fired; value is the list of values."""
 
+    __slots__ = ()
+
     def _check(self) -> None:
         if not self.triggered and all(e.triggered for e in self._events):
             self.succeed([e._value for e in self._events])
@@ -233,6 +243,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Fires when the first component event fires; value is that event's value."""
+
+    __slots__ = ()
 
     def _check(self) -> None:
         for event in self._events:
@@ -243,6 +255,8 @@ class AnyOf(_Condition):
 
 class Environment:
     """The simulation environment: clock, schedule, and run loop."""
+
+    __slots__ = ("_now", "_heap", "_sequence")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)

@@ -1,0 +1,137 @@
+"""The cycle-plan cache: correct memoization across failures and repairs.
+
+The cache memoizes per-(object, group) read plans keyed on the placement
+and array-state epochs.  These tests pin the invalidation contract: a
+failure degrades the plan immediately, a repair restores the original
+geometry, and state changes that bypass the scheduler (direct array
+failures, mid-cycle failures) are caught no later than the next cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schemes import Scheme
+from tests.conftest import build_server, tiny_catalog
+
+SCHEMES = [
+    pytest.param(Scheme.STREAMING_RAID, id="streaming-raid"),
+    pytest.param(Scheme.STAGGERED_GROUP, id="staggered-group"),
+    pytest.param(Scheme.NON_CLUSTERED, id="non-clustered"),
+    pytest.param(Scheme.IMPROVED_BANDWIDTH, id="improved-bandwidth"),
+]
+
+
+def make_server(scheme: Scheme):
+    num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    return build_server(scheme, num_disks=num_disks,
+                        catalog=tiny_catalog(4, tracks=40),
+                        verify_payloads=False)
+
+
+def plan_fields(plan):
+    return (plan.healthy, plan.failed_members, plan.parity,
+            plan.next_read_track)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_member_failure_degrades_then_repair_restores(scheme):
+    server = make_server(scheme)
+    sched = server.scheduler
+    name = server.catalog.names()[0]
+    stripe = server.config.stripe_width
+
+    baseline = sched._group_plan(name, 0)
+    assert baseline.failed_members == 0
+    assert len(baseline.healthy) == stripe
+    assert baseline.parity is not None
+
+    member_disk = baseline.healthy[0][0]
+    server.fail_disk(member_disk)
+    assert sched._plan_cache == {}  # invalidated immediately
+
+    degraded = sched._group_plan(name, 0)
+    assert degraded.failed_members == 1
+    assert len(degraded.healthy) == stripe - 1
+    assert all(disk_id != member_disk
+               for disk_id, _, _ in degraded.healthy)
+    # Pointer advancement must not change with membership.
+    assert degraded.next_read_track == baseline.next_read_track
+
+    server.repair_disk(member_disk)
+    restored = sched._group_plan(name, 0)
+    assert plan_fields(restored) == plan_fields(baseline)
+    # Same contents, fresh entry: the old epoch's plans were dropped.
+    assert restored is not baseline
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_parity_disk_failure_blanks_parity_only(scheme):
+    server = make_server(scheme)
+    sched = server.scheduler
+    name = server.catalog.names()[0]
+
+    baseline = sched._group_plan(name, 0)
+    parity_disk = baseline.parity[0]
+    server.fail_disk(parity_disk)
+
+    degraded = sched._group_plan(name, 0)
+    assert degraded.parity is None
+    assert degraded.failed_members == 0
+    assert degraded.healthy == baseline.healthy
+
+    server.repair_disk(parity_disk)
+    assert plan_fields(sched._group_plan(name, 0)) == plan_fields(baseline)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_direct_array_failure_caught_at_next_cycle(scheme):
+    """Failures injected behind the scheduler's back (array.fail) are
+    picked up by the epoch check at the next run_cycle."""
+    server = make_server(scheme)
+    sched = server.scheduler
+    name = server.catalog.names()[0]
+
+    baseline = sched._group_plan(name, 0)
+    member_disk = baseline.healthy[0][0]
+    server.array.fail(member_disk)
+    server.run_cycle()  # no streams; refreshes the cache key
+
+    degraded = sched._group_plan(name, 0)
+    assert degraded.failed_members == 1
+    assert all(disk_id != member_disk
+               for disk_id, _, _ in degraded.healthy)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_mid_cycle_failure_replans_around_failed_disk(scheme):
+    server = make_server(scheme)
+    sched = server.scheduler
+    name = server.catalog.names()[0]
+    server.admit(name)
+    server.run_cycle()
+
+    baseline = sched._group_plan(name, 0)
+    member_disk = baseline.healthy[0][0]
+    server.fail_disk(member_disk, mid_cycle=True)
+    assert sched._group_plan(name, 0).failed_members == 1
+
+    reads_before = server.array[member_disk].reads
+    server.run_cycles(12)
+    # Every subsequent plan routed around the failed disk: its read
+    # counter never moves (a planned read on a failed disk would raise).
+    assert server.array[member_disk].reads == reads_before
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_steady_state_reuses_cached_plans(scheme):
+    server = make_server(scheme)
+    sched = server.scheduler
+    name = server.catalog.names()[0]
+
+    server.admit(name)
+    server.run_cycle()
+    first = sched._group_plan(name, 0)
+    server.run_cycle()
+    # No failure, no placement change: the same objects are served.
+    assert sched._group_plan(name, 0) is first
