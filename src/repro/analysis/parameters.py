@@ -80,7 +80,7 @@ class SystemParameters:
     # -- canonical parameterisations --------------------------------------
 
     @classmethod
-    def paper_table1(cls, **overrides) -> "SystemParameters":
+    def paper_table1(cls, **overrides: float) -> "SystemParameters":
         """Table 1: b_o = 1.5 Mb/s, B = 50 KB, 25/20 ms, D = 100."""
         base = cls(
             object_bandwidth_mb_s=mbits_per_sec(1.5),
@@ -93,7 +93,7 @@ class SystemParameters:
 
     @classmethod
     def paper_section2(cls, object_bandwidth_mbits: float = 1.5,
-                       **overrides) -> "SystemParameters":
+                       **overrides: float) -> "SystemParameters":
         """The Section 2 example: B = 100 KB, 30/10 ms."""
         base = cls(
             object_bandwidth_mb_s=mbits_per_sec(object_bandwidth_mbits),
@@ -106,7 +106,7 @@ class SystemParameters:
 
     @classmethod
     def from_disk_spec(cls, spec: DiskSpec, object_bandwidth_mb_s: float,
-                       num_disks: int, **overrides) -> "SystemParameters":
+                       num_disks: int, **overrides: float) -> "SystemParameters":
         """Build parameters from a :class:`~repro.disk.specs.DiskSpec`."""
         base = cls(
             object_bandwidth_mb_s=object_bandwidth_mb_s,
@@ -122,7 +122,7 @@ class SystemParameters:
 
     # -- derived quantities -------------------------------------------------
 
-    def with_overrides(self, **changes) -> "SystemParameters":
+    def with_overrides(self, **changes: float) -> "SystemParameters":
         """A copy with some fields replaced."""
         return replace(self, **changes)
 

@@ -20,7 +20,7 @@ from repro.errors import BufferExhausted
 class BufferPool:
     """Cluster-granularity buffer leases plus track-level usage accounting."""
 
-    def __init__(self, capacity_clusters: int, tracks_per_cluster: int):
+    def __init__(self, capacity_clusters: int, tracks_per_cluster: int) -> None:
         if capacity_clusters < 0:
             raise ValueError(
                 f"pool capacity must be non-negative: {capacity_clusters}"

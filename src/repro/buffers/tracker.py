@@ -17,7 +17,7 @@ from repro.server.stream import Stream
 class BufferTracker:
     """Samples and aggregates buffer occupancy over a run."""
 
-    def __init__(self, track_size_mb: float):
+    def __init__(self, track_size_mb: float) -> None:
         if track_size_mb <= 0:
             raise ValueError(f"track size must be positive: {track_size_mb}")
         self.track_size_mb = track_size_mb

@@ -1,0 +1,94 @@
+"""Command-line entry point: ``python -m repro.checks [paths ...]``.
+
+Exit codes: 0 clean, 1 findings (or self-test failures), 2 bad usage or
+unanalyzable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.checks.core import AnalysisError, Analyzer
+from repro.checks.fixtures import FIXTURES, run_self_test
+from repro.checks.rules import ALL_RULES, default_rules, rules_by_id
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description=("Static analysis of the simulator's invariants: "
+                     "determinism, units discipline, epoch-cache "
+                     "soundness, __slots__ consistency, float equality, "
+                     "typed defs."),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to analyze (default: src tests)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is machine-readable, for CI)")
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule IDs or names to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the built-in good/bad fixtures instead of analyzing "
+             "files")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_class in ALL_RULES:
+            print(f"{rule_class.rule_id}  {rule_class.name:<16} "
+                  f"{rule_class.description}")
+        return 0
+    if args.self_test:
+        return _self_test(args.format)
+    try:
+        rules = (rules_by_id(args.select.split(","))
+                 if args.select else default_rules())
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    analyzer = Analyzer(rules)
+    try:
+        report = analyzer.check_paths(args.paths)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        status = "clean" if report.ok else \
+            f"{len(report.findings)} finding(s)"
+        print(f"repro.checks: {report.files_checked} file(s), "
+              f"{len(rules)} rule(s): {status}")
+    return 0 if report.ok else 1
+
+
+def _self_test(output_format: str) -> int:
+    failures = run_self_test()
+    if output_format == "json":
+        print(json.dumps({
+            "ok": not failures,
+            "fixtures": len(FIXTURES),
+            "failures": failures,
+        }, indent=2))
+    else:
+        for failure in failures:
+            print(f"self-test FAILED: {failure}")
+        print(f"repro.checks --self-test: {len(FIXTURES)} fixture(s), "
+              f"{len(failures)} failure(s)")
+    return 1 if failures else 0

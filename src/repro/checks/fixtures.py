@@ -1,0 +1,410 @@
+"""Good/bad fixture snippets proving each rule fires (and stays quiet).
+
+These back ``python -m repro.checks --self-test`` and the
+``tests/checks`` suite: every rule has at least one *bad* snippet with
+the exact ``(rule_id, line)`` pairs it must produce, at least one *good*
+snippet that must stay clean, and a suppressed variant showing the
+``# repro: allow(...)`` escape works.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+
+from repro.checks.core import Analyzer, Finding
+
+
+@dataclass(frozen=True)
+class Fixture:
+    """One self-test snippet and the findings it must produce."""
+
+    label: str
+    #: Synthetic path placing the snippet inside the target rule's scope.
+    path: str
+    code: str
+    #: Expected ``(rule_id, line)`` pairs, exactly; empty for good/clean.
+    expect: tuple[tuple[str, int], ...] = ()
+
+
+def _snippet(code: str) -> str:
+    return textwrap.dedent(code).strip("\n") + "\n"
+
+
+FIXTURES: tuple[Fixture, ...] = (
+    # -- R1 determinism ------------------------------------------------------
+    Fixture(
+        label="R1-bad-import-random",
+        path="src/repro/workload/example.py",
+        code=_snippet("""
+            import random
+
+
+            def draw() -> float:
+                return random.random()
+        """),
+        expect=(("R1", 1),),
+    ),
+    Fixture(
+        label="R1-bad-wall-clock",
+        path="src/repro/faults/example.py",
+        code=_snippet("""
+            import time
+            from datetime import datetime
+
+
+            def stamp() -> float:
+                started = time.time()
+                label = datetime.now()
+                return started
+        """),
+        expect=(("R1", 6), ("R1", 7)),
+    ),
+    Fixture(
+        label="R1-bad-unseeded-rng",
+        path="tests/workload/test_example.py",
+        code=_snippet("""
+            import numpy as np
+
+
+            def make_rng() -> object:
+                return np.random.default_rng()
+        """),
+        expect=(("R1", 5),),
+    ),
+    Fixture(
+        label="R1-bad-global-numpy-rng",
+        path="src/repro/workload/example.py",
+        code=_snippet("""
+            import numpy as np
+
+
+            def draw() -> float:
+                np.random.seed(0)
+                return float(np.random.uniform())
+        """),
+        expect=(("R1", 5), ("R1", 6)),
+    ),
+    Fixture(
+        label="R1-bad-seeded-rng-in-src",
+        path="src/repro/media/example.py",
+        code=_snippet("""
+            import numpy as np
+
+
+            def make_rng() -> object:
+                return np.random.default_rng(42)
+        """),
+        expect=(("R1", 5),),
+    ),
+    Fixture(
+        label="R1-good-seeded-rng-in-tests",
+        path="tests/workload/test_example.py",
+        code=_snippet("""
+            import numpy as np
+
+
+            def make_rng() -> object:
+                return np.random.default_rng(42)
+        """),
+    ),
+    Fixture(
+        label="R1-good-random-source",
+        path="src/repro/workload/example.py",
+        code=_snippet("""
+            from repro.sim.rng import RandomSource
+
+
+            def draw(rng: RandomSource) -> float:
+                return rng.uniform("arrivals")
+        """),
+    ),
+    Fixture(
+        label="R1-suppressed",
+        path="src/repro/workload/example.py",
+        code=_snippet("""
+            import random  # repro: allow(determinism)
+
+
+            def draw() -> float:
+                return random.random()
+        """),
+    ),
+    # -- R2 units ------------------------------------------------------------
+    Fixture(
+        label="R2-bad-inline-conversions",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            def track_bytes(track_size_mb: float) -> int:
+                return int(track_size_mb * 1_000_000)
+
+
+            def to_mb_s(bandwidth_mbits: float) -> float:
+                return bandwidth_mbits / 8
+        """),
+        expect=(("R2", 2), ("R2", 6)),
+    ),
+    Fixture(
+        label="R2-good-units-vocabulary",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            from repro.units import mb_to_bytes, mbits_per_sec
+
+
+            def track_bytes(track_size_mb: float) -> int:
+                return mb_to_bytes(track_size_mb)
+
+
+            def to_mb_s(bandwidth_mbits: float) -> float:
+                return mbits_per_sec(bandwidth_mbits)
+        """),
+    ),
+    Fixture(
+        label="R2-good-non-unit-factor",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            def spread(count: int) -> int:
+                return count * 1000
+        """),
+    ),
+    Fixture(
+        label="R2-suppressed",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            def track_bytes(track_size_mb: float) -> int:
+                return int(track_size_mb * 1_000_000)  # repro: allow(R2)
+        """),
+    ),
+    # -- R3 epoch-cache ------------------------------------------------------
+    Fixture(
+        label="R3-bad-placement-mutation",
+        path="src/repro/layout/example.py",
+        code=_snippet("""
+            class Layout:
+                def forget(self, name: str, track: int) -> None:
+                    self._data_addr.pop((name, track))
+        """),
+        expect=(("R3", 2),),
+    ),
+    Fixture(
+        label="R3-bad-array-flip",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("array",)
+
+                def crash(self, disk_id: int) -> None:
+                    self.array.fail(disk_id)
+        """),
+        expect=(("R3", 4),),
+    ),
+    Fixture(
+        label="R3-good-bumped",
+        path="src/repro/layout/example.py",
+        code=_snippet("""
+            class Layout:
+                def forget(self, name: str, track: int) -> None:
+                    self._data_addr.pop((name, track))
+                    self._invalidate_caches()
+
+                def _invalidate_caches(self) -> None:
+                    self._epoch += 1
+        """),
+    ),
+    Fixture(
+        label="R3-good-init-exempt",
+        path="src/repro/layout/example.py",
+        code=_snippet("""
+            class Layout:
+                def __init__(self) -> None:
+                    self._data_addr = {}
+                    self._epoch = 0
+        """),
+    ),
+    Fixture(
+        label="R3-suppressed",
+        path="src/repro/layout/example.py",
+        code=_snippet("""
+            class Layout:
+                # Caller owns the epoch bump.
+                def forget(self, name: str, track: int) -> None:  # repro: allow(epoch-cache)
+                    self._data_addr.pop((name, track))
+        """),
+    ),
+    # -- R4 slots ------------------------------------------------------------
+    Fixture(
+        label="R4-bad-missing-slots",
+        path="src/repro/disk/example.py",
+        code=_snippet("""
+            class Cache:
+                def __init__(self) -> None:
+                    self.entries = {}
+        """),
+        expect=(("R4", 1),),
+    ),
+    Fixture(
+        label="R4-bad-undeclared-attribute",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Plan:
+                __slots__ = ("disk_id",)
+
+                def __init__(self, disk_id: int) -> None:
+                    self.disk_id = disk_id
+                    self.retries = 0
+        """),
+        expect=(("R4", 6),),
+    ),
+    Fixture(
+        label="R4-bad-plain-dataclass",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class Entry:
+                disk_id: int
+        """),
+        expect=(("R4", 5),),
+    ),
+    Fixture(
+        label="R4-good-slotted-hierarchy",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            import enum
+            from dataclasses import dataclass
+
+
+            class Kind(enum.Enum):
+                DATA = "data"
+
+
+            @dataclass(slots=True)
+            class Entry:
+                disk_id: int
+
+
+            class Plan:
+                __slots__ = ("disk_id", "kind")
+
+                def __init__(self, disk_id: int, kind: Kind) -> None:
+                    self.disk_id = disk_id
+                    self.kind = kind
+
+
+            class RecoveryPlan(Plan):
+                __slots__ = ("cause",)
+
+                def __init__(self, disk_id: int, kind: Kind) -> None:
+                    super().__init__(disk_id, kind)
+                    self.cause = None
+        """),
+    ),
+    Fixture(
+        label="R4-suppressed",
+        path="src/repro/disk/example.py",
+        code=_snippet("""
+            class Cache:  # repro: allow(slots)
+                def __init__(self) -> None:
+                    self.entries = {}
+        """),
+    ),
+    # -- R5 float-equality ---------------------------------------------------
+    Fixture(
+        label="R5-bad-float-compares",
+        path="src/repro/analysis/example.py",
+        code=_snippet("""
+            def same_cost(total_cost: float, other_cost: float) -> bool:
+                return total_cost == other_cost
+
+
+            def is_free(overhead_fraction: float) -> bool:
+                return overhead_fraction != 0.0
+        """),
+        expect=(("R5", 2), ("R5", 6)),
+    ),
+    Fixture(
+        label="R5-good-isclose",
+        path="src/repro/analysis/example.py",
+        code=_snippet("""
+            import math
+
+
+            def same_cost(total_cost: float, other_cost: float) -> bool:
+                return math.isclose(total_cost, other_cost, rel_tol=1e-9)
+
+
+            def count_matches(streams: int, wanted: int) -> bool:
+                return streams == wanted
+        """),
+    ),
+    Fixture(
+        label="R5-suppressed",
+        path="src/repro/analysis/example.py",
+        code=_snippet("""
+            def same_cost(total_cost: float, other_cost: float) -> bool:
+                return total_cost == other_cost  # repro: allow(float-equality)
+        """),
+    ),
+    # -- R6 typed-defs -------------------------------------------------------
+    Fixture(
+        label="R6-bad-untyped",
+        path="src/repro/analysis/example.py",
+        code=_snippet("""
+            def cost(disks, price_per_disk: float) -> float:
+                return disks * price_per_disk
+
+
+            def describe() -> str:
+                return "ok"
+
+
+            class Sizer:
+                def resize(self, streams: int):
+                    self.streams = streams
+        """),
+        expect=(("R6", 1), ("R6", 10)),
+    ),
+    Fixture(
+        label="R6-good-annotated",
+        path="src/repro/analysis/example.py",
+        code=_snippet("""
+            def cost(disks: int, price_per_disk: float) -> float:
+                return disks * price_per_disk
+
+
+            class Sizer:
+                def resize(self, streams: int) -> None:
+                    self.streams = streams
+        """),
+    ),
+    Fixture(
+        label="R6-suppressed",
+        path="src/repro/analysis/example.py",
+        code=_snippet("""
+            def cost(disks, price_per_disk: float) -> float:  # repro: allow(R6)
+                return disks * price_per_disk
+        """),
+    ),
+)
+
+
+def run_self_test() -> list[str]:
+    """Run every fixture; return human-readable failure descriptions."""
+    analyzer = Analyzer()
+    failures: list[str] = []
+    for fixture in FIXTURES:
+        found = analyzer.check_source(fixture.code, fixture.path)
+        got = tuple((finding.rule_id, finding.line) for finding in found)
+        if got != fixture.expect:
+            failures.append(
+                f"{fixture.label}: expected {list(fixture.expect)}, "
+                f"got {_describe(found)}")
+    return failures
+
+
+def _describe(findings: list[Finding]) -> str:
+    if not findings:
+        return "no findings"
+    return "; ".join(f"{f.rule_id}@{f.line} ({f.message})" for f in findings)

@@ -1,0 +1,53 @@
+"""The rule registry: one class per simulator invariant."""
+
+from __future__ import annotations
+
+from repro.checks.core import Rule
+from repro.checks.rules.determinism import DeterminismRule
+from repro.checks.rules.epoch import EpochCacheRule
+from repro.checks.rules.floatcmp import FloatEqualityRule
+from repro.checks.rules.slots import SlotsRule
+from repro.checks.rules.typed_defs import TypedDefsRule
+from repro.checks.rules.units import UnitsRule
+
+#: Every shipped rule class, in rule-ID order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    DeterminismRule,
+    UnitsRule,
+    EpochCacheRule,
+    SlotsRule,
+    FloatEqualityRule,
+    TypedDefsRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [rule_class() for rule_class in ALL_RULES]
+
+
+def rules_by_id(selected: list[str]) -> list[Rule]:
+    """Instances of the rules named by ID or name (case-insensitive)."""
+    wanted = {token.strip().lower() for token in selected if token.strip()}
+    chosen = [rule_class() for rule_class in ALL_RULES
+              if rule_class.rule_id.lower() in wanted
+              or rule_class.name.lower() in wanted]
+    matched = {rule.rule_id.lower() for rule in chosen} \
+        | {rule.name.lower() for rule in chosen}
+    unknown = wanted - matched
+    if unknown:
+        raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    return chosen
+
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "EpochCacheRule",
+    "FloatEqualityRule",
+    "SlotsRule",
+    "TypedDefsRule",
+    "UnitsRule",
+    "default_rules",
+    "rules_by_id",
+]

@@ -1,0 +1,124 @@
+"""R1 — determinism: all randomness flows through ``sim.rng``.
+
+The simulator's contract is that a run is fully determined by
+``(root_seed, stream names used)``.  Anything that reads the wall clock
+or an unseeded/global RNG silently breaks replays, so outside
+``sim/rng.py``:
+
+* the stdlib ``random`` module must not be imported;
+* ``time.time``/``time.time_ns`` and ``datetime.now/utcnow/today`` must
+  not be called;
+* numpy's *global* RNG (``np.random.<dist>``, ``np.random.seed``) must
+  not be used at all;
+* ``np.random.default_rng()`` without a seed is forbidden everywhere;
+  with a seed it is still forbidden in ``src/repro`` (draws must flow
+  through a named :class:`repro.sim.rng.RandomSource` stream) but is
+  tolerated in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.core import (
+    FileContext,
+    Finding,
+    Rule,
+    in_project_source,
+    under,
+)
+
+_WALL_CLOCK_TIME = {"time", "time_ns"}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+
+class DeterminismRule(Rule):
+    """R1: no wall-clock reads, no global or unseeded RNGs."""
+
+    rule_id = "R1"
+    name = "determinism"
+    description = ("randomness must flow through sim.rng.RandomSource "
+                   "named streams; no wall-clock or global RNG use")
+
+    def applies_to(self, path: str) -> bool:
+        return not under(path, "sim/rng.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            ctx, node,
+                            "import of the stdlib 'random' module; draw "
+                            "from a sim.rng.RandomSource named stream "
+                            "instead")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx, node,
+                        "import from the stdlib 'random' module; draw "
+                        "from a sim.rng.RandomSource named stream instead")
+                elif node.module == "time":
+                    bad = [alias.name for alias in node.names
+                           if alias.name in _WALL_CLOCK_TIME]
+                    if bad:
+                        yield self.finding(
+                            ctx, node,
+                            f"wall-clock import time.{bad[0]}; simulations "
+                            "must not read real time")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: FileContext,
+                    node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        chain = _attribute_chain(func)
+        if chain[-2:] == ["time", "time"] or chain[-2:] == ["time",
+                                                            "time_ns"]:
+            yield self.finding(
+                ctx, node,
+                f"wall-clock call {'.'.join(chain)}(); simulations must "
+                "not read real time")
+            return
+        if func.attr in _WALL_CLOCK_DATETIME and "datetime" in chain[:-1]:
+            yield self.finding(
+                ctx, node,
+                f"wall-clock call {'.'.join(chain)}(); simulations must "
+                "not read real time")
+            return
+        if len(chain) >= 2 and chain[-2] == "random" \
+                and chain[0] in ("np", "numpy"):
+            if func.attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node,
+                        "unseeded np.random.default_rng(); derive the "
+                        "generator from a RandomSource named stream")
+                elif in_project_source(ctx.path):
+                    yield self.finding(
+                        ctx, node,
+                        "direct np.random.default_rng(seed) in simulator "
+                        "code; derive the generator from a RandomSource "
+                        "named stream")
+            else:
+                yield self.finding(
+                    ctx, node,
+                    f"global numpy RNG call np.random.{func.attr}(); "
+                    "global RNG state breaks replay determinism")
+
+
+def _attribute_chain(node: ast.Attribute) -> list[str]:
+    """``['np', 'random', 'default_rng']`` for ``np.random.default_rng``."""
+    parts: list[str] = [node.attr]
+    value = node.value
+    while isinstance(value, ast.Attribute):
+        parts.append(value.attr)
+        value = value.value
+    if isinstance(value, ast.Name):
+        parts.append(value.id)
+    parts.reverse()
+    return parts

@@ -1,0 +1,167 @@
+"""R3 — epoch-cache soundness: state mutations must bump an epoch.
+
+PR 1's cycle-plan cache is keyed on ``(layout.epoch, array.state_epoch)``
+and is only sound if *every* mutation of placement or array state moves
+one of those counters.  This rule makes the contract machine-checked:
+
+* a function in ``layout/`` that mutates placement state
+  (``_data_addr``, ``_parity_addr``, ``_objects``, ``_start_cluster``,
+  ``_disk_contents``, ``_free_positions``, ``_next_position``) must also
+  call ``_invalidate_caches()`` (or bump ``_epoch``) in the same body;
+* a function in ``disk/`` that assigns the operational-state fields
+  (``state``, ``is_failed``) must also touch ``state_changes``;
+* a function in ``sched/`` that fails/repairs a disk through the array
+  (``...array.fail(...)`` / ``...array.repair(...)``) must also call
+  ``_invalidate_plan_cache()``.
+
+``__init__`` is exempt (construction is not a live-state mutation);
+helpers whose *callers* own the epoch bump carry an
+``# repro: allow(epoch-cache)`` with a justifying comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.core import (
+    FileContext,
+    Finding,
+    Rule,
+    in_project_source,
+    under,
+)
+
+#: Layout placement state: mutating any of these invalidates group plans.
+PLACEMENT_FIELDS = frozenset({
+    "_data_addr", "_parity_addr", "_objects", "_start_cluster",
+    "_disk_contents", "_free_positions", "_next_position",
+})
+
+#: Disk operational state: flipping these must move ``state_changes``.
+DISK_STATE_FIELDS = frozenset({"state", "is_failed"})
+
+#: Calls that count as bumping an epoch / invalidating plan caches.
+BUMP_CALLS = frozenset({"_invalidate_caches", "_invalidate_plan_cache"})
+
+#: Attributes whose assignment *is* the epoch bump.
+EPOCH_FIELDS = frozenset({"_epoch", "state_changes"})
+
+#: Container methods that mutate in place.
+MUTATOR_METHODS = frozenset({
+    "pop", "popleft", "append", "appendleft", "extend", "insert", "clear",
+    "update", "setdefault", "add", "discard", "remove",
+})
+
+
+class EpochCacheRule(Rule):
+    """R3: placement/array-state mutations must bump their epoch."""
+
+    rule_id = "R3"
+    name = "epoch-cache"
+    description = ("mutations of placement or array state must bump the "
+                   "corresponding epoch counter (plan-cache invalidation "
+                   "contract)")
+
+    def applies_to(self, path: str) -> bool:
+        return in_project_source(path) and under(
+            path, "layout/", "sched/", "disk/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.name == "__init__":
+                continue
+            mutated = sorted(self._mutated_fields(node))
+            flips = self._array_state_calls(node)
+            if not mutated and not flips:
+                continue
+            if self._bumps_epoch(node):
+                continue
+            if mutated:
+                yield self.finding(
+                    ctx, node,
+                    f"'{node.name}' mutates {', '.join(mutated)} without "
+                    "bumping an epoch (_invalidate_caches/_epoch/"
+                    "state_changes)")
+            else:
+                yield self.finding(
+                    ctx, node,
+                    f"'{node.name}' calls array.{flips[0]}() without "
+                    "calling _invalidate_plan_cache()")
+
+    # -- detection helpers ---------------------------------------------------
+
+    def _mutated_fields(self, func: ast.AST) -> set[str]:
+        protected = PLACEMENT_FIELDS | DISK_STATE_FIELDS
+        fields: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    name = _assigned_field(target)
+                    if name in protected:
+                        fields.add(name)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    name = _assigned_field(target)
+                    if name in protected:
+                        fields.add(name)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in MUTATOR_METHODS:
+                for name in _attribute_names(node.func.value):
+                    if name in protected:
+                        fields.add(name)
+        return fields
+
+    def _array_state_calls(self, func: ast.AST) -> list[str]:
+        calls: list[str] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("fail", "repair") \
+                    and "array" in _attribute_names(node.func.value):
+                calls.append(node.func.attr)
+        return calls
+
+    def _bumps_epoch(self, func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in BUMP_CALLS:
+                return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if _assigned_field(target) in EPOCH_FIELDS:
+                        return True
+        return False
+
+
+def _assigned_field(target: ast.expr) -> str:
+    """The attribute name an assignment/delete ultimately touches.
+
+    ``self._data_addr[k] = v`` and ``del self._objects[k]`` both resolve
+    to the underlying attribute name.
+    """
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return ""
+
+
+def _attribute_names(node: ast.expr) -> set[str]:
+    """All attribute/name identifiers inside an expression subtree."""
+    names: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute):
+            names.add(child.attr)
+        elif isinstance(child, ast.Name):
+            names.add(child.id)
+    return names

@@ -1,0 +1,98 @@
+"""R5 — float equality in the analysis layer.
+
+The analysis modules reproduce the paper's closed-form numbers; chained
+float arithmetic means exact ``==``/``!=`` comparisons are either
+accidentally true today and silently false after a refactor, or vice
+versa.  Inside ``analysis/`` any equality whose operands look float-like
+— a float literal, a division, ``float(...)``/``math.*`` results, or an
+identifier with a unit-ish suffix (``_s``, ``_mb``, ``_years``,
+``_fraction``, ``_cost``, ...) — must go through ``math.isclose`` (or
+``pytest.approx`` in tests) with an explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.checks.core import (
+    FileContext,
+    Finding,
+    Rule,
+    in_project_source,
+    under,
+)
+
+#: Identifier suffixes that mark a value as a float quantity.
+FLOAT_HINT = re.compile(
+    r"(_s|_ms|_mb|_kb|_gb|_mb_s|_years?|_hours?|_fraction|_cost|_rate"
+    r"|_prob|_pct|_overhead|_latency)$")
+
+#: Comparison wrappers that make float comparison safe.
+SAFE_CALLS = frozenset({"isclose", "approx"})
+
+
+class FloatEqualityRule(Rule):
+    """R5: no bare ==/!= between float expressions in analysis/."""
+
+    rule_id = "R5"
+    name = "float-equality"
+    description = ("float expressions must be compared with math.isclose "
+                   "/ pytest.approx, never bare ==/!=")
+
+    def applies_to(self, path: str) -> bool:
+        return in_project_source(path) and under(path, "analysis/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_safe(left) or _is_safe(right):
+                    continue
+                if _is_floatish(left) or _is_floatish(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx, node,
+                        f"bare float '{symbol}' comparison; use "
+                        "math.isclose(..., rel_tol=...)")
+
+
+def _is_safe(node: ast.expr) -> bool:
+    """True for math.isclose(...) / pytest.approx(...) operands."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else \
+            func.id if isinstance(func, ast.Name) else ""
+        return name in SAFE_CALLS
+    return False
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Heuristic: does this expression produce a float?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "math":
+            return True
+        return False
+    if isinstance(node, ast.Name):
+        return bool(FLOAT_HINT.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(FLOAT_HINT.search(node.attr))
+    return False

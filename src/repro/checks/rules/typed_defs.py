@@ -1,0 +1,90 @@
+"""R6 — typed defs: the in-tree half of the strict-typing gate.
+
+``mypy --strict`` runs in CI, but the container running the tier-1 suite
+does not ship mypy — so the property strict mode cares about most
+(``disallow_untyped_defs``) is enforced here too, where every test run
+sees it: every function and method in ``src/repro`` must annotate all of
+its parameters and its return type.
+
+``self``/``cls`` are exempt, as are lambdas and functions nested inside
+other functions (mypy infers those from context).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.checks.core import FileContext, Finding, Rule, in_project_source
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class TypedDefsRule(Rule):
+    """R6: every def in src/repro has full parameter/return annotations."""
+
+    rule_id = "R6"
+    name = "typed-defs"
+    description = ("functions in src/repro must annotate every parameter "
+                   "and the return type (mypy --strict's "
+                   "disallow_untyped_defs, enforced in-tree)")
+
+    def applies_to(self, path: str) -> bool:
+        return in_project_source(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._walk_body(ctx, ctx.tree.body, method=False)
+
+    def _walk_body(self, ctx: FileContext, body: list[ast.stmt],
+                   method: bool) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._walk_body(ctx, node.body, method=True)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node, method)
+                # Nested defs are exempt: do not recurse into the body.
+
+    def _check_function(self, ctx: FileContext, node: FunctionNode,
+                        method: bool) -> Iterator[Finding]:
+        missing = self._missing_parameters(node, method)
+        if missing:
+            yield self.finding(
+                ctx, node,
+                f"'{node.name}' is missing parameter annotations: "
+                f"{', '.join(missing)}")
+        if node.returns is None:
+            yield self.finding(
+                ctx, node,
+                f"'{node.name}' is missing a return annotation")
+
+    @staticmethod
+    def _missing_parameters(node: FunctionNode, method: bool) -> list[str]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        skip_first = method and not any(
+            _decorator_is(decorator, "staticmethod")
+            for decorator in node.decorator_list)
+        missing: list[str] = []
+        for i, arg in enumerate(positional):
+            if i == 0 and skip_first:
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        return missing
+
+
+def _decorator_is(node: ast.expr, name: str) -> bool:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr == name
+    if isinstance(node, ast.Name):
+        return node.id == name
+    return False

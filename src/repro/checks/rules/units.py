@@ -1,0 +1,87 @@
+"""R2 — units discipline: conversions go through ``repro.units``.
+
+``units.py`` warns that silently mixing Mb/MB/KB "is the single easiest
+way to get every downstream number wrong".  This rule flags raw
+magic-number conversions — ``* 8``, ``/ 1000``, ``* 1024``,
+``* 1_000_000``, ``/ 3600`` and friends — applied to expressions whose
+identifiers look unit-bearing (``..._mb``, ``..._s``, ``bandwidth``,
+``track_size``, ...).  The fix is always the same: name the conversion by
+calling the ``repro.units`` vocabulary (or extend it).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.checks.core import (
+    FileContext,
+    Finding,
+    Rule,
+    in_project_source,
+    under,
+)
+
+#: Conversion factors whose bare appearance next to a unit-bearing operand
+#: marks an inline conversion.  60 is deliberately absent (too many
+#: legitimate non-unit uses).
+MAGIC_FACTORS = frozenset({8, 1000, 1024, 1_000_000, 1024 * 1024, 3600, 8760})
+
+#: Identifier fragments that mark an operand as carrying a physical unit.
+UNIT_HINT = re.compile(
+    r"(_mb|_kb|_gb|mbit|bytes?|bits?|bandwidth|_rate|track_size"
+    r"|capacity|_ms\b|_s\b|_sec|seconds|_hours?|_years?)",
+    re.IGNORECASE,
+)
+
+
+class UnitsRule(Rule):
+    """R2: no raw magic-number unit conversions outside units.py."""
+
+    rule_id = "R2"
+    name = "units"
+    description = ("unit conversions must call the repro.units vocabulary, "
+                   "not inline magic factors")
+
+    def applies_to(self, path: str) -> bool:
+        return in_project_source(path) and not under(path, "repro/units.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Mult, ast.Div)):
+                continue
+            factor, operand = _split(node)
+            if factor is None or operand is None:
+                continue
+            hints = [name for name in _identifiers(operand)
+                     if UNIT_HINT.search(name)]
+            if hints:
+                op = "*" if isinstance(node.op, ast.Mult) else "/"
+                yield self.finding(
+                    ctx, node,
+                    f"inline unit conversion '{hints[0]} {op} {factor}'; "
+                    "call the repro.units vocabulary instead")
+
+
+def _split(node: ast.BinOp) -> tuple[object, ast.expr | None]:
+    """``(magic factor, the other operand)`` or ``(None, None)``."""
+    for factor_side, other in ((node.right, node.left),
+                               (node.left, node.right)):
+        if isinstance(factor_side, ast.Constant) \
+                and isinstance(factor_side.value, (int, float)) \
+                and not isinstance(factor_side.value, bool) \
+                and factor_side.value in MAGIC_FACTORS:
+            return factor_side.value, other
+    return None, None
+
+
+def _identifiers(node: ast.expr) -> Iterator[str]:
+    """Every Name/Attribute identifier inside an expression."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr

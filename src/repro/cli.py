@@ -34,6 +34,7 @@ from repro.analysis import (
 from repro.analysis.reliability import mttds_years, mttf_catastrophic_years
 from repro.analysis.streams import k_sweep
 from repro.schemes import ALL_SCHEMES, Scheme
+from repro.units import seconds_to_hours
 
 
 def _scheme(value: str) -> Scheme:
@@ -113,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def cmd_table(args) -> int:
+def cmd_table(args: argparse.Namespace) -> int:
     """Print Table 2 or 3 from the closed forms."""
     params = SystemParameters.paper_table1(num_disks=args.disks)
     print(f"Scheme comparison at C = {args.group_size}, D = {args.disks}")
@@ -121,7 +122,7 @@ def cmd_table(args) -> int:
     return 0
 
 
-def cmd_ksweep(_args) -> int:
+def cmd_ksweep(_args: argparse.Namespace) -> int:
     """Print the Section 2 N/D' versus k sweep."""
     ks = [1, 2, 4, 6, 8, 10]
     mpeg2 = k_sweep(SystemParameters.paper_section2(4.5), ks)
@@ -133,7 +134,7 @@ def cmd_ksweep(_args) -> int:
     return 0
 
 
-def cmd_fig9(args) -> int:
+def cmd_fig9(args: argparse.Namespace) -> int:
     """Print the Figure 9 cost and stream series."""
     params = SystemParameters.paper_table1(reserve_k=5)
     sizes = range(2, 11)
@@ -154,7 +155,7 @@ def cmd_fig9(args) -> int:
     return 0
 
 
-def cmd_reliability(args) -> int:
+def cmd_reliability(args: argparse.Namespace) -> int:
     """Print MTTF/MTTDS for one geometry."""
     params = SystemParameters.paper_table1(num_disks=args.disks)
     print(f"Reliability at D = {args.disks}, C = {args.group_size} "
@@ -167,7 +168,7 @@ def cmd_reliability(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
+def cmd_simulate(args: argparse.Namespace) -> int:
     """Run the cycle simulator and print the delivery report."""
     from repro.server import MultimediaServer
     params = SystemParameters.paper_table1(
@@ -198,7 +199,7 @@ def cmd_simulate(args) -> int:
     return 0 if report.payload_mismatches == 0 else 1
 
 
-def cmd_rebuild(args) -> int:
+def cmd_rebuild(args: argparse.Namespace) -> int:
     """Compare tape reload with on-line parity rebuild."""
     from repro.layout import ClusteredParityLayout
     from repro.media import MediaObject
@@ -213,14 +214,14 @@ def cmd_rebuild(args) -> int:
     comparison = compare_rebuild_paths(layout, 0, params, TapeLibrary(),
                                        idle_fraction=args.idle_fraction)
     print(f"Failed disk 0 holds {comparison.tracks} tracks")
-    print(f"  tape reload   : {comparison.tape_time_s / 3600:,.1f} hours")
-    print(f"  parity rebuild: {comparison.online_time_s / 3600:,.2f} hours "
+    print(f"  tape reload   : {seconds_to_hours(comparison.tape_time_s):,.1f} hours")
+    print(f"  parity rebuild: {seconds_to_hours(comparison.online_time_s):,.2f} hours "
           f"(idle fraction {args.idle_fraction})")
     print(f"  speedup       : {comparison.speedup:,.0f}x")
     return 0
 
 
-def cmd_design(args) -> int:
+def cmd_design(args: argparse.Namespace) -> int:
     """Recommend the cheapest feasible design (Section 5 workflow)."""
     from repro.analysis import recommend_design
     params = SystemParameters.paper_table1(reserve_k=5)
@@ -236,7 +237,7 @@ def cmd_design(args) -> int:
     return 0
 
 
-def cmd_scale(args) -> int:
+def cmd_scale(args: argparse.Namespace) -> int:
     """Print the Section 1 system-scale arithmetic."""
     from repro.analysis.sizing import section1_scale
     scale = section1_scale(args.disks, args.disk_capacity_mb,
@@ -250,7 +251,7 @@ def cmd_scale(args) -> int:
     return 0
 
 
-def cmd_verify(_args) -> int:
+def cmd_verify(_args: argparse.Namespace) -> int:
     """Self-check the reproduction's headline numbers against the paper."""
     from repro.analysis import compare_schemes
     from repro.analysis.sizing import section1_scale
@@ -295,7 +296,7 @@ def cmd_verify(_args) -> int:
     return 1 if failures else 0
 
 
-def cmd_experiments(args) -> int:
+def cmd_experiments(args: argparse.Namespace) -> int:
     """Regenerate registered experiments; non-zero exit on any mismatch."""
     import json as json_module
     from repro.experiments import list_experiments, run_all, run_experiment

@@ -69,7 +69,7 @@ class ContentManager:
     def __init__(self, layout: DataLayout, array: DiskArray,
                  library: Catalog,
                  tape: Optional[TapeLibrary] = None,
-                 policy: EvictionPolicy = EvictionPolicy.LRU):
+                 policy: EvictionPolicy = EvictionPolicy.LRU) -> None:
         if layout.num_disks != len(array):
             raise ConfigurationError(
                 "layout and array disagree on the disk count"

@@ -52,7 +52,7 @@ class Disk:
                  "_tracks", "reads", "writes", "failures", "state_changes")
 
     def __init__(self, disk_id: int, spec: DiskSpec,
-                 store_payloads: bool = True):
+                 store_payloads: bool = True) -> None:
         if disk_id < 0:
             raise ValueError(f"disk id must be non-negative, got {disk_id}")
         self.disk_id = disk_id
@@ -188,8 +188,10 @@ class Disk:
 class DiskArray:
     """All the drives of one multimedia server."""
 
+    __slots__ = ("spec", "store_payloads", "disks")
+
     def __init__(self, count: int, spec: DiskSpec,
-                 store_payloads: bool = True):
+                 store_payloads: bool = True) -> None:
         if count <= 0:
             raise ValueError(f"disk count must be positive, got {count}")
         self.spec = spec

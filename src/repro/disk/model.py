@@ -40,7 +40,9 @@ class DiskModel(Protocol):
 class SimpleDiskModel:
     """The paper's model: ``T(r) = tau_seek + r * tau_trk``."""
 
-    def __init__(self, spec: DiskSpec):
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: DiskSpec) -> None:
         self.spec = spec
 
     def read_time(self, tracks: int) -> float:
@@ -79,8 +81,10 @@ class ZonedDiskModel:
     unused.  This model quantifies that conservatism.
     """
 
+    __slots__ = ("spec", "zones", "outer_to_inner_ratio", "_inner_track_mb")
+
     def __init__(self, spec: DiskSpec, zones: int = 8,
-                 outer_to_inner_ratio: float = 1.6):
+                 outer_to_inner_ratio: float = 1.6) -> None:
         if zones < 1:
             raise ValueError(f"need at least one zone, got {zones}")
         if outer_to_inner_ratio < 1.0:
@@ -167,11 +171,14 @@ class DetailedDiskModel:
     for full-track reads, in which case latency is ~0).
     """
 
+    __slots__ = ("spec", "cylinders", "track_aligned", "_knee",
+                 "_settle", "_slope", "_sqrt_coeff")
+
     #: Fraction of the full stroke below which the sqrt regime applies.
     SHORT_SEEK_FRACTION = 0.1
 
     def __init__(self, spec: DiskSpec, cylinders: int = 2700,
-                 track_aligned: bool = True):
+                 track_aligned: bool = True) -> None:
         if cylinders <= 1:
             raise ValueError("a drive needs at least two cylinders")
         self.spec = spec

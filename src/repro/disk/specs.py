@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 from repro.units import hours, kilobytes, megabytes, milliseconds
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskSpec:
     """Static description of one disk drive.
 

@@ -14,7 +14,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import (TYPE_CHECKING, Callable, Iterable, Iterator,
+                    Optional)
+
+if TYPE_CHECKING:
+    from repro.sched.base import CycleScheduler
 
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomSource
@@ -40,7 +44,7 @@ class FaultEvent:
 class FaultSchedule:
     """A deterministic list of fault events, applied between cycles."""
 
-    def __init__(self, events: Iterable[FaultEvent] = ()):
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
         self._events = sorted(events)
 
     @classmethod
@@ -60,7 +64,8 @@ class FaultSchedule:
         """Events that strike just before the given cycle runs."""
         return [e for e in self._events if e.cycle == cycle]
 
-    def apply(self, scheduler, cycle: int) -> list[FaultEvent]:
+    def apply(self, scheduler: "CycleScheduler",
+              cycle: int) -> list[FaultEvent]:
         """Apply this schedule's events due before ``cycle``; returns them."""
         due = self.events_before_cycle(cycle)
         for event in due:
@@ -73,7 +78,7 @@ class FaultSchedule:
     def __len__(self) -> int:
         return len(self._events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[FaultEvent]:
         return iter(self._events)
 
 
@@ -89,7 +94,7 @@ class ExponentialFaultInjector:
     def __init__(self, env: Environment, num_disks: int,
                  mttf_s: float, mttr_s: float, rng: RandomSource,
                  on_fail: Callable[[int], None],
-                 on_repair: Callable[[int], None]):
+                 on_repair: Callable[[int], None]) -> None:
         if mttf_s <= 0 or mttr_s <= 0:
             raise ValueError("mttf and mttr must be positive")
         self.env = env
@@ -108,7 +113,7 @@ class ExponentialFaultInjector:
             self.env.process(self._lifetime(disk_id),
                              name=f"disk-{disk_id}-faults")
 
-    def _lifetime(self, disk_id: int):
+    def _lifetime(self, disk_id: int) -> Iterator[object]:
         stream_name = f"disk-{disk_id}"
         while True:
             yield self.env.timeout(

@@ -14,16 +14,20 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.sim.rng import RandomSource
+from repro.units import hours_to_years
+
+if TYPE_CHECKING:
+    from repro.layout.base import DataLayout
 
 #: A stopping condition: given the set of currently failed disks, is the
 #: system in the terminal state?
 Condition = Callable[[set[int]], bool]
 
 
-def catastrophic_condition(layout) -> Condition:
+def catastrophic_condition(layout: "DataLayout") -> Condition:
     """Terminal when the layout loses data (uses layout geometry)."""
     return layout.is_catastrophic_geometric
 
@@ -53,7 +57,7 @@ class ReliabilityEstimate:
     @property
     def mean_years(self) -> float:
         """Sample mean in years."""
-        return self.mean_hours / 8760.0
+        return hours_to_years(self.mean_hours)
 
     def consistent_with(self, expected_hours: float,
                         tolerance: float = 3.0) -> bool:
@@ -66,12 +70,12 @@ def _one_replication(num_disks: int, mttf_h: float, mttr_h: float,
                      condition: Condition,
                      rng: RandomSource, replica: int) -> float:
     """Time (hours) until the condition first holds, one sample path."""
-    stream = rng.spawn(f"replica-{replica}").stream("events")
+    source = rng.spawn(f"replica-{replica}")
     # Event heap: (time, disk, is_failure).
     heap: list[tuple[float, int, bool]] = []
     for disk in range(num_disks):
         heapq.heappush(heap,
-                       (float(stream.exponential(mttf_h)), disk, True))
+                       (source.exponential("events", mttf_h), disk, True))
     failed: set[int] = set()
     while True:
         time, disk, is_failure = heapq.heappop(heap)
@@ -80,11 +84,13 @@ def _one_replication(num_disks: int, mttf_h: float, mttr_h: float,
             if condition(failed):
                 return time
             heapq.heappush(
-                heap, (time + float(stream.exponential(mttr_h)), disk, False))
+                heap, (time + source.exponential("events", mttr_h),
+                       disk, False))
         else:
             failed.discard(disk)
             heapq.heappush(
-                heap, (time + float(stream.exponential(mttf_h)), disk, True))
+                heap, (time + source.exponential("events", mttf_h),
+                       disk, True))
 
 
 def simulate_mean_time_to(num_disks: int, mttf_disk_hours: float,

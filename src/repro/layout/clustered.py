@@ -23,7 +23,7 @@ from repro.media.objects import MediaObject
 class ClusteredParityLayout(DataLayout):
     """Clusters of ``C`` disks: ``C - 1`` data + 1 dedicated parity disk."""
 
-    def __init__(self, num_disks: int, parity_group_size: int):
+    def __init__(self, num_disks: int, parity_group_size: int) -> None:
         super().__init__(num_disks, parity_group_size)
         if num_disks % parity_group_size != 0:
             raise ConfigurationError(

@@ -22,7 +22,7 @@ from repro.media.objects import MediaObject
 class ImprovedBandwidthLayout(DataLayout):
     """Clusters of ``C - 1`` data disks; parity shifted to the next cluster."""
 
-    def __init__(self, num_disks: int, parity_group_size: int):
+    def __init__(self, num_disks: int, parity_group_size: int) -> None:
         super().__init__(num_disks, parity_group_size)
         stripe = parity_group_size - 1
         if num_disks % stripe != 0:

@@ -17,7 +17,7 @@ from repro.media.objects import MediaObject
 class Catalog:
     """An ordered collection of uniquely named media objects."""
 
-    def __init__(self, objects: Iterable[MediaObject] = ()):
+    def __init__(self, objects: Iterable[MediaObject] = ()) -> None:
         self._objects: dict[str, MediaObject] = {}
         self._weights: dict[str, float] = {}
         for obj in objects:

@@ -13,7 +13,8 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.units import mbits_per_sec, minutes
+from repro.units import mbits_per_sec
+from repro.units import minutes  # noqa: F401  (movie() doctest namespace)
 
 #: MPEG-1, "low TV quality": about 1.5 megabits per second (paper Section 1).
 MPEG1_MB_S = mbits_per_sec(1.5)

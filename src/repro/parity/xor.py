@@ -100,7 +100,7 @@ def xor_matrix(rows: Sequence[Sequence[bytes]]) -> list[bytes]:
 class ParityCodec:
     """Encode/verify/reconstruct single-parity groups of fixed block size."""
 
-    def __init__(self, block_size_bytes: int):
+    def __init__(self, block_size_bytes: int) -> None:
         if block_size_bytes <= 0:
             raise ValueError(
                 f"block size must be positive, got {block_size_bytes}"
@@ -196,7 +196,7 @@ class MetaParityCodec(ParityCodec):
     track size.  Cycle metrics are therefore bit-identical to payload mode.
     """
 
-    def __init__(self, block_size_bytes: int):
+    def __init__(self, block_size_bytes: int) -> None:
         # The *logical* block size is remembered for reports; physical
         # payloads are zero-length tokens.
         if block_size_bytes <= 0:

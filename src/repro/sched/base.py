@@ -22,7 +22,10 @@ metrics — lives here so the four schemes stay comparable.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.sched.rebuild import OnlineRebuilder
 
 from repro.analysis.streams import data_disk_count
 from repro.buffers.tracker import BufferTracker
@@ -39,6 +42,7 @@ from repro.parity.xor import MetaParityCodec, ParityCodec
 from repro.sched.config import SchedulerConfig
 from repro.schemes import Scheme
 from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
+from repro.units import mb_to_bytes
 from repro.sched.slots import SlotTable
 from repro.server.metrics import (
     CycleReport,
@@ -60,8 +64,10 @@ class GroupPlan:
 
     __slots__ = ("healthy", "failed_members", "parity", "next_read_track")
 
-    def __init__(self, healthy: tuple, failed_members: int,
-                 parity, next_read_track: int):
+    def __init__(self, healthy: tuple[tuple[int, int, int], ...],
+                 failed_members: int,
+                 parity: Optional[tuple[int, int]],
+                 next_read_track: int) -> None:
         #: ``(disk_id, position, track)`` per member on an operational disk.
         self.healthy = healthy
         self.failed_members = failed_members
@@ -73,10 +79,20 @@ class GroupPlan:
 class CycleScheduler(abc.ABC):
     """Cycle-synchronous scheduler: the common engine for all schemes."""
 
+    __slots__ = (
+        "layout", "array", "config", "verify_payloads", "metadata_only",
+        "track_bytes", "codec", "slot_table", "report", "tracker",
+        "cycle_index", "streams", "_next_stream_id", "_phase_counter",
+        "_lost_causes", "_last_executed", "_pending_reconstructions",
+        "rebuilders", "_stripe", "_plan_cache", "_plan_cache_key",
+        "_all_disks_up", "_read_hook_active", "_delivery_hook_active",
+        "_base_quota", "admission_limit",
+    )
+
     def __init__(self, layout: DataLayout, array: DiskArray,
                  config: SchedulerConfig,
                  admission_limit: Optional[int] = None,
-                 verify_payloads: bool = False):
+                 verify_payloads: bool = False) -> None:
         if layout.num_disks != len(array):
             raise ConfigurationError(
                 f"layout covers {layout.num_disks} disks, array has {len(array)}"
@@ -97,7 +113,7 @@ class CycleScheduler(abc.ABC):
                 "byte-level payload verification needs a payload-storing "
                 "array; build with store_payloads=True"
             )
-        self.track_bytes = int(round(array.spec.track_size_mb * 1_000_000))
+        self.track_bytes = mb_to_bytes(array.spec.track_size_mb)
         self.codec = (MetaParityCodec(self.track_bytes) if self.metadata_only
                       else ParityCodec(self.track_bytes))
         self.slot_table = SlotTable(array, config.slots_per_disk)
@@ -116,7 +132,7 @@ class CycleScheduler(abc.ABC):
         #: masked by prefetched parity); credited to the next report.
         self._pending_reconstructions = 0
         #: Active on-line rebuilds (rebuild mode), one per failed disk.
-        self.rebuilders: list = []
+        self.rebuilders: list["OnlineRebuilder"] = []
         #: Data blocks per parity group; group arithmetic on the hot path.
         self._stripe = config.stripe_width
         #: Cycle-plan cache: (object name, group) -> GroupPlan, valid for
@@ -328,7 +344,8 @@ class CycleScheduler(abc.ABC):
         self.on_disk_repair(disk_id)
 
     def start_rebuild(self, disk_id: int,
-                      writes_per_cycle: Optional[int] = None):
+                      writes_per_cycle: Optional[int] = None,
+                      ) -> "OnlineRebuilder":
         """Begin rebuilding a failed disk onto a spare (rebuild mode).
 
         The rebuild consumes only idle slots; the disk is repaired

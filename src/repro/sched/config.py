@@ -10,7 +10,7 @@ from repro.errors import ConfigurationError
 from repro.schemes import Scheme
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SchedulerConfig:
     """Everything a cycle scheduler needs to know about its regime.
 

@@ -17,10 +17,13 @@ terminated: degradation of service.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.errors import ConfigurationError, SimulationError
 from repro.sched.base import CycleScheduler
 from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
 from repro.server.metrics import CycleReport, HiccupCause
+from repro.server.stream import Stream
 
 
 class ImprovedBandwidthScheduler(CycleScheduler):
@@ -40,8 +43,11 @@ class ImprovedBandwidthScheduler(CycleScheduler):
     and "some streams would have to be dropped".
     """
 
-    def __init__(self, *args, proactive_parity: bool = False,
-                 mirror_read_balance: bool = False, **kwargs):
+    __slots__ = ("proactive_parity", "mirror_read_balance")
+
+    def __init__(self, *args: Any, proactive_parity: bool = False,
+                 mirror_read_balance: bool = False,
+                 **kwargs: Any) -> None:
         # Set before super().__init__: the admission bound consults them.
         self.proactive_parity = proactive_parity
         self.mirror_read_balance = mirror_read_balance
@@ -71,7 +77,8 @@ class ImprovedBandwidthScheduler(CycleScheduler):
                 self._plan_stream_group(stream, plans)
         return plans
 
-    def _plan_stream_group(self, stream, plans: list[PlannedRead]) -> None:
+    def _plan_stream_group(self, stream: Stream,
+                           plans: list[PlannedRead]) -> None:
         if self.mirror_read_balance:
             self._plan_mirrored_track(stream, plans)
             return
@@ -98,7 +105,8 @@ class ImprovedBandwidthScheduler(CycleScheduler):
                 purpose=ReadPurpose.OPPORTUNISTIC,
             ))
 
-    def _plan_mirrored_track(self, stream, plans: list[PlannedRead]) -> None:
+    def _plan_mirrored_track(self, stream: Stream,
+                             plans: list[PlannedRead]) -> None:
         """Footnote 11: read the track from whichever copy balances load.
 
         At C = 2 each group is one track plus its mirror (the "parity"

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.buffers.pool import BufferPool
 from repro.errors import BufferExhausted
@@ -54,7 +54,7 @@ class TransitionProtocol(enum.Enum):
     LAZY = "lazy"    # Figure 7: delay reads until needed, running XOR
 
 
-@dataclass
+@dataclass(slots=True)
 class _Accumulator:
     """Running XOR for one (stream, group) reconstruction (LAZY mode)."""
 
@@ -72,9 +72,13 @@ class _Accumulator:
 class NonClusteredScheduler(CycleScheduler):
     """One track per stream per cycle, with failure-transition protocols."""
 
-    def __init__(self, *args,
+    __slots__ = ("protocol", "pool", "_completed_reconstructions",
+                 "_degraded", "_unprotected", "_accumulators")
+
+    def __init__(self, *args: Any,
                  protocol: TransitionProtocol = TransitionProtocol.LAZY,
-                 pool: Optional[BufferPool] = None, **kwargs):
+                 pool: Optional[BufferPool] = None,
+                 **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.protocol = protocol
         self.pool = pool
@@ -155,7 +159,9 @@ class NonClusteredScheduler(CycleScheduler):
 
     # -- planning ------------------------------------------------------------------
 
-    def _group_state(self, stream: Stream):
+    def _group_state(self, stream: Stream,
+                     ) -> Optional[tuple[int, int, list[int],
+                                         list[int], int]]:
         """Current reading group of a stream, or None when done reading."""
         if not stream.reads_remaining:
             return None

@@ -46,7 +46,7 @@ class PlannedRead:
 
     def __init__(self, disk_id: int, position: int, stream_id: int,
                  object_name: str, kind: ReadKind, index: int,
-                 purpose: ReadPurpose = ReadPurpose.NORMAL):
+                 purpose: ReadPurpose = ReadPurpose.NORMAL) -> None:
         self.disk_id = disk_id
         self.position = position
         self.stream_id = stream_id
@@ -61,7 +61,7 @@ class PlannedRead:
                 f"object_name={self.object_name!r}, kind={self.kind}, "
                 f"index={self.index}, purpose={self.purpose})")
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, PlannedRead):
             return NotImplemented
         return (self.disk_id == other.disk_id

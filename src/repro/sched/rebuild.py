@@ -22,10 +22,13 @@ parity blocks are recomputed from the group's data members.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.sched.base import CycleScheduler
 
 from repro.errors import ConfigurationError, ReconstructionError
-from repro.layout.address import BlockKind, StoredBlock
+from repro.layout.address import BlockKind, DiskAddress, StoredBlock
 from repro.parity.xor import ParityCodec
 
 
@@ -39,8 +42,12 @@ class OnlineRebuilder:
     the surviving disks.
     """
 
-    def __init__(self, scheduler, disk_id: int,
-                 writes_per_cycle: Optional[int] = None):
+    __slots__ = ("scheduler", "disk_id", "writes_per_cycle", "codec",
+                 "_pending", "total_blocks", "blocks_rebuilt",
+                 "reads_consumed", "completed")
+
+    def __init__(self, scheduler: "CycleScheduler", disk_id: int,
+                 writes_per_cycle: Optional[int] = None) -> None:
         if scheduler.array[disk_id].is_failed is False:
             raise ConfigurationError(
                 f"disk {disk_id} is not failed; nothing to rebuild"
@@ -121,7 +128,7 @@ class OnlineRebuilder:
             block.object_name, block.index)
         return group
 
-    def _source_addresses(self, block: StoredBlock):
+    def _source_addresses(self, block: StoredBlock) -> list[DiskAddress]:
         layout = self.scheduler.layout
         group = self._group_of_block(block)
         span = layout.group_span(block.object_name, group)
@@ -131,7 +138,7 @@ class OnlineRebuilder:
         sources.append(span.parity)
         return sources
 
-    def _target_address(self, block: StoredBlock):
+    def _target_address(self, block: StoredBlock) -> DiskAddress:
         layout = self.scheduler.layout
         if block.kind is BlockKind.PARITY:
             return layout.parity_address(block.object_name, block.index)

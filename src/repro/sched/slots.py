@@ -22,7 +22,9 @@ from repro.sched.plan import PlannedRead
 class SlotTable:
     """Arbitrates one cycle's reads against per-disk slot budgets."""
 
-    def __init__(self, array: DiskArray, slots_per_disk: int):
+    __slots__ = ("array", "slots_per_disk")
+
+    def __init__(self, array: DiskArray, slots_per_disk: int) -> None:
         if slots_per_disk < 1:
             raise ValueError(
                 f"slots per disk must be >= 1, got {slots_per_disk}"

@@ -21,6 +21,8 @@ class StaggeredGroupScheduler(CycleScheduler):
     """Group reads staggered over C - 1 phases; one track delivered/cycle
     (times the stream's rate for fast objects)."""
 
+    __slots__ = ()
+
     def _in_phase(self, stream: Stream, cycle: int) -> bool:
         return cycle % self.config.stripe_width == stream.phase
 

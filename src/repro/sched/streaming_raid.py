@@ -19,6 +19,8 @@ from repro.sched.plan import PlannedRead
 class StreamingRAIDScheduler(CycleScheduler):
     """Full parity group per stream per cycle; k = k' = C - 1."""
 
+    __slots__ = ()
+
     def plan_reads(self, cycle: int) -> list[PlannedRead]:
         """One full parity-group read per stream rate-unit per cycle."""
         plans: list[PlannedRead] = []

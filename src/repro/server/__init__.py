@@ -30,7 +30,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> type:
     if name == "MultimediaServer":
         from repro.server.server import MultimediaServer
         return MultimediaServer

@@ -19,7 +19,7 @@ class AdmissionController:
     """Analytic-bound admission with optional reserved headroom."""
 
     def __init__(self, params: SystemParameters, parity_group_size: int,
-                 scheme: Scheme, headroom_fraction: float = 0.0):
+                 scheme: Scheme, headroom_fraction: float = 0.0) -> None:
         if not 0.0 <= headroom_fraction < 1.0:
             raise ValueError(
                 f"headroom fraction must be in [0, 1), got {headroom_fraction}"

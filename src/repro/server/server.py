@@ -24,7 +24,10 @@ Example
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.workload.generator import StreamRequest
 
 from repro.analysis.parameters import SystemParameters
 from repro.buffers.pool import BufferPool
@@ -52,7 +55,7 @@ class MultimediaServer:
     """A fully assembled server for one scheme at one parity-group size."""
 
     def __init__(self, layout: DataLayout, array: DiskArray,
-                 scheduler: CycleScheduler, catalog: Catalog):
+                 scheduler: CycleScheduler, catalog: Catalog) -> None:
         self.layout = layout
         self.array = array
         self.scheduler = scheduler
@@ -193,7 +196,8 @@ class MultimediaServer:
             reports.append(self.scheduler.run_cycle())
         return reports
 
-    def run_workload(self, trace, cycles: int) -> tuple[int, int]:
+    def run_workload(self, trace: Sequence["StreamRequest"],
+                     cycles: int) -> tuple[int, int]:
         """Drive the server with a request trace for a number of cycles.
 
         ``trace`` is a sequence of

@@ -42,7 +42,7 @@ class Stream:
                  "delivered_tracks", "hiccup_count", "reconstructed_tracks")
 
     def __init__(self, stream_id: int, obj: MediaObject,
-                 admitted_cycle: int = 0, phase: int = 0, rate: int = 1):
+                 admitted_cycle: int = 0, phase: int = 0, rate: int = 1) -> None:
         if rate < 1:
             raise ValueError(f"stream rate must be >= 1, got {rate}")
         self.stream_id = stream_id

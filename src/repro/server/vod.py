@@ -22,6 +22,7 @@ from typing import Optional
 from repro.content.manager import ContentManager, EvictionPolicy, RequestOutcome
 from repro.errors import AdmissionError
 from repro.media.catalog import Catalog
+from repro.server.metrics import CycleReport, SimulationReport
 from repro.server.server import MultimediaServer
 from repro.server.stream import Stream
 from repro.tertiary.tape import TapeLibrary
@@ -43,7 +44,7 @@ class VideoOnDemandSystem:
 
     def __init__(self, server: MultimediaServer, library: Catalog,
                  tape: Optional[TapeLibrary] = None,
-                 policy: EvictionPolicy = EvictionPolicy.LRU):
+                 policy: EvictionPolicy = EvictionPolicy.LRU) -> None:
         self.server = server
         self.manager = ContentManager(
             server.layout, server.array, library,
@@ -97,7 +98,7 @@ class VideoOnDemandSystem:
 
     # -- the clock -------------------------------------------------------------
 
-    def run_cycle(self):
+    def run_cycle(self) -> CycleReport:
         """Advance one cycle: start due loads, stream, release pins."""
         now = self.server.cycle_index
         due = [(cycle, name) for cycle, name in self._pending_starts
@@ -112,7 +113,7 @@ class VideoOnDemandSystem:
         self._release_finished_pins()
         return report
 
-    def run_cycles(self, count: int):
+    def run_cycles(self, count: int) -> list[CycleReport]:
         """Advance several cycles."""
         return [self.run_cycle() for _ in range(count)]
 
@@ -125,7 +126,7 @@ class VideoOnDemandSystem:
     # -- convenience --------------------------------------------------------------
 
     @property
-    def report(self):
+    def report(self) -> SimulationReport:
         """The streaming tier's simulation report."""
         return self.server.report
 

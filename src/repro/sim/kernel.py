@@ -32,7 +32,7 @@ ProcessGenerator = Generator["Event", Any, Any]
 class Interrupt(Exception):
     """Thrown inside a process when another process interrupts it."""
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -48,7 +48,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok")
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[list[Callable[[Event], None]]] = []
         self._value: Any = None
@@ -121,7 +121,7 @@ class Timeout(Event):
 
     __slots__ = ("delay", "_value_on_fire")
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(env)
@@ -142,7 +142,7 @@ class Process(Event):
     __slots__ = ("_generator", "name", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
-                 name: str = ""):
+                 name: str = "") -> None:
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
@@ -206,7 +206,7 @@ class _Condition(Event):
 
     __slots__ = ("_events", "_pending")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
         self._pending = 0
@@ -258,7 +258,7 @@ class Environment:
 
     __slots__ = ("_now", "_heap", "_sequence")
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
         self._sequence = itertools.count()

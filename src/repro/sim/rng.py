@@ -17,7 +17,7 @@ import numpy as np
 class RandomSource:
     """A factory of independent, named ``numpy.random.Generator`` streams."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
 
@@ -44,6 +44,16 @@ class RandomSource:
     def integers(self, name: str, low: int, high: int) -> int:
         """One integer draw from [low, high) on the named stream."""
         return int(self.stream(name).integers(low, high))
+
+    def random(self, name: str) -> float:
+        """One draw from U[0, 1) on the named stream."""
+        return float(self.stream(name).random())
+
+    def random_array(self, name: str, count: int) -> np.ndarray:
+        """``count`` draws from U[0, 1) on the named stream."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self.stream(name).random(count)
 
     def spawn(self, name: str) -> "RandomSource":
         """Derive a child RandomSource (e.g. one per simulation replica)."""

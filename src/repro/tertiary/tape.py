@@ -50,7 +50,7 @@ class TapeLibrary:
     only *strengthens* the paper's point that tape rebuilds are slow).
     """
 
-    def __init__(self, spec: TapeSpec = TapeSpec(), num_drives: int = 1):
+    def __init__(self, spec: TapeSpec = TapeSpec(), num_drives: int = 1) -> None:
         if num_drives < 1:
             raise ValueError(f"need at least one drive, got {num_drives}")
         self.spec = spec

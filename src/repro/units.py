@@ -55,6 +55,15 @@ def megabytes(value_mb: float) -> float:
     return float(value_mb)
 
 
+def mb_to_bytes(value_mb: float) -> int:
+    """Convert (decimal) megabytes to whole bytes.
+
+    >>> mb_to_bytes(0.05)
+    50000
+    """
+    return int(round(value_mb * 1_000_000))
+
+
 def gigabytes(value_gb: float) -> float:
     """Convert (decimal) gigabytes to megabytes."""
     return value_gb * 1000.0
@@ -82,6 +91,15 @@ def minutes(value_min: float) -> float:
 def hours(value_h: float) -> float:
     """Convert hours to seconds."""
     return value_h * 3600.0
+
+
+def seconds_to_hours(value_s: float) -> float:
+    """Convert seconds to hours (for human-facing report lines).
+
+    >>> seconds_to_hours(7200)
+    2.0
+    """
+    return value_s / 3600.0
 
 
 def hours_to_years(value_h: float) -> float:

@@ -11,7 +11,7 @@ class PoissonArrivals:
     """Exponential inter-arrival times with a given rate (arrivals/second)."""
 
     def __init__(self, rate_per_s: float, rng: RandomSource | None = None,
-                 stream: str = "arrivals"):
+                 stream: str = "arrivals") -> None:
         if rate_per_s <= 0:
             raise ValueError(f"arrival rate must be positive, got {rate_per_s}")
         self.rate_per_s = rate_per_s

@@ -28,7 +28,7 @@ class WorkloadGenerator:
     """Builds deterministic request traces from a catalog and a seed."""
 
     def __init__(self, catalog: Catalog, arrival_rate_per_s: float,
-                 zipf_theta: float = 1.0, seed: int = 0):
+                 zipf_theta: float = 1.0, seed: int = 0) -> None:
         if len(catalog) == 0:
             raise ValueError("catalog is empty")
         self.catalog = catalog

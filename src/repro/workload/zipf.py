@@ -3,6 +3,11 @@
 Video-on-demand request popularity is classically modelled as Zipf-like:
 the ``r``-th most popular title draws requests proportional to
 ``1 / r**theta``.  ``theta = 0`` degenerates to uniform.
+
+All randomness flows through a named :class:`~repro.sim.rng.RandomSource`
+stream (R1 determinism invariant): two samplers built from the same root
+seed and stream name produce identical request sequences, independent of
+any other component's draws.
 """
 
 from __future__ import annotations
@@ -16,14 +21,15 @@ class ZipfSampler:
     """Draws ranks 0..n-1 with probability proportional to 1/(rank+1)^theta."""
 
     def __init__(self, n: int, theta: float = 1.0,
-                 rng: RandomSource | None = None, stream: str = "zipf"):
+                 rng: RandomSource | None = None, stream: str = "zipf") -> None:
         if n < 1:
             raise ValueError(f"need at least one item, got {n}")
         if theta < 0:
             raise ValueError(f"theta must be non-negative, got {theta}")
         self.n = n
         self.theta = theta
-        self._rng = (rng or RandomSource(0)).stream(stream)
+        self._rng = rng or RandomSource(0)
+        self._stream = stream
         weights = np.array([1.0 / (rank + 1) ** theta for rank in range(n)])
         self._pmf = weights / weights.sum()
         self._cdf = np.cumsum(self._pmf)
@@ -40,12 +46,12 @@ class ZipfSampler:
 
     def sample(self) -> int:
         """Draw one rank."""
-        u = self._rng.random()
+        u = self._rng.random(self._stream)
         return int(np.searchsorted(self._cdf, u, side="right"))
 
     def sample_many(self, count: int) -> list[int]:
         """Draw ``count`` ranks."""
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        draws = self._rng.random(count)
+        draws = self._rng.random_array(self._stream, count)
         return np.searchsorted(self._cdf, draws, side="right").tolist()

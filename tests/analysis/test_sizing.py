@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.sizing import (
-    SystemScale,
     concurrent_users,
     movie_size_mb,
     movies_storable,

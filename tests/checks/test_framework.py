@@ -1,0 +1,144 @@
+"""Unit tests for the analyzer framework: suppression, selection, scope."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.checks import Analyzer, rules_by_id
+from repro.checks.core import (
+    collect_suppressions,
+    in_project_source,
+    in_tests,
+    is_suppressed,
+    normalise,
+    under,
+)
+from repro.checks.rules import ALL_RULES
+
+
+def _check(code: str, path: str, select: tuple[str, ...] | None = None):
+    rules = rules_by_id(select) if select else None
+    return Analyzer(rules).check_source(
+        textwrap.dedent(code).strip("\n") + "\n", path)
+
+
+# -- suppression -------------------------------------------------------------
+
+def test_suppression_same_line() -> None:
+    findings = _check(
+        "import random  # repro: allow(determinism)\n",
+        "src/repro/workload/mod.py")
+    assert findings == []
+
+
+def test_suppression_line_above() -> None:
+    findings = _check(
+        """
+        # repro: allow(determinism)
+        import random
+        """,
+        "src/repro/workload/mod.py")
+    assert findings == []
+
+
+def test_suppression_by_rule_id() -> None:
+    findings = _check(
+        "import random  # repro: allow(R1)\n",
+        "src/repro/workload/mod.py")
+    assert findings == []
+
+
+def test_suppression_wildcard() -> None:
+    findings = _check(
+        "import random  # repro: allow(*)\n",
+        "src/repro/workload/mod.py")
+    assert findings == []
+
+
+def test_suppression_wrong_rule_does_not_mask() -> None:
+    findings = _check(
+        "import random  # repro: allow(units)\n",
+        "src/repro/workload/mod.py")
+    assert [f.rule_id for f in findings] == ["R1"]
+
+
+def test_suppression_two_lines_above_does_not_mask() -> None:
+    findings = _check(
+        """
+        # repro: allow(determinism)
+
+        import random
+        """,
+        "src/repro/workload/mod.py")
+    assert [f.rule_id for f in findings] == ["R1"]
+
+
+def test_collect_suppressions_parses_lists() -> None:
+    allowed = collect_suppressions(
+        "x = 1  # repro: allow(R1, slots)\ny = 2\n")
+    assert allowed == {1: frozenset({"R1", "slots"})}
+
+
+def test_is_suppressed_checks_id_and_name() -> None:
+    findings = _check("import random\n", "src/repro/workload/mod.py")
+    (finding,) = findings
+    assert is_suppressed(finding, {1: frozenset({"determinism"})})
+    assert is_suppressed(finding, {1: frozenset({"R1"})})
+    assert not is_suppressed(finding, {1: frozenset({"R2"})})
+
+
+# -- rule selection ----------------------------------------------------------
+
+def test_rules_by_id_accepts_ids_and_names() -> None:
+    rules = rules_by_id(["R1", "slots"])
+    assert {rule.rule_id for rule in rules} == {"R1", "R4"}
+
+
+def test_rules_by_id_rejects_unknown() -> None:
+    with pytest.raises(ValueError):
+        rules_by_id(["R99"])
+
+
+def test_rule_ids_are_unique_and_ordered() -> None:
+    ids = [rule.rule_id for rule in ALL_RULES]
+    assert ids == sorted(set(ids), key=lambda i: int(i[1:]))
+
+
+# -- path scoping ------------------------------------------------------------
+
+def test_path_helpers() -> None:
+    assert in_project_source("src/repro/sched/base.py")
+    assert not in_project_source("tests/sched/test_base.py")
+    assert in_tests("tests/sched/test_base.py")
+    assert under("src/repro/layout/base.py", "layout/")
+    assert under("src/repro/sim/rng.py", "sim/rng.py")
+    assert not under("src/repro/sched/base.py", "layout/")
+    assert normalise("src/repro/a.py") == "/src/repro/a.py"
+
+
+def test_findings_carry_exact_location() -> None:
+    findings = _check(
+        """
+        def pad() -> None:
+            pass
+
+
+        import random
+        """,
+        "src/repro/workload/mod.py")
+    (finding,) = findings
+    assert (finding.rule_id, finding.line) == ("R1", 5)
+    assert finding.path.endswith("mod.py")
+    assert "random" in finding.message
+
+
+def test_rule_out_of_scope_stays_quiet() -> None:
+    # R5 only patrols analysis/: the same float == elsewhere is fine.
+    code = """
+    def same(total_cost: float, other_cost: float) -> bool:
+        return total_cost == other_cost
+    """
+    assert _check(code, "src/repro/analysis/mod.py")
+    assert not _check(code, "src/repro/sched/mod.py")

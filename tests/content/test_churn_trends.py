@@ -1,6 +1,5 @@
 """Content-churn trends: popularity skew drives the hit rate."""
 
-import pytest
 
 from repro.content import ContentManager, EvictionPolicy
 from repro.disk import DiskArray, PAPER_TABLE1_DRIVE

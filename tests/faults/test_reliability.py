@@ -12,7 +12,6 @@ from repro.analysis import (
     mean_time_to_k_concurrent_failures_hours,
     mttf_catastrophic_hours,
 )
-from repro.errors import ConfigurationError
 from repro.faults import (
     catastrophic_condition,
     k_concurrent_condition,

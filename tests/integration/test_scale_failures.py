@@ -9,7 +9,6 @@ at its bound, fail a disk, and verify the claim holds — and that the
 Improved-bandwidth scheme, which reserved nothing, degrades instead.
 """
 
-import pytest
 
 from repro.schemes import Scheme
 from repro.server.metrics import HiccupCause

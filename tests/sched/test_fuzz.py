@@ -17,7 +17,7 @@ from repro.media import Catalog, MediaObject
 from repro.sched import TransitionProtocol
 from repro.schemes import ALL_SCHEMES, Scheme
 from repro.server.stream import StreamStatus
-from tests.conftest import build_server, tiny_catalog
+from tests.conftest import build_server
 
 
 @st.composite

@@ -1,6 +1,5 @@
 """Improved-bandwidth scheduler: Figure 8 and the shift-right cascade."""
 
-import pytest
 
 from repro.schemes import Scheme
 from repro.server.metrics import HiccupCause

@@ -1,11 +1,8 @@
 """Non-clustered corner paths: parity contention, accumulator accounting,
 failures of the parity disk during lazy reconstruction, starvation."""
 
-import pytest
-
 from repro.media import Catalog, MediaObject
 from repro.sched import TransitionProtocol
-from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
 from repro.schemes import Scheme
 from repro.server.metrics import CycleReport, HiccupCause
 from repro.server.stream import StreamStatus

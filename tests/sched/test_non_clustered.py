@@ -1,6 +1,5 @@
 """Non-clustered scheduler: Figures 5-7, both transition protocols."""
 
-import pytest
 
 from repro.sched import TransitionProtocol
 from repro.schemes import Scheme

@@ -5,7 +5,6 @@ normal operation and the isolated hiccup avoided.  As the load increases,
 reading parity blocks can be dropped in favor of supporting more streams."
 """
 
-import pytest
 
 from repro.schemes import Scheme
 from repro.server.metrics import HiccupCause

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.schemes import ALL_SCHEMES, Scheme
 from repro.server.stream import StreamStatus
-from tests.conftest import TRACK_BYTES, build_server, tiny_catalog
+from tests.conftest import build_server, tiny_catalog
 
 
 def make_server(scheme=Scheme.STREAMING_RAID, streams=1, slots=8,

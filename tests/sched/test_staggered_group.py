@@ -1,6 +1,5 @@
 """Staggered-group scheduler: Figure 4 memory behaviour."""
 
-import pytest
 
 from repro.schemes import Scheme
 from repro.server.stream import StreamStatus

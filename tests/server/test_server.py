@@ -37,7 +37,6 @@ class TestBuild:
 
     def test_admitting_unknown_object_rejected(self):
         server = build_server(Scheme.STREAMING_RAID, num_disks=10)
-        from repro.errors import AdmissionError
         with pytest.raises(KeyError):
             server.admit("not-a-movie")
 

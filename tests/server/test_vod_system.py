@@ -1,8 +1,6 @@
 """The end-to-end VoD pipeline: content tier + streaming tier."""
 
-import pytest
 
-from repro.content import EvictionPolicy, RequestOutcome
 from repro.media import Catalog, MediaObject
 from repro.schemes import Scheme
 from repro.server.stream import StreamStatus

@@ -1,6 +1,5 @@
 """Workload-driven server runs and report export."""
 
-import pytest
 
 from repro.schemes import Scheme
 from repro.workload import StreamRequest, WorkloadGenerator

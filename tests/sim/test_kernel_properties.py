@@ -1,6 +1,6 @@
 """Property-based tests on the DES kernel (hypothesis)."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sim import AllOf, AnyOf, Environment
 

@@ -4,7 +4,6 @@ Each test mirrors one tutorial section; if an API change breaks a
 snippet, this file fails before a reader does.
 """
 
-import pytest
 
 from repro.analysis import SystemParameters, recommend_design
 from repro.analysis.sizing import section1_scale
