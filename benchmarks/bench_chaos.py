@@ -1,0 +1,43 @@
+"""Chaos-campaign cost: one seeded fault storm per scheme.
+
+Not a paper figure — this times the robustness harness itself, so the
+fault-domain engine's overhead (state-machine bookkeeping, per-read
+media-error handling, data-loss sweeps, degraded-capacity shedding)
+stays visible as engineering changes land.  Each round generates and
+replays a full campaign script twice (the determinism check) against
+the metadata-only server; the payload-mode replay is skipped because
+it times byte copying, not the fault engine.
+"""
+
+from repro.faults.chaos import ChaosProfile, run_campaign
+from repro.schemes import Scheme
+
+PROFILE = ChaosProfile(cycles=30)
+SEED = 7
+
+
+def run_chaos(scheme: Scheme) -> None:
+    result = run_campaign(scheme, SEED, profile=PROFILE,
+                          check_payload_mode=False)
+    assert result.passed, result.violations
+
+
+def bench_chaos(benchmark, scheme: Scheme) -> None:
+    benchmark.pedantic(run_chaos, args=(scheme,), rounds=5,
+                       warmup_rounds=1)
+
+
+def test_streaming_raid_chaos_campaign(benchmark):
+    bench_chaos(benchmark, Scheme.STREAMING_RAID)
+
+
+def test_staggered_group_chaos_campaign(benchmark):
+    bench_chaos(benchmark, Scheme.STAGGERED_GROUP)
+
+
+def test_non_clustered_chaos_campaign(benchmark):
+    bench_chaos(benchmark, Scheme.NON_CLUSTERED)
+
+
+def test_improved_bandwidth_chaos_campaign(benchmark):
+    bench_chaos(benchmark, Scheme.IMPROVED_BANDWIDTH)

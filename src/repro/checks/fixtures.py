@@ -199,6 +199,59 @@ FIXTURES: tuple[Fixture, ...] = (
         expect=(("R3", 4),),
     ),
     Fixture(
+        label="R3-bad-fault-domain-call",
+        path="src/repro/faults/example.py",
+        code=_snippet("""
+            class Harness:
+                __slots__ = ("array",)
+
+                def slow_down(self, disk_id: int, fraction: float) -> None:
+                    self.array.degrade(disk_id, fraction)
+
+                def plant(self, disk_id: int, position: int) -> None:
+                    self.array.inject_media_error(position)
+        """),
+        expect=(("R3", 4), ("R3", 7)),
+    ),
+    Fixture(
+        label="R3-bad-fail-slow-field",
+        path="src/repro/disk/example.py",
+        code=_snippet("""
+            class Disk:
+                __slots__ = ("service_fraction", "_media_errors")
+
+                def throttle(self, fraction: float) -> None:
+                    self.service_fraction = fraction
+
+                def corrupt(self, position: int) -> None:
+                    self._media_errors[position] = False
+        """),
+        expect=(("R3", 4), ("R3", 7)),
+    ),
+    Fixture(
+        label="R3-good-fault-domain-bumped",
+        path="src/repro/disk/example.py",
+        code=_snippet("""
+            class Disk:
+                __slots__ = ("service_fraction", "state_changes")
+
+                def throttle(self, fraction: float) -> None:
+                    self.service_fraction = fraction
+                    self.state_changes += 1
+        """),
+    ),
+    Fixture(
+        label="R3-good-scrub-internal-bump",
+        path="src/repro/faults/example.py",
+        code=_snippet("""
+            class Scrubber:
+                __slots__ = ("array",)
+
+                def step(self, disk_id: int, position: int) -> bool:
+                    return self.array[disk_id].scrub(position)
+        """),
+    ),
+    Fixture(
         label="R3-good-bumped",
         path="src/repro/layout/example.py",
         code=_snippet("""

@@ -8,10 +8,12 @@ one of those counters.  This rule makes the contract machine-checked:
   (``_data_addr``, ``_parity_addr``, ``_objects``, ``_start_cluster``,
   ``_disk_contents``, ``_free_positions``, ``_next_position``) must also
   call ``_invalidate_caches()`` (or bump ``_epoch``) in the same body;
-* a function in ``disk/`` that assigns the operational-state fields
-  (``state``, ``is_failed``) must also touch ``state_changes``;
-* a function in ``sched/`` that fails/repairs a disk through the array
-  (``...array.fail(...)`` / ``...array.repair(...)``) must also call
+* a function in ``disk/`` that assigns the fault-domain state fields
+  (``state``, ``is_failed``, ``service_fraction``, ``_media_errors``)
+  must also touch ``state_changes``;
+* a function in ``sched/`` or ``faults/`` that moves a disk's fault
+  domain through the array (``...array.fail/repair/degrade/restore/
+  inject_media_error/begin_rebuild(...)``) must also call
   ``_invalidate_plan_cache()``.
 
 ``__init__`` is exempt (construction is not a live-state mutation);
@@ -38,8 +40,13 @@ PLACEMENT_FIELDS = frozenset({
     "_disk_contents", "_free_positions", "_next_position",
 })
 
-#: Disk operational state: flipping these must move ``state_changes``.
-DISK_STATE_FIELDS = frozenset({"state", "is_failed"})
+#: Disk fault-domain state: flipping these must move ``state_changes``.
+#: ``service_fraction`` (fail-slow) and ``_media_errors`` (latent sector
+#: errors) feed the slot table and read path, so stale plans would serve
+#: from a disk the fault domain already marked unhealthy.
+DISK_STATE_FIELDS = frozenset({
+    "state", "is_failed", "service_fraction", "_media_errors",
+})
 
 #: Calls that count as bumping an epoch / invalidating plan caches.
 BUMP_CALLS = frozenset({"_invalidate_caches", "_invalidate_plan_cache"})
@@ -65,7 +72,7 @@ class EpochCacheRule(Rule):
 
     def applies_to(self, path: str) -> bool:
         return in_project_source(path) and under(
-            path, "layout/", "sched/", "disk/")
+            path, "layout/", "sched/", "disk/", "faults/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -118,12 +125,18 @@ class EpochCacheRule(Rule):
                         fields.add(name)
         return fields
 
+    #: Fault-domain transitions reachable through an array reference.
+    #: ``scrub`` is deliberately absent: the scrubber repairs media
+    #: errors through :meth:`Disk.scrub`, which bumps internally.
+    ARRAY_STATE_CALLS = ("fail", "repair", "degrade", "restore",
+                         "inject_media_error", "begin_rebuild")
+
     def _array_state_calls(self, func: ast.AST) -> list[str]:
         calls: list[str] = []
         for node in ast.walk(func):
             if isinstance(node, ast.Call) \
                     and isinstance(node.func, ast.Attribute) \
-                    and node.func.attr in ("fail", "repair") \
+                    and node.func.attr in self.ARRAY_STATE_CALLS \
                     and "array" in _attribute_names(node.func.value):
                 calls.append(node.func.attr)
         return calls

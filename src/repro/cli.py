@@ -16,6 +16,8 @@ Commands
     and print the delivery report.
 ``rebuild``
     Compare tape versus on-line parity rebuild for a failed disk.
+``chaos``
+    Seeded randomized fault campaigns with invariant checks.
 """
 
 from __future__ import annotations
@@ -104,6 +106,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("verify",
                    help="self-check the reproduction against the paper")
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault campaigns with invariant checks")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="campaign seed (default 7)")
+    chaos.add_argument("--scheme", default="all",
+                       help="SR, SG, NC, IB, or all (default all)")
+    chaos.add_argument("--cycles", type=int, default=40,
+                       help="campaign length in cycles (default 40)")
+    chaos.add_argument("--max-failures", type=int, default=2,
+                       help="max concurrent whole-disk failures (default 2)")
+    chaos.add_argument("--skip-payload-check", action="store_true",
+                       help="skip the byte-verified equivalence replay")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate paper experiments as data")
@@ -296,6 +311,36 @@ def cmd_verify(_args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seeded chaos campaigns; non-zero exit on invariant violations."""
+    from repro.faults.chaos import ChaosProfile, run_campaigns
+    if args.scheme.lower() == "all":
+        schemes = None
+    else:
+        schemes = [_scheme(args.scheme)]
+    profile = ChaosProfile(cycles=args.cycles,
+                           max_concurrent_failures=args.max_failures)
+    results = run_campaigns(
+        args.seed, schemes=schemes, profile=profile,
+        check_payload_mode=not args.skip_payload_check)
+    failed = 0
+    for result in results:
+        flag = "ok" if result.passed else "FAIL"
+        print(f"[{flag}] {result.scheme.display_name}: seed {result.seed}, "
+              f"{result.cycles} cycles, {result.events} fault events")
+        print(f"       hiccups {result.total_hiccups}, media errors "
+              f"{result.total_media_errors}, streams shed "
+              f"{result.total_streams_shed}, data-loss events "
+              f"{result.data_loss_events}, scrub repairs "
+              f"{result.scrub_repairs}")
+        print(f"       digest {result.digest[:16]}")
+        for violation in result.violations:
+            print(f"       violation: {violation}")
+        failed += 0 if result.passed else 1
+    print(f"{len(results) - failed}/{len(results)} campaigns clean")
+    return 1 if failed else 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """Regenerate registered experiments; non-zero exit on any mismatch."""
     import json as json_module
@@ -334,6 +379,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "design": cmd_design,
         "scale": cmd_scale,
         "verify": cmd_verify,
+        "chaos": cmd_chaos,
         "experiments": cmd_experiments,
     }
     return handlers[args.command](args)

@@ -30,15 +30,36 @@ import enum
 from typing import Iterable, Iterator, Optional
 
 from repro.disk.specs import DiskSpec
-from repro.errors import DiskFailedError, LayoutError
+from repro.errors import (
+    DiskFailedError,
+    FaultStateError,
+    LayoutError,
+    MediaReadError,
+)
 from repro.parity.xor import META_PAYLOAD
 
 
 class DiskState(enum.Enum):
-    """Operational state of one drive."""
+    """Fault-domain state of one drive.
+
+    The legal transitions form the per-disk state machine::
+
+        OPERATIONAL --degrade()--> DEGRADED --restore()--> OPERATIONAL
+        OPERATIONAL/DEGRADED --fail()--> FAILED
+        FAILED --begin_rebuild()--> REBUILDING
+        FAILED/REBUILDING/DEGRADED --repair()--> OPERATIONAL
+
+    ``DEGRADED`` models a fail-slow drive: still serving, but at a reduced
+    :attr:`Disk.service_fraction` of its nominal per-cycle track budget.
+    ``REBUILDING`` is a failed drive whose spare is being reconstructed
+    on-line; reads still fail (``is_failed`` stays True) until the rebuild
+    finishes and :meth:`Disk.repair` completes the cycle.
+    """
 
     OPERATIONAL = "operational"
+    DEGRADED = "degraded"
     FAILED = "failed"
+    REBUILDING = "rebuilding"
 
 
 #: Sentinel stored per occupied position in metadata-only mode.
@@ -49,7 +70,9 @@ class Disk:
     """One simulated drive: payload store + failure state + counters."""
 
     __slots__ = ("disk_id", "spec", "state", "is_failed", "store_payloads",
-                 "_tracks", "reads", "writes", "failures", "state_changes")
+                 "service_fraction", "_tracks", "_media_errors", "reads",
+                 "writes", "failures", "state_changes",
+                 "media_errors_injected", "media_errors_cleared")
 
     def __init__(self, disk_id: int, spec: DiskSpec,
                  store_payloads: bool = True) -> None:
@@ -61,15 +84,23 @@ class Disk:
         #: Kept in lockstep with ``state``: a plain attribute because the
         #: schedulers consult it once per planned read.
         self.is_failed = False
+        #: Fraction of the nominal per-cycle track budget a fail-slow
+        #: drive can still serve; 1.0 while fully operational.
+        self.service_fraction = 1.0
         self.store_payloads = store_payloads
         #: position -> payload bytes (payload mode) or ``None`` (metadata).
         self._tracks: dict[int, Optional[bytes]] = {}
+        #: position -> transient? — latent sector errors awaiting a scrub
+        #: (persistent) or the next read attempt (transient).
+        self._media_errors: dict[int, bool] = {}
         # Lifetime counters, for reports.
         self.reads = 0
         self.writes = 0
         self.failures = 0
-        #: Failure/repair transitions; the plan-cache invalidation epoch.
+        #: Fault-state transitions; the plan-cache invalidation epoch.
         self.state_changes = 0
+        self.media_errors_injected = 0
+        self.media_errors_cleared = 0
 
     def __repr__(self) -> str:
         return f"Disk(id={self.disk_id}, state={self.state.value}, " \
@@ -98,6 +129,11 @@ class Disk:
                                       else bytes(payload))
         else:
             self._tracks[position] = _META
+        if self._media_errors and \
+                self._media_errors.pop(position, None) is not None:
+            # Rewriting a sector remaps it: the latent error is gone.
+            self.media_errors_cleared += 1
+            self.state_changes += 1
         self.writes += 1
 
     def write_meta(self, position: int) -> None:
@@ -122,6 +158,11 @@ class Disk:
         ------
         DiskFailedError
             If the drive is failed — callers must reconstruct via parity.
+        MediaReadError
+            If the position carries a latent/transient media error.  A
+            transient glitch clears itself on the failed attempt, so an
+            immediate retry succeeds; a latent (persistent) error keeps
+            failing until scrubbed, repaired, or rewritten.
         LayoutError
             If nothing was ever written there.
         """
@@ -129,6 +170,14 @@ class Disk:
             raise DiskFailedError(
                 f"read from failed disk {self.disk_id} (position {position})"
             )
+        if self._media_errors:
+            transient = self._media_errors.get(position)
+            if transient is not None:
+                if transient:
+                    del self._media_errors[position]
+                    self.media_errors_cleared += 1
+                    self.state_changes += 1
+                raise MediaReadError(self.disk_id, position, transient)
         try:
             payload = self._tracks[position]
         except KeyError:
@@ -166,11 +215,111 @@ class Disk:
             self.state_changes += 1
 
     def repair(self) -> None:
-        """Bring a (reloaded) drive back online."""
-        if self.is_failed:
+        """Bring a (reloaded/replaced) drive back online.
+
+        A repair models a drive swap or full reload, so it also clears any
+        fail-slow throttle and outstanding media errors.
+        """
+        if self.is_failed or self.state is not DiskState.OPERATIONAL \
+                or self.service_fraction != 1.0 or self._media_errors:
             self.state_changes += 1
         self.state = DiskState.OPERATIONAL
         self.is_failed = False
+        self.service_fraction = 1.0
+        self._media_errors.clear()
+
+    def degrade(self, service_fraction: float) -> None:
+        """Enter fail-slow mode at the given fraction of nominal service.
+
+        Raises
+        ------
+        FaultStateError
+            If the drive is failed (a dead drive cannot be merely slow).
+        """
+        if not 0.0 <= service_fraction <= 1.0:
+            raise ValueError(
+                f"service fraction must be in [0, 1], got {service_fraction}"
+            )
+        if self.is_failed:
+            raise FaultStateError(
+                f"cannot degrade failed disk {self.disk_id}; repair it first"
+            )
+        self.state = (DiskState.OPERATIONAL if service_fraction >= 1.0
+                      else DiskState.DEGRADED)
+        self.service_fraction = service_fraction
+        self.state_changes += 1
+
+    def restore(self) -> None:
+        """Leave fail-slow mode (the drive recovered full speed).
+
+        Raises
+        ------
+        FaultStateError
+            If the drive is failed — a failed drive needs :meth:`repair`.
+        """
+        if self.is_failed:
+            raise FaultStateError(
+                f"cannot restore failed disk {self.disk_id}; repair it first"
+            )
+        if self.state is DiskState.DEGRADED:
+            self.state = DiskState.OPERATIONAL
+            self.service_fraction = 1.0
+            self.state_changes += 1
+
+    def begin_rebuild(self) -> None:
+        """Transition FAILED -> REBUILDING (spare reconstruction started).
+
+        The drive stays unreadable (``is_failed`` remains True) until the
+        rebuild completes and :meth:`repair` runs.
+        """
+        if self.state is not DiskState.FAILED:
+            raise FaultStateError(
+                f"disk {self.disk_id} is {self.state.value}, not failed; "
+                "nothing to rebuild"
+            )
+        self.state = DiskState.REBUILDING
+        self.state_changes += 1
+
+    def inject_media_error(self, position: int,
+                           transient: bool = False) -> None:
+        """Plant a media error at one track position.
+
+        ``transient=True`` models a recoverable glitch (vibration, a
+        retryable ECC miss): the first read attempt fails and clears it.
+        ``transient=False`` is a latent sector error: reads keep failing
+        until the position is scrubbed, rewritten, or the drive repaired.
+        """
+        self._check_position(position)
+        self._media_errors[position] = transient
+        self.media_errors_injected += 1
+        self.state_changes += 1
+
+    def scrub(self, position: int) -> bool:
+        """Background-scrub one position; True if an error was repaired."""
+        if self._media_errors.pop(position, None) is None:
+            return False
+        self.media_errors_cleared += 1
+        self.state_changes += 1
+        return True
+
+    def media_error_positions(self) -> list[int]:
+        """Positions currently carrying a media error, ascending."""
+        return sorted(self._media_errors)
+
+    @property
+    def has_media_errors(self) -> bool:
+        """True while any position carries a media error."""
+        return bool(self._media_errors)
+
+    def effective_slots(self, base_slots: int) -> int:
+        """Per-cycle read slots after the fail-slow throttle.
+
+        A degraded drive still serves at least one track per cycle —
+        a fully stalled drive should be failed, not degraded.
+        """
+        if self.service_fraction >= 1.0:
+            return base_slots
+        return max(1, int(base_slots * self.service_fraction))
 
     def erase(self) -> None:
         """Drop all contents (simulates swapping in a blank spare)."""
@@ -216,6 +365,17 @@ class DiskArray:
         return [d.disk_id for d in self.disks if d.is_failed]
 
     @property
+    def degraded_ids(self) -> list[int]:
+        """Ids of drives currently in fail-slow mode, ascending."""
+        return [d.disk_id for d in self.disks
+                if d.state is DiskState.DEGRADED]
+
+    @property
+    def media_error_count(self) -> int:
+        """Outstanding media errors across all drives."""
+        return sum(len(d._media_errors) for d in self.disks)
+
+    @property
     def operational_count(self) -> int:
         """Number of drives currently up."""
         return sum(1 for d in self.disks if not d.is_failed)
@@ -240,6 +400,18 @@ class DiskArray:
         """Repair one drive and return it."""
         disk = self[disk_id]
         disk.repair()
+        return disk
+
+    def degrade(self, disk_id: int, service_fraction: float) -> Disk:
+        """Put one drive into fail-slow mode and return it."""
+        disk = self[disk_id]
+        disk.degrade(service_fraction)
+        return disk
+
+    def restore(self, disk_id: int) -> Disk:
+        """Return one fail-slow drive to full speed and return it."""
+        disk = self[disk_id]
+        disk.restore()
         return disk
 
     def fail_many(self, disk_ids: Iterable[int]) -> None:

@@ -68,6 +68,33 @@ class SimpleDiskModel:
         # Guard against float fuzz: 0.19999999/0.02 must count as 10, not 9.
         return int(math.floor(budget / self.spec.track_time_s + 1e-9))
 
+    def tracks_per_cycle_degraded(self, cycle_length_s: float,
+                                  slowdown: float) -> int:
+        """Per-cycle track budget of a fail-slow drive.
+
+        A fail-slow drive serves media ``slowdown`` times slower than
+        nominal (remapped sectors, head retries, thermal throttling), so
+        its per-track service time inflates to ``slowdown * tau_trk``
+        while the cycle's single worst-case seek charge is unchanged.
+
+        >>> from repro.disk.specs import PAPER_TABLE1_DRIVE
+        >>> model = SimpleDiskModel(PAPER_TABLE1_DRIVE)
+        >>> model.tracks_per_cycle_degraded(0.5, 1.0) \
+                == model.tracks_per_cycle(0.5)
+        True
+        """
+        if slowdown < 1.0:
+            raise ValueError(
+                f"slowdown must be >= 1 (nominal speed), got {slowdown}"
+            )
+        if cycle_length_s <= 0:
+            raise ValueError(f"cycle length must be positive, got {cycle_length_s}")
+        budget = cycle_length_s - self.spec.seek_time_s
+        if budget < 0:
+            return 0
+        return int(math.floor(
+            budget / (self.spec.track_time_s * slowdown) + 1e-9))
+
 
 class ZonedDiskModel:
     """Zone-bit-recorded drive (extension; the real ST31200N was zoned).

@@ -37,6 +37,34 @@ class DiskFailedError(ReproError):
     """
 
 
+class MediaReadError(ReproError):
+    """A read hit a media (latent-sector) error at one track position.
+
+    Unlike :class:`DiskFailedError` this is *expected* during operation —
+    the robust read path catches it and recovers via retry (transient
+    glitches) or per-track parity reconstruction (latent sector errors).
+    """
+
+    def __init__(self, disk_id: int, position: int,
+                 transient: bool) -> None:
+        kind = "transient" if transient else "latent"
+        super().__init__(
+            f"{kind} media error on disk {disk_id} position {position}")
+        self.disk_id = disk_id
+        self.position = position
+        self.transient = transient
+
+
+class FaultStateError(ReproError):
+    """An illegal fault-domain state transition was requested.
+
+    The per-disk state machine only admits
+    operational -> degraded -> failed -> rebuilding -> operational edges
+    (plus direct fail/repair); e.g. degrading a failed disk is a driver
+    bug and is rejected loudly.
+    """
+
+
 class ReconstructionError(ReproError):
     """Parity reconstruction was attempted with insufficient surviving blocks."""
 

@@ -1,6 +1,18 @@
-"""Fault injection and Monte-Carlo reliability estimation."""
+"""Fault injection, chaos campaigns, and Monte-Carlo reliability."""
 
-from repro.faults.injector import ExponentialFaultInjector, FaultEvent, FaultSchedule
+from repro.faults.chaos import (
+    ChaosProfile,
+    ChaosResult,
+    run_campaign,
+    run_campaigns,
+)
+from repro.faults.domain import SectorScrubber, degraded_service_fraction
+from repro.faults.injector import (
+    ExponentialFaultInjector,
+    FaultAction,
+    FaultEvent,
+    FaultSchedule,
+)
 from repro.faults.markov import (
     exact_mttf_clustered_hours,
     exact_mttf_improved_hours,
@@ -14,14 +26,21 @@ from repro.faults.reliability import (
 )
 
 __all__ = [
+    "ChaosProfile",
+    "ChaosResult",
     "ExponentialFaultInjector",
+    "FaultAction",
     "FaultEvent",
     "FaultSchedule",
     "ReliabilityEstimate",
+    "SectorScrubber",
     "catastrophic_condition",
+    "degraded_service_fraction",
     "exact_mttf_clustered_hours",
     "exact_mttf_improved_hours",
     "exact_time_to_k_concurrent_hours",
     "k_concurrent_condition",
+    "run_campaign",
+    "run_campaigns",
     "simulate_mean_time_to",
 ]

@@ -1,0 +1,109 @@
+"""Fault-domain helpers: fail-slow calibration and latent-error scrubbing.
+
+The fault-domain state machine itself lives on the disks
+(:class:`~repro.disk.drive.Disk` moves through ``OPERATIONAL``,
+``DEGRADED``, ``FAILED`` and ``REBUILDING``); this module supplies the
+two pieces that sit *around* it:
+
+* :func:`degraded_service_fraction` translates a physical fail-slow
+  factor ("this drive's track time is 2x nominal") into the fraction of
+  its cycle slot budget that survives, via the same
+  :class:`~repro.disk.model.SimpleDiskModel` track-time arithmetic the
+  admission analysis uses.  Schedulers apply the fraction through
+  :meth:`~repro.disk.drive.Disk.effective_slots`.
+* :class:`SectorScrubber` walks every disk's latent sector errors in a
+  deterministic order and repairs a bounded number per pass — the
+  background patrol that keeps a latent error from surviving long enough
+  to meet a disk failure in the same parity group.  It runs either as a
+  DES-kernel process (:meth:`SectorScrubber.process`, used by
+  ``run_timed``) or one :meth:`SectorScrubber.step` per cycle (used by
+  the chaos harness).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.disk.drive import DiskArray
+    from repro.sim.kernel import Environment, Event
+
+from repro.disk.model import SimpleDiskModel
+from repro.disk.specs import DiskSpec
+
+
+def degraded_service_fraction(spec: DiskSpec, cycle_length_s: float,
+                              slowdown: float) -> float:
+    """The slot-budget fraction a fail-slow disk retains.
+
+    A disk whose track time stretched by ``slowdown`` (>= 1) serves
+    ``tracks_per_cycle_degraded / tracks_per_cycle`` of its nominal
+    per-cycle track budget.  Returns a float in ``[0, 1]``; ``0.0`` when
+    the nominal budget is already zero.
+
+    >>> from repro.disk.specs import DiskSpec
+    >>> spec = DiskSpec(name="d", seek_time_s=0.02, track_time_s=0.015,
+    ...                 track_size_mb=0.064, capacity_mb=256.0)
+    >>> degraded_service_fraction(spec, 1.0, 1.0)
+    1.0
+    >>> 0.0 < degraded_service_fraction(spec, 1.0, 2.0) <= 0.51
+    True
+    """
+    model = SimpleDiskModel(spec)
+    base = model.tracks_per_cycle(cycle_length_s)
+    if base <= 0:
+        return 0.0
+    slow = model.tracks_per_cycle_degraded(cycle_length_s, slowdown)
+    fraction = slow / base
+    return max(0.0, min(1.0, fraction))
+
+
+class SectorScrubber:
+    """Background patrol repairing latent sector errors, a few per pass.
+
+    The scrub order is deterministic — ascending ``(disk_id, position)``
+    over the non-failed disks' currently pending media errors — so
+    replaying a fault script reproduces the exact same repair sequence.
+    """
+
+    __slots__ = ("array", "tracks_per_pass", "passes_run",
+                 "errors_repaired")
+
+    def __init__(self, array: "DiskArray",
+                 tracks_per_pass: int = 1) -> None:
+        if tracks_per_pass < 1:
+            raise ValueError("scrubber must repair at least one track/pass")
+        self.array = array
+        self.tracks_per_pass = tracks_per_pass
+        self.passes_run = 0
+        self.errors_repaired = 0
+
+    def pending(self) -> list[tuple[int, int]]:
+        """All ``(disk_id, position)`` pairs still awaiting a scrub."""
+        pairs: list[tuple[int, int]] = []
+        for disk in self.array:
+            if disk.is_failed:
+                continue  # nothing to patrol until the rebuild lands
+            pairs.extend((disk.disk_id, position)
+                         for position in disk.media_error_positions())
+        pairs.sort()
+        return pairs
+
+    def step(self) -> int:
+        """Run one scrub pass; returns the number of errors repaired."""
+        self.passes_run += 1
+        repaired = 0
+        for disk_id, position in self.pending()[:self.tracks_per_pass]:
+            if self.array[disk_id].scrub(position):
+                repaired += 1
+        self.errors_repaired += repaired
+        return repaired
+
+    def process(self, env: "Environment",
+                period_s: float) -> Iterator["Event"]:
+        """A DES-kernel process running one pass every ``period_s``."""
+        if period_s <= 0:
+            raise ValueError("scrub period must be positive")
+        while True:
+            yield env.timeout(period_s)
+            self.step()

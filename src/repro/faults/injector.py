@@ -29,23 +29,62 @@ class FaultAction(enum.Enum):
 
     FAIL = "fail"
     REPAIR = "repair"
+    DEGRADE = "degrade"
+    RESTORE = "restore"
+    MEDIA_ERROR = "media-error"
 
 
 @dataclass(frozen=True, order=True)
 class FaultEvent:
-    """A scripted fault: *before* which cycle, what, to which disk."""
+    """A scripted fault: *before* which cycle, what, to which disk.
+
+    ``slowdown`` parameterises :attr:`FaultAction.DEGRADE` (the fail-slow
+    factor, > 1); ``position`` and ``transient`` parameterise
+    :attr:`FaultAction.MEDIA_ERROR` (which track, and whether a retry can
+    clear it).  Construction validates the fields an action needs; the
+    disk id's range is checked at :meth:`FaultSchedule.apply`, where the
+    target array is known.
+    """
 
     cycle: int
     disk_id: int
     action: FaultAction = FaultAction.FAIL
     mid_cycle: bool = False
+    slowdown: float = 1.0
+    position: int = -1
+    transient: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError(f"event cycle must be >= 0, got {self.cycle}")
+        if self.disk_id < 0:
+            raise ValueError(f"disk id must be >= 0, got {self.disk_id}")
+        if self.action is FaultAction.DEGRADE and self.slowdown <= 1.0:
+            raise ValueError(
+                f"a DEGRADE event needs slowdown > 1, got {self.slowdown}"
+            )
+        if self.action is FaultAction.MEDIA_ERROR and self.position < 0:
+            raise ValueError(
+                "a MEDIA_ERROR event needs a track position >= 0, got "
+                f"{self.position}"
+            )
 
 
 class FaultSchedule:
-    """A deterministic list of fault events, applied between cycles."""
+    """A deterministic list of fault events, applied between cycles.
+
+    Events are indexed by cycle at construction, so the per-cycle lookup
+    in the simulation loop is O(events due), not O(total events).
+    """
 
     def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
-        self._events = sorted(events)
+        # Stable sort by cycle ONLY: within a cycle the script's order is
+        # semantic (a repair may re-qualify a disk for the degrade that
+        # follows it), and enum members are not orderable anyway.
+        self._events = sorted(events, key=lambda e: e.cycle)
+        self._by_cycle: dict[int, list[FaultEvent]] = {}
+        for event in self._events:
+            self._by_cycle.setdefault(event.cycle, []).append(event)
 
     @classmethod
     def single_failure(cls, cycle: int, disk_id: int,
@@ -62,17 +101,28 @@ class FaultSchedule:
 
     def events_before_cycle(self, cycle: int) -> list[FaultEvent]:
         """Events that strike just before the given cycle runs."""
-        return [e for e in self._events if e.cycle == cycle]
+        return list(self._by_cycle.get(cycle, ()))
 
     def apply(self, scheduler: "CycleScheduler",
               cycle: int) -> list[FaultEvent]:
-        """Apply this schedule's events due before ``cycle``; returns them."""
+        """Apply this schedule's events due before ``cycle``; returns them.
+
+        Raises :class:`~repro.errors.LayoutError` if an event names a
+        disk the scheduler's array does not have.
+        """
         due = self.events_before_cycle(cycle)
         for event in due:
             if event.action is FaultAction.FAIL:
                 scheduler.fail_disk(event.disk_id, mid_cycle=event.mid_cycle)
-            else:
+            elif event.action is FaultAction.REPAIR:
                 scheduler.repair_disk(event.disk_id)
+            elif event.action is FaultAction.DEGRADE:
+                scheduler.degrade_disk(event.disk_id, event.slowdown)
+            elif event.action is FaultAction.RESTORE:
+                scheduler.restore_disk(event.disk_id)
+            else:
+                scheduler.inject_media_error(event.disk_id, event.position,
+                                             transient=event.transient)
         return due
 
     def __len__(self) -> int:

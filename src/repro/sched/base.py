@@ -33,6 +33,7 @@ from repro.disk.drive import DiskArray
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
+    MediaReadError,
     ReconstructionError,
     SimulationError,
 )
@@ -44,8 +45,10 @@ from repro.schemes import Scheme
 from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
 from repro.units import mb_to_bytes
 from repro.sched.slots import SlotTable
+from repro.server.admission import fault_aware_capacity
 from repro.server.metrics import (
     CycleReport,
+    DataLossEvent,
     HiccupCause,
     HiccupRecord,
     SimulationReport,
@@ -86,7 +89,8 @@ class CycleScheduler(abc.ABC):
         "_lost_causes", "_last_executed", "_pending_reconstructions",
         "rebuilders", "_stripe", "_plan_cache", "_plan_cache_key",
         "_all_disks_up", "_read_hook_active", "_delivery_hook_active",
-        "_base_quota", "admission_limit",
+        "_base_quota", "admission_limit", "redundant_fault_commands",
+        "_known_lost_tracks", "_pending_shed",
     )
 
     def __init__(self, layout: DataLayout, array: DiskArray,
@@ -153,6 +157,15 @@ class CycleScheduler(abc.ABC):
         if admission_limit is None:
             admission_limit = self._slot_based_stream_bound()
         self.admission_limit = admission_limit
+        #: Fail/repair commands that found the disk already in the target
+        #: state (idempotency: injectors may double-fire).
+        self.redundant_fault_commands = 0
+        #: object name -> tracks currently unreconstructable (double
+        #: failures); maintained by :meth:`_account_data_loss`.
+        self._known_lost_tracks: dict[str, set[int]] = {}
+        #: Streams shed since the last cycle report (data loss or
+        #: degraded-capacity enforcement).
+        self._pending_shed = 0
 
     def _slot_based_stream_bound(self) -> int:
         """Streams the per-disk slot budget can carry.
@@ -252,11 +265,17 @@ class CycleScheduler(abc.ABC):
         """
         if not self.layout.has_object(obj.name):
             raise AdmissionError(f"object {obj.name!r} is not on disk")
+        if self._known_lost_tracks.get(obj.name):
+            raise AdmissionError(
+                f"object {obj.name!r} has tracks lost to a multiple-disk "
+                "failure; tertiary reload required"
+            )
         rate = self._rate_of(obj)
-        if self.active_load + rate > self.admission_limit:
+        limit = self.effective_admission_limit()
+        if self.active_load + rate > limit:
             raise AdmissionError(
                 f"at capacity: load {self.active_load} of "
-                f"{self.admission_limit} units, request needs {rate}"
+                f"{limit} units, request needs {rate}"
             )
         stream = Stream(
             stream_id=self._next_stream_id,
@@ -309,7 +328,12 @@ class CycleScheduler(abc.ABC):
     # -- failure control ---------------------------------------------------------
 
     def fail_disk(self, disk_id: int, mid_cycle: bool = False) -> None:
-        """Fail a disk between cycles.
+        """Fail a disk between cycles (idempotent).
+
+        Failing an already-failed disk is a counted no-op, so stochastic
+        injectors driving the scheduler directly cannot double-fail a
+        drive; an unknown disk id raises
+        :class:`~repro.errors.LayoutError` loudly.
 
         With ``mid_cycle=True`` the failure is deemed to have struck while
         the just-finished cycle's reads were in flight: tracks fetched from
@@ -317,6 +341,9 @@ class CycleScheduler(abc.ABC):
         (Section 4's "if a failure occurs in the middle of a cycle ... we
         are forced to ... cause a hiccup").
         """
+        if self.array[disk_id].is_failed:
+            self.redundant_fault_commands += 1
+            return
         self.array.fail(disk_id)
         self._invalidate_plan_cache()
         if mid_cycle:
@@ -336,12 +363,174 @@ class CycleScheduler(abc.ABC):
                     self._mark_lost(plan.stream_id, plan.index,
                                     HiccupCause.MID_CYCLE_FAILURE)
         self.on_disk_failure(disk_id)
+        self._account_data_loss()
+        self._enforce_degraded_capacity()
 
     def repair_disk(self, disk_id: int) -> None:
-        """Bring a reloaded disk back online between cycles."""
+        """Bring a reloaded disk back online between cycles (idempotent).
+
+        Repairing a disk that is neither failed, fail-slow, nor carrying
+        media errors is a counted no-op (stochastic injectors may fire
+        repairs the scheduler already handled).
+        """
+        disk = self.array[disk_id]
+        if not disk.is_failed and disk.service_fraction >= 1.0 \
+                and not disk.has_media_errors:
+            self.redundant_fault_commands += 1
+            return
         self.array.repair(disk_id)
         self._invalidate_plan_cache()
         self.on_disk_repair(disk_id)
+        self._account_data_loss()
+
+    def degrade_disk(self, disk_id: int, slowdown: float) -> None:
+        """Put a disk into fail-slow mode between cycles.
+
+        ``slowdown`` is the factor by which the drive's per-track service
+        time inflated (>= 1); the scheduler converts it into a service
+        fraction through the paper's disk model and shrinks the disk's
+        per-cycle slot budget accordingly.  Capacity the degraded array no
+        longer has is shed immediately instead of surfacing as
+        slot-overflow hiccup storms.
+        """
+        from repro.faults.domain import degraded_service_fraction
+        fraction = degraded_service_fraction(
+            self.array.spec, self.config.cycle_length_s, slowdown)
+        self.array.degrade(disk_id, fraction)
+        self._invalidate_plan_cache()
+        self.on_disk_degraded(disk_id)
+        self._enforce_degraded_capacity()
+
+    def restore_disk(self, disk_id: int) -> None:
+        """Return a fail-slow disk to full speed (idempotent)."""
+        disk = self.array[disk_id]
+        if disk.service_fraction >= 1.0 and not disk.is_failed:
+            self.redundant_fault_commands += 1
+            return
+        self.array.restore(disk_id)
+        self._invalidate_plan_cache()
+
+    def inject_media_error(self, disk_id: int, position: int,
+                           transient: bool = False) -> None:
+        """Plant a media error on one track position of one disk."""
+        self.array[disk_id].inject_media_error(position, transient=transient)
+        self._invalidate_plan_cache()
+
+    def on_disk_degraded(self, disk_id: int) -> None:
+        """Scheme reaction to a fail-slow transition (default: none)."""
+
+    # -- data-loss accounting and degraded capacity ------------------------------
+
+    @property
+    def lost_tracks(self) -> dict[str, tuple[int, ...]]:
+        """Tracks currently unreconstructable, per object (ascending)."""
+        return {name: tuple(sorted(tracks))
+                for name, tracks in sorted(self._known_lost_tracks.items())
+                if tracks}
+
+    def _current_lost_tracks(self) -> dict[str, set[int]]:
+        """Enumerate tracks no surviving disk or parity can reproduce.
+
+        A parity group loses data when at least two of its blocks (data
+        or parity) sit on failed disks: every *data* member on a failed
+        disk is then gone.  Only runs the O(objects x groups) sweep while
+        two or more disks are down.
+        """
+        failed = self.array.failed_ids
+        lost: dict[str, set[int]] = {}
+        if len(failed) < 2:
+            return lost
+        failed_set = set(failed)
+        layout = self.layout
+        for obj in layout.objects:
+            name = obj.name
+            for group in range(layout.group_count(obj)):
+                members, parity_addr = layout.group_geometry(name, group)
+                missing = [offset for offset, (disk_id, _pos)
+                           in enumerate(members) if disk_id in failed_set]
+                if not missing:
+                    continue
+                if len(missing) + (parity_addr[0] in failed_set) < 2:
+                    continue
+                tracks = layout.group_tracks(name, group)
+                lost.setdefault(name, set()).update(
+                    tracks[offset] for offset in missing)
+        return lost
+
+    def _account_data_loss(self) -> None:
+        """Re-derive the lost-track set; shed streams that crossed into it.
+
+        Called after every fail/repair transition.  Newly lost tracks are
+        recorded as a :class:`DataLossEvent`; streams whose *remaining*
+        playback includes a lost track are shed (their hiccup storm would
+        never end), while streams past the damage keep playing.  A repair
+        that recovers every track records an empty recovery event.
+        """
+        current = self._current_lost_tracks()
+        previous = self._known_lost_tracks
+        newly_lost: dict[str, tuple[int, ...]] = {}
+        for name, tracks in current.items():
+            fresh = tracks - previous.get(name, set())
+            if fresh:
+                newly_lost[name] = tuple(sorted(fresh))
+        self._known_lost_tracks = current
+        recovered = bool(previous) and not current
+        if not newly_lost and not recovered:
+            return
+        shed: list[int] = []
+        for stream in self.active_streams:
+            tracks = current.get(stream.object.name)
+            if not tracks:
+                continue
+            if any(t >= stream.next_delivery_track for t in tracks):
+                for track in tracks:
+                    if track >= stream.next_delivery_track:
+                        self._mark_lost(stream.stream_id, track,
+                                        HiccupCause.DATA_LOSS)
+                self.terminate_stream(stream.stream_id)
+                shed.append(stream.stream_id)
+        self._pending_shed += len(shed)
+        self.report.data_loss_events.append(DataLossEvent(
+            cycle=self.cycle_index,
+            failed_disks=tuple(self.array.failed_ids),
+            lost_tracks=newly_lost,
+            shed_streams=tuple(shed),
+        ))
+
+    def _capacity_penalty(self) -> int:
+        """Stream capacity consumed by the current failure set.
+
+        Zero here: for Streaming RAID and Staggered Group the parity
+        disks' reserved bandwidth absorbs any single failure per cluster,
+        and multi-failure loss is handled by shedding the affected
+        streams.  Improved-bandwidth and Non-clustered override this with
+        their reserve/pool pressure.
+        """
+        return 0
+
+    def effective_admission_limit(self) -> int:
+        """The admission bound under the live fault-domain state."""
+        return fault_aware_capacity(self.admission_limit, self.array,
+                                    self._capacity_penalty())
+
+    def _enforce_degraded_capacity(self) -> None:
+        """Shed newest streams while the load exceeds degraded capacity.
+
+        Shedding whole streams keeps the survivors hiccup-free; without
+        it, a fail-slow or reserve-exhausted array drops reads across
+        *every* stream each cycle (a slot-overflow hiccup storm).
+        """
+        limit = self.effective_admission_limit()
+        if self.active_load <= limit:
+            return
+        victims = sorted(self.active_streams,
+                         key=lambda s: (s.admitted_cycle, s.stream_id),
+                         reverse=True)
+        for stream in victims:
+            if self.active_load <= limit:
+                break
+            self.terminate_stream(stream.stream_id)
+            self._pending_shed += 1
 
     def start_rebuild(self, disk_id: int,
                       writes_per_cycle: Optional[int] = None,
@@ -534,6 +723,11 @@ class CycleScheduler(abc.ABC):
         data_kind = ReadKind.DATA
         next_cycle = self.cycle_index + 1
         hook = self._on_read_executed if self._read_hook_active else None
+        #: Idle capacity left this cycle, computed lazily on the first
+        #: media error: the deadline-aware budget for retries and
+        #: recovery reads.
+        slack: Optional[dict[int, int]] = None
+        media_failed: list[PlannedRead] = []
         # Plans arrive grouped by stream; hoist the lookup across the run.
         last_id = None
         stream = None
@@ -545,7 +739,26 @@ class CycleScheduler(abc.ABC):
                           and candidate.is_active else None)
             if stream is None:
                 continue
-            payload = disks[plan.disk_id].read(plan.position)
+            disk = disks[plan.disk_id]
+            try:
+                payload = disk.read(plan.position)
+            except MediaReadError as exc:
+                report.media_errors += 1
+                if slack is None:
+                    slack = self.slot_table.idle_slots(executed)
+                if exc.transient and slack.get(plan.disk_id, 0) > 0:
+                    # A transient glitch clears on the failed attempt; an
+                    # immediate retry within the cycle's slack succeeds.
+                    slack[plan.disk_id] -= 1
+                    report.media_retries += 1
+                    try:
+                        payload = disk.read(plan.position)
+                    except MediaReadError:
+                        media_failed.append(plan)
+                        continue
+                else:
+                    media_failed.append(plan)
+                    continue
             if plan.kind is data_kind:
                 stream.buffer[plan.index] = payload
                 if stream.delivery_start_cycle is None:
@@ -557,6 +770,97 @@ class CycleScheduler(abc.ABC):
             if hook is not None:
                 hook(stream, plan, payload)
         self._last_executed = executed
+        if media_failed:
+            assert slack is not None
+            self._recover_media_failures(media_failed, slack, report)
+
+    def _recover_media_failures(self, failed_plans: list[PlannedRead],
+                                slack: dict[int, int],
+                                report: CycleReport) -> None:
+        """Per-track parity fallback for reads lost to media errors.
+
+        Each unreadable *data* track is rebuilt from its parity group:
+        sibling blocks already buffered this cycle are reused, the rest
+        (plus parity) are read directly within the cycle's remaining
+        idle-slot slack, and the XOR lands in the stream buffer before
+        the delivery deadline — a single bad sector never hiccups a
+        stream.  Recovery is impossible (and the track marked lost with a
+        media-error cause) when the group already has a failed member,
+        its parity disk is down, or the slack cannot cover the extra
+        reads.  An unreadable *parity* block costs nothing by itself.
+        """
+        next_cycle = self.cycle_index + 1
+        for plan in failed_plans:
+            if plan.kind is not ReadKind.DATA:
+                continue
+            stream = self.streams.get(plan.stream_id)
+            if stream is None or not stream.is_active:
+                continue
+            group = plan.index // self._stripe
+            entry = self._group_plan(plan.object_name, group)
+            if entry.failed_members or entry.parity is None:
+                # The group is already one block short: the media error is
+                # a second fault and the track cannot be rebuilt in-cycle.
+                self._mark_lost(plan.stream_id, plan.index,
+                                HiccupCause.MEDIA_ERROR)
+                continue
+            payload = self._rebuild_from_group(stream, plan, entry, slack,
+                                               report)
+            if payload is None:
+                self._mark_lost(plan.stream_id, plan.index,
+                                HiccupCause.MEDIA_ERROR)
+                continue
+            stream.buffer[plan.index] = payload
+            if stream.delivery_start_cycle is None:
+                stream.delivery_start_cycle = next_cycle
+            stream.reconstructed_tracks += 1
+            report.media_reconstructions += 1
+            if self._read_hook_active:
+                self._on_read_executed(stream, plan, payload)
+
+    def _rebuild_from_group(self, stream: Stream, plan: PlannedRead,
+                            entry: GroupPlan, slack: dict[int, int],
+                            report: CycleReport) -> Optional[bytes]:
+        """XOR the group's survivors + parity; None if sources are short.
+
+        Consumes idle-slot slack for every source that is not already
+        buffered; restores nothing on failure (the attempted reads were
+        genuinely issued).
+        """
+        disks = self.array.disks
+        buffer = stream.buffer
+        survivors: list[bytes] = []
+        for disk_id, position, track in entry.healthy:
+            if track == plan.index:
+                continue
+            resident = buffer.get(track)
+            if resident is not None:
+                survivors.append(resident)
+                continue
+            if slack.get(disk_id, 0) < 1:
+                return None  # no deadline-safe capacity for the re-read
+            slack[disk_id] -= 1
+            try:
+                survivors.append(disks[disk_id].read(position))
+            except MediaReadError:
+                report.media_errors += 1
+                return None
+            report.media_recovery_reads += 1
+        parity = stream.parity_buffer.get(plan.index // self._stripe)
+        if parity is None:
+            parity_disk, parity_position = entry.parity  # type: ignore[misc]
+            if slack.get(parity_disk, 0) < 1:
+                return None
+            slack[parity_disk] -= 1
+            try:
+                parity = disks[parity_disk].read(parity_position)
+            except MediaReadError:
+                report.media_errors += 1
+                return None
+            report.media_recovery_reads += 1
+        blocks: list[Optional[bytes]] = [None]
+        blocks.extend(survivors)
+        return self.codec.reconstruct(blocks, parity)
 
     def _reconstruct_phase(self, executed: list[PlannedRead],
                            report: CycleReport) -> None:
@@ -675,6 +979,8 @@ class CycleScheduler(abc.ABC):
     def _finalise(self, report: CycleReport) -> None:
         report.reconstructions += self._pending_reconstructions
         self._pending_reconstructions = 0
+        report.streams_shed += self._pending_shed
+        self._pending_shed = 0
         active = terminated = 0
         active_status = StreamStatus.ACTIVE
         terminated_status = StreamStatus.TERMINATED

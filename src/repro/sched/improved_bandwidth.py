@@ -66,6 +66,21 @@ class ImprovedBandwidthScheduler(CycleScheduler):
             return 2 * bound
         return bound
 
+    def _capacity_penalty(self) -> int:
+        """Reserve consumption: failures beyond ``K_IB`` cost capacity.
+
+        The scheme holds the bandwidth of ``K_IB`` disks idle precisely to
+        absorb failures (Section 4), so the first ``reserve_k`` concurrent
+        failures are free; each one beyond the reserve charges one disk's
+        share of the stream bound, shrinking admission before the
+        shift-right cascade starts terminating streams mid-play.
+        """
+        excess = len(self.array.failed_ids) - self.config.params.reserve_k
+        if excess <= 0:
+            return 0
+        per_disk_share = max(1, self.admission_limit // len(self.array))
+        return excess * per_disk_share
+
     def plan_reads(self, cycle: int) -> list[PlannedRead]:
         """Group data reads per stream; parity only for failure-hit groups
         (plus opportunistic prefetches when enabled)."""

@@ -157,6 +157,20 @@ class NonClusteredScheduler(CycleScheduler):
                 self._open_accumulator(stream, group, tracks,
                                        failed_offsets[0])
 
+    def _capacity_penalty(self) -> int:
+        """Pool pressure: unprotected degraded clusters cost capacity.
+
+        A degraded cluster that could not lease buffer servers from the
+        shared pool serves its streams with unrecoverable losses; charging
+        that cluster's share of the stream bound lets the front door shed
+        or reject instead of admitting streams into a hiccup storm.
+        """
+        if not self._unprotected:
+            return 0
+        cluster_share = max(
+            1, self.admission_limit // max(1, self.layout.num_clusters))
+        return len(self._unprotected) * cluster_share
+
     # -- planning ------------------------------------------------------------------
 
     def _group_state(self, stream: Stream,

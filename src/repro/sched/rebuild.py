@@ -27,7 +27,11 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:
     from repro.sched.base import CycleScheduler
 
-from repro.errors import ConfigurationError, ReconstructionError
+from repro.errors import (
+    ConfigurationError,
+    MediaReadError,
+    ReconstructionError,
+)
 from repro.layout.address import BlockKind, DiskAddress, StoredBlock
 from repro.parity.xor import ParityCodec
 
@@ -44,7 +48,7 @@ class OnlineRebuilder:
 
     __slots__ = ("scheduler", "disk_id", "writes_per_cycle", "codec",
                  "_pending", "total_blocks", "blocks_rebuilt",
-                 "reads_consumed", "completed")
+                 "reads_consumed", "completed", "media_blocked")
 
     def __init__(self, scheduler: "CycleScheduler", disk_id: int,
                  writes_per_cycle: Optional[int] = None) -> None:
@@ -64,7 +68,12 @@ class OnlineRebuilder:
         self.total_blocks = len(self._pending)
         self.blocks_rebuilt = 0
         self.reads_consumed = 0
+        #: Rebuild steps deferred because a source read hit a media error.
+        self.media_blocked = 0
         self.completed = self.total_blocks == 0
+        # FAILED -> REBUILDING: the fault-domain state machine marks the
+        # spare reconstruction in progress (reads keep failing until done).
+        scheduler.array[disk_id].begin_rebuild()
         # The spare starts blank; reconstructed tracks land as they come.
         scheduler.array[disk_id].erase()
 
@@ -85,6 +94,7 @@ class OnlineRebuilder:
             return 0
         rebuilt = 0
         budget = self.writes_per_cycle
+        rotations = 0
         while self._pending and budget > 0:
             block = self._pending[0]
             sources = self._source_addresses(block)
@@ -99,13 +109,25 @@ class OnlineRebuilder:
                 )
             if any(idle_slots.get(a.disk_id, 0) < 1 for a in sources):
                 break  # not enough idle capacity this cycle
-            payloads = []
-            for address in sources:
-                idle_slots[address.disk_id] -= 1
-                self.reads_consumed += 1
-                payloads.append(
-                    self.scheduler.array[address.disk_id].read(
-                        address.position))
+            try:
+                payloads = []
+                for address in sources:
+                    idle_slots[address.disk_id] -= 1
+                    self.reads_consumed += 1
+                    payloads.append(
+                        self.scheduler.array[address.disk_id].read(
+                            address.position))
+            except MediaReadError:
+                # A source block is unreadable right now; defer this block
+                # to the back of the queue so the scrubber (or a transient
+                # clearing itself) can unblock it, and move on.  One full
+                # rotation without progress ends the cycle's step.
+                self.media_blocked += 1
+                self._pending.rotate(-1)
+                rotations += 1
+                if rotations >= len(self._pending):
+                    break
+                continue
             payload = self._reconstruct(block, payloads)
             target = self._target_address(block)
             self.scheduler.array[self.disk_id].write(target.position,

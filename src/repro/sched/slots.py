@@ -38,10 +38,11 @@ class SlotTable:
 
         Preserves planning order within each outcome list.
         """
-        # Fast path: every touched disk is up and under budget — all plans
-        # execute, nothing is dropped, no per-disk ranking is needed.  This
-        # is the overwhelmingly common healthy-cycle case; it only counts
-        # loads, deferring the per-disk plan lists to the slow path.
+        # Fast path: every touched disk is up, at full speed, and under
+        # budget — all plans execute, nothing is dropped, no per-disk
+        # ranking is needed.  This is the overwhelmingly common
+        # healthy-cycle case; it only counts loads, deferring the per-disk
+        # plan lists to the slow path.
         slots = self.slots_per_disk
         array = self.array
         counts: dict[int, int] = {}
@@ -52,8 +53,10 @@ class SlotTable:
             counts[disk_id] = load
             if load > slots:
                 over_budget = True
-        if not over_budget and not any(array[disk_id].is_failed
-                                       for disk_id in counts):
+        if not over_budget and not any(
+                array[disk_id].is_failed
+                or array[disk_id].service_fraction < 1.0
+                for disk_id in counts):
             plans = plans if type(plans) is list else list(plans)
             return plans, []
         by_disk: dict[int, list[PlannedRead]] = {}
@@ -62,16 +65,19 @@ class SlotTable:
         executed: list[PlannedRead] = []
         dropped: list[PlannedRead] = []
         for disk_id, disk_plans in by_disk.items():
-            if array[disk_id].is_failed:
+            disk = array[disk_id]
+            if disk.is_failed:
                 dropped.extend(disk_plans)
                 continue
-            if len(disk_plans) <= slots:
+            # A fail-slow drive's budget shrinks with its service fraction.
+            budget = disk.effective_slots(slots)
+            if len(disk_plans) <= budget:
                 executed.extend(disk_plans)
                 continue
             # Stable sort: priority first, planning order second.
             ranked = sorted(disk_plans, key=lambda p: p.priority)
-            executed.extend(ranked[:slots])
-            dropped.extend(ranked[slots:])
+            executed.extend(ranked[:budget])
+            dropped.extend(ranked[budget:])
         # Return in global planning order for determinism downstream.
         order = {id(plan): i for i, plan in enumerate(plans)}
         executed.sort(key=lambda p: order[id(p)])
@@ -86,9 +92,14 @@ class SlotTable:
         return loads
 
     def idle_slots(self, plans: Iterable[PlannedRead]) -> dict[int, int]:
-        """Free slots per operational disk under a plan list."""
+        """Free slots per operational disk under a plan list.
+
+        Fail-slow drives expose their *effective* budget, so rebuild and
+        media-recovery traffic cannot overdrive a throttled disk.
+        """
         loads = self.load(plans)
         return {
-            disk.disk_id: self.slots_per_disk - loads.get(disk.disk_id, 0)
+            disk.disk_id: disk.effective_slots(self.slots_per_disk)
+            - loads.get(disk.disk_id, 0)
             for disk in self.array if not disk.is_failed
         }

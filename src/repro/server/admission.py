@@ -5,14 +5,53 @@ The controller enforces the scheme's analytic stream bound (equations
 Improved-bandwidth scheme keeps the idle capacity its shift-right cascade
 needs — Section 4: "some small amount of idle capacity could be reserved in
 case of a disk failure".
+
+:func:`fault_aware_capacity` is the degraded-mode counterpart: it
+re-derives the effective stream capacity from the *live* fault-domain
+state of the disk array (fail-slow throttles plus a scheme-specific
+penalty for consumed redundancy), so the front door sheds or rejects
+instead of admitting load the degraded array will drop as slot-overflow
+hiccup storms.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.disk.drive import DiskArray
 
 from repro.analysis.parameters import SystemParameters
 from repro.analysis.streams import max_streams
 from repro.errors import AdmissionError
 from repro.schemes import Scheme
+
+
+def fault_aware_capacity(base_limit: int, array: "DiskArray",
+                         penalty: int = 0) -> int:
+    """Effective stream capacity under the array's current fault state.
+
+    The healthy bound ``base_limit`` shrinks two ways:
+
+    * **fail-slow**: the slowest still-operational drive gates every
+      scheme's striped reads, so capacity scales with the minimum
+      :attr:`~repro.disk.drive.Disk.service_fraction` across operational
+      drives (an array with every drive failed has zero capacity);
+    * **consumed redundancy**: the scheme-specific ``penalty`` charges
+      streams for failures no longer absorbed by reserve bandwidth
+      (e.g. Improved-bandwidth failures beyond the ``K_IB`` reserve, or
+      Non-clustered degraded clusters the buffer pool could not protect).
+    """
+    if base_limit < 0:
+        raise ValueError(f"base limit must be non-negative, got {base_limit}")
+    if penalty < 0:
+        raise ValueError(f"penalty must be non-negative, got {penalty}")
+    fraction = min(
+        (disk.service_fraction for disk in array if not disk.is_failed),
+        default=0.0,
+    )
+    limit = base_limit if fraction >= 1.0 else int(base_limit * fraction)
+    return max(0, limit - penalty)
 
 
 class AdmissionController:

@@ -20,6 +20,8 @@ class HiccupCause(enum.Enum):
     SLOT_OVERFLOW = "slot-overflow"        # dropped: no disk slot in the cycle
     MID_CYCLE_FAILURE = "mid-cycle-failure"  # IB: failure during the read
     BUFFER_EXHAUSTED = "buffer-exhausted"  # NC: buffer pool empty
+    MEDIA_ERROR = "media-error"            # latent sector error not recovered
+    DATA_LOSS = "data-loss"                # track lost to a double failure
 
 
 @dataclass(frozen=True)
@@ -31,6 +33,29 @@ class HiccupRecord:
     object_name: str
     track: int
     cause: HiccupCause
+
+
+@dataclass(frozen=True)
+class DataLossEvent:
+    """A failure set crossed into data loss (MTTDS accounting).
+
+    Recorded when a fail/repair transition changes the set of tracks that
+    no surviving disk or parity block can reproduce: exactly which tracks
+    of which objects are gone, and which streams were shed because their
+    remaining playback crossed a lost track.  An empty ``lost_tracks``
+    marks the recovery event (a repair brought every track back).
+    """
+
+    cycle: int
+    failed_disks: tuple[int, ...]
+    #: object name -> newly lost track numbers, ascending.
+    lost_tracks: dict[str, tuple[int, ...]]
+    shed_streams: tuple[int, ...]
+
+    @property
+    def total_lost_tracks(self) -> int:
+        """Tracks newly lost in this event."""
+        return sum(len(tracks) for tracks in self.lost_tracks.values())
 
 
 @dataclass
@@ -50,6 +75,11 @@ class CycleReport:
     pool_tracks_in_use: int = 0
     streams_active: int = 0
     streams_terminated: int = 0
+    media_errors: int = 0
+    media_retries: int = 0
+    media_reconstructions: int = 0
+    media_recovery_reads: int = 0
+    streams_shed: int = 0
 
 
 @dataclass
@@ -58,6 +88,8 @@ class SimulationReport:
 
     cycles: list[CycleReport] = field(default_factory=list)
     payload_mismatches: int = 0
+    #: Every crossing into (or out of) data loss, in event order.
+    data_loss_events: list[DataLossEvent] = field(default_factory=list)
 
     def record(self, cycle_report: CycleReport) -> None:
         """Append one finished cycle."""
@@ -89,6 +121,31 @@ class SimulationReport:
     def total_dropped_reads(self) -> int:
         """Reads displaced by slot overflow."""
         return sum(c.reads_dropped for c in self.cycles)
+
+    @property
+    def total_media_errors(self) -> int:
+        """Media-error read outcomes observed."""
+        return sum(c.media_errors for c in self.cycles)
+
+    @property
+    def total_media_retries(self) -> int:
+        """Transient media errors recovered by an in-cycle retry."""
+        return sum(c.media_retries for c in self.cycles)
+
+    @property
+    def total_media_reconstructions(self) -> int:
+        """Tracks recovered from latent errors via per-track parity."""
+        return sum(c.media_reconstructions for c in self.cycles)
+
+    @property
+    def total_streams_shed(self) -> int:
+        """Streams terminated by data loss or degraded-capacity shedding."""
+        return sum(c.streams_shed for c in self.cycles)
+
+    @property
+    def total_lost_tracks(self) -> int:
+        """Tracks lost across every data-loss event."""
+        return sum(e.total_lost_tracks for e in self.data_loss_events)
 
     def all_hiccups(self) -> list[HiccupRecord]:
         """Every hiccup in cycle order."""
@@ -131,6 +188,11 @@ class SimulationReport:
                 "pool_tracks_in_use": c.pool_tracks_in_use,
                 "streams_active": c.streams_active,
                 "streams_terminated": c.streams_terminated,
+                "media_errors": c.media_errors,
+                "media_retries": c.media_retries,
+                "media_reconstructions": c.media_reconstructions,
+                "media_recovery_reads": c.media_recovery_reads,
+                "streams_shed": c.streams_shed,
             }
             for c in self.cycles
         ]
@@ -142,9 +204,22 @@ class SimulationReport:
             for cause, count in sorted(self.hiccups_by_cause().items(),
                                        key=lambda item: item[0].value)
         ) or "none"
-        return (
+        text = (
             f"{len(self.cycles)} cycles; delivered {self.total_delivered} "
             f"tracks; {self.total_hiccups} hiccups ({causes}); "
             f"{self.total_reconstructions} on-the-fly reconstructions; "
             f"peak buffer {self.peak_buffered_tracks} tracks"
         )
+        if self.total_media_errors:
+            text += (
+                f"; {self.total_media_errors} media errors "
+                f"({self.total_media_retries} retried, "
+                f"{self.total_media_reconstructions} parity-rebuilt)"
+            )
+        if self.data_loss_events:
+            text += (
+                f"; {len(self.data_loss_events)} data-loss events "
+                f"({self.total_lost_tracks} tracks lost, "
+                f"{self.total_streams_shed} streams shed)"
+            )
+        return text

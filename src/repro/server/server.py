@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Sequence
 
 if TYPE_CHECKING:
+    from repro.faults.domain import SectorScrubber
     from repro.workload.generator import StreamRequest
 
 from repro.analysis.parameters import SystemParameters
@@ -60,6 +61,10 @@ class MultimediaServer:
         self.array = array
         self.scheduler = scheduler
         self.catalog = catalog
+        #: The stochastic injector/scrubber of the most recent
+        #: :meth:`run_timed` call, kept for post-run counter inspection.
+        self.last_injector: Optional[ExponentialFaultInjector] = None
+        self.last_scrubber: Optional["SectorScrubber"] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -223,12 +228,26 @@ class MultimediaServer:
         return admitted, rejected
 
     def fail_disk(self, disk_id: int, mid_cycle: bool = False) -> None:
-        """Fail a disk before the next cycle."""
+        """Fail a disk before the next cycle (idempotent)."""
         self.scheduler.fail_disk(disk_id, mid_cycle=mid_cycle)
 
     def repair_disk(self, disk_id: int) -> None:
-        """Repair a disk before the next cycle."""
+        """Repair a disk before the next cycle (idempotent)."""
         self.scheduler.repair_disk(disk_id)
+
+    def degrade_disk(self, disk_id: int, slowdown: float) -> None:
+        """Put a disk into fail-slow mode before the next cycle."""
+        self.scheduler.degrade_disk(disk_id, slowdown)
+
+    def restore_disk(self, disk_id: int) -> None:
+        """Return a fail-slow disk to full speed (idempotent)."""
+        self.scheduler.restore_disk(disk_id)
+
+    def inject_media_error(self, disk_id: int, position: int,
+                           transient: bool = False) -> None:
+        """Plant a media error at one track position of one disk."""
+        self.scheduler.inject_media_error(disk_id, position,
+                                          transient=transient)
 
     @property
     def is_catastrophic(self) -> bool:
@@ -236,19 +255,34 @@ class MultimediaServer:
         failed = self.array.failed_ids
         return bool(failed) and self.layout.is_catastrophic_geometric(failed)
 
+    @property
+    def lost_tracks(self) -> dict[str, tuple[int, ...]]:
+        """Tracks currently unreconstructable, per object."""
+        return self.scheduler.lost_tracks
+
     # -- timed co-simulation ---------------------------------------------------------
 
     def run_timed(self, duration_s: float,
                   mttf_s: Optional[float] = None,
                   mttr_s: Optional[float] = None,
-                  seed: int = 0) -> SimulationReport:
+                  seed: int = 0,
+                  scrub_interval_s: Optional[float] = None,
+                  ) -> SimulationReport:
         """Run cycles under stochastic failures on the DES kernel.
 
         A cycle-driver process advances the scheduler every
         ``config.cycle_length_s`` seconds while per-disk fault processes
         (exponential MTTF/MTTR, defaulting to the drive spec's values)
-        inject failures and repairs between cycles.
+        inject failures and repairs between cycles.  The scheduler's
+        fail/repair entry points are idempotent, so the injector drives
+        them directly; its counters stay inspectable afterwards via
+        :attr:`last_injector`.
+
+        ``scrub_interval_s`` additionally runs a background
+        :class:`~repro.faults.domain.SectorScrubber` process on the same
+        kernel, repairing one latent sector error per interval.
         """
+        from repro.faults.domain import SectorScrubber
         env = Environment()
         spec = self.array.spec
         injector = ExponentialFaultInjector(
@@ -257,10 +291,16 @@ class MultimediaServer:
             mttf_s=mttf_s if mttf_s is not None else spec.mttf_s,
             mttr_s=mttr_s if mttr_s is not None else spec.mttr_s,
             rng=RandomSource(seed),
-            on_fail=lambda disk_id: self._safe_fail(disk_id),
-            on_repair=lambda disk_id: self._safe_repair(disk_id),
+            on_fail=self.scheduler.fail_disk,
+            on_repair=self.scheduler.repair_disk,
         )
+        self.last_injector = injector
         injector.start()
+        if scrub_interval_s is not None:
+            scrubber = SectorScrubber(self.array)
+            self.last_scrubber = scrubber
+            env.process(scrubber.process(env, scrub_interval_s),
+                        name="sector-scrubber")
 
         def cycle_driver():
             """Advance the scheduler once per cycle period."""
@@ -271,11 +311,3 @@ class MultimediaServer:
         env.process(cycle_driver(), name="cycle-driver")
         env.run(until=duration_s)
         return self.report
-
-    def _safe_fail(self, disk_id: int) -> None:
-        if not self.array[disk_id].is_failed:
-            self.scheduler.fail_disk(disk_id)
-
-    def _safe_repair(self, disk_id: int) -> None:
-        if self.array[disk_id].is_failed:
-            self.scheduler.repair_disk(disk_id)

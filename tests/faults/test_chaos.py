@@ -1,0 +1,146 @@
+"""The seeded chaos harness: script generation, replay, classification."""
+
+import pytest
+
+from repro.faults.chaos import (
+    ChaosProfile,
+    ChaosResult,
+    _Allowances,
+    build_chaos_server,
+    generate_script,
+    replay,
+    run_campaign,
+    snapshot_digest,
+)
+from repro.faults.injector import FaultAction, FaultEvent
+from repro.schemes import Scheme
+
+SHORT = ChaosProfile(cycles=12)
+
+
+class TestProfileAndResult:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ChaosProfile(cycles=0)
+        with pytest.raises(ValueError):
+            ChaosProfile(max_concurrent_failures=-1)
+
+    def test_result_passes_only_without_violations(self):
+        result = ChaosResult(Scheme.STREAMING_RAID, 1, 10, 3, "d", 0, 0,
+                             0, 0, 0)
+        assert result.passed
+        result.violations.append("boom")
+        assert not result.passed
+
+
+class TestScriptGeneration:
+    def test_same_seed_same_script(self):
+        first = generate_script(Scheme.STREAMING_RAID, 7, SHORT)
+        second = generate_script(Scheme.STREAMING_RAID, 7, SHORT)
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        profile = ChaosProfile(cycles=30)
+        assert generate_script(Scheme.STREAMING_RAID, 7, profile) \
+            != generate_script(Scheme.STREAMING_RAID, 8, profile)
+
+    def test_scripts_only_contain_legal_transitions(self):
+        profile = ChaosProfile(cycles=60)
+        for seed in (3, 7, 42):
+            events = generate_script(Scheme.STREAMING_RAID, seed, profile)
+            failed, degraded = set(), set()
+            for event in events:
+                if event.action is FaultAction.FAIL:
+                    assert event.disk_id not in failed
+                    failed.add(event.disk_id)
+                    degraded.discard(event.disk_id)
+                elif event.action is FaultAction.REPAIR:
+                    assert event.disk_id in failed
+                    failed.discard(event.disk_id)
+                elif event.action is FaultAction.DEGRADE:
+                    assert event.disk_id not in failed
+                    assert event.disk_id not in degraded
+                    degraded.add(event.disk_id)
+                elif event.action is FaultAction.RESTORE:
+                    assert event.disk_id in degraded
+                    degraded.discard(event.disk_id)
+                else:
+                    assert event.disk_id not in failed
+
+    def test_media_errors_target_stored_blocks(self):
+        probe = build_chaos_server(Scheme.STREAMING_RAID)
+        stored = {(disk.disk_id, position)
+                  for disk in probe.array for position in disk.positions()}
+        events = generate_script(Scheme.STREAMING_RAID, 13,
+                                 ChaosProfile(cycles=60))
+        media = [e for e in events if e.action is FaultAction.MEDIA_ERROR]
+        assert all((e.disk_id, e.position) in stored for e in media)
+
+
+class TestReplay:
+    def test_replay_is_bit_identical(self):
+        events = generate_script(Scheme.NON_CLUSTERED, 7, SHORT)
+        first = replay(Scheme.NON_CLUSTERED, events, SHORT.cycles)
+        second = replay(Scheme.NON_CLUSTERED, events, SHORT.cycles)
+        assert snapshot_digest(first) == snapshot_digest(second)
+
+    def test_snapshot_captures_the_fault_surface(self):
+        snap = replay(Scheme.STREAMING_RAID,
+                      generate_script(Scheme.STREAMING_RAID, 7, SHORT),
+                      SHORT.cycles)
+        for key in ("rows", "hiccups", "data_loss", "streams",
+                    "lost_tracks", "scrub", "admissions_rejected"):
+            assert key in snap
+        assert len(snap["rows"]) == SHORT.cycles
+
+
+class TestAllowances:
+    EVENTS = [
+        FaultEvent(2, 0, FaultAction.FAIL),
+        FaultEvent(4, 1, FaultAction.FAIL, mid_cycle=True),
+        FaultEvent(6, 0, FaultAction.REPAIR),
+        FaultEvent(8, 1, FaultAction.REPAIR),
+        FaultEvent(20, 2, FaultAction.DEGRADE, slowdown=2.0),
+    ]
+
+    def test_double_failure_window_excuses_data_loss(self):
+        allow = _Allowances(self.EVENTS, 30, window=3)
+        assert allow.permits(Scheme.STREAMING_RAID, 4, "data-loss")
+        assert allow.permits(Scheme.STREAMING_RAID, 7, "data-loss")
+        assert not allow.permits(Scheme.STREAMING_RAID, 12, "data-loss")
+
+    def test_lone_media_error_is_never_excused(self):
+        # No fault or degrade window covers cycle 15: retry + parity
+        # fallback must absorb a lone latent error completely.
+        allow = _Allowances(self.EVENTS, 30, window=3)
+        assert not allow.permits(Scheme.STREAMING_RAID, 15, "media-error")
+        assert allow.permits(Scheme.STREAMING_RAID, 21, "media-error")
+
+    def test_transition_schemes_get_bounded_fault_windows(self):
+        allow = _Allowances(self.EVENTS, 30, window=3)
+        assert allow.permits(Scheme.STAGGERED_GROUP, 3, "transition")
+        assert not allow.permits(Scheme.STREAMING_RAID, 3, "disk-failure")
+        # Mid-cycle strikes excuse even the strict schemes briefly.
+        assert allow.permits(Scheme.STREAMING_RAID, 4, "mid-cycle-failure")
+
+    def test_slot_overflow_tied_to_degrade_window(self):
+        allow = _Allowances(self.EVENTS, 30, window=3)
+        assert allow.permits(Scheme.IMPROVED_BANDWIDTH, 21, "slot-overflow")
+        assert not allow.permits(Scheme.IMPROVED_BANDWIDTH, 15,
+                                 "slot-overflow")
+
+
+class TestCampaign:
+    def test_short_campaign_holds_every_invariant(self):
+        result = run_campaign(Scheme.STREAMING_RAID, 7, profile=SHORT)
+        assert result.passed, result.violations
+        assert len(result.digest) == 64
+        assert result.cycles == SHORT.cycles
+
+    def test_campaign_digest_is_reproducible(self):
+        first = run_campaign(Scheme.IMPROVED_BANDWIDTH, 7, profile=SHORT,
+                             check_payload_mode=False)
+        second = run_campaign(Scheme.IMPROVED_BANDWIDTH, 7, profile=SHORT,
+                             check_payload_mode=False)
+        assert first.passed and second.passed
+        assert first.digest == second.digest

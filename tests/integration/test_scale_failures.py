@@ -74,23 +74,26 @@ def test_improved_bandwidth_with_reserved_headroom_masks_failure():
     assert server.report.total_reconstructions > 0
 
 
-def test_sr_catastrophic_at_scale_hiccups_only_affected_cluster():
+def test_sr_catastrophic_at_scale_loss_confined_to_affected_cluster():
     server = build_full_scale(Scheme.STREAMING_RAID)
     streams = load_group_scheme(server)
     server.run_cycle()
     server.fail_disk(0)
     server.fail_disk(1)  # same cluster: catastrophic
-    server.run_cycles(4)
-    hiccups = server.report.all_hiccups()
-    assert hiccups
-    assert {h.cause for h in hiccups} == {HiccupCause.DISK_FAILURE}
+    events = server.report.data_loss_events
+    assert len(events) == 1
+    assert events[0].failed_disks == (0, 1)
     # Every lost track's parity group sits on the dead cluster — objects
-    # rotate through it one group per cycle (round-robin striping), so the
-    # affected *object* changes each cycle but the *cluster* never does.
+    # rotate through it one group per cycle (round-robin striping), so
+    # the affected *object* changes but the *cluster* never does.
     layout = server.layout
-    for hiccup in hiccups:
-        group, _ = layout.group_of(hiccup.object_name, hiccup.track)
-        assert layout.group_cluster(hiccup.object_name, group) == 0
-    # Unaffected clusters kept every stream whole: exactly 2 tracks lost
-    # per affected stream per failed cycle.
-    assert len(hiccups) % 2 == 0
+    for name, tracks in events[0].lost_tracks.items():
+        for track in tracks:
+            group, _ = layout.group_of(name, track)
+            assert layout.group_cluster(name, group) == 0
+    # Objects rotate through every cluster, so every still-playing stream
+    # has lost tracks ahead: all are shed, and none hiccup-storms.
+    assert len(events[0].shed_streams) == len(streams)
+    server.run_cycles(4)
+    assert server.report.hiccup_free()
+    assert server.report.total_streams_shed == len(streams)

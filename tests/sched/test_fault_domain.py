@@ -1,0 +1,161 @@
+"""Scheduler behaviour under the fault-domain engine, across all schemes.
+
+Three contracts from the robustness design:
+
+* a lone latent sector error (or transient glitch) is absorbed by the
+  deadline-aware retry / per-track parity fallback with zero hiccups;
+* fail-slow drives shrink the effective admission limit, and excess load
+  is shed instead of surfacing as slot-overflow hiccup storms;
+* a double failure inside one parity group sheds exactly the affected
+  streams with per-track loss accounting while the report stays
+  hiccup-free.
+"""
+
+import pytest
+
+from repro.analysis import SystemParameters
+from repro.errors import AdmissionError
+from repro.schemes import Scheme
+from repro.server import MultimediaServer
+from repro.server.stream import StreamStatus
+from tests.conftest import build_server
+
+ALL_FIXTURES = ["sr_server", "sg_server", "nc_server", "ib_server"]
+
+
+def _inject_on_tracks(server, name, tracks, transient=False):
+    for track in tracks:
+        address = server.layout.data_address(name, track)
+        server.inject_media_error(address.disk_id, address.position,
+                                  transient=transient)
+
+
+@pytest.mark.parametrize("fixture", ALL_FIXTURES)
+def test_latent_errors_absorbed_by_parity_fallback(fixture, request):
+    server = request.getfixturevalue(fixture)
+    name = server.catalog.names()[0]
+    num_tracks = server.catalog.get(name).num_tracks
+    _inject_on_tracks(server, name, [5, 9, 13])
+    stream = server.admit(name)
+    server.run_cycles(num_tracks + 25)
+    assert stream.status is StreamStatus.COMPLETED
+    assert stream.delivered_tracks == num_tracks
+    assert server.report.hiccup_free()
+    assert server.report.total_media_errors >= 3
+    assert server.report.total_media_reconstructions >= 3
+
+
+@pytest.mark.parametrize("fixture", ALL_FIXTURES)
+def test_transient_glitches_absorbed_by_in_cycle_retry(fixture, request):
+    server = request.getfixturevalue(fixture)
+    name = server.catalog.names()[0]
+    num_tracks = server.catalog.get(name).num_tracks
+    _inject_on_tracks(server, name, [5, 9, 13], transient=True)
+    stream = server.admit(name)
+    server.run_cycles(num_tracks + 25)
+    assert stream.status is StreamStatus.COMPLETED
+    assert server.report.hiccup_free()
+    assert server.report.total_media_retries >= 3
+    # A transient costs a retry, never a parity rebuild.
+    assert server.report.total_media_reconstructions == 0
+
+
+class TestDegradedAdmission:
+    def _server(self, admission_limit=4):
+        # Real Table-1 timing (the toy 64-byte config has no time budget,
+        # so every slowdown would map to a zero service fraction) in
+        # metadata-only mode, so materialisation stays cheap.
+        params = SystemParameters.paper_table1(num_disks=10)
+        return MultimediaServer.build(params, 5, Scheme.STREAMING_RAID,
+                                      admission_limit=admission_limit)
+
+    def test_fail_slow_shrinks_the_effective_limit(self):
+        server = self._server()
+        scheduler = server.scheduler
+        assert scheduler.effective_admission_limit() == 4
+        server.degrade_disk(0, slowdown=2.0)
+        shrunk = scheduler.effective_admission_limit()
+        assert 0 < shrunk < 4
+        server.restore_disk(0)
+        assert scheduler.effective_admission_limit() == 4
+
+    def test_admission_rejects_beyond_degraded_capacity(self):
+        server = self._server()
+        server.degrade_disk(0, slowdown=2.0)
+        limit = server.scheduler.effective_admission_limit()
+        names = server.catalog.names()
+        for index in range(limit):
+            server.admit(names[index % len(names)])
+        with pytest.raises(AdmissionError):
+            server.admit(names[0])
+
+    def test_degrade_sheds_excess_load_instead_of_hiccuping(self):
+        server = self._server()
+        names = server.catalog.names()
+        streams = [server.admit(names[i % len(names)]) for i in range(4)]
+        server.run_cycle()
+        server.degrade_disk(0, slowdown=2.0)
+        limit = server.scheduler.effective_admission_limit()
+        active = [s for s in streams if s.is_active]
+        assert len(active) == limit
+        # Newest streams were shed; the survivors keep their deadlines.
+        shed = [s for s in streams if s.status is StreamStatus.TERMINATED]
+        assert len(shed) == 4 - limit
+        server.run_cycles(4)
+        assert server.report.hiccup_free()
+        assert server.report.total_streams_shed == 4 - limit
+
+    def test_mild_degrade_within_capacity_stays_hiccup_free(self):
+        server = self._server(admission_limit=None)
+        stream = server.admit(server.catalog.names()[0])
+        server.run_cycle()
+        server.degrade_disk(3, slowdown=1.5)
+        server.run_cycles(6)
+        assert stream.is_active or stream.status is StreamStatus.COMPLETED
+        assert server.report.hiccup_free()
+
+
+DOUBLE_FAILURE_CASES = [
+    ("sr_server", (0, 1)),
+    ("sg_server", (0, 1)),
+    ("nc_server", (0, 1)),
+    ("ib_server", (0, 1)),
+]
+
+
+@pytest.mark.parametrize("fixture,failed_pair", DOUBLE_FAILURE_CASES)
+def test_double_failure_sheds_affected_streams_only(fixture, failed_pair,
+                                                    request):
+    server = request.getfixturevalue(fixture)
+    streams = [server.admit(name) for name in server.catalog.names()]
+    server.run_cycle()
+    server.fail_disk(failed_pair[0])
+    assert not server.report.data_loss_events  # single failure is masked
+    server.fail_disk(failed_pair[1])
+    assert server.is_catastrophic
+    events = server.report.data_loss_events
+    assert len(events) == 1
+    assert events[0].failed_disks == failed_pair
+    assert events[0].total_lost_tracks > 0
+    # Per-track loss accounting: every shed stream's object lost tracks.
+    shed_ids = set(events[0].shed_streams)
+    assert shed_ids
+    for stream in streams:
+        if stream.stream_id in shed_ids:
+            assert stream.status is StreamStatus.TERMINATED
+            assert server.lost_tracks[stream.object.name]
+    # The unaffected remainder keeps playing without a single hiccup.
+    survivors = [s for s in streams if s.stream_id not in shed_ids
+                 and s.is_active]
+    delivered_before = {s.stream_id: s.delivered_tracks for s in survivors}
+    server.run_cycles(4)
+    assert server.report.hiccup_free()
+    for stream in survivors:
+        if stream.is_active or stream.status is StreamStatus.COMPLETED:
+            assert stream.delivered_tracks \
+                >= delivered_before[stream.stream_id]
+    # Lost objects are rejected at the front door until reloaded.
+    lost_objects = set(server.lost_tracks)
+    for name in lost_objects:
+        with pytest.raises(AdmissionError):
+            server.admit(name)

@@ -47,8 +47,8 @@ def test_lazy_accumulator_counts_as_buffer():
 
 def test_parity_disk_fails_during_lazy_reconstruction():
     """If the cluster's parity disk dies before the burst cycle, the
-    reconstruction cannot finish; the failed block hiccups, the rest of
-    the group still plays."""
+    reconstruction can never finish: the offset-2 block is lost data, so
+    the stream is shed with the loss accounted per track."""
     server = build_server(Scheme.NON_CLUSTERED, num_disks=10,
                           catalog=tiny_catalog(2, 8),
                           protocol=TransitionProtocol.LAZY, start_cluster=0)
@@ -56,10 +56,12 @@ def test_parity_disk_fails_during_lazy_reconstruction():
     stream = server.admit(server.catalog.names()[0])
     server.run_cycle()                        # track 0 read, acc open
     server.fail_disk(4)                       # the cluster's parity disk
+    assert not stream.is_active               # shed: its loss lies ahead
+    assert 2 in server.lost_tracks[stream.object.name]
+    events = server.report.data_loss_events
+    assert events and stream.stream_id in events[-1].shed_streams
     server.run_cycles(15)
-    assert stream.hiccup_count >= 1
-    lost = {h.track for h in server.report.all_hiccups()}
-    assert 2 in lost                          # the offset-2 block
+    assert server.report.total_hiccups == 0   # no storm from the shed stream
     assert server.report.payload_mismatches == 0
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import AdmissionError
 from repro.schemes import Scheme
 from repro.server.metrics import HiccupCause
 from repro.server.stream import StreamStatus
@@ -71,20 +72,32 @@ def test_failures_in_distinct_clusters_both_masked(sr_server):
     assert sr_server.report.total_reconstructions > 0
 
 
-def test_catastrophic_failure_causes_hiccups(sr_server):
-    """Two failed disks in one cluster: groups there cannot be rebuilt."""
-    sr_server.admit(sr_server.catalog.names()[0])
+def test_catastrophic_failure_sheds_affected_streams(sr_server):
+    """Two failed disks in one cluster: groups there cannot be rebuilt,
+    so the streams that would cross them are shed with per-track loss
+    accounting instead of hiccuping forever."""
+    name = sr_server.catalog.names()[0]
+    stream = sr_server.admit(name)
     sr_server.run_cycle()
     sr_server.fail_disk(0)
     sr_server.fail_disk(2)  # same cluster -> catastrophic
     assert sr_server.is_catastrophic
+    events = sr_server.report.data_loss_events
+    assert len(events) == 1
+    assert events[0].failed_disks == (0, 2)
+    assert events[0].total_lost_tracks > 0
+    assert stream.stream_id in events[0].shed_streams
+    assert not stream.is_active
+    # The lost set stays queryable while the damage persists, and the
+    # object cannot be re-admitted without a tertiary reload.
+    assert sr_server.lost_tracks[name]
+    with pytest.raises(AdmissionError):
+        sr_server.admit(name)
     sr_server.run_cycles(10)
     report = sr_server.report
-    assert report.total_hiccups > 0
-    causes = report.hiccups_by_cause()
-    assert set(causes) == {HiccupCause.DISK_FAILURE}
-    # Unaffected groups still delivered.
-    assert report.total_delivered > 0
+    # No hiccup storm: the shed stream stops delivering instead.
+    assert report.total_hiccups == 0
+    assert report.total_streams_shed == 1
 
 
 def test_repair_restores_normal_operation(sr_server):

@@ -89,6 +89,23 @@ def test_section7_full_pipeline():
     assert "hit rate" in system.summary()
 
 
+def test_section9_fault_domains():
+    params = SystemParameters.paper_table1(num_disks=10)
+    server = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID,
+                                    admission_limit=40)
+    streams = [server.admit(n) for n in server.catalog.names()]
+    address = server.layout.data_address(streams[0].object.name, 5)
+    server.inject_media_error(address.disk_id, address.position)
+    server.degrade_disk(3, slowdown=2.0)
+    assert server.scheduler.effective_admission_limit() < 40
+    server.run_cycles(8)
+    assert server.report.hiccup_free()
+    assert server.report.total_media_errors >= 1
+    assert server.report.total_media_reconstructions >= 1
+    server.restore_disk(3)
+    assert server.scheduler.effective_admission_limit() == 40
+
+
 def test_section8_metadata_scale():
     params = SystemParameters.paper_table1(
         num_disks=1000, track_size_mb=64 / 1e6, disk_capacity_mb=0.256)
