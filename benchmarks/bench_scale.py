@@ -7,15 +7,17 @@ thousand concurrent streams, with and without a disk failure, in
 metadata-only mode (``verify_payloads=False`` — occupancy and counters,
 no payload bytes).
 
-Each run admits one stream per disk (spread one object per cluster so the
-slot schedule stays balanced), simulates 20 cycles, and records wall-clock
+The grid-cell logic lives in :mod:`repro.experiments.scalegrid` so spawn
+workers can import it; this script is the human-facing driver.  Each run
+admits one stream per disk (spread one object per cluster so the slot
+schedule stays balanced), simulates 20 cycles, and records wall-clock
 build/run times plus the usual fault-tolerance metrics.  The failure
 variant fails one disk a quarter of the way in and repairs it at the
 three-quarter mark.
 
 Results land in ``benchmarks/BENCH_scale.json``.  Run standalone::
 
-    python benchmarks/bench_scale.py
+    python benchmarks/bench_scale.py [--workers N] [--fast-forward]
 
 or through pytest (the acceptance gate — the 1000-disk Streaming-RAID run
 must finish in under 60 s)::
@@ -25,107 +27,42 @@ must finish in under 60 s)::
 
 from __future__ import annotations
 
+import argparse
 import json
-import time
 from pathlib import Path
 
+from repro.experiments.scalegrid import (
+    CYCLES,
+    grid_digest,
+    run_scale_cell,
+    run_scale_grid,
+)
 from repro.schemes import Scheme
-from repro.server import MultimediaServer
-from scenarios import tiny_catalog, tiny_params
 
 SIZES = (100, 500, 1000)
-CYCLES = 20
-TRACKS = 100           # > CYCLES * k' so no stream completes mid-run
-FAIL_CYCLE = 5
-REPAIR_CYCLE = 15
-SLOTS_PER_DISK = 8
 OUTPUT = Path(__file__).resolve().parent / "BENCH_scale.json"
 
 ALL_SCHEMES = (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP,
                Scheme.NON_CLUSTERED, Scheme.IMPROVED_BANDWIDTH)
 
 
-def cluster_size(scheme: Scheme, parity_group_size: int = 5) -> int:
-    """Disks per cluster: C, except IB's C - 1 data-disk clusters."""
-    if scheme is Scheme.IMPROVED_BANDWIDTH:
-        return parity_group_size - 1
-    return parity_group_size
-
-
-def build_scale_server(scheme: Scheme, num_disks: int) -> MultimediaServer:
-    """A metadata-only server with one object per cluster."""
-    objects = num_disks // cluster_size(scheme)
-    return MultimediaServer.build(
-        tiny_params(num_disks), 5, scheme,
-        catalog=tiny_catalog(objects, tracks=TRACKS),
-        slots_per_disk=SLOTS_PER_DISK, verify_payloads=False)
-
-
 def run_one(scheme: Scheme, num_disks: int, with_failure: bool) -> dict:
-    """Build, load to one stream per disk, run 20 cycles; return metrics."""
-    t0 = time.perf_counter()
-    server = build_scale_server(scheme, num_disks)
-    build_s = time.perf_counter() - t0
-
-    names = server.catalog.names()
-    per_object = max(1, num_disks // len(names))
-    target = min(num_disks, server.scheduler.admission_limit)
-    admitted = 0
-    for name in names:
-        for _ in range(per_object):
-            if admitted >= target:
-                break
-            server.admit(name)
-            admitted += 1
-
-    t0 = time.perf_counter()
-    for cycle in range(CYCLES):
-        if with_failure:
-            if cycle == FAIL_CYCLE:
-                server.fail_disk(0)
-            elif cycle == REPAIR_CYCLE:
-                server.repair_disk(0)
-        server.run_cycle()
-    run_s = time.perf_counter() - t0
-
-    report = server.report
-    cycles = report.cycles
-    result = {
-        "scheme": scheme.value,
-        "num_disks": num_disks,
-        "streams": admitted,
-        "cycles": CYCLES,
-        "with_failure": with_failure,
-        "build_s": round(build_s, 4),
-        "run_s": round(run_s, 4),
-        "us_per_cycle": round(1e6 * run_s / CYCLES, 1),
-        "cycles_per_s": round(CYCLES / run_s, 1),
-        "reads_executed": sum(r.reads_executed for r in cycles),
-        "parity_reads": sum(r.parity_reads for r in cycles),
-        "tracks_delivered": sum(r.tracks_delivered for r in cycles),
-        "reconstructions": sum(r.reconstructions for r in cycles),
-        "hiccups": sum(len(r.hiccups) for r in cycles),
-    }
-    if with_failure:
-        assert not server.is_catastrophic
-    assert result["tracks_delivered"] > 0
-    return result
+    """One grid cell (kept as the benchmark's public name)."""
+    return run_scale_cell(scheme, num_disks, with_failure)
 
 
-def run_sweep(sizes=SIZES, schemes=ALL_SCHEMES) -> list[dict]:
-    results = []
-    for num_disks in sizes:
-        for scheme in schemes:
-            for with_failure in (False, True):
-                result = run_one(scheme, num_disks, with_failure)
-                results.append(result)
-                print(f"  {scheme.value:24s} D={num_disks:<5d} "
-                      f"failure={'y' if with_failure else 'n'}  "
-                      f"build {result['build_s']:.2f}s  "
-                      f"run {result['run_s']:.2f}s  "
-                      f"({result['us_per_cycle']:.0f} us/cycle, "
-                      f"{result['streams']} streams, "
-                      f"{result['hiccups']} hiccups)")
+def run_sweep(sizes=SIZES, schemes=ALL_SCHEMES, workers: int = 1,
+              fast_forward: bool = False) -> list[dict]:
+    results = run_scale_grid(tuple(sizes), tuple(schemes), workers=workers,
+                             fast_forward=fast_forward)
+    for result in results:
+        print(f"  {result['scheme']:24s} D={result['num_disks']:<5d} "
+              f"failure={'y' if result['with_failure'] else 'n'}  "
+              f"build {result['build_s']:.2f}s  "
+              f"run {result['run_s']:.2f}s  "
+              f"({result['us_per_cycle']:.0f} us/cycle, "
+              f"{result['streams']} streams, "
+              f"{result['hiccups']} hiccups)")
     return results
 
 
@@ -134,6 +71,7 @@ def write_report(results: list[dict]) -> None:
         "benchmark": "bench_scale",
         "track_bytes": 64,
         "cycles_per_run": CYCLES,
+        "grid_digest": grid_digest(results),
         "runs": results,
     }, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
@@ -174,4 +112,11 @@ def test_streaming_raid_failure_zero_hiccups_at_scale():
 
 
 if __name__ == "__main__":
-    write_report(run_sweep())
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width (default 1: in-process)")
+    parser.add_argument("--fast-forward", action="store_true",
+                        help="enable the quiescent-epoch fast-forward")
+    args = parser.parse_args()
+    write_report(run_sweep(workers=args.workers,
+                           fast_forward=args.fast_forward))

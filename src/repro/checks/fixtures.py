@@ -440,6 +440,77 @@ FIXTURES: tuple[Fixture, ...] = (
                 return disks * price_per_disk
         """),
     ),
+    # -- R7 spawn-safety -----------------------------------------------------
+    Fixture(
+        label="R7-bad-lambda-payload",
+        path="src/repro/experiments/example.py",
+        code=_snippet("""
+            from functools import partial
+
+            from repro.parallel import TaskSpec
+
+
+            def build() -> tuple[object, object]:
+                direct = TaskSpec(lambda: 1, label="direct")
+                wrapped = TaskSpec(partial(lambda x: x, 1), label="wrapped")
+                return direct, wrapped
+        """),
+        expect=(("R7", 7), ("R7", 8)),
+    ),
+    Fixture(
+        label="R7-bad-nested-payload",
+        path="tests/parallel/test_example.py",
+        code=_snippet("""
+            from repro.parallel import TaskSpec
+
+
+            def build() -> object:
+                def cell() -> int:
+                    return 1
+                return TaskSpec(fn=cell, label="nested")
+        """),
+        expect=(("R7", 7),),
+    ),
+    Fixture(
+        label="R7-bad-module-state",
+        path="src/repro/parallel.py",
+        code=_snippet("""
+            _RESULTS: dict[str, int] = {}
+            _LABELS = []
+
+
+            def record(label: str, value: int) -> None:
+                _RESULTS[label] = value
+                _LABELS.append(label)
+        """),
+        expect=(("R7", 1), ("R7", 2)),
+    ),
+    Fixture(
+        label="R7-good-module-payload",
+        path="src/repro/experiments/example.py",
+        code=_snippet("""
+            from repro.parallel import TaskSpec
+
+
+            def cell(index: int) -> int:
+                return index * 2
+
+
+            def build() -> object:
+                return TaskSpec(cell, args=(1,), label="ok")
+        """),
+    ),
+    Fixture(
+        label="R7-suppressed",
+        path="tests/parallel/test_example.py",
+        code=_snippet("""
+            from repro.parallel import TaskSpec
+
+
+            def build() -> object:
+                return TaskSpec(lambda: 1, label="ok")  # repro: allow(R7)
+        """),
+    ),
 )
 
 

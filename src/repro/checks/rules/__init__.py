@@ -7,6 +7,7 @@ from repro.checks.rules.determinism import DeterminismRule
 from repro.checks.rules.epoch import EpochCacheRule
 from repro.checks.rules.floatcmp import FloatEqualityRule
 from repro.checks.rules.slots import SlotsRule
+from repro.checks.rules.spawn_safety import SpawnSafetyRule
 from repro.checks.rules.typed_defs import TypedDefsRule
 from repro.checks.rules.units import UnitsRule
 
@@ -18,6 +19,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SlotsRule,
     FloatEqualityRule,
     TypedDefsRule,
+    SpawnSafetyRule,
 )
 
 
@@ -46,6 +48,7 @@ __all__ = [
     "EpochCacheRule",
     "FloatEqualityRule",
     "SlotsRule",
+    "SpawnSafetyRule",
     "TypedDefsRule",
     "UnitsRule",
     "default_rules",

@@ -1,0 +1,154 @@
+"""Rule R7: spawn-safe parallel task payloads.
+
+The process pool in :mod:`repro.parallel` uses the ``spawn`` start
+method, so a :class:`~repro.parallel.TaskSpec` payload must be pickled
+and re-imported by a fresh interpreter.  Lambdas and functions defined
+inside another function cannot be pickled; module-level mutable state in
+``parallel.py`` would silently diverge between parent and workers.  The
+runtime guard (:func:`repro.parallel.spawn_safety_violation`) rejects
+bad payloads when a ``TaskSpec`` is built; this rule catches the same
+mistakes at review time, before anything runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.checks.core import (FileContext, Finding, Rule,
+                               in_project_source, in_tests, under)
+
+#: Constructors whose result is shared mutable state at module scope.
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "defaultdict", "deque", "OrderedDict",
+    "Counter",
+})
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    """Whether an expression builds a mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _call_name(node: ast.Call) -> str:
+    """Bare name of a call target (``TaskSpec`` or ``mod.TaskSpec``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _nested_function_names(tree: ast.Module) -> frozenset[str]:
+    """Names of functions defined inside another function's body."""
+    nested: set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.Lambda):
+                visit(child, True)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return frozenset(nested)
+
+
+class SpawnSafetyRule(Rule):
+    """Flag task payloads that spawn workers cannot unpickle."""
+
+    rule_id = "R7"
+    name = "spawn-safety"
+    description = (
+        "TaskSpec payloads must be importable module-level callables "
+        "(no lambdas, no nested defs) and repro/parallel.py must hold "
+        "no module-level mutable state."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return in_project_source(path) or in_tests(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if under(ctx.path, "repro/parallel.py"):
+            yield from self._module_state(ctx)
+        yield from self._task_payloads(ctx)
+
+    # -- module-level mutable state in parallel.py ----------------------
+
+    def _module_state(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if all(n.startswith("__") and n.endswith("__") for n in names
+                   if n) and names:
+                continue  # __all__ and friends are read-only by convention
+            if _is_mutable_literal(value):
+                label = names[0] if names else "<assignment>"
+                yield self.finding(
+                    ctx, node,
+                    f"module-level mutable state `{label}` in parallel.py: "
+                    "spawn workers get a fresh copy, so parent and worker "
+                    "state silently diverge; pass state through TaskSpec "
+                    "args instead")
+
+    # -- unpicklable TaskSpec payloads ----------------------------------
+
+    def _task_payloads(self, ctx: FileContext) -> Iterator[Finding]:
+        nested = _nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) \
+                    or _call_name(node) != "TaskSpec":
+                continue
+            payload = self._payload_expr(node)
+            if payload is None:
+                continue
+            finding = self._payload_violation(ctx, payload, nested)
+            if finding is not None:
+                yield finding
+
+    @staticmethod
+    def _payload_expr(call: ast.Call) -> Optional[ast.expr]:
+        """The ``fn`` argument of a TaskSpec call, if present."""
+        if call.args:
+            return call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "fn":
+                return keyword.value
+        return None
+
+    def _payload_violation(self, ctx: FileContext, payload: ast.expr,
+                           nested: frozenset[str]) -> Optional[Finding]:
+        if isinstance(payload, ast.Lambda):
+            return self.finding(
+                ctx, payload,
+                "lambda TaskSpec payload cannot be pickled for spawn "
+                "workers; use a module-level function")
+        if isinstance(payload, ast.Name) and payload.id in nested:
+            return self.finding(
+                ctx, payload,
+                f"TaskSpec payload `{payload.id}` is defined inside "
+                "another function, so spawn workers cannot import it; "
+                "move it to module scope")
+        if isinstance(payload, ast.Call) \
+                and _call_name(payload) == "partial" and payload.args:
+            return self._payload_violation(ctx, payload.args[0], nested)
+        return None

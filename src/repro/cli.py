@@ -73,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="MTTF/MTTDS for a geometry")
     reliability.add_argument("--disks", type=int, default=1000)
     reliability.add_argument("--group-size", type=int, default=10)
+    reliability.add_argument("--replications", type=int, default=0,
+                             help="also run an accelerated Monte-Carlo "
+                                  "cross-check with this many replications")
+    reliability.add_argument("--seed", type=int, default=11,
+                             help="Monte-Carlo root seed (default 11)")
+    reliability.add_argument("--workers", type=int, default=1,
+                             help="process-pool width for the Monte-Carlo "
+                                  "(default 1: in-process)")
 
     simulate = sub.add_parser("simulate", help="run the cycle simulator")
     simulate.add_argument("--scheme", type=_scheme, default=Scheme.STREAMING_RAID,
@@ -84,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fail-disk", type=int, default=None)
     simulate.add_argument("--fail-cycle", type=int, default=2)
     simulate.add_argument("--repair-cycle", type=int, default=None)
+    simulate.add_argument("--metadata-only", action="store_true",
+                          help="skip payload bytes (counters only)")
+    simulate.add_argument("--fast-forward", action="store_true",
+                          help="batch quiescent cycles (requires "
+                               "--metadata-only)")
 
     rebuild = sub.add_parser("rebuild",
                              help="tape vs on-line rebuild estimate")
@@ -119,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max concurrent whole-disk failures (default 2)")
     chaos.add_argument("--skip-payload-check", action="store_true",
                        help="skip the byte-verified equivalence replay")
+    chaos.add_argument("--runs", type=int, default=1,
+                       help="campaigns per scheme, seeds derived from "
+                            "--seed (default 1)")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="process-pool width (default 1: in-process)")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate paper experiments as data")
@@ -180,12 +198,40 @@ def cmd_reliability(args: argparse.Namespace) -> int:
         mttds = mttds_years(params, args.group_size, scheme)
         print(f"  {scheme.display_name:<16} MTTF {mttf:>14,.1f} y   "
               f"MTTDS {mttds:>16,.1f} y")
+    if args.replications > 0:
+        from repro.analysis import mttf_catastrophic_hours
+        from repro.faults.reliability import (
+            catastrophic_condition, simulate_mean_time_to)
+        from repro.layout import ClusteredParityLayout
+        # Accelerated per-disk MTTF so the replications finish quickly;
+        # the ratio to eq. (4) is scale-free.
+        mttf_h, mttr_h = 200.0, 1.0
+        fast = SystemParameters.paper_table1(
+            num_disks=args.disks, mttf_disk_hours=mttf_h,
+            mttr_disk_hours=mttr_h)
+        expected_h = mttf_catastrophic_hours(fast, args.group_size,
+                                             Scheme.STREAMING_RAID)
+        layout = ClusteredParityLayout(args.disks, args.group_size)
+        estimate = simulate_mean_time_to(
+            args.disks, mttf_h, mttr_h, catastrophic_condition(layout),
+            replications=args.replications, seed=args.seed,
+            workers=args.workers)
+        print(f"Monte-Carlo cross-check ({estimate.samples} replications, "
+              f"accelerated MTTF {mttf_h:.0f} h, workers={args.workers}):")
+        print(f"  simulated {estimate.mean_hours:,.1f} h "
+              f"+/- {estimate.ci95_hours:,.1f} h   "
+              f"eq. (4) {expected_h:,.1f} h")
+        return 0 if estimate.consistent_with(expected_h) else 1
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run the cycle simulator and print the delivery report."""
     from repro.server import MultimediaServer
+    if args.fast_forward and not args.metadata_only:
+        print("--fast-forward requires --metadata-only (payload "
+              "verification forces the scalar path)")
+        return 2
     params = SystemParameters.paper_table1(
         num_disks=args.disks,
         track_size_mb=512 / 1e6,
@@ -193,18 +239,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     server = MultimediaServer.build(
         params, args.group_size, args.scheme,
-        slots_per_disk=8, verify_payloads=True)
+        slots_per_disk=8, verify_payloads=not args.metadata_only)
     names = server.catalog.names()
     for index in range(args.streams):
         server.admit(names[index % len(names)])
-    for cycle in range(args.cycles):
-        if args.fail_disk is not None and cycle == args.fail_cycle:
+    boundaries = sorted({
+        cycle for cycle in (
+            args.fail_cycle if args.fail_disk is not None else None,
+            args.repair_cycle if args.fail_disk is not None else None)
+        if cycle is not None and 0 <= cycle < args.cycles})
+    previous = 0
+    for boundary in boundaries:
+        server.run_cycles(boundary - previous,
+                          fast_forward=args.fast_forward)
+        if boundary == args.fail_cycle:
             server.fail_disk(args.fail_disk)
-            print(f"[cycle {cycle}] disk {args.fail_disk} failed")
-        if args.repair_cycle is not None and cycle == args.repair_cycle:
+            print(f"[cycle {boundary}] disk {args.fail_disk} failed")
+        if boundary == args.repair_cycle:
             server.repair_disk(args.fail_disk)
-            print(f"[cycle {cycle}] disk {args.fail_disk} repaired")
-        server.run_cycle()
+            print(f"[cycle {boundary}] disk {args.fail_disk} repaired")
+        previous = boundary
+    server.run_cycles(args.cycles - previous,
+                      fast_forward=args.fast_forward)
     report = server.report
     print(f"{args.scheme.display_name}: {report.summary()}")
     for cause, count in sorted(report.hiccups_by_cause().items(),
@@ -313,16 +369,25 @@ def cmd_verify(_args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run seeded chaos campaigns; non-zero exit on invariant violations."""
-    from repro.faults.chaos import ChaosProfile, run_campaigns
+    from repro.faults.chaos import (
+        ChaosProfile, campaign_seeds, run_campaign_grid, run_campaigns)
     if args.scheme.lower() == "all":
         schemes = None
     else:
         schemes = [_scheme(args.scheme)]
     profile = ChaosProfile(cycles=args.cycles,
                            max_concurrent_failures=args.max_failures)
-    results = run_campaigns(
-        args.seed, schemes=schemes, profile=profile,
-        check_payload_mode=not args.skip_payload_check)
+    if args.runs > 1:
+        results = run_campaign_grid(
+            campaign_seeds(args.seed, args.runs), schemes=schemes,
+            profile=profile,
+            check_payload_mode=not args.skip_payload_check,
+            workers=args.workers)
+    else:
+        results = run_campaigns(
+            args.seed, schemes=schemes, profile=profile,
+            check_payload_mode=not args.skip_payload_check,
+            workers=args.workers)
     failed = 0
     for result in results:
         flag = "ok" if result.passed else "FAIL"

@@ -92,3 +92,14 @@ class BufferExhausted(ReproError):
 
 class SimulationError(ReproError):
     """Internal discrete-event-simulation invariant violated."""
+
+
+class SpawnSafetyError(ReproError):
+    """A parallel task payload cannot survive the spawn start method.
+
+    Process pools use ``spawn`` (fresh interpreters, no forked state), so
+    every task function and callable argument must be picklable: defined
+    at module level in an importable module — no lambdas, no closures, no
+    ``__main__``-only functions.  Rejecting these at task construction
+    keeps ``workers=1`` and ``workers=N`` runs interchangeable.
+    """

@@ -1,0 +1,182 @@
+"""Paper-scale benchmark grid cells, importable by spawn workers.
+
+``benchmarks/bench_scale.py`` sweeps 100/500/1000 disks x four schemes
+with and without a failure.  Each cell is independent, so the sweep is a
+natural ensemble for :class:`repro.parallel.ParallelRunner` — but spawn
+workers can only run functions they can *import*, and the ``benchmarks/``
+directory is not a package on ``PYTHONPATH``.  The cell logic therefore
+lives here; the benchmark script (and any notebook) delegates to it.
+
+A cell returns both wall-clock timings and the deterministic simulator
+metrics.  :func:`cell_digest` hashes only the deterministic part, which
+is what the serial-vs-parallel regression guard compares.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Optional
+
+from repro.analysis.parameters import SystemParameters
+from repro.media.catalog import Catalog
+from repro.media.objects import MediaObject
+from repro.schemes import Scheme
+from repro.units import bytes_to_mb, seconds_to_microseconds
+
+#: Toy 64-byte tracks: materialisation stays cheap at 1000 disks.
+TRACK_BYTES = 64
+CYCLES = 20
+TRACKS = 100           # > CYCLES * k' so no stream completes mid-run
+FAIL_CYCLE = 5
+REPAIR_CYCLE = 15
+SLOTS_PER_DISK = 8
+
+#: Keys of a cell result that depend on the host, not the simulation.
+WALL_CLOCK_KEYS = frozenset({"build_s", "run_s", "us_per_cycle",
+                             "cycles_per_s"})
+
+
+def cluster_size(scheme: Scheme, parity_group_size: int = 5) -> int:
+    """Disks per cluster: C, except IB's C - 1 data-disk clusters."""
+    if scheme is Scheme.IMPROVED_BANDWIDTH:
+        return parity_group_size - 1
+    return parity_group_size
+
+
+def scale_params(num_disks: int) -> SystemParameters:
+    """Table-1 parameters with toy 64-byte tracks."""
+    return SystemParameters.paper_table1(
+        num_disks=num_disks,
+        track_size_mb=bytes_to_mb(TRACK_BYTES),
+        disk_capacity_mb=bytes_to_mb(TRACK_BYTES * 4000),
+    )
+
+
+def scale_catalog(count: int, tracks: int = TRACKS) -> Catalog:
+    """Identical-shape objects with distinct deterministic payloads."""
+    catalog = Catalog()
+    for index in range(count):
+        catalog.add(MediaObject(f"m{index}", 0.1875, tracks, seed=index))
+    return catalog
+
+
+def build_scale_server(scheme: Scheme, num_disks: int) -> Any:
+    """A metadata-only server with one object per cluster."""
+    from repro.server.server import MultimediaServer
+    objects = num_disks // cluster_size(scheme)
+    return MultimediaServer.build(
+        scale_params(num_disks), 5, scheme,
+        catalog=scale_catalog(objects),
+        slots_per_disk=SLOTS_PER_DISK, verify_payloads=False)
+
+
+def run_scale_cell(scheme: Scheme, num_disks: int, with_failure: bool,
+                   fast_forward: bool = False) -> dict[str, Any]:
+    """Build, load to one stream per disk, run 20 cycles; return metrics.
+
+    The wall-clock fields (``build_s``/``run_s``/...) are measured on
+    whatever host runs the cell; everything else is deterministic and
+    identical across workers, hosts, and ``fast_forward`` settings.
+    """
+    t0 = time.perf_counter()
+    server = build_scale_server(scheme, num_disks)
+    build_s = time.perf_counter() - t0
+
+    names = server.catalog.names()
+    per_object = max(1, num_disks // len(names))
+    target = min(num_disks, server.scheduler.admission_limit)
+    admitted = 0
+    for name in names:
+        for _ in range(per_object):
+            if admitted >= target:
+                break
+            server.admit(name)
+            admitted += 1
+
+    t0 = time.perf_counter()
+    if with_failure:
+        server.run_cycles(FAIL_CYCLE, fast_forward=fast_forward)
+        server.fail_disk(0)
+        server.run_cycles(REPAIR_CYCLE - FAIL_CYCLE,
+                          fast_forward=fast_forward)
+        server.repair_disk(0)
+        server.run_cycles(CYCLES - REPAIR_CYCLE, fast_forward=fast_forward)
+    else:
+        server.run_cycles(CYCLES, fast_forward=fast_forward)
+    run_s = time.perf_counter() - t0
+
+    cycles = server.report.cycles
+    result: dict[str, Any] = {
+        "scheme": scheme.value,
+        "num_disks": num_disks,
+        "streams": admitted,
+        "cycles": CYCLES,
+        "with_failure": with_failure,
+        "build_s": round(build_s, 4),
+        "run_s": round(run_s, 4),
+        "us_per_cycle": round(seconds_to_microseconds(run_s) / CYCLES, 1),
+        "cycles_per_s": round(CYCLES / run_s, 1),
+        "reads_executed": sum(r.reads_executed for r in cycles),
+        "parity_reads": sum(r.parity_reads for r in cycles),
+        "tracks_delivered": sum(r.tracks_delivered for r in cycles),
+        "reconstructions": sum(r.reconstructions for r in cycles),
+        "hiccups": sum(len(r.hiccups) for r in cycles),
+        "buffered_peak": server.report.peak_buffered_tracks,
+        "reads_per_disk_sha256": hashlib.sha256(
+            json.dumps([d.reads for d in server.array.disks])
+            .encode("utf-8")).hexdigest(),
+    }
+    if with_failure:
+        assert not server.is_catastrophic
+    assert result["tracks_delivered"] > 0
+    return result
+
+
+def cell_digest(result: dict[str, Any]) -> str:
+    """SHA-256 over the deterministic part of one cell result."""
+    stable = {key: value for key, value in result.items()
+              if key not in WALL_CLOCK_KEYS}
+    canonical = json.dumps(stable, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def grid_digest(results: list[dict[str, Any]]) -> str:
+    """SHA-256 over a whole sweep (cell digests, in sweep order)."""
+    joined = ",".join(cell_digest(result) for result in results)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def grid_cells(sizes: tuple[int, ...], schemes: tuple[Scheme, ...],
+               ) -> list[tuple[Scheme, int, bool]]:
+    """The sweep's cell coordinates, in canonical (size-major) order."""
+    return [(scheme, num_disks, with_failure)
+            for num_disks in sizes
+            for scheme in schemes
+            for with_failure in (False, True)]
+
+
+def run_scale_grid(sizes: tuple[int, ...],
+                   schemes: Optional[tuple[Scheme, ...]] = None,
+                   workers: int = 1,
+                   fast_forward: bool = False) -> list[dict[str, Any]]:
+    """Run the full sweep, optionally over a process pool.
+
+    Results come back in canonical cell order regardless of worker
+    count; :func:`grid_digest` over the output is therefore the
+    serial-vs-parallel equality check.
+    """
+    from repro.parallel import ParallelRunner, TaskSpec
+    from repro.schemes import ALL_SCHEMES
+    if schemes is None:
+        schemes = tuple(ALL_SCHEMES)
+    tasks = [
+        TaskSpec(run_scale_cell, args=(scheme, num_disks, with_failure),
+                 kwargs={"fast_forward": fast_forward},
+                 label=f"scale-{scheme.value}-{num_disks}"
+                       f"{'-fail' if with_failure else ''}")
+        for scheme, num_disks, with_failure in grid_cells(sizes, schemes)
+    ]
+    results: list[dict[str, Any]] = ParallelRunner(workers).run(tasks)
+    return results

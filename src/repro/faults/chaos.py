@@ -396,11 +396,72 @@ def run_campaign(scheme: Scheme, seed: int,
 
 def run_campaigns(seed: int, schemes: Optional[list[Scheme]] = None,
                   profile: Optional[ChaosProfile] = None,
-                  check_payload_mode: bool = True) -> list[ChaosResult]:
-    """Run campaigns for several schemes (default: all four)."""
+                  check_payload_mode: bool = True,
+                  workers: int = 1) -> list[ChaosResult]:
+    """Run campaigns for several schemes (default: all four).
+
+    ``workers > 1`` fans the campaigns out over a spawn process pool;
+    each campaign is a pure function of ``(scheme, seed, profile)``, and
+    results come back in scheme order, so the output is bit-identical to
+    the serial run (the digests are compared by the regression guard in
+    ``benchmarks/bench_parallel.py``).
+    """
     from repro.schemes import ALL_SCHEMES
     if schemes is None:
         schemes = list(ALL_SCHEMES)
-    return [run_campaign(scheme, seed, profile=profile,
-                         check_payload_mode=check_payload_mode)
-            for scheme in schemes]
+    if workers == 1:
+        return [run_campaign(scheme, seed, profile=profile,
+                             check_payload_mode=check_payload_mode)
+                for scheme in schemes]
+    from repro.parallel import ParallelRunner, TaskSpec
+    tasks = [
+        TaskSpec(run_campaign, args=(scheme, seed),
+                 kwargs={"profile": profile,
+                         "check_payload_mode": check_payload_mode},
+                 label=f"chaos-{scheme.value}-{seed}")
+        for scheme in schemes
+    ]
+    results: list[ChaosResult] = ParallelRunner(workers).run(tasks)
+    return results
+
+
+def campaign_seeds(root_seed: int, count: int) -> tuple[int, ...]:
+    """``count`` independent campaign seeds derived from one root seed.
+
+    Thin wrapper over :func:`repro.parallel.derive_seeds` so multi-run
+    campaigns (``run_campaign_grid``) stay reproducible from a single
+    integer.
+    """
+    from repro.parallel import derive_seeds
+    return derive_seeds(root_seed, count)
+
+
+def run_campaign_grid(seeds: list[int],
+                      schemes: Optional[list[Scheme]] = None,
+                      profile: Optional[ChaosProfile] = None,
+                      check_payload_mode: bool = True,
+                      workers: int = 1) -> list[ChaosResult]:
+    """Campaigns over a ``seeds x schemes`` grid, in (seed, scheme) order.
+
+    The full grid is one flat task list, so a pool sees maximum
+    parallel width; the merged result order (seed-major, then scheme)
+    is independent of workers.
+    """
+    from repro.schemes import ALL_SCHEMES
+    if schemes is None:
+        schemes = list(ALL_SCHEMES)
+    cells = [(seed, scheme) for seed in seeds for scheme in schemes]
+    if workers == 1:
+        return [run_campaign(scheme, seed, profile=profile,
+                             check_payload_mode=check_payload_mode)
+                for seed, scheme in cells]
+    from repro.parallel import ParallelRunner, TaskSpec
+    tasks = [
+        TaskSpec(run_campaign, args=(scheme, seed),
+                 kwargs={"profile": profile,
+                         "check_payload_mode": check_payload_mode},
+                 label=f"chaos-{scheme.value}-{seed}")
+        for seed, scheme in cells
+    ]
+    results: list[ChaosResult] = ParallelRunner(workers).run(tasks)
+    return results

@@ -103,6 +103,11 @@ class FaultSchedule:
         """Events that strike just before the given cycle runs."""
         return list(self._by_cycle.get(cycle, ()))
 
+    def event_cycles(self) -> list[int]:
+        """Every cycle with at least one event, ascending (fast-forward
+        segmentation boundaries)."""
+        return sorted(self._by_cycle)
+
     def apply(self, scheduler: "CycleScheduler",
               cycle: int) -> list[FaultEvent]:
         """Apply this schedule's events due before ``cycle``; returns them.

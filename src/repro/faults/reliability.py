@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.parallel import ParallelRunner, TaskSpec, shard_ranges
 from repro.sim.rng import RandomSource
 from repro.units import hours_to_years
 
@@ -28,15 +29,29 @@ Condition = Callable[[set[int]], bool]
 
 
 def catastrophic_condition(layout: "DataLayout") -> Condition:
-    """Terminal when the layout loses data (uses layout geometry)."""
+    """Terminal when the layout loses data (uses layout geometry).
+
+    Returns a bound method of the layout, so the condition pickles with
+    its geometry and rides into spawn workers unchanged.
+    """
     return layout.is_catastrophic_geometric
+
+
+@dataclass(frozen=True)
+class _KConcurrent:
+    """Picklable ``len(failed) >= k`` predicate (spawn-safe)."""
+
+    k: int
+
+    def __call__(self, failed: set[int]) -> bool:
+        return len(failed) >= self.k
 
 
 def k_concurrent_condition(k: int) -> Condition:
     """Terminal when ``k`` disks are down at once (the eq. 6 family)."""
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    return lambda failed: len(failed) >= k
+    return _KConcurrent(k)
 
 
 @dataclass(frozen=True)
@@ -93,17 +108,40 @@ def _one_replication(num_disks: int, mttf_h: float, mttr_h: float,
                        disk, True))
 
 
+def _replication_batch(num_disks: int, mttf_h: float, mttr_h: float,
+                       condition: Condition, seed: int,
+                       start: int, stop: int) -> list[float]:
+    """Replicas ``start..stop-1`` of one ensemble (spawn-safe shard).
+
+    Each replica's RNG is spawned from a fresh root source by its own
+    index, so the samples depend only on ``(seed, replica)`` — never on
+    how the ensemble was sliced into shards or which worker ran them.
+    """
+    rng = RandomSource(seed)
+    return [
+        _one_replication(num_disks, mttf_h, mttr_h, condition, rng, replica)
+        for replica in range(start, stop)
+    ]
+
+
 def simulate_mean_time_to(num_disks: int, mttf_disk_hours: float,
                           mttr_disk_hours: float, condition: Condition,
                           replications: int = 200,
                           seed: int = 0,
                           max_event_horizon_hours: Optional[float] = None,
+                          workers: int = 1,
                           ) -> ReliabilityEstimate:
     """Estimate the mean time until ``condition`` first holds.
 
     Use accelerated (small) per-disk MTTF values so replications finish in
     reasonable time; the *ratio* to the closed form is scale-free, which is
     what the validation benchmarks check.
+
+    ``workers > 1`` shards the replications over a spawn process pool
+    (``condition`` must be picklable — the module's condition factories
+    all are).  Results are **bit-identical** to the serial run: replica
+    RNG streams depend only on ``(seed, replica)`` and shard results are
+    concatenated in replica order.
     """
     if replications < 1:
         raise ValueError(f"need at least one replication, got {replications}")
@@ -111,12 +149,27 @@ def simulate_mean_time_to(num_disks: int, mttf_disk_hours: float,
         raise ValueError(f"need at least one disk, got {num_disks}")
     if mttf_disk_hours <= 0 or mttr_disk_hours <= 0:
         raise ValueError("mttf and mttr must be positive")
-    rng = RandomSource(seed)
-    samples = [
-        _one_replication(num_disks, mttf_disk_hours, mttr_disk_hours,
-                         condition, rng, replica)
-        for replica in range(replications)
-    ]
+    if workers == 1:
+        rng = RandomSource(seed)
+        samples = [
+            _one_replication(num_disks, mttf_disk_hours, mttr_disk_hours,
+                             condition, rng, replica)
+            for replica in range(replications)
+        ]
+    else:
+        # A few shards per worker so an unlucky long replica cannot
+        # serialise the tail of the run.
+        spans = shard_ranges(replications, 4 * workers)
+        tasks = [
+            TaskSpec(_replication_batch,
+                     args=(num_disks, mttf_disk_hours, mttr_disk_hours,
+                           condition, seed, start, stop),
+                     label=f"replications-{start}-{stop}")
+            for start, stop in spans
+        ]
+        samples = []
+        for batch in ParallelRunner(workers).run(tasks):
+            samples.extend(batch)
     mean = sum(samples) / len(samples)
     if len(samples) > 1:
         variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)

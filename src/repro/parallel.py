@@ -1,0 +1,213 @@
+"""Deterministic sharded process-pool execution for ensemble runs.
+
+The paper's headline numbers come from *ensembles* — Monte-Carlo
+reliability replications, chaos campaigns, C/D/scheme benchmark grids —
+that are embarrassingly parallel.  This module runs them across worker
+processes without giving up the repo's core contract: **a run is fully
+determined by its seeds**, regardless of worker count.
+
+Three design rules make parallel runs bit-identical to serial ones:
+
+1. **Self-seeded tasks.**  Each :class:`TaskSpec` carries everything its
+   result depends on; nothing is read from shared mutable state.  Seeds
+   for shards are derived ahead of time (:func:`derive_seeds`, built on
+   ``numpy.random.SeedSequence.spawn``) so shard *i*'s stream is a pure
+   function of ``(root_seed, i)``.
+2. **Spawn-safety at construction.**  Pools use the ``spawn`` start
+   method (fresh interpreters — the only portable choice, and the one
+   that cannot silently fork half-mutated state).  Task callables must
+   therefore be picklable: module-level functions in importable modules.
+   Lambdas, closures and ``__main__``-only functions are rejected when
+   the :class:`TaskSpec` is built — loudly, and identically for
+   ``workers=1`` — so a workload never *becomes* unparallelisable.
+   Rule R7 of ``repro.checks`` enforces the same contract statically.
+3. **Ordered merge.**  Results are returned (or streamed into a
+   reducer) strictly in task-submission order, whatever order workers
+   finish in.  Aggregations are therefore independent of scheduling.
+
+``workers=1`` never creates a pool: tasks run in-process, in order, so
+small runs and debugging sessions pay zero multiprocessing overhead.
+"""
+
+from __future__ import annotations
+
+import functools
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from numpy.random import SeedSequence
+
+from repro.errors import SpawnSafetyError
+
+
+def spawn_safety_violation(value: object) -> Optional[str]:
+    """Why ``value`` cannot ride in a spawn-based task, or ``None``.
+
+    Checks the properties pickling relies on without actually pickling
+    (payloads can be large): the callable must be addressable as
+    ``module.qualname`` in a freshly spawned interpreter.
+    """
+    target = value.func if isinstance(value, functools.partial) else value
+    if not callable(target):
+        return None
+    qualname = getattr(target, "__qualname__", "")
+    module = getattr(target, "__module__", "")
+    if "<lambda>" in qualname:
+        return "lambdas are not picklable under the spawn start method"
+    if "<locals>" in qualname:
+        return (f"{qualname!r} is defined inside a function; spawn "
+                "workers cannot import it")
+    if module == "__main__":
+        return (f"{qualname!r} lives in __main__; spawn workers "
+                "re-import the script and will not find it")
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class TaskSpec:
+    """One self-contained unit of ensemble work.
+
+    ``fn(*args, **kwargs)`` must depend only on its arguments (plus
+    imported module code), so running it in another process — or another
+    week — gives the same answer.  Construction validates spawn-safety
+    of ``fn`` and of every callable argument; see
+    :func:`spawn_safety_violation`.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple[Any, ...] = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        problem = spawn_safety_violation(self.fn)
+        if problem is not None:
+            raise SpawnSafetyError(f"task {self.label or '?'}: {problem}")
+        for position, value in enumerate(self.args):
+            problem = spawn_safety_violation(value)
+            if problem is not None:
+                raise SpawnSafetyError(
+                    f"task {self.label or '?'} argument {position}: "
+                    f"{problem}")
+        for name, value in self.kwargs.items():
+            problem = spawn_safety_violation(value)
+            if problem is not None:
+                raise SpawnSafetyError(
+                    f"task {self.label or '?'} argument {name!r}: "
+                    f"{problem}")
+
+
+def _execute(spec: TaskSpec) -> Any:
+    """Run one task (module-level so the spec itself is the only pickle)."""
+    return spec.fn(*spec.args, **spec.kwargs)
+
+
+class ParallelRunner:
+    """Runs :class:`TaskSpec` batches with deterministic, ordered merge.
+
+    ``workers=1`` executes in-process (no pool, no pickling at run time);
+    ``workers>1`` fans out over a spawn-context process pool.  Either
+    way, results come back in task order, so the two modes are
+    interchangeable bit for bit.
+    """
+
+    __slots__ = ("workers",)
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def run(self, tasks: Iterable[TaskSpec],
+            reducer: Optional[Callable[[Any, Any], Any]] = None,
+            initial: Any = None) -> Any:
+        """Execute every task; return ordered results or a reduction.
+
+        Without ``reducer``: a list of results in task order.  With
+        ``reducer``: results are folded as ``acc = reducer(acc, result)``
+        strictly in task order, starting from ``initial`` — but
+        *streamingly*, so completed shards are merged (and freed) while
+        slower shards still run.
+        """
+        specs = list(tasks)
+        for spec in specs:
+            if not isinstance(spec, TaskSpec):
+                raise TypeError(
+                    f"ParallelRunner.run takes TaskSpec items, got "
+                    f"{type(spec).__name__}")
+        if self.workers == 1 or len(specs) <= 1:
+            return self._run_serial(specs, reducer, initial)
+        return self._run_pool(specs, reducer, initial)
+
+    def _run_serial(self, specs: Sequence[TaskSpec],
+                    reducer: Optional[Callable[[Any, Any], Any]],
+                    initial: Any) -> Any:
+        if reducer is None:
+            return [_execute(spec) for spec in specs]
+        accumulator = initial
+        for spec in specs:
+            accumulator = reducer(accumulator, _execute(spec))
+        return accumulator
+
+    def _run_pool(self, specs: Sequence[TaskSpec],
+                  reducer: Optional[Callable[[Any, Any], Any]],
+                  initial: Any) -> Any:
+        width = min(self.workers, len(specs))
+        with ProcessPoolExecutor(max_workers=width,
+                                 mp_context=get_context("spawn")) as pool:
+            futures = {pool.submit(_execute, spec): index
+                       for index, spec in enumerate(specs)}
+            if reducer is None:
+                results: list[Any] = [None] * len(specs)
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+                return results
+            # Stream the fold in task order: buffer only the shards that
+            # finished ahead of the merge frontier.
+            accumulator = initial
+            frontier = 0
+            ready: dict[int, Any] = {}
+            for future in as_completed(futures):
+                ready[futures[future]] = future.result()
+                while frontier in ready:
+                    accumulator = reducer(accumulator, ready.pop(frontier))
+                    frontier += 1
+            return accumulator
+
+
+def derive_seeds(root_seed: int, count: int) -> tuple[int, ...]:
+    """``count`` independent shard seeds derived from one root seed.
+
+    Built on ``numpy.random.SeedSequence.spawn``: child *i* is a pure
+    function of ``(root_seed, i)``, statistically independent of its
+    siblings, and stable across platforms and numpy versions — the same
+    ensemble sharded differently still sees the same seeds.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    children = SeedSequence(root_seed).spawn(count)
+    return tuple(int(child.generate_state(1, dtype="uint64")[0])
+                 for child in children)
+
+
+def shard_ranges(total: int, shards: int) -> tuple[tuple[int, int], ...]:
+    """Split ``range(total)`` into up to ``shards`` contiguous spans.
+
+    Spans are balanced (sizes differ by at most one) and returned in
+    order, so concatenating per-span results reproduces the serial
+    sequence exactly.  Empty spans are omitted.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, total) if total else 0
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        size = total // shards + (1 if index < total % shards else 0)
+        spans.append((start, start + size))
+        start += size
+    return tuple(spans)

@@ -24,6 +24,8 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 if TYPE_CHECKING:
     from repro.sched.rebuild import OnlineRebuilder
 
@@ -39,7 +41,7 @@ from repro.errors import (
 )
 from repro.layout.base import DataLayout
 from repro.media.objects import MediaObject
-from repro.parity.xor import MetaParityCodec, ParityCodec
+from repro.parity.xor import META_PAYLOAD, MetaParityCodec, ParityCodec
 from repro.sched.config import SchedulerConfig
 from repro.schemes import Scheme
 from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
@@ -90,13 +92,15 @@ class CycleScheduler(abc.ABC):
         "rebuilders", "_stripe", "_plan_cache", "_plan_cache_key",
         "_all_disks_up", "_read_hook_active", "_delivery_hook_active",
         "_base_quota", "admission_limit", "redundant_fault_commands",
-        "_known_lost_tracks", "_pending_shed",
+        "_known_lost_tracks", "_pending_shed", "_ff_tables",
+        "_ff_tables_key",
     )
 
     def __init__(self, layout: DataLayout, array: DiskArray,
                  config: SchedulerConfig,
                  admission_limit: Optional[int] = None,
-                 verify_payloads: bool = False) -> None:
+                 verify_payloads: bool = False,
+                 metrics_tail: Optional[int] = None) -> None:
         if layout.num_disks != len(array):
             raise ConfigurationError(
                 f"layout covers {layout.num_disks} disks, array has {len(array)}"
@@ -121,7 +125,10 @@ class CycleScheduler(abc.ABC):
         self.codec = (MetaParityCodec(self.track_bytes) if self.metadata_only
                       else ParityCodec(self.track_bytes))
         self.slot_table = SlotTable(array, config.slots_per_disk)
-        self.report = SimulationReport()
+        #: ``metrics_tail`` bounds the retained per-cycle reports (long
+        #: steady-state runs); run-wide totals stay exact via the
+        #: report's streaming reducer.
+        self.report = SimulationReport(tail=metrics_tail)
         self.tracker = BufferTracker(array.spec.track_size_mb)
         self.cycle_index = 0
         self.streams: dict[int, Stream] = {}
@@ -143,6 +150,12 @@ class CycleScheduler(abc.ABC):
         #: one (placement epoch, array state epoch) pair.
         self._plan_cache: dict[tuple[str, int], GroupPlan] = {}
         self._plan_cache_key: Optional[tuple[int, int]] = None
+        #: Fast-forward read tables: object name -> flat numpy arrays of
+        #: (member count, member offset, member disks, next pointer) per
+        #: read position, valid for one plan-cache key.
+        self._ff_tables: dict[str, tuple[np.ndarray, np.ndarray,
+                                         np.ndarray, np.ndarray, int]] = {}
+        self._ff_tables_key: Optional[tuple[int, int]] = None
         #: Skips per-member failure checks while no disk is down.
         self._all_disks_up = not any(d.is_failed for d in array.disks)
         # Skip per-read/per-track hook dispatch for schemes that keep the
@@ -619,9 +632,490 @@ class CycleScheduler(abc.ABC):
         self.cycle_index += 1
         return report
 
-    def run_cycles(self, count: int) -> list[CycleReport]:
-        """Simulate ``count`` cycles."""
-        return [self.run_cycle() for _ in range(count)]
+    def run_cycles(self, count: int,
+                   fast_forward: bool = False) -> list[CycleReport]:
+        """Simulate ``count`` cycles.
+
+        With ``fast_forward=True``, stretches of *quiescent* cycles —
+        metadata-only mode, every disk up and at full speed, no
+        reconstruction or rebuild activity pending — are advanced by the
+        batched accounting engine (:meth:`_fast_forward`) instead of the
+        full per-read machinery.  The moment a cycle cannot be proven
+        quiescent (a fault lands, a slot would overflow, a hiccup is
+        imminent) the engine stops at the cycle boundary and the scalar
+        path takes over, so results are **bit-identical** with the flag
+        on or off.
+        """
+        if not fast_forward:
+            return [self.run_cycle() for _ in range(count)]
+        reports: list[CycleReport] = []
+        remaining = count
+        while remaining > 0:
+            remaining -= self._fast_forward(remaining, reports)
+            if remaining > 0:
+                reports.append(self.run_cycle())
+                remaining -= 1
+        return reports
+
+    # -- quiescent-epoch fast-forward -----------------------------------------------
+
+    def _fast_forward_ready(self) -> bool:
+        """Scheme veto for the fast-forward engine (default: no veto).
+
+        Concrete schedulers override this to rule out states their
+        quiescent planner does not model (NC: degraded clusters or open
+        accumulators; IB: proactive parity or mirror balancing).  A
+        subclass whose read/delivery hooks do work even in the healthy
+        steady state must veto here, because the batched step skips hook
+        dispatch entirely.
+        """
+        return True
+
+    def _ff_stream_plan(self, stream: Stream, cycle: int,
+                        loads: list[int]) -> Optional[tuple[int, int]]:
+        """One stream's read plan for one quiescent cycle.
+
+        Adds the planned reads to the per-disk ``loads`` scratch and
+        returns ``(new read pointer, reads planned)`` without touching
+        the stream; ``None`` means the plan cannot be expressed
+        quiescently and the engine must fall back to the scalar cycle
+        (which reproduces the exact behaviour — including raising on a
+        mid-group pointer).  The default is the Streaming-RAID /
+        Improved-bandwidth whole-group walk; with every disk up no
+        parity is ever planned.
+        """
+        new_read = stream.next_read_track
+        num_tracks = stream.num_tracks
+        stripe = self._stripe
+        name = stream.object.name
+        planned = 0
+        for _ in range(stream.rate):
+            if new_read >= num_tracks:
+                break
+            group, offset = divmod(new_read, stripe)
+            if offset:
+                return None  # the scalar path raises SimulationError
+            entry = self._group_plan(name, group)
+            for disk_id, _position, _track in entry.healthy:
+                loads[disk_id] += 1
+            planned += len(entry.healthy)
+            new_read = entry.next_read_track
+        return new_read, planned
+
+    def _ff_eligible(self) -> bool:
+        """Whether the *current* state allows a quiescent epoch at all.
+
+        Checked once per fast-forward entry (state cannot change under
+        the engine's feet — fault commands only land between
+        ``run_cycles`` calls).  Cheapest checks first, so permanently
+        ineligible runs (payload mode, standing failures) pay next to
+        nothing per scalar cycle.
+        """
+        if not self.metadata_only or self.verify_payloads:
+            return False
+        if not self._all_disks_up or self.rebuilders:
+            return False
+        if self._pending_reconstructions or self._pending_shed \
+                or self._lost_causes or self._known_lost_tracks:
+            return False
+        if not self._fast_forward_ready():
+            return False
+        if self._extra_buffer_tracks() != 0:
+            return False
+        for disk in self.array.disks:
+            if disk.service_fraction < 1.0 or disk.has_media_errors:
+                return False
+        for stream in self.streams.values():
+            if not stream.is_active:
+                continue
+            if stream.parity_buffer or stream.accumulators \
+                    or stream.lost_tracks:
+                return False
+            # The engine models the buffer as the contiguous range
+            # [next_delivery, next_read); holes (lost tracks already
+            # surfaced) always come with state the checks above catch,
+            # so the length equality pins the exact contents.
+            if len(stream.buffer) != (stream.next_read_track
+                                      - stream.next_delivery_track):
+                return False
+        return True
+
+    def _fast_forward(self, limit: int,
+                      reports: list[CycleReport]) -> int:
+        """Advance up to ``limit`` quiescent cycles by batched accounting.
+
+        Each cycle is planned against scratch state first (per-disk
+        loads, per-stream pointers); only a cycle proven identical to
+        what the scalar engine would do — no drops, no hiccups, no
+        reconstruction — is committed: disk read counters advance in
+        bulk, stream pointers move arithmetically, and a synthesized
+        :class:`CycleReport` is recorded.  Stream buffers stay *virtual*
+        during the epoch and are rematerialised (every payload is the
+        metadata token) at the boundary, so the post-run state is
+        indistinguishable from a scalar run.  Returns the number of
+        cycles advanced (0 when the current state is not quiescent).
+
+        The uniform-rate common case (every live stream at rate 1) runs
+        on the vectorised engine (:meth:`_fast_forward_vector`); mixed
+        rates or schemes without read tables fall back to the per-stream
+        generic loop.
+        """
+        self._refresh_plan_cache()
+        if limit <= 0 or not self._ff_eligible():
+            return 0
+        live = [s for s in self.streams.values() if s.is_active]
+        if live and all(s.rate == 1 for s in live):
+            done = self._fast_forward_vector(limit, live, reports)
+            if done >= 0:
+                return done
+        return self._fast_forward_generic(limit, live, reports)
+
+    def _fast_forward_generic(self, limit: int, live: list[Stream],
+                              reports: list[CycleReport]) -> int:
+        """Per-stream quiescent loop: any rate mix, any scheme with an
+        :meth:`_ff_stream_plan`."""
+        disks = self.array.disks
+        num_disks = len(disks)
+        slots = self.config.slots_per_disk
+        k_prime = self.config.k_prime
+        base_quota = self._base_quota
+        admitted_status = StreamStatus.ADMITTED
+        active = terminated = 0
+        for stream in self.streams.values():
+            if stream.status is StreamStatus.ACTIVE:
+                active += 1
+            elif stream.status is StreamStatus.TERMINATED:
+                terminated += 1
+        loads = [0] * num_disks
+        done = 0
+        while done < limit:
+            cycle = self.cycle_index
+            # -- plan: scratch only, so a bail leaves no trace ------------
+            staged: list[tuple[Stream, int, int, int]] = []
+            planned_total = 0
+            quiescent = True
+            for stream in live:
+                start = stream.delivery_start_cycle
+                if start is not None and cycle >= start:
+                    quota = (k_prime * stream.rate if base_quota
+                             else self.deliveries_per_cycle(stream))
+                    due = min(quota, stream.num_tracks
+                              - stream.next_delivery_track)
+                    if due > (stream.next_read_track
+                              - stream.next_delivery_track):
+                        quiescent = False  # an imminent hiccup: go scalar
+                        break
+                else:
+                    due = 0
+                plan = self._ff_stream_plan(stream, cycle, loads)
+                if plan is None:
+                    quiescent = False
+                    break
+                new_read, planned = plan
+                planned_total += planned
+                staged.append((stream, due, new_read, planned))
+            if quiescent and planned_total:
+                for disk_id in range(num_disks):
+                    if loads[disk_id] > slots:
+                        quiescent = False  # slot overflow: scalar drops
+                        break
+            if not quiescent:
+                for disk_id in range(num_disks):
+                    loads[disk_id] = 0
+                break
+            # -- commit: pointers, counters, synthesized report -----------
+            delivered_total = 0
+            held: dict[int, int] = {}
+            completed = False
+            next_cycle = cycle + 1
+            for stream, due, new_read, planned in staged:
+                if due:
+                    stream.next_delivery_track += due
+                    stream.delivered_tracks += due
+                    delivered_total += due
+                    if stream.status is admitted_status:
+                        stream.activate()
+                        active += 1
+                if planned and stream.delivery_start_cycle is None:
+                    stream.delivery_start_cycle = next_cycle
+                stream.next_read_track = new_read
+                if stream.next_delivery_track >= stream.num_tracks:
+                    stream.complete()
+                    active -= 1
+                    completed = True
+                else:
+                    held[stream.stream_id] = (stream.next_read_track
+                                              - stream.next_delivery_track)
+            for disk_id in range(num_disks):
+                planned = loads[disk_id]
+                if planned:
+                    disks[disk_id].reads += planned
+                    loads[disk_id] = 0
+            report = CycleReport(cycle=cycle)
+            report.reads_planned = planned_total
+            report.reads_executed = planned_total
+            report.tracks_delivered = delivered_total
+            report.streams_active = active
+            report.streams_terminated = terminated
+            report.buffered_tracks = self.tracker.sample_counts(held)
+            reports.append(report)
+            self.report.record(report)
+            self.cycle_index = next_cycle
+            done += 1
+            if completed:
+                live = [s for s in live if s.is_active]
+        if done:
+            # Rematerialise the virtual buffers at the epoch boundary.
+            for stream in live:
+                stream.buffer = dict.fromkeys(
+                    range(stream.next_delivery_track,
+                          stream.next_read_track), META_PAYLOAD)
+        return done
+
+    def _ff_gate_params(self, stream: Stream) -> tuple[int, int, int, int]:
+        """Static read-gate parameters for the vector engine.
+
+        ``(pace_rate, pace_base, phase_mod, phase_val)``: in cycle ``c``
+        the stream reads only if ``c % phase_mod == phase_val`` and (when
+        ``pace_rate`` is non-zero) its read pointer is below
+        ``(c + 1 - pace_base) * pace_rate``.  The base schemes read every
+        cycle, unpaced; SG gates on the stream's phase, NC paces on the
+        delivery schedule.
+        """
+        return 0, 0, 1, 0
+
+    def _ff_read_table(self, obj: MediaObject,
+                       ) -> Optional[tuple[list[tuple[int, ...]],
+                                           list[int], int]]:
+        """Per-object read table for the vector engine, or None.
+
+        ``(members, next_pointers, divisor)``: a stream whose read
+        pointer is ``p`` (with ``p % divisor == 0`` for group-at-a-time
+        schemes) performs one read on each disk in
+        ``members[p // divisor]`` and its pointer becomes
+        ``next_pointers[p // divisor]``.  The base table is the healthy
+        group walk; NC overrides with a one-track-per-position table.
+        """
+        stripe = self._stripe
+        positions = -(-obj.num_tracks // stripe)
+        members: list[tuple[int, ...]] = []
+        nexts: list[int] = []
+        for position in range(positions):
+            entry = self._group_plan(obj.name, position)
+            members.append(tuple(d for d, _pos, _track in entry.healthy))
+            nexts.append(entry.next_read_track)
+        return members, nexts, stripe
+
+    def _ff_flat_tables(self, objects: list[MediaObject],
+                        ) -> Optional[tuple[np.ndarray, np.ndarray,
+                                            np.ndarray, np.ndarray,
+                                            list[int], int]]:
+        """Concatenated read tables for a set of objects.
+
+        Returns ``(counts, offsets, member_disks, next_pointers,
+        per-object position bases, divisor)`` with per-object tables
+        cached against the plan-cache key, or None when any object lacks
+        a table.
+        """
+        if self._ff_tables_key != self._plan_cache_key:
+            self._ff_tables = {}
+            self._ff_tables_key = self._plan_cache_key
+        cache = self._ff_tables
+        per_obj = []
+        for obj in objects:
+            entry = cache.get(obj.name)
+            if entry is None:
+                raw = self._ff_read_table(obj)
+                if raw is None:
+                    return None
+                members, nexts, divisor = raw
+                cnt = np.fromiter((len(m) for m in members),
+                                  dtype=np.int64, count=len(members))
+                ptr = np.zeros(len(members) + 1, dtype=np.int64)
+                np.cumsum(cnt, out=ptr[1:])
+                disks = np.fromiter(
+                    (d for m in members for d in m),
+                    dtype=np.int64, count=int(ptr[-1]))
+                nxt = np.asarray(nexts, dtype=np.int64)
+                entry = (cnt, ptr, disks, nxt, divisor)
+                cache[obj.name] = entry
+            per_obj.append(entry)
+        divisor = per_obj[0][4]
+        pos_base: list[int] = []
+        base = 0
+        for cnt, _ptr, _disks, _nxt, _div in per_obj:
+            pos_base.append(base)
+            base += len(cnt)
+        counts = np.concatenate([e[0] for e in per_obj])
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        member_disks = np.concatenate([e[2] for e in per_obj])
+        next_pointers = np.concatenate([e[3] for e in per_obj])
+        return counts, offsets, member_disks, next_pointers, pos_base, \
+            divisor
+
+    def _fast_forward_vector(self, limit: int, live: list[Stream],
+                             reports: list[CycleReport]) -> int:
+        """Vectorised quiescent engine for uniform rate-1 streams.
+
+        Stream state lives in numpy arrays for the whole epoch; each
+        cycle is a handful of whole-array operations (delivery quotas,
+        read-table gathers, a bincount for per-disk loads) with the same
+        stage-then-commit bail points as the generic loop.  Python-side
+        stream/disk/tracker objects are written back once, at the epoch
+        boundary.  Returns -1 when a scheme provides no read table (the
+        caller then runs the generic loop).
+        """
+        distinct: dict[str, int] = {}
+        objects: list[MediaObject] = []
+        for stream in live:
+            name = stream.object.name
+            if name not in distinct:
+                distinct[name] = len(objects)
+                objects.append(stream.object)
+        flat = self._ff_flat_tables(objects)
+        if flat is None:
+            return -1
+        counts, offsets, member_disks, next_pointers, pos_base, divisor = \
+            flat
+        n = len(live)
+        num_disks = len(self.array.disks)
+        slots = self.config.slots_per_disk
+        k_prime = self.config.k_prime
+        base_quota = self._base_quota
+        obj_base = np.fromiter(
+            (pos_base[distinct[s.object.name]] for s in live),
+            dtype=np.int64, count=n)
+        next_read = np.fromiter((s.next_read_track for s in live),
+                                dtype=np.int64, count=n)
+        next_del = np.fromiter((s.next_delivery_track for s in live),
+                               dtype=np.int64, count=n)
+        num_tracks = np.fromiter((s.num_tracks for s in live),
+                                 dtype=np.int64, count=n)
+        start = np.fromiter(
+            (-1 if s.delivery_start_cycle is None
+             else s.delivery_start_cycle for s in live),
+            dtype=np.int64, count=n)
+        quota = np.fromiter(
+            (k_prime * s.rate if base_quota
+             else self.deliveries_per_cycle(s) for s in live),
+            dtype=np.int64, count=n)
+        gates = [self._ff_gate_params(s) for s in live]
+        pace_rate = np.fromiter((g[0] for g in gates), dtype=np.int64,
+                                count=n)
+        pace_base = np.fromiter((g[1] for g in gates), dtype=np.int64,
+                                count=n)
+        phase_mod = np.fromiter((g[2] for g in gates), dtype=np.int64,
+                                count=n)
+        phase_val = np.fromiter((g[3] for g in gates), dtype=np.int64,
+                                count=n)
+        unpaced = pace_rate == 0
+        ungated = bool((phase_mod == 1).all())
+        admitted = np.fromiter(
+            (s.status is StreamStatus.ADMITTED for s in live),
+            dtype=bool, count=n)
+        live_mask = np.ones(n, dtype=bool)
+        deliv_delta = np.zeros(n, dtype=np.int64)
+        tracker = self.tracker
+        peak0 = np.fromiter(
+            (tracker.stream_peak(s.stream_id) for s in live),
+            dtype=np.int64, count=n)
+        peak = peak0.copy()
+        total_loads = np.zeros(num_disks, dtype=np.int64)
+        active = terminated = 0
+        for stream in self.streams.values():
+            if stream.status is StreamStatus.ACTIVE:
+                active += 1
+            elif stream.status is StreamStatus.TERMINATED:
+                terminated += 1
+        samples: list[int] = []
+        done = 0
+        while done < limit:
+            cycle = self.cycle_index
+            # -- stage (no mutation yet, so a bail leaves no trace) -------
+            started = live_mask & (start >= 0) & (start <= cycle)
+            due = np.where(started,
+                           np.minimum(quota, num_tracks - next_del), 0)
+            if bool((due > next_read - next_del).any()):
+                break  # an imminent hiccup: go scalar
+            reading = live_mask & (next_read < num_tracks)
+            if not ungated:
+                reading &= (cycle % phase_mod) == phase_val
+            reading &= unpaced | (next_read
+                                  < (cycle + 1 - pace_base) * pace_rate)
+            if divisor > 1 \
+                    and bool((reading & (next_read % divisor != 0)).any()):
+                break  # mid-group pointer: the scalar path raises
+            idx = np.where(reading, obj_base + next_read // divisor, 0)
+            cnt = np.where(reading, counts[idx], 0)
+            planned_total = int(cnt.sum())
+            if planned_total:
+                r_idx = idx[reading]
+                r_cnt = counts[r_idx]
+                ends = np.cumsum(r_cnt)
+                within = np.arange(planned_total) \
+                    - np.repeat(ends - r_cnt, r_cnt)
+                disk_ids = member_disks[np.repeat(offsets[r_idx], r_cnt)
+                                        + within]
+                loads = np.bincount(disk_ids, minlength=num_disks)
+                if int(loads.max(initial=0)) > slots:
+                    break  # slot overflow: scalar drops / cascades
+                total_loads += loads
+            # -- commit ---------------------------------------------------
+            newly = admitted & (due > 0)
+            if bool(newly.any()):
+                active += int(newly.sum())
+                admitted &= ~newly
+            first_read = (start < 0) & (cnt > 0)
+            if bool(first_read.any()):
+                start[first_read] = cycle + 1
+            next_del += due
+            deliv_delta += due
+            next_read = np.where(reading, next_pointers[idx], next_read)
+            finished = live_mask & (next_del >= num_tracks)
+            if bool(finished.any()):
+                active -= int(finished.sum())
+                live_mask &= ~finished
+            held = np.where(live_mask, next_read - next_del, 0)
+            np.maximum(peak, held, out=peak)
+            buffered = int(held.sum())
+            samples.append(buffered)
+            report = CycleReport(cycle=cycle)
+            report.reads_planned = planned_total
+            report.reads_executed = planned_total
+            report.tracks_delivered = int(due.sum())
+            report.streams_active = active
+            report.streams_terminated = terminated
+            report.buffered_tracks = buffered
+            reports.append(report)
+            self.report.record(report)
+            self.cycle_index = cycle + 1
+            done += 1
+        if done:
+            # -- write the epoch's state back to the Python objects -------
+            for i, stream in enumerate(live):
+                stream.next_read_track = int(next_read[i])
+                stream.next_delivery_track = int(next_del[i])
+                stream.delivered_tracks += int(deliv_delta[i])
+                if stream.delivery_start_cycle is None and start[i] >= 0:
+                    stream.delivery_start_cycle = int(start[i])
+                if stream.status is StreamStatus.ADMITTED \
+                        and not admitted[i]:
+                    stream.activate()
+                if live_mask[i]:
+                    stream.buffer = dict.fromkeys(
+                        range(stream.next_delivery_track,
+                              stream.next_read_track), META_PAYLOAD)
+                else:
+                    stream.complete()
+            raised = np.nonzero(peak > peak0)[0]
+            tracker.fold_epoch(
+                samples,
+                {live[int(i)].stream_id: int(peak[int(i)]) for i in raised})
+            disks = self.array.disks
+            for disk_id in np.nonzero(total_loads)[0]:
+                disks[int(disk_id)].reads += int(total_loads[disk_id])
+        return done
 
     # -- phases ------------------------------------------------------------------------
 

@@ -66,6 +66,12 @@ class ImprovedBandwidthScheduler(CycleScheduler):
             return 2 * bound
         return bound
 
+    def _fast_forward_ready(self) -> bool:
+        """Veto when normal-mode cycles do more than the plain group walk:
+        opportunistic parity prefetches and mirrored-read balancing both
+        plan extra reads even with every disk up."""
+        return not self.proactive_parity and not self.mirror_read_balance
+
     def _capacity_penalty(self) -> int:
         """Reserve consumption: failures beyond ``K_IB`` cost capacity.
 

@@ -41,6 +41,7 @@ from typing import Any, Optional
 
 from repro.buffers.pool import BufferPool
 from repro.errors import BufferExhausted
+from repro.media.objects import MediaObject
 from repro.sched.base import CycleScheduler
 from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
 from repro.server.metrics import CycleReport, HiccupCause
@@ -73,7 +74,8 @@ class NonClusteredScheduler(CycleScheduler):
     """One track per stream per cycle, with failure-transition protocols."""
 
     __slots__ = ("protocol", "pool", "_completed_reconstructions",
-                 "_degraded", "_unprotected", "_accumulators")
+                 "_reconstructions_credited", "_degraded", "_unprotected",
+                 "_accumulators")
 
     def __init__(self, *args: Any,
                  protocol: TransitionProtocol = TransitionProtocol.LAZY,
@@ -83,6 +85,7 @@ class NonClusteredScheduler(CycleScheduler):
         self.protocol = protocol
         self.pool = pool
         self._completed_reconstructions = 0
+        self._reconstructions_credited = 0
         #: cluster -> set of failed *data-disk* offsets within the cluster.
         self._degraded: dict[int, set[int]] = {}
         #: clusters that wanted a pool lease and were refused.
@@ -409,9 +412,53 @@ class NonClusteredScheduler(CycleScheduler):
 
     # -- reconstruction accounting ----------------------------------------------------
 
-    def run_cycle(self) -> CycleReport:
-        """One cycle, crediting accumulator completions to the report."""
-        before = self._completed_reconstructions
-        report = super().run_cycle()
-        report.reconstructions += self._completed_reconstructions - before
-        return report
+    def _finalise(self, report: CycleReport) -> None:
+        """Credit accumulator completions since the last report.
+
+        Must happen *before* :meth:`SimulationReport.record` (not after,
+        as a ``run_cycle`` wrapper would) so bounded-tail reducers fold
+        the credited count.
+        """
+        super()._finalise(report)
+        report.reconstructions += (self._completed_reconstructions
+                                   - self._reconstructions_credited)
+        self._reconstructions_credited = self._completed_reconstructions
+
+    # -- quiescent fast-forward --------------------------------------------------------
+
+    def _fast_forward_ready(self) -> bool:
+        """Veto while any cluster is degraded or a running XOR is open."""
+        return (not self._degraded and not self._unprotected
+                and not self._accumulators)
+
+    def _ff_gate_params(self, stream: Stream) -> tuple[int, int, int, int]:
+        """Vector gate: pace reads on the natural delivery schedule."""
+        return stream.rate, stream.admitted_cycle, 1, 0
+
+    def _ff_read_table(self, obj: MediaObject,
+                       ) -> Optional[tuple[list[tuple[int, ...]],
+                                           list[int], int]]:
+        """Vector table: one data-disk read per track, natural order."""
+        data_address = self.layout.data_address
+        name = obj.name
+        members = [(data_address(name, track).disk_id,)
+                   for track in range(obj.num_tracks)]
+        return members, list(range(1, obj.num_tracks + 1)), 1
+
+    def _ff_stream_plan(self, stream: Stream, cycle: int,
+                        loads: list[int]) -> Optional[tuple[int, int]]:
+        """Quiescent plan: rate-paced single-track reads on the natural
+        schedule (the healthy branch of :meth:`_plan_one_quantum`)."""
+        new_read = stream.next_read_track
+        num_tracks = stream.num_tracks
+        target = self._schedule_target(stream, cycle)
+        name = stream.object.name
+        data_address = self.layout.data_address
+        planned = 0
+        for _ in range(stream.rate):
+            if new_read >= num_tracks or new_read >= target:
+                break
+            loads[data_address(name, new_read).disk_id] += 1
+            planned += 1
+            new_read += 1
+        return new_read, planned

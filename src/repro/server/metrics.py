@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 class HiccupCause(enum.Enum):
@@ -83,16 +84,94 @@ class CycleReport:
 
 
 @dataclass
+class MetricsReducer:
+    """Streaming fold of cycle reports: run totals in O(1) memory.
+
+    Long steady-state runs (hundreds of thousands of cycles at paper
+    scale) cannot afford an unbounded ``SimulationReport.cycles`` list.
+    The reducer absorbs each finished :class:`CycleReport` into flat
+    aggregate counters as it is recorded, so a bounded-tail report can
+    discard old cycle objects while every ``total_*`` aggregate stays
+    exact over the *whole* run.
+    """
+
+    cycles_seen: int = 0
+    reads_planned: int = 0
+    reads_executed: int = 0
+    reads_dropped: int = 0
+    parity_reads: int = 0
+    tracks_delivered: int = 0
+    reconstructions: int = 0
+    blocks_rebuilt: int = 0
+    hiccups: int = 0
+    hiccup_counts: dict[HiccupCause, int] = field(default_factory=dict)
+    peak_buffered_tracks: int = 0
+    media_errors: int = 0
+    media_retries: int = 0
+    media_reconstructions: int = 0
+    media_recovery_reads: int = 0
+    streams_shed: int = 0
+
+    def fold(self, report: CycleReport) -> None:
+        """Absorb one finished cycle into the aggregates."""
+        self.cycles_seen += 1
+        self.reads_planned += report.reads_planned
+        self.reads_executed += report.reads_executed
+        self.reads_dropped += report.reads_dropped
+        self.parity_reads += report.parity_reads
+        self.tracks_delivered += report.tracks_delivered
+        self.reconstructions += report.reconstructions
+        self.blocks_rebuilt += report.blocks_rebuilt
+        if report.hiccups:
+            self.hiccups += len(report.hiccups)
+            for record in report.hiccups:
+                self.hiccup_counts[record.cause] = \
+                    self.hiccup_counts.get(record.cause, 0) + 1
+        if report.buffered_tracks > self.peak_buffered_tracks:
+            self.peak_buffered_tracks = report.buffered_tracks
+        self.media_errors += report.media_errors
+        self.media_retries += report.media_retries
+        self.media_reconstructions += report.media_reconstructions
+        self.media_recovery_reads += report.media_recovery_reads
+        self.streams_shed += report.streams_shed
+
+
+@dataclass
 class SimulationReport:
-    """Accumulated results of a simulation run."""
+    """Accumulated results of a simulation run.
+
+    By default every :class:`CycleReport` is retained, so per-cycle
+    inspection (``cycles[-1]``, :meth:`buffer_profile`, ...) works over
+    the whole run.  With ``tail`` set, only the most recent ``tail``
+    cycle objects are kept and a :class:`MetricsReducer` maintains the
+    run-wide aggregates — memory stays bounded on arbitrarily long runs
+    while every ``total_*`` property remains exact.
+    """
 
     cycles: list[CycleReport] = field(default_factory=list)
     payload_mismatches: int = 0
     #: Every crossing into (or out of) data loss, in event order.
     data_loss_events: list[DataLossEvent] = field(default_factory=list)
+    #: Cycle objects to retain (None: unbounded, the default).
+    tail: Optional[int] = None
+    #: Streaming aggregates; created on first record when ``tail`` is set.
+    reducer: Optional[MetricsReducer] = None
+
+    def __post_init__(self) -> None:
+        if self.tail is not None and self.tail < 0:
+            raise ValueError(f"tail must be >= 0, got {self.tail}")
 
     def record(self, cycle_report: CycleReport) -> None:
-        """Append one finished cycle."""
+        """Append one finished cycle (folding + trimming in tail mode)."""
+        if self.tail is not None:
+            if self.reducer is None:
+                self.reducer = MetricsReducer()
+            self.reducer.fold(cycle_report)
+            self.cycles.append(cycle_report)
+            excess = len(self.cycles) - self.tail
+            if excess > 0:
+                del self.cycles[:excess]
+            return
         self.cycles.append(cycle_report)
 
     # -- aggregates -----------------------------------------------------------
@@ -100,46 +179,64 @@ class SimulationReport:
     @property
     def total_delivered(self) -> int:
         """Tracks delivered over the whole run."""
+        if self.reducer is not None:
+            return self.reducer.tracks_delivered
         return sum(c.tracks_delivered for c in self.cycles)
 
     @property
     def total_hiccups(self) -> int:
         """Missed tracks over the whole run."""
+        if self.reducer is not None:
+            return self.reducer.hiccups
         return sum(len(c.hiccups) for c in self.cycles)
 
     @property
     def total_reconstructions(self) -> int:
         """Tracks rebuilt on-the-fly from parity."""
+        if self.reducer is not None:
+            return self.reducer.reconstructions
         return sum(c.reconstructions for c in self.cycles)
 
     @property
     def total_parity_reads(self) -> int:
         """Parity blocks fetched."""
+        if self.reducer is not None:
+            return self.reducer.parity_reads
         return sum(c.parity_reads for c in self.cycles)
 
     @property
     def total_dropped_reads(self) -> int:
         """Reads displaced by slot overflow."""
+        if self.reducer is not None:
+            return self.reducer.reads_dropped
         return sum(c.reads_dropped for c in self.cycles)
 
     @property
     def total_media_errors(self) -> int:
         """Media-error read outcomes observed."""
+        if self.reducer is not None:
+            return self.reducer.media_errors
         return sum(c.media_errors for c in self.cycles)
 
     @property
     def total_media_retries(self) -> int:
         """Transient media errors recovered by an in-cycle retry."""
+        if self.reducer is not None:
+            return self.reducer.media_retries
         return sum(c.media_retries for c in self.cycles)
 
     @property
     def total_media_reconstructions(self) -> int:
         """Tracks recovered from latent errors via per-track parity."""
+        if self.reducer is not None:
+            return self.reducer.media_reconstructions
         return sum(c.media_reconstructions for c in self.cycles)
 
     @property
     def total_streams_shed(self) -> int:
         """Streams terminated by data loss or degraded-capacity shedding."""
+        if self.reducer is not None:
+            return self.reducer.streams_shed
         return sum(c.streams_shed for c in self.cycles)
 
     @property
@@ -148,23 +245,35 @@ class SimulationReport:
         return sum(e.total_lost_tracks for e in self.data_loss_events)
 
     def all_hiccups(self) -> list[HiccupRecord]:
-        """Every hiccup in cycle order."""
+        """Every retained hiccup in cycle order.
+
+        In tail mode only the retained cycles' records are available;
+        :meth:`hiccups_by_cause` and :attr:`total_hiccups` still cover
+        the whole run via the reducer.
+        """
         return [h for c in self.cycles for h in c.hiccups]
 
     def hiccups_by_cause(self) -> dict[HiccupCause, int]:
-        """Hiccup counts per cause."""
+        """Hiccup counts per cause (run-wide, even in tail mode)."""
+        if self.reducer is not None:
+            return dict(self.reducer.hiccup_counts)
         counts: dict[HiccupCause, int] = {}
         for record in self.all_hiccups():
             counts[record.cause] = counts.get(record.cause, 0) + 1
         return counts
 
     def buffer_profile(self) -> list[tuple[int, int]]:
-        """(cycle, buffered tracks) samples — Figure 4's sawtooth."""
+        """(cycle, buffered tracks) samples — Figure 4's sawtooth.
+
+        Covers the retained cycles only when a ``tail`` is set.
+        """
         return [(c.cycle, c.buffered_tracks) for c in self.cycles]
 
     @property
     def peak_buffered_tracks(self) -> int:
         """Maximum simultaneous track buffers observed."""
+        if self.reducer is not None:
+            return self.reducer.peak_buffered_tracks
         return max((c.buffered_tracks for c in self.cycles), default=0)
 
     def hiccup_free(self) -> bool:
@@ -204,8 +313,10 @@ class SimulationReport:
             for cause, count in sorted(self.hiccups_by_cause().items(),
                                        key=lambda item: item[0].value)
         ) or "none"
+        cycle_count = (self.reducer.cycles_seen if self.reducer is not None
+                       else len(self.cycles))
         text = (
-            f"{len(self.cycles)} cycles; delivered {self.total_delivered} "
+            f"{cycle_count} cycles; delivered {self.total_delivered} "
             f"tracks; {self.total_hiccups} hiccups ({causes}); "
             f"{self.total_reconstructions} on-the-fly reconstructions; "
             f"peak buffer {self.peak_buffered_tracks} tracks"

@@ -79,7 +79,8 @@ class MultimediaServer:
               verify_payloads: bool = False,
               start_cluster: Optional[int] = None,
               proactive_parity: bool = False,
-              mirror_read_balance: bool = False) -> "MultimediaServer":
+              mirror_read_balance: bool = False,
+              metrics_tail: Optional[int] = None) -> "MultimediaServer":
         """Assemble layout + array + scheduler for one scheme.
 
         ``catalog`` defaults to a small synthetic one (a few objects per
@@ -127,7 +128,7 @@ class MultimediaServer:
         scheduler = cls._make_scheduler(
             scheme, layout, array, config, protocol, pool_clusters,
             admission_limit, verify_payloads, proactive_parity,
-            mirror_read_balance)
+            mirror_read_balance, metrics_tail)
         return cls(layout, array, scheduler, catalog)
 
     @staticmethod
@@ -138,9 +139,11 @@ class MultimediaServer:
                         admission_limit: Optional[int],
                         verify_payloads: bool,
                         proactive_parity: bool = False,
-                        mirror_read_balance: bool = False) -> CycleScheduler:
+                        mirror_read_balance: bool = False,
+                        metrics_tail: Optional[int] = None) -> CycleScheduler:
         common = dict(admission_limit=admission_limit,
-                      verify_payloads=verify_payloads)
+                      verify_payloads=verify_payloads,
+                      metrics_tail=metrics_tail)
         if scheme is Scheme.STREAMING_RAID:
             return StreamingRAIDScheduler(layout, array, config, **common)
         if scheme is Scheme.STAGGERED_GROUP:
@@ -188,17 +191,38 @@ class MultimediaServer:
         """Simulate one cycle."""
         return self.scheduler.run_cycle()
 
-    def run_cycles(self, count: int) -> list[CycleReport]:
-        """Simulate ``count`` cycles."""
-        return self.scheduler.run_cycles(count)
+    def run_cycles(self, count: int,
+                   fast_forward: bool = False) -> list[CycleReport]:
+        """Simulate ``count`` cycles (optionally with quiescent-epoch
+        fast-forward; see :meth:`CycleScheduler.run_cycles`)."""
+        return self.scheduler.run_cycles(count, fast_forward=fast_forward)
 
-    def run_with_schedule(self, cycles: int,
-                          schedule: FaultSchedule) -> list[CycleReport]:
-        """Simulate with scripted failures applied between cycles."""
-        reports = []
-        for _ in range(cycles):
-            schedule.apply(self.scheduler, self.scheduler.cycle_index)
-            reports.append(self.scheduler.run_cycle())
+    def run_with_schedule(self, cycles: int, schedule: FaultSchedule,
+                          fast_forward: bool = False) -> list[CycleReport]:
+        """Simulate with scripted failures applied between cycles.
+
+        With ``fast_forward=True`` the run is segmented at the schedule's
+        event cycles: each segment starts by applying due events, then
+        advances to the next event boundary with the quiescent-epoch
+        engine enabled — scripted faults therefore land on exactly the
+        cycle they name, and results stay bit-identical to the scalar
+        loop.
+        """
+        reports: list[CycleReport] = []
+        if not fast_forward:
+            for _ in range(cycles):
+                schedule.apply(self.scheduler, self.scheduler.cycle_index)
+                reports.append(self.scheduler.run_cycle())
+            return reports
+        end = self.scheduler.cycle_index + cycles
+        event_cycles = schedule.event_cycles()
+        while self.scheduler.cycle_index < end:
+            current = self.scheduler.cycle_index
+            schedule.apply(self.scheduler, current)
+            boundary = min((c for c in event_cycles if current < c < end),
+                           default=end)
+            reports.extend(self.scheduler.run_cycles(
+                boundary - current, fast_forward=True))
         return reports
 
     def run_workload(self, trace: Sequence["StreamRequest"],

@@ -64,6 +64,15 @@ def mb_to_bytes(value_mb: float) -> int:
     return int(round(value_mb * 1_000_000))
 
 
+def bytes_to_mb(value_bytes: float) -> float:
+    """Convert whole bytes to (decimal) megabytes.
+
+    >>> bytes_to_mb(50000)
+    0.05
+    """
+    return value_bytes / 1_000_000
+
+
 def gigabytes(value_gb: float) -> float:
     """Convert (decimal) gigabytes to megabytes."""
     return value_gb * 1000.0
@@ -91,6 +100,15 @@ def minutes(value_min: float) -> float:
 def hours(value_h: float) -> float:
     """Convert hours to seconds."""
     return value_h * 3600.0
+
+
+def seconds_to_microseconds(value_s: float) -> float:
+    """Convert seconds to microseconds (per-cycle timing reports).
+
+    >>> seconds_to_microseconds(0.002)
+    2000.0
+    """
+    return value_s * 1_000_000
 
 
 def seconds_to_hours(value_s: float) -> float:

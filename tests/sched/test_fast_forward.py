@@ -1,0 +1,127 @@
+"""Quiescent-epoch fast-forward: bit-equality against the scalar engine.
+
+Every test builds two identical servers, drives one cycle-by-cycle and
+the other with ``fast_forward=True``, and compares a full state
+fingerprint — cycle reports, per-disk read counters, buffer-tracker
+samples and per-stream peaks, every stream's pointers and buffer
+contents, and the rendered summary.  Equality must hold whether the
+epoch engine runs the vectorised path (all-rate-1 populations), the
+generic per-stream path (mixed rates), or bails to scalar cycles
+(payload mode, standing faults).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import FaultSchedule
+from repro.schemes import ALL_SCHEMES, Scheme
+from repro.server.server import MultimediaServer
+from tests.conftest import build_server, tiny_catalog
+
+#: Enough cycles to cross delivery start, steady state, and completions.
+CYCLES = 30
+
+
+def _scheme_server(scheme: Scheme, **kwargs: object) -> MultimediaServer:
+    num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    kwargs.setdefault("verify_payloads", False)
+    return build_server(scheme, num_disks=num_disks, **kwargs)
+
+
+def _fingerprint(server: MultimediaServer,
+                 reports: list) -> tuple:
+    streams = tuple(
+        (s.stream_id, s.status.name, s.next_read_track,
+         s.next_delivery_track, s.delivery_start_cycle,
+         s.delivered_tracks, s.hiccup_count,
+         tuple(sorted(s.buffer)), tuple(sorted(s.parity_buffer)))
+        for s in sorted(server.scheduler.streams.values(),
+                        key=lambda s: s.stream_id))
+    tracker = server.scheduler.tracker
+    peaks = tuple(tracker.stream_peak(s.stream_id)
+                  for s in sorted(server.scheduler.streams.values(),
+                                  key=lambda s: s.stream_id))
+    return (
+        tuple(tuple(sorted(row.items())) for row in server.report.to_rows()),
+        tuple(disk.reads for disk in server.array.disks),
+        tuple(tracker.samples),
+        streams,
+        peaks,
+        server.scheduler.cycle_index,
+        server.report.summary(),
+        tuple((r.reads_executed, r.tracks_delivered, r.streams_active,
+               r.streams_terminated, r.buffered_tracks) for r in reports),
+    )
+
+
+def _run_pair(scheme: Scheme, drive, **kwargs: object) -> tuple[tuple, tuple]:
+    slow = _scheme_server(scheme, **kwargs)
+    fast = _scheme_server(scheme, **kwargs)
+    for name in slow.catalog.names()[:3]:
+        slow.admit(name)
+        fast.admit(name)
+    slow_reports = drive(slow, False)
+    fast_reports = drive(fast, True)
+    return (_fingerprint(slow, slow_reports),
+            _fingerprint(fast, fast_reports))
+
+
+def _plain_run(server: MultimediaServer, fast_forward: bool) -> list:
+    return server.run_cycles(CYCLES, fast_forward=fast_forward)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_fast_forward_matches_scalar(scheme: Scheme) -> None:
+    slow, fast = _run_pair(scheme, _plain_run)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_fast_forward_matches_scalar_through_fault(scheme: Scheme) -> None:
+    """A scripted fail/repair interrupts the quiescent epoch mid-stride."""
+    def drive(server: MultimediaServer, fast_forward: bool) -> list:
+        schedule = FaultSchedule.single_failure(8, 1, repair_cycle=20)
+        return server.run_with_schedule(CYCLES, schedule,
+                                        fast_forward=fast_forward)
+
+    slow, fast = _run_pair(scheme, drive)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_fast_forward_noop_in_payload_mode(scheme: Scheme) -> None:
+    """Payload-verified servers silently fall back to scalar cycles."""
+    slow, fast = _run_pair(scheme, _plain_run, verify_payloads=True)
+    assert fast == slow
+
+
+def _mixed_rate_catalog():
+    """Two base-rate objects plus one MPEG-2-style rate-3 object."""
+    from repro.media import MediaObject
+    catalog = tiny_catalog(2, tracks=40)
+    catalog.add(MediaObject("fast", 0.5625, 60, seed=99))
+    return catalog
+
+
+def test_fast_forward_matches_scalar_mixed_rates() -> None:
+    """A rate-3 stream forces the generic (non-vector) epoch path."""
+    results = []
+    for fast_forward in (False, True):
+        server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                              catalog=_mixed_rate_catalog(),
+                              verify_payloads=False)
+        for name in ("m0", "m1", "fast"):
+            server.admit(name)
+        assert any(s.rate == 3 for s in server.scheduler.streams.values())
+        reports = server.run_cycles(CYCLES, fast_forward=fast_forward)
+        results.append(_fingerprint(server, reports))
+    assert results[0] == results[1]
+
+
+def test_fast_forward_advances_cycle_index() -> None:
+    server = _scheme_server(Scheme.STREAMING_RAID)
+    server.admit(server.catalog.names()[0])
+    server.run_cycles(CYCLES, fast_forward=True)
+    assert server.scheduler.cycle_index == CYCLES
+    assert len(server.report.cycles) == CYCLES

@@ -1,0 +1,76 @@
+"""Bounded-tail reports: streaming aggregates stay exact while the
+per-cycle list is trimmed to the requested window."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schemes import Scheme
+from repro.server.metrics import MetricsReducer, SimulationReport
+from tests.conftest import build_server
+
+
+def _run_servers(tail: int | None, cycles: int = 25):
+    server = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                          verify_payloads=False, metrics_tail=tail)
+    for name in server.catalog.names()[:3]:
+        server.admit(name)
+    server.run_cycles(cycles)
+    return server
+
+
+def test_tail_trims_cycle_list_but_keeps_totals_exact() -> None:
+    full = _run_servers(tail=None)
+    tailed = _run_servers(tail=5)
+    assert len(full.report.cycles) == 25
+    assert len(tailed.report.cycles) == 5
+    # The retained window is the *most recent* cycles.
+    assert [c.cycle for c in tailed.report.cycles] == \
+        [c.cycle for c in full.report.cycles[-5:]]
+    for attr in ("total_delivered", "total_hiccups", "total_reconstructions",
+                 "total_parity_reads", "total_dropped_reads",
+                 "total_media_errors", "total_streams_shed",
+                 "peak_buffered_tracks"):
+        assert getattr(tailed.report, attr) == getattr(full.report, attr), attr
+    assert tailed.report.hiccups_by_cause() == full.report.hiccups_by_cause()
+
+
+def test_tail_summary_reports_whole_run_cycle_count() -> None:
+    full = _run_servers(tail=None)
+    tailed = _run_servers(tail=3)
+    assert tailed.report.summary() == full.report.summary()
+
+
+def test_tail_mode_consistent_with_fast_forward() -> None:
+    tailed = _run_servers(tail=4)
+    ff = build_server(Scheme.STREAMING_RAID, num_disks=10,
+                      verify_payloads=False, metrics_tail=4)
+    for name in ff.catalog.names()[:3]:
+        ff.admit(name)
+    ff.run_cycles(25, fast_forward=True)
+    assert ff.report.summary() == tailed.report.summary()
+    assert len(ff.report.cycles) == 4
+
+
+def test_reducer_folds_match_list_sums() -> None:
+    full = _run_servers(tail=None)
+    reducer = MetricsReducer()
+    for report in full.report.cycles:
+        reducer.fold(report)
+    assert reducer.cycles_seen == 25
+    assert reducer.tracks_delivered == full.report.total_delivered
+    assert reducer.parity_reads == full.report.total_parity_reads
+    assert reducer.peak_buffered_tracks == full.report.peak_buffered_tracks
+
+
+def test_negative_tail_rejected() -> None:
+    with pytest.raises(ValueError):
+        SimulationReport(tail=-1)
+
+
+def test_zero_tail_keeps_no_cycles_but_counts_them() -> None:
+    server = _run_servers(tail=0)
+    assert server.report.cycles == []
+    assert server.report.reducer is not None
+    assert server.report.reducer.cycles_seen == 25
+    assert server.report.total_delivered > 0

@@ -125,3 +125,21 @@ def test_section8_metadata_scale():
     payload = server.layout.resolve_payload(
         address.disk_id, address.position, track_bytes)
     assert payload == server.catalog.get(name).track_payload(0, track_bytes)
+
+
+def test_section8_scale_levers():
+    params = SystemParameters.paper_table1(
+        num_disks=20, track_size_mb=64 / 1e6, disk_capacity_mb=0.256)
+    server = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID,
+                                    slots_per_disk=8)
+    server.admit(server.catalog.names()[0])
+    server.run_cycles(30, fast_forward=True)
+    assert server.report.total_delivered > 0
+    assert server.report.hiccup_free()
+
+    condition = catastrophic_condition(ClusteredParityLayout(10, 5))
+    estimate = simulate_mean_time_to(10, 1000.0, 24.0, condition,
+                                     replications=8, workers=2)
+    serial = simulate_mean_time_to(10, 1000.0, 24.0, condition,
+                                   replications=8, workers=1)
+    assert estimate.mean_hours == serial.mean_hours
