@@ -284,6 +284,68 @@ FIXTURES: tuple[Fixture, ...] = (
                     self._data_addr.pop((name, track))
         """),
     ),
+    Fixture(
+        label="R3-bad-delta-log-without-bump",
+        path="src/repro/layout/example.py",
+        code=_snippet("""
+            class Layout:
+                def log_only(self, name: str) -> None:
+                    self._delta_log.append(("place", name))
+
+                def trim(self) -> None:
+                    self._delta_floor = self._epoch
+        """),
+        expect=(("R3", 2), ("R3", 5)),
+    ),
+    Fixture(
+        label="R3-good-delta-log-bumped",
+        path="src/repro/layout/example.py",
+        code=_snippet("""
+            class Layout:
+                def _record_delta(self, kind: str, name: str) -> None:
+                    self._epoch += 1
+                    self._delta_log.append((kind, name))
+
+                def place_one(self, name: str) -> None:
+                    self._objects[name] = name
+                    self._record_delta("place", name)
+        """),
+    ),
+    Fixture(
+        label="R3-bad-cache-evict-without-rekey",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_plan_cache", "_ff_tables")
+
+                def evict(self, name: str) -> None:
+                    self._plan_cache.pop(name, None)
+
+                def reset_tables(self) -> None:
+                    self._ff_tables = {}
+        """),
+        expect=(("R3", 4), ("R3", 7)),
+    ),
+    Fixture(
+        label="R3-good-cache-evict-rekeyed",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_plan_cache", "_plan_cache_key",
+                             "_ff_tables", "_ff_tables_key")
+
+                def bridge(self, name: str, key: tuple) -> None:
+                    self._plan_cache.pop(name, None)
+                    self._plan_cache_key = key
+
+                def reset_tables(self, key: tuple) -> None:
+                    self._ff_tables = {}
+                    self._ff_tables_key = key
+
+                def fill(self, name: str, plan: object) -> None:
+                    self._plan_cache[name] = plan
+        """),
+    ),
     # -- R4 slots ------------------------------------------------------------
     Fixture(
         label="R4-bad-missing-slots",

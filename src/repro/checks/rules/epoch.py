@@ -14,7 +14,17 @@ one of those counters.  This rule makes the contract machine-checked:
 * a function in ``sched/`` or ``faults/`` that moves a disk's fault
   domain through the array (``...array.fail/repair/degrade/restore/
   inject_media_error/begin_rebuild(...)``) must also call
-  ``_invalidate_plan_cache()``.
+  ``_invalidate_plan_cache()``;
+* (delta path, PR 5) a function in ``layout/`` that touches the
+  placement delta log (``_delta_log``, ``_delta_floor``) must bump the
+  epoch in the same body — a logged delta without an epoch move would
+  let schedulers bridge to a key that never changed;
+* (delta path, PR 5) a function in ``sched/`` that *rewrites or evicts*
+  from a plan cache (``_plan_cache``, ``_ff_tables`` — whole-attribute
+  assignment or a mutator-method call) must re-key it by assigning
+  ``_plan_cache_key``/``_ff_tables_key`` (or calling an invalidator) in
+  the same body.  Subscript fills (``cache[k] = plan``) are exempt:
+  lazily populating a cache under its current key is always sound.
 
 ``__init__`` is exempt (construction is not a live-state mutation);
 helpers whose *callers* own the epoch bump carry an
@@ -48,8 +58,18 @@ DISK_STATE_FIELDS = frozenset({
     "state", "is_failed", "service_fraction", "_media_errors",
 })
 
+#: The layout's placement delta log: appending or trimming without an
+#: epoch bump would desynchronise the log from the key it describes.
+DELTA_FIELDS = frozenset({"_delta_log", "_delta_floor"})
+
+#: Scheduler plan caches and the epoch-pair keys that guard them.
+SCHED_CACHE_FIELDS = frozenset({"_plan_cache", "_ff_tables"})
+SCHED_CACHE_KEY_FIELDS = frozenset({"_plan_cache_key", "_ff_tables_key"})
+
 #: Calls that count as bumping an epoch / invalidating plan caches.
-BUMP_CALLS = frozenset({"_invalidate_caches", "_invalidate_plan_cache"})
+BUMP_CALLS = frozenset({
+    "_invalidate_caches", "_invalidate_plan_cache", "_record_delta",
+})
 
 #: Attributes whose assignment *is* the epoch bump.
 EPOCH_FIELDS = frozenset({"_epoch", "state_changes"})
@@ -83,6 +103,14 @@ class EpochCacheRule(Rule):
                 continue
             mutated = sorted(self._mutated_fields(node))
             flips = self._array_state_calls(node)
+            rewritten = sorted(self._cache_rewrites(node))
+            if rewritten and not self._rekeys_cache(node) \
+                    and not self._bumps_epoch(node):
+                yield self.finding(
+                    ctx, node,
+                    f"'{node.name}' rewrites {', '.join(rewritten)} without "
+                    "re-keying (_plan_cache_key/_ff_tables_key) — stale "
+                    "plans would survive under a moved epoch pair")
             if not mutated and not flips:
                 continue
             if self._bumps_epoch(node):
@@ -102,7 +130,7 @@ class EpochCacheRule(Rule):
     # -- detection helpers ---------------------------------------------------
 
     def _mutated_fields(self, func: ast.AST) -> set[str]:
-        protected = PLACEMENT_FIELDS | DISK_STATE_FIELDS
+        protected = PLACEMENT_FIELDS | DISK_STATE_FIELDS | DELTA_FIELDS
         fields: set[str] = set()
         for node in ast.walk(func):
             if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
@@ -140,6 +168,38 @@ class EpochCacheRule(Rule):
                     and "array" in _attribute_names(node.func.value):
                 calls.append(node.func.attr)
         return calls
+
+    def _cache_rewrites(self, func: ast.AST) -> set[str]:
+        """Plan caches this function rewrites or evicts from.
+
+        Whole-attribute assignment (``self._plan_cache = {}``) and
+        mutator-method calls (``.clear()``, ``.pop()``) count; subscript
+        fills (``self._plan_cache[name] = plan``) do not — populating a
+        cache under its current key needs no re-key.
+        """
+        fields: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    # Attribute (not Subscript) target: whole rewrite.
+                    if isinstance(target, ast.Attribute) \
+                            and target.attr in SCHED_CACHE_FIELDS:
+                        fields.add(target.attr)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in MUTATOR_METHODS:
+                for name in _attribute_names(node.func.value):
+                    if name in SCHED_CACHE_FIELDS:
+                        fields.add(name)
+        return fields
+
+    def _rekeys_cache(self, func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if _assigned_field(target) in SCHED_CACHE_KEY_FIELDS:
+                        return True
+        return False
 
     def _bumps_epoch(self, func: ast.AST) -> bool:
         for node in ast.walk(func):

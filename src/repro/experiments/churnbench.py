@@ -1,0 +1,142 @@
+"""Churn benchmark cells: VoD-scale admission churn, scalar vs engine.
+
+``benchmarks/bench_churn.py`` drives a 1000-disk Streaming-RAID farm
+with a high-rate Zipf/Poisson request trace — continuous arrivals and
+completions, the workload the paper's front door faces — once through
+the per-cycle scalar loop and once through the scheduler's churn engine
+(``run_workload(fast_forward=True)``).  The cell logic lives here so
+spawn workers and tests can import it; the benchmark script is the
+human-facing driver.
+
+Two equality guards make the speedup claim falsifiable:
+
+* the **trace digest** proves both runs consumed byte-identical request
+  traces (the vectorised generator against its scalar contract);
+* the **metrics fingerprint** hashes every deterministic outcome — the
+  admitted/rejected/unarrived split, per-disk read counters, cycle
+  aggregates, and the rendered summary — so a fast-but-wrong engine
+  cannot pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any
+
+from repro.experiments.scalegrid import scale_catalog, scale_params
+from repro.schemes import Scheme
+from repro.units import seconds_to_microseconds
+from repro.workload import CompiledTrace, WorkloadGenerator, compile_trace
+
+NUM_DISKS = 1000
+CYCLES = 150
+HORIZON_CYCLES = 120
+ARRIVALS_PER_CYCLE = 30.0
+ZIPF_THETA = 0.3
+SEED = 42
+
+#: Sized for churn, not for the slot-budget cliff: with ~600 concurrent
+#: streams over 200 objects at theta=0.3 the hottest cluster sees ~10
+#: concurrent readers, so 32 slots keeps every healthy cycle drop-free
+#: while the explicit admission limit makes the front door reject.
+SLOTS_PER_DISK = 32
+ADMISSION_LIMIT = 600
+
+#: The acceptance gate: the churn engine must beat the scalar loop by
+#: at least this factor on the flagship cell.
+MIN_SPEEDUP = 3.0
+
+
+def build_churn_server() -> Any:
+    """A 1000-disk Streaming-RAID farm shaped for admission churn."""
+    from repro.server.server import MultimediaServer
+    return MultimediaServer.build(
+        scale_params(NUM_DISKS), 5, Scheme.STREAMING_RAID,
+        catalog=scale_catalog(NUM_DISKS // 5),
+        slots_per_disk=SLOTS_PER_DISK,
+        admission_limit=ADMISSION_LIMIT,
+        verify_payloads=False)
+
+
+def churn_trace(server: Any) -> CompiledTrace:
+    """The benchmark's fixed request trace, compiled once per server."""
+    cycle_length = server.config.cycle_length_s
+    generator = WorkloadGenerator(
+        server.catalog,
+        arrival_rate_per_s=ARRIVALS_PER_CYCLE / cycle_length,
+        zipf_theta=ZIPF_THETA, seed=SEED)
+    return compile_trace(generator.trace(HORIZON_CYCLES * cycle_length),
+                         cycle_length)
+
+
+def churn_fingerprint(server: Any, result: Any) -> str:
+    """SHA-256 over every deterministic outcome of one churn run."""
+    cycles = server.report.cycles
+    stable = {
+        "admitted": result.admitted,
+        "rejected": result.rejected,
+        "unarrived": result.unarrived,
+        "reads_executed": sum(r.reads_executed for r in cycles),
+        "parity_reads": sum(r.parity_reads for r in cycles),
+        "tracks_delivered": sum(r.tracks_delivered for r in cycles),
+        "reconstructions": sum(r.reconstructions for r in cycles),
+        "hiccups": sum(len(r.hiccups) for r in cycles),
+        "streams_active": [r.streams_active for r in cycles],
+        "streams_terminated": [r.streams_terminated for r in cycles],
+        "buffered_peak": server.report.peak_buffered_tracks,
+        "reads_per_disk": [d.reads for d in server.array.disks],
+        "summary": server.report.summary(),
+    }
+    canonical = json.dumps(stable, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def run_churn_cell(fast_forward: bool,
+                   cycles: int = CYCLES) -> dict[str, Any]:
+    """Build the farm, run the churn trace, return metrics + guards."""
+    t0 = time.perf_counter()
+    server = build_churn_server()
+    build_s = time.perf_counter() - t0
+    compiled = churn_trace(server)
+
+    t0 = time.perf_counter()
+    result = server.run_workload(compiled, cycles,
+                                 fast_forward=fast_forward)
+    run_s = time.perf_counter() - t0
+
+    assert result.admitted > 0
+    return {
+        "engine": "churn" if fast_forward else "scalar",
+        "num_disks": NUM_DISKS,
+        "cycles": cycles,
+        "requests": compiled.total,
+        "admitted": result.admitted,
+        "rejected": result.rejected,
+        "unarrived": result.unarrived,
+        "build_s": round(build_s, 4),
+        "run_s": round(run_s, 4),
+        "us_per_cycle": round(seconds_to_microseconds(run_s) / cycles, 1),
+        "trace_sha256": compiled.digest(),
+        "metrics_sha256": churn_fingerprint(server, result),
+    }
+
+
+def check_pair(scalar: dict[str, Any], churn: dict[str, Any],
+               ) -> dict[str, Any]:
+    """The gate: identical traces, identical metrics, >= 3x speedup."""
+    if scalar["trace_sha256"] != churn["trace_sha256"]:
+        raise AssertionError("trace digests diverge: the two runs did not "
+                             "consume the same request trace")
+    if scalar["metrics_sha256"] != churn["metrics_sha256"]:
+        raise AssertionError("metrics fingerprints diverge: the churn "
+                             "engine changed simulation outcomes")
+    speedup = scalar["run_s"] / churn["run_s"]
+    return {
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "passed": speedup >= MIN_SPEEDUP,
+        "trace_sha256": scalar["trace_sha256"],
+        "metrics_sha256": scalar["metrics_sha256"],
+    }

@@ -12,7 +12,7 @@ Two families cover the paper's four schemes:
 """
 
 from repro.layout.address import BlockKind, DiskAddress, GroupSpan, StoredBlock
-from repro.layout.base import DataLayout
+from repro.layout.base import DataLayout, PlacementDelta
 from repro.layout.clustered import ClusteredParityLayout
 from repro.layout.improved import ImprovedBandwidthLayout
 
@@ -23,5 +23,6 @@ __all__ = [
     "DiskAddress",
     "GroupSpan",
     "ImprovedBandwidthLayout",
+    "PlacementDelta",
     "StoredBlock",
 ]

@@ -18,6 +18,7 @@ and their XOR parity so reconstruction can be verified byte-for-byte.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.disk.drive import DiskArray
@@ -27,6 +28,26 @@ from repro.media.catalog import Catalog
 from repro.media.objects import MediaObject
 from repro.parity.xor import xor_blocks, xor_matrix
 from repro.units import mb_to_bytes
+
+#: How many placement deltas a layout retains.  Once the log outgrows
+#: this, the oldest entries are dropped and the *floor* rises — callers
+#: asking for history below the floor get ``None`` and must fall back to
+#: wholesale invalidation.
+DELTA_LOG_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class PlacementDelta:
+    """One placement change: which epoch it created, and what moved.
+
+    ``kind`` is ``"place"`` (addresses were appended — every previously
+    cached lookup stays valid) or ``"remove"`` (the named object's
+    addresses were freed — only caches mentioning that object die).
+    """
+
+    epoch: int
+    kind: str
+    name: str
 
 
 class DataLayout(abc.ABC):
@@ -66,6 +87,11 @@ class DataLayout(abc.ABC):
         #: Placement epoch: bumped whenever addresses change (place/remove).
         #: Schedulers key their cycle-plan caches on this.
         self._epoch = 0
+        #: Bounded log of recent placement changes so schedulers can
+        #: bridge an epoch gap with per-object evictions instead of
+        #: dropping every cached plan (see :meth:`deltas_since`).
+        self._delta_log: list[PlacementDelta] = []
+        self._delta_floor = 0
         # Memoized hot-path lookups, flushed on every placement change.
         self._span_cache: dict[tuple[str, int], GroupSpan] = {}
         self._tracks_cache: dict[tuple[str, int], list[int]] = {}
@@ -91,6 +117,43 @@ class DataLayout(abc.ABC):
         self._geometry_cache.clear()
         self._names_cache = None
         self._block_index = None
+        # Wholesale invalidation abandons delta history: raise the floor
+        # so deltas_since() callers below it fall back to a full rebuild.
+        self._delta_log.clear()
+        self._delta_floor = self._epoch
+
+    def _record_delta(self, kind: str, name: str) -> None:
+        """Bump the epoch for one placement change, evicting surgically.
+
+        ``place`` only appends addresses, so every memoized per-object
+        lookup survives; ``remove`` kills just the removed object's
+        entries.  The object-set caches (:attr:`object_names`, the block
+        reverse index) are rebuilt lazily either way.
+        """
+        self._epoch += 1
+        self._names_cache = None
+        self._block_index = None
+        if kind == "remove":
+            for cache in (self._span_cache, self._tracks_cache,
+                          self._cluster_cache, self._geometry_cache):
+                for key in [k for k in cache if k[0] == name]:
+                    del cache[key]
+        self._delta_log.append(PlacementDelta(self._epoch, kind, name))
+        if len(self._delta_log) > DELTA_LOG_LIMIT:
+            dropped = len(self._delta_log) - DELTA_LOG_LIMIT
+            del self._delta_log[:dropped]
+            self._delta_floor = self._delta_log[0].epoch - 1
+
+    def deltas_since(self, epoch: int) -> Optional[tuple[PlacementDelta, ...]]:
+        """Placement changes after ``epoch``, oldest first.
+
+        Returns ``None`` when ``epoch`` predates the retained window (the
+        log is bounded by :data:`DELTA_LOG_LIMIT`) — callers must then
+        invalidate wholesale.  Returns ``()`` when nothing changed.
+        """
+        if epoch < self._delta_floor:
+            return None
+        return tuple(d for d in self._delta_log if d.epoch > epoch)
 
     # -- geometry to be provided by subclasses ---------------------------
 
@@ -168,7 +231,7 @@ class DataLayout(abc.ABC):
             self._disk_contents[parity_disk].append(
                 StoredBlock(obj.name, BlockKind.PARITY, group)
             )
-        self._invalidate_caches()
+        self._record_delta("place", obj.name)
 
     def place_catalog(self, catalog: Catalog,
                       start_cluster: Optional[int] = None) -> None:
@@ -212,7 +275,7 @@ class DataLayout(abc.ABC):
             ]
         del self._objects[name]
         del self._start_cluster[name]
-        self._invalidate_caches()
+        self._record_delta("remove", name)
         return freed
 
     def occupied_positions(self, disk_id: int) -> int:

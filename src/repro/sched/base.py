@@ -93,7 +93,7 @@ class CycleScheduler(abc.ABC):
         "_all_disks_up", "_read_hook_active", "_delivery_hook_active",
         "_base_quota", "admission_limit", "redundant_fault_commands",
         "_known_lost_tracks", "_pending_shed", "_ff_tables",
-        "_ff_tables_key",
+        "_ff_tables_key", "_ff_flat", "_ff_flat_names",
     )
 
     def __init__(self, layout: DataLayout, array: DiskArray,
@@ -146,9 +146,11 @@ class CycleScheduler(abc.ABC):
         self.rebuilders: list["OnlineRebuilder"] = []
         #: Data blocks per parity group; group arithmetic on the hot path.
         self._stripe = config.stripe_width
-        #: Cycle-plan cache: (object name, group) -> GroupPlan, valid for
-        #: one (placement epoch, array state epoch) pair.
-        self._plan_cache: dict[tuple[str, int], GroupPlan] = {}
+        #: Cycle-plan cache: object name -> {group -> GroupPlan}, valid
+        #: for one (placement epoch, array state epoch) pair.  Two-level
+        #: so a single object's plans can be evicted in O(1) when the
+        #: layout's delta log reports its removal (incremental refresh).
+        self._plan_cache: dict[str, dict[int, GroupPlan]] = {}
         self._plan_cache_key: Optional[tuple[int, int]] = None
         #: Fast-forward read tables: object name -> flat numpy arrays of
         #: (member count, member offset, member disks, next pointer) per
@@ -156,6 +158,11 @@ class CycleScheduler(abc.ABC):
         self._ff_tables: dict[str, tuple[np.ndarray, np.ndarray,
                                          np.ndarray, np.ndarray, int]] = {}
         self._ff_tables_key: Optional[tuple[int, int]] = None
+        #: Concatenated read tables for the last fast-forward entry's
+        #: object tuple; valid while the key and the tuple both hold.
+        self._ff_flat: Optional[tuple[np.ndarray, np.ndarray, np.ndarray,
+                                      np.ndarray, list[int], int]] = None
+        self._ff_flat_names: Optional[tuple[str, ...]] = None
         #: Skips per-member failure checks while no disk is down.
         self._all_disks_up = not any(d.is_failed for d in array.disks)
         # Skip per-read/per-track hook dispatch for schemes that keep the
@@ -276,6 +283,47 @@ class CycleScheduler(abc.ABC):
         server consumes three capacity units (Section 1's "or some
         combination of the two").
         """
+        return self._admit_checked(obj, self._phase_loads(),
+                                   self.effective_admission_limit())
+
+    def admit_batch(self, objects: list[MediaObject],
+                    ) -> tuple[list[Stream], int]:
+        """Admit one cycle's arrivals; returns ``(streams, rejected)``.
+
+        Behaviourally identical to calling :meth:`admit` per object and
+        counting :class:`AdmissionError` as a rejection, but the
+        rate-weighted phase loads and the fault-aware limit are computed
+        once and maintained incrementally instead of rebuilt per arrival
+        — O(active + arrivals) for the whole batch.
+        """
+        phase_load = self._phase_loads()
+        limit = self.effective_admission_limit()
+        streams: list[Stream] = []
+        rejected = 0
+        for obj in objects:
+            try:
+                streams.append(self._admit_checked(obj, phase_load, limit))
+            except AdmissionError:
+                rejected += 1
+        return streams, rejected
+
+    def _phase_loads(self) -> list[int]:
+        """Rate-weighted load per read phase over the active streams."""
+        width = self.config.stripe_width
+        load = [0] * width
+        for stream in self.streams.values():
+            if stream.is_active:
+                load[stream.phase % width] += stream.rate
+        return load
+
+    def _admit_checked(self, obj: MediaObject, phase_load: list[int],
+                       limit: int) -> Stream:
+        """The admission decision against caller-supplied load state.
+
+        ``phase_load`` is updated in place on success so batch callers
+        can reuse it; ``sum(phase_load)`` *is* the rate-weighted active
+        load, which keeps single admissions on the same arithmetic.
+        """
         if not self.layout.has_object(obj.name):
             raise AdmissionError(f"object {obj.name!r} is not on disk")
         if self._known_lost_tracks.get(obj.name):
@@ -284,37 +332,30 @@ class CycleScheduler(abc.ABC):
                 "failure; tertiary reload required"
             )
         rate = self._rate_of(obj)
-        limit = self.effective_admission_limit()
-        if self.active_load + rate > limit:
+        load = sum(phase_load)
+        if load + rate > limit:
             raise AdmissionError(
-                f"at capacity: load {self.active_load} of "
+                f"at capacity: load {load} of "
                 f"{limit} units, request needs {rate}"
             )
+        # Least-loaded phase, lowest index first: plain round-robin skews
+        # once streams complete unevenly; balancing on the current load
+        # keeps every cycle's read volume equal, which the staggered
+        # capacity bound assumes.
+        width = len(phase_load)
+        phase = min(range(width), key=lambda p: (phase_load[p], p))
+        self._phase_counter += 1
         stream = Stream(
             stream_id=self._next_stream_id,
             obj=obj,
             admitted_cycle=self.cycle_index,
-            phase=self._assign_phase(),
+            phase=phase,
             rate=rate,
         )
         self._next_stream_id += 1
         self.streams[stream.stream_id] = stream
+        phase_load[phase] += rate
         return stream
-
-    def _assign_phase(self) -> int:
-        """Assign the least-loaded read phase (staggered schemes use this).
-
-        Plain round-robin skews once streams complete unevenly; balancing
-        on the *current* rate-weighted load per phase keeps every cycle's
-        read volume equal, which the staggered capacity bound assumes.
-        """
-        width = self.config.stripe_width
-        load = [0] * width
-        for stream in self.active_streams:
-            load[stream.phase % width] += stream.rate
-        best = min(range(width), key=lambda p: (load[p], p))
-        self._phase_counter += 1
-        return best
 
     def terminate_stream(self, stream_id: int) -> None:
         """Drop a stream (degradation of service)."""
@@ -566,27 +607,57 @@ class CycleScheduler(abc.ABC):
         """Drop every memoized group plan (failure/repair/placement)."""
         self._plan_cache.clear()
         self._plan_cache_key = None
+        self._ff_flat = None
         self._all_disks_up = not any(
             disk.is_failed for disk in self.array.disks)
 
     def _refresh_plan_cache(self) -> None:
-        """Flush the plan cache if the layout or array state moved on.
+        """Re-key the plan cache if the layout or array state moved on.
 
         The epoch pair catches *every* invalidation source — scheduler-level
         ``fail_disk``/``repair_disk``, direct ``array.fail`` calls, and
         content-manager placements — at one O(D) check per cycle.
+
+        When only the *placement* epoch moved and the layout can replay
+        the gap from its delta log, the refresh is incremental: a
+        ``place`` delta invalidates nothing (plans for other objects
+        never reference the appended addresses) and a ``remove`` delta
+        evicts just that object's plans and read tables.  Staging churn
+        — the VoD tertiary swap-in/out cycle — therefore no longer costs
+        a wholesale plan rebuild per placement.  A moved array epoch or
+        an expired delta window still drops everything.
         """
         key = (self.layout.epoch, self.array.state_epoch)
-        if key != self._plan_cache_key:
-            self._plan_cache.clear()
-            self._plan_cache_key = key
-            self._all_disks_up = not any(
-                disk.is_failed for disk in self.array.disks)
+        old = self._plan_cache_key
+        if key == old:
+            return
+        if old is not None and old[1] == key[1]:
+            deltas = self.layout.deltas_since(old[0])
+            if deltas is not None:
+                bridge_ff = self._ff_tables_key == old
+                for delta in deltas:
+                    if delta.kind != "remove":
+                        continue
+                    self._plan_cache.pop(delta.name, None)
+                    if bridge_ff:
+                        self._ff_tables.pop(delta.name, None)
+                        self._ff_flat = None
+                self._plan_cache_key = key
+                if bridge_ff:
+                    self._ff_tables_key = key
+                return
+        self._plan_cache.clear()
+        self._plan_cache_key = key
+        self._ff_flat = None
+        self._all_disks_up = not any(
+            disk.is_failed for disk in self.array.disks)
 
     def _group_plan(self, name: str, group: int) -> GroupPlan:
         """The memoized read plan for one (object, group)."""
-        key = (name, group)
-        plan = self._plan_cache.get(key)
+        groups = self._plan_cache.get(name)
+        if groups is None:
+            groups = self._plan_cache[name] = {}
+        plan = groups.get(group)
         if plan is None:
             members, parity_addr = self.layout.group_geometry(name, group)
             track = group * self._stripe
@@ -609,7 +680,7 @@ class CycleScheduler(abc.ABC):
                 parity = (None if disks[parity_addr[0]].is_failed
                           else parity_addr)
                 plan = GroupPlan(tuple(healthy), failed, parity, track)
-            self._plan_cache[key] = plan
+            groups[group] = plan
         return plan
 
     # -- the cycle engine -----------------------------------------------------------
@@ -915,11 +986,18 @@ class CycleScheduler(abc.ABC):
         Returns ``(counts, offsets, member_disks, next_pointers,
         per-object position bases, divisor)`` with per-object tables
         cached against the plan-cache key, or None when any object lacks
-        a table.
+        a table.  The concatenated result itself is memoized against the
+        object tuple, so a churn epoch re-entering with the same working
+        set pays nothing.
         """
         if self._ff_tables_key != self._plan_cache_key:
             self._ff_tables = {}
             self._ff_tables_key = self._plan_cache_key
+            self._ff_flat = None
+            self._ff_flat_names = None
+        names = tuple(obj.name for obj in objects)
+        if self._ff_flat is not None and self._ff_flat_names == names:
+            return self._ff_flat
         cache = self._ff_tables
         per_obj = []
         for obj in objects:
@@ -951,8 +1029,11 @@ class CycleScheduler(abc.ABC):
         np.cumsum(counts, out=offsets[1:])
         member_disks = np.concatenate([e[2] for e in per_obj])
         next_pointers = np.concatenate([e[3] for e in per_obj])
-        return counts, offsets, member_disks, next_pointers, pos_base, \
-            divisor
+        flat = (counts, offsets, member_disks, next_pointers, pos_base,
+                divisor)
+        self._ff_flat = flat
+        self._ff_flat_names = names
+        return flat
 
     def _fast_forward_vector(self, limit: int, live: list[Stream],
                              reports: list[CycleReport]) -> int:
@@ -1116,6 +1197,317 @@ class CycleScheduler(abc.ABC):
             for disk_id in np.nonzero(total_loads)[0]:
                 disks[int(disk_id)].reads += int(total_loads[disk_id])
         return done
+
+    # -- churn-tolerant fast-forward --------------------------------------------------
+
+    def run_churn(self, count: int,
+                  arrivals: dict[int, tuple[MediaObject, ...]],
+                  fast_forward: bool = True,
+                  ) -> tuple[list[CycleReport], int, int]:
+        """Run ``count`` cycles with per-cycle arrival batches.
+
+        ``arrivals`` maps *absolute* cycle indices to the objects
+        requested in that cycle.  With ``fast_forward`` on, quiescent
+        stretches — including the arrival cycles themselves — run on the
+        churn engine (:meth:`_fast_forward_churn`), which admits batches
+        in-engine instead of ending the epoch at every arrival; anything
+        the engine cannot prove quiescent falls back to the scalar cycle
+        with :meth:`admit_batch` at the front door.  Results are
+        bit-identical either way.  Returns ``(reports, admitted,
+        rejected)``.
+        """
+        reports: list[CycleReport] = []
+        admitted = rejected = 0
+        end = self.cycle_index + count
+        consumed = False
+        while self.cycle_index < end:
+            if fast_forward:
+                _done, a, r, consumed = self._fast_forward_churn(
+                    end - self.cycle_index, arrivals, reports)
+                admitted += a
+                rejected += r
+                if self.cycle_index >= end:
+                    break
+            if not consumed:
+                a, r = self._admit_cycle_arrivals(arrivals)
+                admitted += a
+                rejected += r
+            consumed = False
+            reports.append(self.run_cycle())
+        return reports, admitted, rejected
+
+    def _admit_cycle_arrivals(self, arrivals: dict[int, tuple[MediaObject,
+                                                              ...]],
+                              ) -> tuple[int, int]:
+        """Batch-admit the current cycle's arrivals (scalar fallback)."""
+        batch = arrivals.get(self.cycle_index)
+        if not batch:
+            return 0, 0
+        streams, rejected = self.admit_batch(list(batch))
+        return len(streams), rejected
+
+    def _fast_forward_churn(self, limit: int,
+                            arrivals: dict[int, tuple[MediaObject, ...]],
+                            reports: list[CycleReport],
+                            ) -> tuple[int, int, int, bool]:
+        """The vector engine extended with in-engine batch admission.
+
+        Stream rows live in preallocated numpy arrays sized for the
+        window's worst case; each arrival cycle admits its batch through
+        the *same* :meth:`_admit_checked` decision the scalar front door
+        uses (so acceptance, phase assignment, stream ids, and error
+        accounting are identical by construction) and the accepted
+        streams join the arrays in place — no epoch break, no table
+        rebuild.  Returns ``(cycles done, admitted, rejected,
+        consumed)`` where ``consumed`` means the *current* cycle's
+        arrivals were already admitted before a bail, so the scalar
+        fallback must not re-admit them.
+        """
+        self._refresh_plan_cache()
+        if limit <= 0 or not self._ff_eligible():
+            return 0, 0, 0, False
+        rows = [s for s in self.streams.values() if s.is_active]
+        if any(s.rate != 1 for s in rows):
+            return 0, 0, 0, False
+        start_cycle = self.cycle_index
+        end_cycle = start_cycle + limit
+        # Working set: live objects plus every placed rate-1 arrival in
+        # the window.  A placed arrival whose rate is not 1 cannot join
+        # the uniform row engine: the epoch must end *before* its cycle.
+        distinct: dict[str, int] = {}
+        objects: list[MediaObject] = []
+        for stream in rows:
+            name = stream.object.name
+            if name not in distinct:
+                distinct[name] = len(objects)
+                objects.append(stream.object)
+        stop_cycle = end_cycle
+        cap = len(rows)
+        for cycle, batch in arrivals.items():
+            if not start_cycle <= cycle < end_cycle:
+                continue
+            for obj in batch:
+                if not self.layout.has_object(obj.name):
+                    continue  # _admit_checked rejects it in-engine
+                try:
+                    rate = self._rate_of(obj)
+                except AdmissionError:
+                    continue  # ditto
+                if rate != 1:
+                    stop_cycle = min(stop_cycle, cycle)
+                    break
+                cap += 1
+                if obj.name not in distinct:
+                    distinct[obj.name] = len(objects)
+                    objects.append(obj)
+        if stop_cycle <= start_cycle:
+            return 0, 0, 0, False
+        if objects:
+            flat = self._ff_flat_tables(objects)
+            if flat is None:
+                return 0, 0, 0, False
+        else:
+            # No live streams and no admittable arrivals in the window:
+            # every batched request below is a guaranteed rejection, and
+            # the cycles themselves are empty.
+            flat = (np.zeros(0, dtype=np.int64), np.zeros(1, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                    [], 1)
+        counts, offsets, member_disks, next_pointers, pos_base, divisor = \
+            flat
+        n = len(rows)
+        num_disks = len(self.array.disks)
+        slots = self.config.slots_per_disk
+        k_prime = self.config.k_prime
+        base_quota = self._base_quota
+        tracker = self.tracker
+        phase_load = self._phase_loads()
+        width = len(phase_load)
+        limit_units = self.effective_admission_limit()
+        # Row arrays over the window's worst-case population; rows past
+        # the current count are neutral (not live, not reading).
+        obj_base = np.zeros(cap, dtype=np.int64)
+        next_read = np.zeros(cap, dtype=np.int64)
+        next_del = np.zeros(cap, dtype=np.int64)
+        num_tracks = np.zeros(cap, dtype=np.int64)
+        start = np.full(cap, -1, dtype=np.int64)
+        quota = np.zeros(cap, dtype=np.int64)
+        pace_rate = np.zeros(cap, dtype=np.int64)
+        pace_base = np.zeros(cap, dtype=np.int64)
+        phase_mod = np.ones(cap, dtype=np.int64)
+        phase_val = np.zeros(cap, dtype=np.int64)
+        unpaced = np.ones(cap, dtype=bool)
+        admitted_mask = np.zeros(cap, dtype=bool)
+        live_mask = np.zeros(cap, dtype=bool)
+        deliv_delta = np.zeros(cap, dtype=np.int64)
+        peak0 = np.zeros(cap, dtype=np.int64)
+        obj_base[:n] = np.fromiter(
+            (pos_base[distinct[s.object.name]] for s in rows),
+            dtype=np.int64, count=n)
+        next_read[:n] = np.fromiter((s.next_read_track for s in rows),
+                                    dtype=np.int64, count=n)
+        next_del[:n] = np.fromiter((s.next_delivery_track for s in rows),
+                                   dtype=np.int64, count=n)
+        num_tracks[:n] = np.fromiter((s.num_tracks for s in rows),
+                                     dtype=np.int64, count=n)
+        start[:n] = np.fromiter(
+            (-1 if s.delivery_start_cycle is None
+             else s.delivery_start_cycle for s in rows),
+            dtype=np.int64, count=n)
+        quota[:n] = np.fromiter(
+            (k_prime * s.rate if base_quota
+             else self.deliveries_per_cycle(s) for s in rows),
+            dtype=np.int64, count=n)
+        gates = [self._ff_gate_params(s) for s in rows]
+        pace_rate[:n] = np.fromiter((g[0] for g in gates), dtype=np.int64,
+                                    count=n)
+        pace_base[:n] = np.fromiter((g[1] for g in gates), dtype=np.int64,
+                                    count=n)
+        phase_mod[:n] = np.fromiter((g[2] for g in gates), dtype=np.int64,
+                                    count=n)
+        phase_val[:n] = np.fromiter((g[3] for g in gates), dtype=np.int64,
+                                    count=n)
+        unpaced[:n] = pace_rate[:n] == 0
+        ungated = bool((phase_mod == 1).all())
+        admitted_mask[:n] = np.fromiter(
+            (s.status is StreamStatus.ADMITTED for s in rows),
+            dtype=bool, count=n)
+        live_mask[:n] = True
+        peak0[:n] = np.fromiter(
+            (tracker.stream_peak(s.stream_id) for s in rows),
+            dtype=np.int64, count=n)
+        peak = peak0.copy()
+        total_loads = np.zeros(num_disks, dtype=np.int64)
+        active = terminated = 0
+        for stream in self.streams.values():
+            if stream.status is StreamStatus.ACTIVE:
+                active += 1
+            elif stream.status is StreamStatus.TERMINATED:
+                terminated += 1
+        samples: list[int] = []
+        done = 0
+        admitted_n = rejected_n = 0
+        bailed = False
+        while done < limit and self.cycle_index < stop_cycle:
+            cycle = self.cycle_index
+            # -- admit this cycle's batch through the scalar decision -----
+            batch = arrivals.get(cycle)
+            if batch:
+                for obj in batch:
+                    try:
+                        stream = self._admit_checked(obj, phase_load,
+                                                     limit_units)
+                    except AdmissionError:
+                        rejected_n += 1
+                        continue
+                    admitted_n += 1
+                    i = len(rows)
+                    rows.append(stream)
+                    obj_base[i] = pos_base[distinct[obj.name]]
+                    num_tracks[i] = stream.num_tracks
+                    quota[i] = (k_prime * stream.rate if base_quota
+                                else self.deliveries_per_cycle(stream))
+                    gate = self._ff_gate_params(stream)
+                    pace_rate[i], pace_base[i] = gate[0], gate[1]
+                    phase_mod[i], phase_val[i] = gate[2], gate[3]
+                    unpaced[i] = gate[0] == 0
+                    if gate[2] != 1:
+                        ungated = False
+                    admitted_mask[i] = True
+                    live_mask[i] = True
+                    peak0[i] = tracker.stream_peak(stream.stream_id)
+                    peak[i] = peak0[i]
+            # -- stage (no mutation yet, so a bail leaves no trace) -------
+            started = live_mask & (start >= 0) & (start <= cycle)
+            due = np.where(started,
+                           np.minimum(quota, num_tracks - next_del), 0)
+            if bool((due > next_read - next_del).any()):
+                bailed = True  # an imminent hiccup: go scalar
+                break
+            reading = live_mask & (next_read < num_tracks)
+            if not ungated:
+                reading &= (cycle % phase_mod) == phase_val
+            reading &= unpaced | (next_read
+                                  < (cycle + 1 - pace_base) * pace_rate)
+            if divisor > 1 \
+                    and bool((reading & (next_read % divisor != 0)).any()):
+                bailed = True  # mid-group pointer: the scalar path raises
+                break
+            idx = np.where(reading, obj_base + next_read // divisor, 0)
+            cnt = np.where(reading, counts[idx], 0)
+            planned_total = int(cnt.sum())
+            if planned_total:
+                r_idx = idx[reading]
+                r_cnt = counts[r_idx]
+                ends = np.cumsum(r_cnt)
+                within = np.arange(planned_total) \
+                    - np.repeat(ends - r_cnt, r_cnt)
+                disk_ids = member_disks[np.repeat(offsets[r_idx], r_cnt)
+                                        + within]
+                loads = np.bincount(disk_ids, minlength=num_disks)
+                if int(loads.max(initial=0)) > slots:
+                    bailed = True  # slot overflow: scalar drops / cascades
+                    break
+                total_loads += loads
+            # -- commit ---------------------------------------------------
+            newly = admitted_mask & (due > 0)
+            if bool(newly.any()):
+                active += int(newly.sum())
+                admitted_mask &= ~newly
+            first_read = (start < 0) & (cnt > 0)
+            if bool(first_read.any()):
+                start[first_read] = cycle + 1
+            next_del += due
+            deliv_delta += due
+            next_read = np.where(reading, next_pointers[idx], next_read)
+            finished = live_mask & (next_del >= num_tracks)
+            if bool(finished.any()):
+                active -= int(finished.sum())
+                live_mask &= ~finished
+                # Completed rows free their capacity for later batches.
+                for i in np.nonzero(finished)[0]:
+                    row = rows[int(i)]
+                    phase_load[row.phase % width] -= row.rate
+            held = np.where(live_mask, next_read - next_del, 0)
+            np.maximum(peak, held, out=peak)
+            buffered = int(held.sum())
+            samples.append(buffered)
+            report = CycleReport(cycle=cycle)
+            report.reads_planned = planned_total
+            report.reads_executed = planned_total
+            report.tracks_delivered = int(due.sum())
+            report.streams_active = active
+            report.streams_terminated = terminated
+            report.buffered_tracks = buffered
+            reports.append(report)
+            self.report.record(report)
+            self.cycle_index = cycle + 1
+            done += 1
+        if done or len(rows) > n:
+            # -- write the epoch's state back to the Python objects -------
+            for i, stream in enumerate(rows):
+                stream.next_read_track = int(next_read[i])
+                stream.next_delivery_track = int(next_del[i])
+                stream.delivered_tracks += int(deliv_delta[i])
+                if stream.delivery_start_cycle is None and start[i] >= 0:
+                    stream.delivery_start_cycle = int(start[i])
+                if stream.status is StreamStatus.ADMITTED \
+                        and not admitted_mask[i]:
+                    stream.activate()
+                if live_mask[i]:
+                    stream.buffer = dict.fromkeys(
+                        range(stream.next_delivery_track,
+                              stream.next_read_track), META_PAYLOAD)
+                else:
+                    stream.complete()
+            raised = np.nonzero(peak > peak0)[0]
+            tracker.fold_epoch(
+                samples,
+                {rows[int(i)].stream_id: int(peak[int(i)]) for i in raised})
+            disks = self.array.disks
+            for disk_id in np.nonzero(total_loads)[0]:
+                disks[int(disk_id)].reads += int(total_loads[disk_id])
+        return done, admitted_n, rejected_n, bailed
 
     # -- phases ------------------------------------------------------------------------
 

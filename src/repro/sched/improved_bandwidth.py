@@ -91,7 +91,10 @@ class ImprovedBandwidthScheduler(CycleScheduler):
         """Group data reads per stream; parity only for failure-hit groups
         (plus opportunistic prefetches when enabled)."""
         plans: list[PlannedRead] = []
-        for stream in self.active_streams:
+        # Direct table iteration: no per-cycle snapshot list (churn path).
+        for stream in self.streams.values():
+            if not stream.is_active:
+                continue
             for _ in range(stream.rate):
                 if not stream.reads_remaining:
                     break

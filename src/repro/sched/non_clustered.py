@@ -201,7 +201,10 @@ class NonClusteredScheduler(CycleScheduler):
     def plan_reads(self, cycle: int) -> list[PlannedRead]:
         """Rate-paced track reads, with degraded-mode bursts as needed."""
         plans: list[PlannedRead] = []
-        for stream in self.active_streams:
+        # Direct table iteration: no per-cycle snapshot list (churn path).
+        for stream in self.streams.values():
+            if not stream.is_active:
+                continue
             target = self._schedule_target(stream, cycle)
             for _ in range(stream.rate):
                 if not stream.reads_remaining:

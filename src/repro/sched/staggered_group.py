@@ -42,7 +42,10 @@ class StaggeredGroupScheduler(CycleScheduler):
     def plan_reads(self, cycle: int) -> list[PlannedRead]:
         """Group reads for the streams whose phase matches this cycle."""
         plans: list[PlannedRead] = []
-        for stream in self.active_streams:
+        # Direct table iteration: no per-cycle snapshot list (churn path).
+        for stream in self.streams.values():
+            if not stream.is_active:
+                continue
             if not self._in_phase(stream, cycle):
                 continue
             # A rate-r stream fetches r groups per phase visit.

@@ -24,10 +24,14 @@ class StreamingRAIDScheduler(CycleScheduler):
     def plan_reads(self, cycle: int) -> list[PlannedRead]:
         """One full parity-group read per stream rate-unit per cycle."""
         plans: list[PlannedRead] = []
-        for stream in self.active_streams:
-            # A rate-r stream consumes r parity groups per cycle.  Streams
-            # from ``active_streams`` are live, so ``reads_remaining``
-            # reduces to the pointer check.
+        # Iterate the stream table directly: planning runs every cycle,
+        # and the ``active_streams`` snapshot list is allocation the
+        # churn path cannot afford at VoD stream counts.
+        for stream in self.streams.values():
+            if not stream.is_active:
+                continue
+            # A rate-r stream consumes r parity groups per cycle; live
+            # streams reduce ``reads_remaining`` to the pointer check.
             for _ in range(stream.rate):
                 if stream.next_read_track >= stream.num_tracks:
                     break

@@ -27,6 +27,7 @@ __all__ = [
     "Stream",
     "StreamStatus",
     "VideoOnDemandSystem",
+    "WorkloadResult",
 ]
 
 
@@ -34,6 +35,9 @@ def __getattr__(name: str) -> type:
     if name == "MultimediaServer":
         from repro.server.server import MultimediaServer
         return MultimediaServer
+    if name == "WorkloadResult":
+        from repro.server.server import WorkloadResult
+        return WorkloadResult
     if name == "VideoOnDemandSystem":
         from repro.server.vod import VideoOnDemandSystem
         return VideoOnDemandSystem

@@ -24,10 +24,11 @@ Example
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, NamedTuple, Optional, Sequence, Union
 
 if TYPE_CHECKING:
     from repro.faults.domain import SectorScrubber
+    from repro.workload.compiler import CompiledTrace
     from repro.workload.generator import StreamRequest
 
 from repro.analysis.parameters import SystemParameters
@@ -50,6 +51,20 @@ from repro.server.metrics import CycleReport, SimulationReport
 from repro.server.stream import Stream
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomSource
+
+
+class WorkloadResult(NamedTuple):
+    """Front-door accounting for one :meth:`MultimediaServer.run_workload`.
+
+    ``admitted + rejected + unarrived`` always equals the trace length:
+    every request is either admitted, rejected at the door, or arrives
+    after the simulated horizon ends (``unarrived``) — nothing is dropped
+    silently.
+    """
+
+    admitted: int
+    rejected: int
+    unarrived: int
 
 
 class MultimediaServer:
@@ -225,31 +240,72 @@ class MultimediaServer:
                 boundary - current, fast_forward=True))
         return reports
 
-    def run_workload(self, trace: Sequence["StreamRequest"],
-                     cycles: int) -> tuple[int, int]:
+    def run_workload(self, trace: Union[Sequence["StreamRequest"],
+                                        "CompiledTrace"],
+                     cycles: int,
+                     fast_forward: bool = False,
+                     schedule: Optional[FaultSchedule] = None,
+                     ) -> WorkloadResult:
         """Drive the server with a request trace for a number of cycles.
 
-        ``trace`` is a sequence of
-        :class:`~repro.workload.generator.StreamRequest`; each request is
+        ``trace`` is either a sequence of
+        :class:`~repro.workload.generator.StreamRequest` or a pre-built
+        :class:`~repro.workload.compiler.CompiledTrace`; each request is
         admitted at the start of its arrival cycle, and requests that hit
-        the admission limit are counted as rejected (the blocking model of
-        a video-on-demand front door).  Returns ``(admitted, rejected)``.
+        the admission limit are counted as rejected (the blocking model
+        of a video-on-demand front door).  Requests whose arrival cycle
+        falls outside the simulated window are reported as ``unarrived``
+        rather than silently dropped.
+
+        With ``fast_forward=True`` the run goes through the scheduler's
+        churn engine (:meth:`CycleScheduler.run_churn`): arrival batches
+        are admitted in-engine and quiescent stretches between them are
+        vectorised, with results bit-identical to the scalar loop.  An
+        optional ``schedule`` scripts disk faults; with fast-forward the
+        run segments at its event cycles so faults land exactly where
+        they are scripted.
         """
         from repro.errors import AdmissionError
-        by_cycle: dict[int, list[str]] = {}
-        for request in trace:
-            cycle = request.arrival_cycle(self.config.cycle_length_s)
-            by_cycle.setdefault(cycle, []).append(request.object_name)
+        from repro.workload.compiler import CompiledTrace, compile_trace
+        compiled = (trace if isinstance(trace, CompiledTrace)
+                    else compile_trace(trace, self.config.cycle_length_s))
+        start = self.scheduler.cycle_index
+        end = start + cycles
         admitted = rejected = 0
-        for _ in range(cycles):
-            for name in by_cycle.get(self.scheduler.cycle_index, []):
-                try:
-                    self.admit(name)
-                    admitted += 1
-                except AdmissionError:
-                    rejected += 1
-            self.scheduler.run_cycle()
-        return admitted, rejected
+        if not fast_forward:
+            for _ in range(cycles):
+                current = self.scheduler.cycle_index
+                if schedule is not None:
+                    schedule.apply(self.scheduler, current)
+                for name in compiled.arrivals_in(current):
+                    try:
+                        self.admit(name)
+                        admitted += 1
+                    except AdmissionError:
+                        rejected += 1
+                self.scheduler.run_cycle()
+        else:
+            arrivals = {
+                cycle: tuple(self.catalog.get(name)
+                             for name in compiled.arrivals_in(cycle))
+                for cycle in compiled.event_cycles()
+                if start <= cycle < end
+            }
+            event_cycles = (schedule.event_cycles()
+                            if schedule is not None else ())
+            while self.scheduler.cycle_index < end:
+                current = self.scheduler.cycle_index
+                if schedule is not None:
+                    schedule.apply(self.scheduler, current)
+                boundary = min((c for c in event_cycles
+                                if current < c < end), default=end)
+                _, batch_admitted, batch_rejected = self.scheduler.run_churn(
+                    boundary - current, arrivals)
+                admitted += batch_admitted
+                rejected += batch_rejected
+        unarrived = compiled.total - (compiled.arrivals_before(end)
+                                      - compiled.arrivals_before(start))
+        return WorkloadResult(admitted, rejected, unarrived)
 
     def fail_disk(self, disk_id: int, mid_cycle: bool = False) -> None:
         """Fail a disk before the next cycle (idempotent)."""

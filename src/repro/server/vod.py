@@ -100,6 +100,39 @@ class VideoOnDemandSystem:
 
     def run_cycle(self) -> CycleReport:
         """Advance one cycle: start due loads, stream, release pins."""
+        self._start_due_loads()
+        report = self.server.run_cycle()
+        self._release_finished_pins()
+        return report
+
+    def run_cycles(self, count: int,
+                   fast_forward: bool = False) -> list[CycleReport]:
+        """Advance several cycles.
+
+        With ``fast_forward=True`` the run segments at the pending-start
+        cycles: each staged title still begins streaming on exactly the
+        cycle its load completes, and the stretches between completions
+        go through the scheduler's quiescent-epoch engine.  Pins are
+        released at segment boundaries instead of every cycle — pin
+        counts only matter to purge decisions, which happen inside
+        :meth:`request`, never mid-run.
+        """
+        if not fast_forward:
+            return [self.run_cycle() for _ in range(count)]
+        reports: list[CycleReport] = []
+        end = self.server.cycle_index + count
+        while self.server.cycle_index < end:
+            now = self.server.cycle_index
+            self._start_due_loads()
+            boundary = min((cycle for cycle, _ in self._pending_starts
+                            if now < cycle < end), default=end)
+            reports.extend(self.server.run_cycles(boundary - now,
+                                                  fast_forward=True))
+            self._release_finished_pins()
+        return reports
+
+    def _start_due_loads(self) -> None:
+        """Start streams whose tape loads have completed by now."""
         now = self.server.cycle_index
         due = [(cycle, name) for cycle, name in self._pending_starts
                if cycle <= now]
@@ -109,13 +142,6 @@ class VideoOnDemandSystem:
         for _cycle, name in due:
             self.stats.pending -= 1
             self._start_stream(name, staged=True)
-        report = self.server.run_cycle()
-        self._release_finished_pins()
-        return report
-
-    def run_cycles(self, count: int) -> list[CycleReport]:
-        """Advance several cycles."""
-        return [self.run_cycle() for _ in range(count)]
 
     def _release_finished_pins(self) -> None:
         for stream_id in list(self._pinned_streams):

@@ -37,6 +37,21 @@ class RandomSource:
             raise ValueError(f"exponential mean must be positive, got {mean}")
         return float(self.stream(name).exponential(mean))
 
+    def exponential_array(self, name: str, mean: float,
+                          count: int) -> np.ndarray:
+        """``count`` draws from Exp(mean) on the named stream.
+
+        numpy's generators fill arrays by drawing sequentially from the
+        bit stream, so ``exponential_array(n, m, k)`` yields exactly the
+        values ``k`` successive :meth:`exponential` calls would — the
+        invariant the vectorised workload path is built on.
+        """
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be positive, got {mean}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self.stream(name).exponential(mean, size=count)
+
     def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
         """One draw from U[low, high) on the named stream."""
         return float(self.stream(name).uniform(low, high))

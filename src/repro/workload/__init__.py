@@ -1,12 +1,15 @@
 """Workload generation: Zipf popularity, Poisson arrivals, request traces."""
 
 from repro.workload.arrivals import PoissonArrivals
+from repro.workload.compiler import CompiledTrace, compile_trace
 from repro.workload.generator import StreamRequest, WorkloadGenerator
 from repro.workload.zipf import ZipfSampler
 
 __all__ = [
+    "CompiledTrace",
     "PoissonArrivals",
     "StreamRequest",
     "WorkloadGenerator",
     "ZipfSampler",
+    "compile_trace",
 ]

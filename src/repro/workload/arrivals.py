@@ -1,10 +1,30 @@
-"""Poisson arrival process for stream requests."""
+"""Poisson arrival process for stream requests.
+
+Two equivalent sampling paths share one named RNG stream:
+
+* :meth:`PoissonArrivals.times_until` — the scalar reference, one
+  exponential gap per iteration;
+* :meth:`PoissonArrivals.times_array` — chunked numpy draws
+  (:meth:`~repro.sim.rng.RandomSource.exponential_array` + ``cumsum``),
+  producing **bit-identical** arrival times because numpy generators
+  fill arrays from the same bit stream sequential scalar draws consume.
+
+The two paths may leave the underlying generator at *different* offsets
+(the chunked path over-draws past the horizon), so equality is defined
+per fresh generator/seed, which is how traces are built.
+"""
 
 from __future__ import annotations
 
 from typing import Iterator
 
+import numpy as np
+
 from repro.sim.rng import RandomSource
+
+#: Gap draws per chunk on the vectorised path.  Large enough to amortise
+#: the numpy call, small enough that the tail over-draw stays cheap.
+ARRIVAL_CHUNK = 4096
 
 
 class PoissonArrivals:
@@ -32,3 +52,39 @@ class PoissonArrivals:
             if clock >= horizon_s:
                 return
             yield clock
+
+    def times_array(self, horizon_s: float,
+                    chunk: int = ARRIVAL_CHUNK) -> np.ndarray:
+        """All arrival times in [0, horizon) as one array, vectorised.
+
+        Gap draws come in chunks of ``chunk``; each chunk's running sum
+        extends the arrival clock until it crosses the horizon.  Every
+        arrival value equals the scalar path's bit for bit (same draws,
+        same ``a + b`` summation order — ``cumsum`` accumulates left to
+        right exactly as the scalar clock does).
+        """
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_s}")
+        if chunk < 1:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        mean = 1.0 / self.rate_per_s
+        pieces: list[np.ndarray] = []
+        clock = 0.0
+        while True:
+            gaps = self._rng.exponential_array(self._stream, mean, chunk)
+            # Seed the accumulation with the carried clock so every sum
+            # associates exactly as the scalar loop's ``clock += gap``
+            # (``(clock + g0) + g1``, never ``(g0 + g1) + clock``).
+            steps = np.empty(chunk + 1)
+            steps[0] = clock
+            steps[1:] = gaps
+            times = np.cumsum(steps)[1:]
+            if times[-1] >= horizon_s:
+                cut = int(np.searchsorted(times, horizon_s, side="left"))
+                pieces.append(times[:cut])
+                break
+            pieces.append(times)
+            clock = float(times[-1])
+        if len(pieces) == 1:
+            return pieces[0]
+        return np.concatenate(pieces)

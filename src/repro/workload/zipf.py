@@ -51,7 +51,17 @@ class ZipfSampler:
 
     def sample_many(self, count: int) -> list[int]:
         """Draw ``count`` ranks."""
+        return self.sample_array(count).tolist()
+
+    def sample_array(self, count: int) -> np.ndarray:
+        """Draw ``count`` ranks as one numpy array, vectorised.
+
+        Consumes exactly the uniforms ``count`` sequential :meth:`sample`
+        calls would, in the same order, so the result is bit-identical to
+        the scalar loop (numpy generators fill arrays from the same bit
+        stream scalar draws consume).
+        """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         draws = self._rng.random_array(self._stream, count)
-        return np.searchsorted(self._cdf, draws, side="right").tolist()
+        return np.searchsorted(self._cdf, draws, side="right")

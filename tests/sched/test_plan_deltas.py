@@ -1,0 +1,129 @@
+"""Incremental plan deltas: churn must not rebuild the plan cache.
+
+PR 1 keyed the plan cache on ``(layout.epoch, array.state_epoch)`` and
+rebuilt it wholesale whenever either moved.  The delta log makes layout
+churn (VoD staging/purging) surgical instead: an additive placement
+keeps every cached :class:`GroupPlan` alive, a removal evicts exactly
+that object's plans, and only array-state changes or an overflowed log
+fall back to the wholesale rebuild.  Identity (``is``) assertions
+distinguish a bridged cache from a rebuilt-but-equal one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.layout.base import DELTA_LOG_LIMIT
+from repro.media import MediaObject
+from repro.schemes import Scheme
+from tests.conftest import build_server, tiny_catalog
+
+SCHEMES = [
+    pytest.param(Scheme.STREAMING_RAID, id="streaming-raid"),
+    pytest.param(Scheme.STAGGERED_GROUP, id="staggered-group"),
+    pytest.param(Scheme.NON_CLUSTERED, id="non-clustered"),
+    pytest.param(Scheme.IMPROVED_BANDWIDTH, id="improved-bandwidth"),
+]
+
+
+def make_server(scheme: Scheme):
+    num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    return build_server(scheme, num_disks=num_disks,
+                        catalog=tiny_catalog(4, tracks=40),
+                        verify_payloads=False)
+
+
+def _staged_object(index: int = 0) -> MediaObject:
+    return MediaObject(f"staged{index}", 0.1875, 40, seed=100 + index)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_additive_place_preserves_cached_plans(scheme):
+    server = make_server(scheme)
+    sched = server.scheduler
+    name = server.catalog.names()[0]
+    sched._refresh_plan_cache()
+    first = sched._group_plan(name, 0)
+    server.layout.place(_staged_object())
+    sched._refresh_plan_cache()
+    # The epoch pair moved, but the bridge kept the entry itself alive.
+    assert sched._group_plan(name, 0) is first
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_remove_evicts_only_the_removed_object(scheme):
+    server = make_server(scheme)
+    sched = server.scheduler
+    kept, purged = server.catalog.names()[:2]
+    sched._refresh_plan_cache()
+    kept_plan = sched._group_plan(kept, 0)
+    sched._group_plan(purged, 0)
+    server.layout.remove(purged)
+    sched._refresh_plan_cache()
+    assert sched._group_plan(kept, 0) is kept_plan
+    assert purged not in sched._plan_cache
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_array_state_change_rebuilds_wholesale(scheme):
+    server = make_server(scheme)
+    sched = server.scheduler
+    name = server.catalog.names()[0]
+    sched._refresh_plan_cache()
+    first = sched._group_plan(name, 0)
+    # A state change behind the scheduler's back moves state_epoch: no
+    # delta bridge applies, the whole cache is dropped.
+    parity_disk = first.parity[0]
+    server.array.fail(parity_disk)
+    sched._refresh_plan_cache()
+    degraded = sched._group_plan(name, 0)
+    assert degraded is not first
+    assert degraded.parity is None
+    server.array.repair(parity_disk)
+    sched._refresh_plan_cache()
+    restored = sched._group_plan(name, 0)
+    assert restored is not first
+    assert restored.parity == first.parity
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_log_overflow_falls_back_to_rebuild(scheme):
+    server = make_server(scheme)
+    sched = server.scheduler
+    name = server.catalog.names()[0]
+    sched._refresh_plan_cache()
+    first = sched._group_plan(name, 0)
+    staged = _staged_object()
+    for _ in range(DELTA_LOG_LIMIT):
+        server.layout.place(staged)
+        server.layout.remove(staged.name)
+    # The bridge window has scrolled past the cached key; the rebuild
+    # must still produce an identical plan.
+    sched._refresh_plan_cache()
+    rebuilt = sched._group_plan(name, 0)
+    assert rebuilt is not first
+    assert (rebuilt.healthy, rebuilt.parity, rebuilt.failed_members) == \
+        (first.healthy, first.parity, first.failed_members)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_bridged_plans_match_rebuilt_plans(scheme):
+    """The bridge is an optimisation, never a semantic change: plans
+    served through it equal plans computed from scratch."""
+    bridged = make_server(scheme)
+    rebuilt = make_server(scheme)
+    names = bridged.catalog.names()
+    bridged.scheduler._refresh_plan_cache()
+    for name in names:
+        bridged.scheduler._group_plan(name, 0)
+    for server in (bridged, rebuilt):
+        server.layout.place(_staged_object())
+        server.layout.remove(names[-1])
+        server.scheduler._refresh_plan_cache()
+    for name in names[:-1]:
+        warm = bridged.scheduler._group_plan(name, 0)
+        cold = rebuilt.scheduler._group_plan(name, 0)
+        assert (warm.healthy, warm.parity, warm.failed_members,
+                warm.next_read_track) == \
+            (cold.healthy, cold.parity, cold.failed_members,
+             cold.next_read_track)

@@ -1,0 +1,122 @@
+"""Churn-path determinism: ``run_workload(fast_forward=True)`` == scalar.
+
+Every test drives two identical servers with the same compiled trace —
+one through the per-cycle scalar loop, one through the scheduler's churn
+engine — and requires the full state fingerprint (reports, disk
+counters, buffer tracker, per-stream state, summary) to match exactly,
+along with the front-door ``WorkloadResult`` accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.faults.injector import FaultSchedule
+from repro.schemes import ALL_SCHEMES, Scheme
+from repro.server.server import MultimediaServer, WorkloadResult
+from repro.workload import WorkloadGenerator, compile_trace
+from tests.conftest import build_server, tiny_catalog
+from tests.sched.test_fast_forward import _fingerprint
+
+CYCLES = 60
+HORIZON_CYCLES = 40
+
+
+def _server(scheme: Scheme, **kwargs: object) -> MultimediaServer:
+    num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    kwargs.setdefault("catalog", tiny_catalog(4, tracks=8))
+    kwargs.setdefault("verify_payloads", False)
+    return build_server(scheme, num_disks=num_disks, **kwargs)
+
+
+def _trace(server: MultimediaServer, rate: float, seed: int):
+    cycle_length = server.config.cycle_length_s
+    generator = WorkloadGenerator(server.catalog,
+                                  arrival_rate_per_s=rate / cycle_length,
+                                  seed=seed)
+    return generator.trace(HORIZON_CYCLES * cycle_length)
+
+
+def _workload_pair(scheme: Scheme, rate: float = 0.8, seed: int = 7,
+                   with_fault: bool = False,
+                   **kwargs: object) -> tuple[WorkloadResult, WorkloadResult]:
+    slow = _server(scheme, **kwargs)
+    fast = _server(scheme, **kwargs)
+    schedule_for = (
+        (lambda: FaultSchedule.single_failure(8, 1, repair_cycle=20))
+        if with_fault else (lambda: None))
+    slow_result = slow.run_workload(_trace(slow, rate, seed), CYCLES,
+                                    schedule=schedule_for())
+    fast_result = fast.run_workload(_trace(fast, rate, seed), CYCLES,
+                                    fast_forward=True,
+                                    schedule=schedule_for())
+    assert _fingerprint(slow, []) == _fingerprint(fast, [])
+    return slow_result, fast_result
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_workload_fast_forward_matches_scalar(scheme: Scheme) -> None:
+    slow, fast = _workload_pair(scheme)
+    assert slow == fast
+    assert slow.admitted > 0 and slow.rejected == 0
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_workload_rejections_identical(scheme: Scheme) -> None:
+    # A tight admission limit forces in-engine rejections on the fast
+    # path; the counts and the resulting system state must still match.
+    slow, fast = _workload_pair(scheme, rate=1.5, seed=11,
+                                admission_limit=3)
+    assert slow == fast
+    assert slow.rejected > 0
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_workload_matches_scalar_through_fault(scheme: Scheme) -> None:
+    # A mid-trace failure and repair: the fast run segments at the fault
+    # cycles and bails around degraded stretches, scalar-identically.
+    slow, fast = _workload_pair(scheme, seed=5, with_fault=True)
+    assert slow == fast
+
+
+def test_unarrived_requests_are_counted() -> None:
+    server = _server(Scheme.STREAMING_RAID)
+    trace = _trace(server, rate=0.5, seed=2)
+    result = server.run_workload(trace, cycles=HORIZON_CYCLES // 2)
+    assert result.unarrived > 0
+    assert result.admitted + result.rejected + result.unarrived == len(trace)
+
+
+def test_precompiled_trace_is_accepted() -> None:
+    slow = _server(Scheme.STREAMING_RAID)
+    fast = _server(Scheme.STREAMING_RAID)
+    compiled = compile_trace(_trace(slow, 0.8, 7),
+                             slow.config.cycle_length_s)
+    slow_result = slow.run_workload(compiled, CYCLES)
+    fast_result = fast.run_workload(compiled, CYCLES, fast_forward=True)
+    assert slow_result == fast_result
+    assert _fingerprint(slow, []) == _fingerprint(fast, [])
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_admit_batch_matches_sequential(scheme: Scheme) -> None:
+    sequential = _server(scheme, admission_limit=3)
+    batched = _server(scheme, admission_limit=3)
+    objects = [sequential.catalog.get(name)
+               for name in sequential.catalog.names() * 2]
+    admitted, rejected = 0, 0
+    for obj in objects:
+        try:
+            sequential.scheduler.admit(obj)
+            admitted += 1
+        except AdmissionError:
+            rejected += 1
+    streams, batch_rejected = batched.scheduler.admit_batch(
+        [batched.catalog.get(obj.name) for obj in objects])
+    assert (len(streams), batch_rejected) == (admitted, rejected)
+    assert [(s.stream_id, s.object.name, s.phase) for s in streams] == [
+        (s.stream_id, s.object.name, s.phase)
+        for s in sorted(sequential.scheduler.streams.values(),
+                        key=lambda s: s.stream_id)]
+    assert _fingerprint(sequential, []) == _fingerprint(batched, [])

@@ -17,8 +17,9 @@ def test_run_workload_admits_requests_at_their_cycle():
     cycle_length = server.config.cycle_length_s
     trace = [StreamRequest(0.0, "m0"),
              StreamRequest(2.5 * cycle_length, "m1")]
-    admitted, rejected = server.run_workload(trace, cycles=20)
-    assert (admitted, rejected) == (2, 0)
+    result = server.run_workload(trace, cycles=20)
+    assert result == (2, 0, 0)
+    assert result.admitted == 2
     assert server.report.total_delivered == 16
     assert server.report.hiccup_free()
 
@@ -26,9 +27,10 @@ def test_run_workload_admits_requests_at_their_cycle():
 def test_run_workload_counts_rejections():
     server = make_server(admission_limit=1)
     trace = [StreamRequest(0.0, "m0"), StreamRequest(0.0, "m1")]
-    admitted, rejected = server.run_workload(trace, cycles=5)
-    assert admitted == 1
-    assert rejected == 1
+    result = server.run_workload(trace, cycles=5)
+    assert result.admitted == 1
+    assert result.rejected == 1
+    assert result.unarrived == 0
 
 
 def test_run_workload_with_generator_trace():
@@ -38,8 +40,9 @@ def test_run_workload_with_generator_trace():
                                   arrival_rate_per_s=0.2 / cycle_length,
                                   seed=3)
     trace = generator.trace(30 * cycle_length)
-    admitted, rejected = server.run_workload(trace, cycles=60)
-    assert admitted == len(trace) - rejected
+    result = server.run_workload(trace, cycles=60)
+    assert result.admitted + result.rejected + result.unarrived == len(trace)
+    assert result.unarrived == 0
     assert server.report.payload_mismatches == 0
 
 

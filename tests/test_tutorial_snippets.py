@@ -17,6 +17,7 @@ from repro.media import Catalog, MediaObject
 from repro.schemes import Scheme
 from repro.server import MultimediaServer, VideoOnDemandSystem
 from repro.tertiary import TapeLibrary, compare_rebuild_paths
+from repro.workload import WorkloadGenerator, compile_trace
 
 
 def test_section1_arithmetic():
@@ -125,6 +126,24 @@ def test_section8_metadata_scale():
     payload = server.layout.resolve_payload(
         address.disk_id, address.position, track_bytes)
     assert payload == server.catalog.get(name).track_payload(0, track_bytes)
+
+
+def test_section8_churn_workload():
+    params = SystemParameters.paper_table1(
+        num_disks=20, track_size_mb=64 / 1e6, disk_capacity_mb=0.256)
+    server = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID,
+                                    slots_per_disk=8)
+    cycle_s = server.config.cycle_length_s
+    generator = WorkloadGenerator(server.catalog,
+                                  arrival_rate_per_s=2 / cycle_s, seed=42)
+    trace = compile_trace(generator.trace(30 * cycle_s), cycle_s)
+    result = server.run_workload(trace, cycles=40, fast_forward=True)
+    assert result.admitted + result.rejected + result.unarrived == len(trace)
+    assert result.admitted > 0
+    # Bit-identical accounting against the scalar loop.
+    scalar = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID,
+                                    slots_per_disk=8)
+    assert scalar.run_workload(trace, cycles=40) == result
 
 
 def test_section8_scale_levers():

@@ -1,0 +1,156 @@
+"""The vectorised workload path must be bit-identical to the scalar one.
+
+Every test here pins *exact* float equality — not approx — because the
+churn fast-forward's equality guards (trace digest, metrics fingerprint)
+are only meaningful if the vectorised front door reproduces the scalar
+reference down to the last bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.media import uniform_catalog
+from repro.sim import RandomSource
+from repro.workload import (
+    CompiledTrace,
+    PoissonArrivals,
+    StreamRequest,
+    WorkloadGenerator,
+    ZipfSampler,
+    compile_trace,
+)
+
+
+class TestExponentialArray:
+    def test_matches_sequential_scalar_draws(self):
+        a = RandomSource(7)
+        scalar = [a.exponential("x", 2.5) for _ in range(100)]
+        b = RandomSource(7)
+        vector = b.exponential_array("x", 2.5, 100)
+        assert scalar == vector.tolist()
+
+    def test_chunked_draws_concatenate_identically(self):
+        a = RandomSource(11)
+        one_shot = a.exponential_array("x", 1.0, 50)
+        b = RandomSource(11)
+        chunked = np.concatenate([b.exponential_array("x", 1.0, 20),
+                                  b.exponential_array("x", 1.0, 30)])
+        assert np.array_equal(one_shot, chunked)
+
+    def test_validation(self):
+        rng = RandomSource(0)
+        with pytest.raises(ValueError):
+            rng.exponential_array("x", 0.0, 3)
+        with pytest.raises(ValueError):
+            rng.exponential_array("x", 1.0, -1)
+
+
+class TestTimesArray:
+    def test_exact_equality_across_chunk_boundaries(self):
+        # rate * horizon >> ARRIVAL_CHUNK so several chunks are drawn and
+        # the carried-clock association is exercised, not just cumsum.
+        for seed in (0, 1, 7):
+            a = PoissonArrivals(50.0, RandomSource(seed))
+            scalar = list(a.times_until(300.0))
+            b = PoissonArrivals(50.0, RandomSource(seed))
+            vector = b.times_array(300.0)
+            assert len(vector) > 10_000     # spans > 2 chunks of 4096
+            assert scalar == vector.tolist()
+
+    def test_tiny_chunk_forces_many_boundaries(self):
+        a = PoissonArrivals(10.0, RandomSource(3))
+        scalar = list(a.times_until(50.0))
+        b = PoissonArrivals(10.0, RandomSource(3))
+        assert scalar == b.times_array(50.0, chunk=7).tolist()
+
+    def test_sparse_trace_single_chunk(self):
+        a = PoissonArrivals(0.2, RandomSource(4))
+        scalar = list(a.times_until(30.0))
+        b = PoissonArrivals(0.2, RandomSource(4))
+        assert scalar == b.times_array(30.0).tolist()
+
+    def test_validation(self):
+        arrivals = PoissonArrivals(1.0, RandomSource(0))
+        with pytest.raises(ValueError):
+            arrivals.times_array(0.0)
+        with pytest.raises(ValueError):
+            arrivals.times_array(10.0, chunk=0)
+
+
+class TestSampleArray:
+    def test_matches_sequential_scalar_draws(self):
+        a = ZipfSampler(20, 1.0, RandomSource(5))
+        scalar = [a.sample() for _ in range(500)]
+        b = ZipfSampler(20, 1.0, RandomSource(5))
+        assert scalar == b.sample_array(500).tolist()
+
+    def test_sample_many_unchanged(self):
+        a = ZipfSampler(5, 1.0, RandomSource(3))
+        b = ZipfSampler(5, 1.0, RandomSource(3))
+        assert a.sample_many(50) == b.sample_array(50).tolist()
+
+
+class TestVectorisedTrace:
+    def test_trace_equals_scalar_reference(self):
+        catalog = uniform_catalog(8, 0.1875, 10)
+        fast = WorkloadGenerator(catalog, 20.0, zipf_theta=1.0, seed=9)
+        slow = WorkloadGenerator(catalog, 20.0, zipf_theta=1.0, seed=9)
+        vector = fast.trace(400.0)          # ~8000 requests, > 1 chunk
+        scalar = slow.trace_scalar(400.0)
+        assert vector == scalar             # exact dataclass equality
+
+    def test_trace_equals_scalar_short(self):
+        catalog = uniform_catalog(3, 0.1875, 10)
+        fast = WorkloadGenerator(catalog, 1.0, seed=5)
+        slow = WorkloadGenerator(catalog, 1.0, seed=5)
+        assert fast.trace(50.0) == slow.trace_scalar(50.0)
+
+
+class TestCompiledTrace:
+    def _trace(self):
+        return [StreamRequest(0.1, "a"), StreamRequest(0.2, "b"),
+                StreamRequest(1.5, "a"), StreamRequest(3.7, "c")]
+
+    def test_buckets_by_cycle(self):
+        compiled = compile_trace(self._trace(), 1.0)
+        assert compiled.event_cycles() == (0, 1, 3)
+        assert compiled.arrivals_in(0) == ("a", "b")
+        assert compiled.arrivals_in(1) == ("a",)
+        assert compiled.arrivals_in(2) == ()
+        assert compiled.arrivals_in(3) == ("c",)
+        assert len(compiled) == 4
+
+    def test_unarrived_accounting(self):
+        compiled = compile_trace(self._trace(), 1.0)
+        assert compiled.arrivals_before(2) == 3
+        assert compiled.unarrived_after(2) == 1
+        assert compiled.unarrived_after(4) == 0
+        assert compiled.unarrived_after(0) == 4
+
+    def test_digest_separates_traces(self):
+        base = compile_trace(self._trace(), 1.0)
+        same = compile_trace(self._trace(), 1.0)
+        other = compile_trace(self._trace()[:-1], 1.0)
+        shifted = compile_trace(self._trace(), 2.0)
+        assert base.digest() == same.digest()
+        assert base.digest() != other.digest()
+        assert base.digest() != shifted.digest()
+
+    def test_rejects_unordered_trace(self):
+        with pytest.raises(ValueError):
+            CompiledTrace([StreamRequest(2.0, "a"),
+                           StreamRequest(1.0, "b")], 1.0)
+        with pytest.raises(ValueError):
+            CompiledTrace([], 0.0)
+
+    def test_matches_generator_cycles(self):
+        catalog = uniform_catalog(4, 0.1875, 10)
+        trace = WorkloadGenerator(catalog, 5.0, seed=2).trace(40.0)
+        compiled = compile_trace(trace, 0.5)
+        expected: dict[int, list[str]] = {}
+        for request in trace:
+            expected.setdefault(request.arrival_cycle(0.5),
+                                []).append(request.object_name)
+        for cycle, names in expected.items():
+            assert compiled.arrivals_in(cycle) == tuple(names)
+        assert compiled.total == len(trace)
