@@ -7,7 +7,24 @@ stays visible as engineering changes land.  Each round generates and
 replays a full campaign script twice (the determinism check) against
 the metadata-only server; the payload-mode replay is skipped because
 it times byte copying, not the fault engine.
+
+Standalone, the script replays one campaign per scheme with the
+segmented fast-forward engine and with the scalar loop, checks the
+campaign digests match, and writes the before/after wall-clock to
+``benchmarks/BENCH_chaos.json``::
+
+    python benchmarks/bench_chaos.py [--smoke]
+
+Chaos servers are deliberately tiny (10 disks, 3 streams) and the storm
+scripts are dense, so the segmented engine roughly breaks even here —
+the artifact exists to keep that overhead visible, not to show a win.
+The at-scale degraded speedup gate is ``bench_degraded.py``.
 """
+
+import argparse
+import json
+import time
+from pathlib import Path
 
 from repro.faults.chaos import ChaosProfile, run_campaign
 from repro.schemes import Scheme
@@ -41,3 +58,65 @@ def test_non_clustered_chaos_campaign(benchmark):
 
 def test_improved_bandwidth_chaos_campaign(benchmark):
     bench_chaos(benchmark, Scheme.IMPROVED_BANDWIDTH)
+
+
+# -- standalone: fast-forward vs scalar wall-clock artifact -------------------
+
+OUTPUT = Path(__file__).resolve().parent / "BENCH_chaos.json"
+
+ALL_SCHEMES = (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP,
+               Scheme.NON_CLUSTERED, Scheme.IMPROVED_BANDWIDTH)
+
+
+def run_campaign_pair(scheme: Scheme, profile: ChaosProfile) -> dict:
+    """One campaign, fast-forward and scalar, digest-checked."""
+    t0 = time.perf_counter()
+    fast = run_campaign(scheme, SEED, profile=profile,
+                        check_payload_mode=False, fast_forward=True)
+    fast_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scalar = run_campaign(scheme, SEED, profile=profile,
+                          check_payload_mode=False, fast_forward=False)
+    scalar_s = time.perf_counter() - t0
+    assert fast.passed, fast.violations
+    assert scalar.passed, scalar.violations
+    return {
+        "scheme": scheme.value,
+        "cycles": profile.cycles,
+        "seed": SEED,
+        "digests_equal": fast.digest == scalar.digest,
+        "scalar_s": round(scalar_s, 4),
+        "fast_s": round(fast_s, 4),
+        "speedup": round(scalar_s / fast_s, 2) if fast_s > 0 else None,
+    }
+
+
+def run_sweep(profile: ChaosProfile = PROFILE) -> list[dict]:
+    # One untimed campaign absorbs interpreter/numpy warm-up so the
+    # first timed cell is not charged for it.
+    run_campaign(Scheme.STREAMING_RAID, SEED, profile=ChaosProfile(cycles=12),
+                 check_payload_mode=False)
+    results = []
+    for scheme in ALL_SCHEMES:
+        cell = run_campaign_pair(scheme, profile)
+        results.append(cell)
+        print(f"  {cell['scheme']:24s} scalar {cell['scalar_s']:.3f}s  "
+              f"fast {cell['fast_s']:.3f}s  "
+              f"({cell['speedup']}x, digests_equal="
+              f"{cell['digests_equal']})")
+    return results
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorter campaigns for CI smoke runs")
+    args = parser.parse_args()
+    sweep = run_sweep(ChaosProfile(cycles=30 if args.smoke else 60))
+    assert all(cell["digests_equal"] for cell in sweep), \
+        "fast-forward campaign digest diverged from scalar"
+    OUTPUT.write_text(json.dumps({
+        "benchmark": "bench_chaos",
+        "runs": sweep,
+    }, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")

@@ -346,6 +346,43 @@ FIXTURES: tuple[Fixture, ...] = (
                     self._plan_cache[name] = plan
         """),
     ),
+    Fixture(
+        label="R3-bad-degraded-cache-without-rekey",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_ff_deg_tables", "_ff_geom")
+
+                def reset_degraded(self) -> None:
+                    self._ff_deg_tables = {}
+
+                def reset_geometry(self) -> None:
+                    self._ff_geom.clear()
+        """),
+        expect=(("R3", 4), ("R3", 7)),
+    ),
+    Fixture(
+        label="R3-good-degraded-cache-rekeyed",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_ff_deg_tables", "_ff_deg_tables_key",
+                             "_ff_geom", "_ff_geom_epoch",
+                             "_ff_plan", "_ff_plan_key")
+
+                def reset_degraded(self, key: tuple) -> None:
+                    self._ff_deg_tables = {}
+                    self._ff_deg_tables_key = key
+
+                def reset_geometry(self, epoch: int) -> None:
+                    self._ff_geom = {}
+                    self._ff_geom_epoch = epoch
+
+                def memoise(self, plan: tuple, key: tuple) -> None:
+                    self._ff_plan = plan
+                    self._ff_plan_key = key
+        """),
+    ),
     # -- R4 slots ------------------------------------------------------------
     Fixture(
         label="R4-bad-missing-slots",

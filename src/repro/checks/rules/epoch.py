@@ -20,11 +20,15 @@ one of those counters.  This rule makes the contract machine-checked:
   epoch in the same body — a logged delta without an epoch move would
   let schedulers bridge to a key that never changed;
 * (delta path, PR 5) a function in ``sched/`` that *rewrites or evicts*
-  from a plan cache (``_plan_cache``, ``_ff_tables`` — whole-attribute
-  assignment or a mutator-method call) must re-key it by assigning
-  ``_plan_cache_key``/``_ff_tables_key`` (or calling an invalidator) in
-  the same body.  Subscript fills (``cache[k] = plan``) are exempt:
-  lazily populating a cache under its current key is always sound.
+  from a plan cache (``_plan_cache``, ``_ff_tables``, and since PR 6 the
+  degraded tables ``_ff_deg_tables``, the layout-epoch geometry
+  ``_ff_geom``, and the rebuilder's vector-plan memo ``_ff_plan`` —
+  whole-attribute assignment or a mutator-method call) must re-key it by
+  assigning the matching key field (``_plan_cache_key``,
+  ``_ff_tables_key``, ``_ff_deg_tables_key``, ``_ff_geom_epoch``,
+  ``_ff_plan_key``) or calling an invalidator in the same body.
+  Subscript fills (``cache[k] = plan``) are exempt: lazily populating a
+  cache under its current key is always sound.
 
 ``__init__`` is exempt (construction is not a live-state mutation);
 helpers whose *callers* own the epoch bump carry an
@@ -63,8 +67,16 @@ DISK_STATE_FIELDS = frozenset({
 DELTA_FIELDS = frozenset({"_delta_log", "_delta_floor"})
 
 #: Scheduler plan caches and the epoch-pair keys that guard them.
-SCHED_CACHE_FIELDS = frozenset({"_plan_cache", "_ff_tables"})
-SCHED_CACHE_KEY_FIELDS = frozenset({"_plan_cache_key", "_ff_tables_key"})
+#: ``_ff_deg_tables`` (degraded read tables, PR 6) is keyed like the
+#: healthy tables; ``_ff_geom`` (placement geometry) is keyed on the
+#: layout epoch alone; ``_ff_plan`` is the rebuilder's vector-plan memo.
+SCHED_CACHE_FIELDS = frozenset({
+    "_plan_cache", "_ff_tables", "_ff_deg_tables", "_ff_geom", "_ff_plan",
+})
+SCHED_CACHE_KEY_FIELDS = frozenset({
+    "_plan_cache_key", "_ff_tables_key", "_ff_deg_tables_key",
+    "_ff_geom_epoch", "_ff_plan_key",
+})
 
 #: Calls that count as bumping an epoch / invalidating plan caches.
 BUMP_CALLS = frozenset({

@@ -19,10 +19,13 @@ from repro.faults.markov import (
     exact_time_to_k_concurrent_hours,
 )
 from repro.faults.reliability import (
+    RebuildWindow,
     ReliabilityEstimate,
     catastrophic_condition,
     k_concurrent_condition,
+    measure_rebuild_window,
     simulate_mean_time_to,
+    simulate_mttds_with_measured_window,
 )
 
 __all__ = [
@@ -32,6 +35,7 @@ __all__ = [
     "FaultAction",
     "FaultEvent",
     "FaultSchedule",
+    "RebuildWindow",
     "ReliabilityEstimate",
     "SectorScrubber",
     "catastrophic_condition",
@@ -40,7 +44,9 @@ __all__ = [
     "exact_mttf_improved_hours",
     "exact_time_to_k_concurrent_hours",
     "k_concurrent_condition",
+    "measure_rebuild_window",
     "run_campaign",
     "run_campaigns",
     "simulate_mean_time_to",
+    "simulate_mttds_with_measured_window",
 ]

@@ -40,6 +40,13 @@ from repro.units import kilobytes
 #: replays (the mode-equivalence invariant) stay cheap.
 TRACK_SIZE_MB = kilobytes(0.064)
 
+#: Shortest inter-event window worth handing to an epoch engine.  Epoch
+#: entry pays fixed costs (read-table builds, per-stream canonical
+#: checks) that a couple of batched cycles cannot repay; shorter gaps
+#: run scalar.  Purely a scheduling policy: the engines are bit-equal to
+#: the scalar loop either way, so the replay digest is unaffected.
+MIN_EPOCH_SPAN = 4
+
 
 @dataclass(frozen=True)
 class ChaosProfile:
@@ -187,8 +194,29 @@ def generate_script(scheme: Scheme, seed: int,
 
 
 def replay(scheme: Scheme, events: list[FaultEvent], cycles: int,
-           verify_payloads: bool = False) -> dict[str, Any]:
-    """Replay a fault script on a fresh server; returns the snapshot."""
+           verify_payloads: bool = False,
+           fast_forward: bool = True) -> dict[str, Any]:
+    """Replay a fault script on a fresh server; returns the snapshot.
+
+    With ``fast_forward`` the replay segments the campaign at the
+    script's event cycles and lets the epoch engines (quiescent *and*
+    stable-degraded) batch the cycles in between; the segmentation rules
+    keep the snapshot bit-identical to the scalar loop:
+
+    * an epoch never crosses a scripted event (faults land on exactly
+      the cycle the scalar loop applies them);
+    * the admission loop runs at every scalar cycle top, so an epoch is
+      only attempted while every object is playing (a stream completion
+      ends the epoch via ``stop_on_completion`` and hands the next cycle
+      back to admission — and to the per-cycle rejection tally);
+    * the scrubber's idle passes are credited in bulk only when its
+      pending set is empty; any outstanding latent error keeps the loop
+      scalar (the engines refuse those states anyway);
+    * an epoch is only attempted on a window of at least
+      ``MIN_EPOCH_SPAN`` cycles — entering an engine costs a table
+      build and per-stream canonical checks, which a two-cycle gap
+      between storm events can never repay.
+    """
     from repro.faults.injector import FaultSchedule
     from repro.errors import AdmissionError
     server = build_chaos_server(scheme, verify_payloads=verify_payloads)
@@ -196,8 +224,11 @@ def replay(scheme: Scheme, events: list[FaultEvent], cycles: int,
     scrubber = SectorScrubber(server.array, tracks_per_pass=2)
     scheduler = server.scheduler
     names = server.catalog.names()
+    boundaries = [c for c in schedule.event_cycles() if c < cycles]
+    mid_cycles = set(schedule.mid_cycle_event_cycles())
     rejected = 0
-    for _ in range(cycles):
+    cycle = 0
+    while cycle < cycles:
         schedule.apply(scheduler, server.cycle_index)
         # Keep the front door busy: one stream per object whenever the
         # previous one finished — a deterministic arrival process that
@@ -208,12 +239,26 @@ def replay(scheme: Scheme, events: list[FaultEvent], cycles: int,
                 continue
             try:
                 server.admit(name)
+                playing.add(name)
             except AdmissionError:
                 rejected += 1
+        if fast_forward and playing.issuperset(names) \
+                and not scrubber.has_pending():
+            boundary = next((b for b in boundaries if b > cycle), cycles)
+            # The cycle feeding a mid-cycle strike must execute real
+            # reads the strike can invalidate — keep it scalar.
+            limit = boundary - cycle - (1 if boundary in mid_cycles else 0)
+            advanced = (scheduler.run_epoch(limit, stop_on_completion=True)
+                        if limit >= MIN_EPOCH_SPAN else 0)
+            if advanced:
+                scrubber.advance_idle(advanced)
+                cycle += advanced
+                continue
         server.run_cycle()
         # The patrol scrub runs between cycles, so a fresh latent error
         # is readable-by-streams for at least one cycle.
         scrubber.step()
+        cycle += 1
     snap = snapshot(server, scrubber)
     snap["admissions_rejected"] = rejected
     return snap
@@ -345,23 +390,33 @@ _TRANSITION_SCHEMES = frozenset(
 
 def run_campaign(scheme: Scheme, seed: int,
                  profile: Optional[ChaosProfile] = None,
-                 check_payload_mode: bool = True) -> ChaosResult:
-    """Run one scheme's seeded campaign; returns invariant results."""
+                 check_payload_mode: bool = True,
+                 fast_forward: bool = True) -> ChaosResult:
+    """Run one scheme's seeded campaign; returns invariant results.
+
+    ``fast_forward`` lets the replays ride the epoch engines (default);
+    the payload-mode replay always runs scalar cycles (the engines
+    refuse payload mode), so the mode-equivalence invariant doubles as
+    a fast-vs-scalar digest check on every campaign.
+    """
     profile = profile if profile is not None else ChaosProfile()
     events = generate_script(scheme, seed, profile)
     probe = build_chaos_server(scheme)
     window = probe.config.parity_group_size + 3
     violations: list[str] = []
 
-    first = replay(scheme, events, profile.cycles)
-    second = replay(scheme, events, profile.cycles)
+    first = replay(scheme, events, profile.cycles,
+                   fast_forward=fast_forward)
+    second = replay(scheme, events, profile.cycles,
+                    fast_forward=fast_forward)
     digest = snapshot_digest(first)
     if snapshot_digest(second) != digest:
         violations.append("replay of the same script diverged "
                           "(determinism broken)")
     if check_payload_mode:
         verified = replay(scheme, events, profile.cycles,
-                          verify_payloads=True)
+                          verify_payloads=True,
+                          fast_forward=fast_forward)
         if verified["payload_mismatches"]:
             violations.append(
                 f"{verified['payload_mismatches']} payload mismatches in "
@@ -397,7 +452,8 @@ def run_campaign(scheme: Scheme, seed: int,
 def run_campaigns(seed: int, schemes: Optional[list[Scheme]] = None,
                   profile: Optional[ChaosProfile] = None,
                   check_payload_mode: bool = True,
-                  workers: int = 1) -> list[ChaosResult]:
+                  workers: int = 1,
+                  fast_forward: bool = True) -> list[ChaosResult]:
     """Run campaigns for several schemes (default: all four).
 
     ``workers > 1`` fans the campaigns out over a spawn process pool;
@@ -411,13 +467,15 @@ def run_campaigns(seed: int, schemes: Optional[list[Scheme]] = None,
         schemes = list(ALL_SCHEMES)
     if workers == 1:
         return [run_campaign(scheme, seed, profile=profile,
-                             check_payload_mode=check_payload_mode)
+                             check_payload_mode=check_payload_mode,
+                             fast_forward=fast_forward)
                 for scheme in schemes]
     from repro.parallel import ParallelRunner, TaskSpec
     tasks = [
         TaskSpec(run_campaign, args=(scheme, seed),
                  kwargs={"profile": profile,
-                         "check_payload_mode": check_payload_mode},
+                         "check_payload_mode": check_payload_mode,
+                         "fast_forward": fast_forward},
                  label=f"chaos-{scheme.value}-{seed}")
         for scheme in schemes
     ]
@@ -440,7 +498,8 @@ def run_campaign_grid(seeds: list[int],
                       schemes: Optional[list[Scheme]] = None,
                       profile: Optional[ChaosProfile] = None,
                       check_payload_mode: bool = True,
-                      workers: int = 1) -> list[ChaosResult]:
+                      workers: int = 1,
+                      fast_forward: bool = True) -> list[ChaosResult]:
     """Campaigns over a ``seeds x schemes`` grid, in (seed, scheme) order.
 
     The full grid is one flat task list, so a pool sees maximum
@@ -453,13 +512,15 @@ def run_campaign_grid(seeds: list[int],
     cells = [(seed, scheme) for seed in seeds for scheme in schemes]
     if workers == 1:
         return [run_campaign(scheme, seed, profile=profile,
-                             check_payload_mode=check_payload_mode)
+                             check_payload_mode=check_payload_mode,
+                             fast_forward=fast_forward)
                 for seed, scheme in cells]
     from repro.parallel import ParallelRunner, TaskSpec
     tasks = [
         TaskSpec(run_campaign, args=(scheme, seed),
                  kwargs={"profile": profile,
-                         "check_payload_mode": check_payload_mode},
+                         "check_payload_mode": check_payload_mode,
+                         "fast_forward": fast_forward},
                  label=f"chaos-{scheme.value}-{seed}")
         for seed, scheme in cells
     ]

@@ -89,6 +89,15 @@ class SectorScrubber:
         pairs.sort()
         return pairs
 
+    def has_pending(self) -> bool:
+        """True if any non-failed disk holds an unscrubbed error.
+
+        The cheap emptiness probe for per-cycle gates (the fast-forward
+        drivers ask every cycle): no list building, no sort.
+        """
+        return any(not disk.is_failed and disk.media_error_positions()
+                   for disk in self.array)
+
     def step(self) -> int:
         """Run one scrub pass; returns the number of errors repaired."""
         self.passes_run += 1
@@ -98,6 +107,19 @@ class SectorScrubber:
                 repaired += 1
         self.errors_repaired += repaired
         return repaired
+
+    def advance_idle(self, passes: int) -> None:
+        """Credit ``passes`` patrol passes that found nothing to scrub.
+
+        The patrol keeps no cursor between passes (each :meth:`step`
+        re-sorts the pending set), so when nothing is pending a pass only
+        increments the counter — a fast-forwarded span of cycles can
+        credit them in bulk.  Callers must gate on :meth:`pending` being
+        empty; this method only bumps the tally.
+        """
+        if passes < 0:
+            raise ValueError("cannot credit a negative number of passes")
+        self.passes_run += passes
 
     def process(self, env: "Environment",
                 period_s: float) -> Iterator["Event"]:

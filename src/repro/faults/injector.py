@@ -108,6 +108,18 @@ class FaultSchedule:
         segmentation boundaries)."""
         return sorted(self._by_cycle)
 
+    def mid_cycle_event_cycles(self) -> list[int]:
+        """Cycles with a mid-cycle failure strike, ascending.
+
+        A mid-cycle FAIL invalidates tracks fetched by the *previous*
+        cycle's executed reads — state a fast-forwarded cycle never
+        materialises — so segmenting drivers must run the cycle just
+        before such an event on the scalar path.
+        """
+        return sorted({event.cycle for event in self._events
+                       if event.action is FaultAction.FAIL
+                       and event.mid_cycle})
+
     def apply(self, scheduler: "CycleScheduler",
               cycle: int) -> list[FaultEvent]:
         """Apply this schedule's events due before ``cycle``; returns them.

@@ -94,6 +94,8 @@ class CycleScheduler(abc.ABC):
         "_base_quota", "admission_limit", "redundant_fault_commands",
         "_known_lost_tracks", "_pending_shed", "_ff_tables",
         "_ff_tables_key", "_ff_flat", "_ff_flat_names",
+        "_ff_deg_tables", "_ff_deg_tables_key", "_ff_deg_flat",
+        "_ff_deg_flat_names", "_ff_geom", "_ff_geom_epoch",
     )
 
     def __init__(self, layout: DataLayout, array: DiskArray,
@@ -163,6 +165,24 @@ class CycleScheduler(abc.ABC):
         self._ff_flat: Optional[tuple[np.ndarray, np.ndarray, np.ndarray,
                                       np.ndarray, list[int], int]] = None
         self._ff_flat_names: Optional[tuple[str, ...]] = None
+        #: Degraded-epoch read tables (survivors + parity fallback per
+        #: read position), keyed like ``_ff_tables``: valid for one
+        #: (placement epoch, array state epoch) pair, so every
+        #: fail/repair/media transition re-derives them.
+        self._ff_deg_tables: dict[str, tuple] = {}
+        self._ff_deg_tables_key: Optional[tuple[int, int]] = None
+        self._ff_deg_flat: Optional[tuple] = None
+        self._ff_deg_flat_names: Optional[tuple[str, ...]] = None
+        #: Per-object placement geometry (group sizes, flat member
+        #: disks, parity disks, group-end pointers) as numpy arrays,
+        #: keyed on the *layout* epoch only: failures move no data, so
+        #: the geometry survives every fail/repair/media transition and
+        #: both table builders derive their tables from it with a cheap
+        #: failure overlay instead of a full per-group replan.
+        self._ff_geom: dict[str, tuple[np.ndarray, np.ndarray,
+                                       np.ndarray, np.ndarray,
+                                       np.ndarray]] = {}
+        self._ff_geom_epoch: Optional[int] = None
         #: Skips per-member failure checks while no disk is down.
         self._all_disks_up = not any(d.is_failed for d in array.disks)
         # Skip per-read/per-track hook dispatch for schemes that keep the
@@ -608,6 +628,7 @@ class CycleScheduler(abc.ABC):
         self._plan_cache.clear()
         self._plan_cache_key = None
         self._ff_flat = None
+        self._ff_deg_flat = None
         self._all_disks_up = not any(
             disk.is_failed for disk in self.array.disks)
 
@@ -635,6 +656,7 @@ class CycleScheduler(abc.ABC):
             deltas = self.layout.deltas_since(old[0])
             if deltas is not None:
                 bridge_ff = self._ff_tables_key == old
+                bridge_deg = self._ff_deg_tables_key == old
                 for delta in deltas:
                     if delta.kind != "remove":
                         continue
@@ -642,13 +664,19 @@ class CycleScheduler(abc.ABC):
                     if bridge_ff:
                         self._ff_tables.pop(delta.name, None)
                         self._ff_flat = None
+                    if bridge_deg:
+                        self._ff_deg_tables.pop(delta.name, None)
+                        self._ff_deg_flat = None
                 self._plan_cache_key = key
                 if bridge_ff:
                     self._ff_tables_key = key
+                if bridge_deg:
+                    self._ff_deg_tables_key = key
                 return
         self._plan_cache.clear()
         self._plan_cache_key = key
         self._ff_flat = None
+        self._ff_deg_flat = None
         self._all_disks_up = not any(
             disk.is_failed for disk in self.array.disks)
 
@@ -773,76 +801,147 @@ class CycleScheduler(abc.ABC):
             new_read = entry.next_read_track
         return new_read, planned
 
-    def _ff_eligible(self) -> bool:
-        """Whether the *current* state allows a quiescent epoch at all.
+    def _ff_classify(self) -> tuple[Optional[str], Optional[str]]:
+        """Which fast-forward engine the current state allows.
 
+        Returns ``(mode, reason)``: mode is ``"healthy"`` (the quiescent
+        engines), ``"degraded"`` (the single-failure epoch engine —
+        optionally with one online rebuild in flight), or ``None`` with
+        the diagnostic reason callers tally via :meth:`_ff_note`.
         Checked once per fast-forward entry (state cannot change under
         the engine's feet — fault commands only land between
         ``run_cycles`` calls).  Cheapest checks first, so permanently
-        ineligible runs (payload mode, standing failures) pay next to
-        nothing per scalar cycle.
+        ineligible runs (payload mode) pay next to nothing per scalar
+        cycle.
         """
         if not self.metadata_only or self.verify_payloads:
-            return False
-        if not self._all_disks_up or self.rebuilders:
-            return False
+            return None, "payload-mode"
         if self._pending_reconstructions or self._pending_shed \
                 or self._lost_causes or self._known_lost_tracks:
-            return False
-        if not self._fast_forward_ready():
-            return False
-        if self._extra_buffer_tracks() != 0:
-            return False
+            return None, "pending-state"
         for disk in self.array.disks:
-            if disk.service_fraction < 1.0 or disk.has_media_errors:
-                return False
+            if disk.service_fraction < 1.0:
+                return None, "fail-slow"
+            if disk.has_media_errors:
+                return None, "media-error"
+        if self._all_disks_up and not self.rebuilders:
+            if not self._fast_forward_ready():
+                return None, "scheme-veto"
+            if self._extra_buffer_tracks() != 0:
+                return None, "pool-buffers"
+            for stream in self.streams.values():
+                if not stream.is_active:
+                    continue
+                if stream.parity_buffer or stream.accumulators \
+                        or stream.lost_tracks:
+                    return None, "stream-state"
+                # The engine models the buffer as the contiguous range
+                # [next_delivery, next_read); holes (lost tracks already
+                # surfaced) always come with state the checks above
+                # catch, so the length equality pins the exact contents.
+                if len(stream.buffer) != (stream.next_read_track
+                                          - stream.next_delivery_track):
+                    return None, "stream-state"
+            return "healthy", None
+        if len(self.array.failed_ids) != 1:
+            return None, "multi-failure"
+        if len(self.rebuilders) > 1:
+            return None, "multi-rebuild"
+        if not self._ff_degraded_ready():
+            return None, "degraded-veto"
         for stream in self.streams.values():
             if not stream.is_active:
                 continue
-            if stream.parity_buffer or stream.accumulators \
-                    or stream.lost_tracks:
-                return False
-            # The engine models the buffer as the contiguous range
-            # [next_delivery, next_read); holes (lost tracks already
-            # surfaced) always come with state the checks above catch,
-            # so the length equality pins the exact contents.
+            if stream.lost_tracks:
+                return None, "stream-state"
+            # Degraded steady state keeps the data buffer contiguous
+            # too: reconstruction lands the failed member's track in the
+            # same cycle its group is read.
             if len(stream.buffer) != (stream.next_read_track
                                       - stream.next_delivery_track):
-                return False
-        return True
+                return None, "stream-state"
+        return "degraded", None
 
-    def _fast_forward(self, limit: int,
-                      reports: list[CycleReport]) -> int:
-        """Advance up to ``limit`` quiescent cycles by batched accounting.
+    def _ff_note(self, reason: Optional[str]) -> None:
+        """Tally why the fast path declined an entry or bailed mid-epoch.
+
+        Event-granular: one entry per refused engine entry plus one per
+        in-epoch bail.  The tally lives outside the report's rows and
+        summary, so fast and scalar runs stay fingerprint-identical.
+        """
+        if reason is None:
+            return
+        tally = self.report.ff_disengagements
+        tally[reason] = tally.get(reason, 0) + 1
+
+    def _ff_eligible(self) -> bool:
+        """Whether the *current* state allows a quiescent epoch at all."""
+        return self._ff_classify()[0] == "healthy"
+
+    def _fast_forward(self, limit: int, reports: list[CycleReport],
+                      stop_on_completion: bool = False) -> int:
+        """Advance up to ``limit`` fast-forwardable cycles.
 
         Each cycle is planned against scratch state first (per-disk
         loads, per-stream pointers); only a cycle proven identical to
         what the scalar engine would do — no drops, no hiccups, no
-        reconstruction — is committed: disk read counters advance in
-        bulk, stream pointers move arithmetically, and a synthesized
-        :class:`CycleReport` is recorded.  Stream buffers stay *virtual*
-        during the epoch and are rematerialised (every payload is the
-        metadata token) at the boundary, so the post-run state is
-        indistinguishable from a scalar run.  Returns the number of
-        cycles advanced (0 when the current state is not quiescent).
+        unmodelled reconstruction — is committed: disk read counters
+        advance in bulk, stream pointers move arithmetically, and a
+        synthesized :class:`CycleReport` is recorded.  Stream buffers
+        stay *virtual* during the epoch and are rematerialised (every
+        payload is the metadata token) at the boundary, so the post-run
+        state is indistinguishable from a scalar run.  Returns the
+        number of cycles advanced (0 when no engine fits the state).
 
-        The uniform-rate common case (every live stream at rate 1) runs
-        on the vectorised engine (:meth:`_fast_forward_vector`); mixed
-        rates or schemes without read tables fall back to the per-stream
-        generic loop.
+        Healthy states run the quiescent engines: the vectorised path
+        for uniform rate-1 populations, the per-stream generic loop
+        otherwise.  A stable single-failure state (optionally with one
+        online rebuild in flight) runs the degraded epoch engine, which
+        folds reconstruction and rebuild traffic into the same batched
+        accounting and bails only on state *transitions* (second
+        failure, rebuild completion, media error).  With
+        ``stop_on_completion`` every engine also ends its epoch right
+        after a cycle in which a stream completed, so drivers that
+        re-admit per completed object observe scalar admission timing.
         """
         self._refresh_plan_cache()
-        if limit <= 0 or not self._ff_eligible():
+        if limit <= 0:
+            return 0
+        mode, reason = self._ff_classify()
+        if mode is None:
+            self._ff_note(reason)
             return 0
         live = [s for s in self.streams.values() if s.is_active]
+        if mode == "degraded":
+            if not all(s.rate == 1 for s in live):
+                self._ff_note("mixed-rates")
+                return 0
+            return self._fast_forward_degraded(limit, live, reports,
+                                               stop_on_completion)
         if live and all(s.rate == 1 for s in live):
-            done = self._fast_forward_vector(limit, live, reports)
+            done = self._fast_forward_vector(limit, live, reports,
+                                             stop_on_completion)
             if done >= 0:
                 return done
-        return self._fast_forward_generic(limit, live, reports)
+        return self._fast_forward_generic(limit, live, reports,
+                                          stop_on_completion)
+
+    def run_epoch(self, limit: int, stop_on_completion: bool = False) -> int:
+        """Advance up to ``limit`` cycles on a fast-forward engine.
+
+        The public entry point for drivers (chaos replay, reliability
+        probes) that manage their own cycle loop: cycles are recorded on
+        :attr:`report` exactly as scalar cycles would be, and the return
+        value says how far the engine got — 0 means the current state is
+        not fast-forwardable and the caller should fall back to
+        :meth:`run_cycle`.
+        """
+        reports: list[CycleReport] = []
+        return self._fast_forward(limit, reports, stop_on_completion)
 
     def _fast_forward_generic(self, limit: int, live: list[Stream],
-                              reports: list[CycleReport]) -> int:
+                              reports: list[CycleReport],
+                              stop_on_completion: bool = False) -> int:
         """Per-stream quiescent loop: any rate mix, any scheme with an
         :meth:`_ff_stream_plan`."""
         disks = self.array.disks
@@ -859,6 +958,7 @@ class CycleScheduler(abc.ABC):
                 terminated += 1
         loads = [0] * num_disks
         done = 0
+        bail: Optional[str] = None
         while done < limit:
             cycle = self.cycle_index
             # -- plan: scratch only, so a bail leaves no trace ------------
@@ -875,12 +975,14 @@ class CycleScheduler(abc.ABC):
                     if due > (stream.next_read_track
                               - stream.next_delivery_track):
                         quiescent = False  # an imminent hiccup: go scalar
+                        bail = "imminent-hiccup"
                         break
                 else:
                     due = 0
                 plan = self._ff_stream_plan(stream, cycle, loads)
                 if plan is None:
                     quiescent = False
+                    bail = "mid-group-pointer"
                     break
                 new_read, planned = plan
                 planned_total += planned
@@ -889,6 +991,7 @@ class CycleScheduler(abc.ABC):
                 for disk_id in range(num_disks):
                     if loads[disk_id] > slots:
                         quiescent = False  # slot overflow: scalar drops
+                        bail = "slot-overflow"
                         break
             if not quiescent:
                 for disk_id in range(num_disks):
@@ -935,12 +1038,17 @@ class CycleScheduler(abc.ABC):
             done += 1
             if completed:
                 live = [s for s in live if s.is_active]
+                if stop_on_completion:
+                    bail = "stream-completed"
+                    break
         if done:
             # Rematerialise the virtual buffers at the epoch boundary.
             for stream in live:
                 stream.buffer = dict.fromkeys(
                     range(stream.next_delivery_track,
                           stream.next_read_track), META_PAYLOAD)
+            self.report.ff_engaged_cycles += done
+        self._ff_note(bail)
         return done
 
     def _ff_gate_params(self, stream: Stream) -> tuple[int, int, int, int]:
@@ -955,27 +1063,71 @@ class CycleScheduler(abc.ABC):
         """
         return 0, 0, 1, 0
 
+    def _ff_object_geometry(self, obj: MediaObject,
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                       np.ndarray, np.ndarray]:
+        """Flat placement geometry for one object, as numpy arrays.
+
+        ``(cnt, ptr, disks, parity, nxt)``: per group the data-member
+        count, the member offset (``disks[ptr[g]:ptr[g+1]]`` are the
+        group's data disks in track order), the parity disk, and the
+        group-end read pointer.  Keyed on the layout epoch alone —
+        failures move no data — so fail/repair/media transitions reuse
+        it and only re-derive the cheap failure overlay on top.
+        """
+        epoch = self.layout.epoch
+        if self._ff_geom_epoch != epoch:
+            self._ff_geom = {}
+            self._ff_geom_epoch = epoch
+        entry = self._ff_geom.get(obj.name)
+        if entry is None:
+            stripe = self._stripe
+            positions = -(-obj.num_tracks // stripe)
+            geometry = self.layout.group_geometry
+            name = obj.name
+            sizes: list[int] = []
+            flat: list[int] = []
+            parity_ids: list[int] = []
+            for position in range(positions):
+                members, parity_addr = geometry(name, position)
+                sizes.append(len(members))
+                flat.extend(disk_id for disk_id, _pos in members)
+                parity_ids.append(parity_addr[0])
+            cnt = np.asarray(sizes, dtype=np.int64)
+            ptr = np.zeros(positions + 1, dtype=np.int64)
+            np.cumsum(cnt, out=ptr[1:])
+            disks = np.asarray(flat, dtype=np.int64)
+            parity = np.asarray(parity_ids, dtype=np.int64)
+            entry = (cnt, ptr, disks, parity, ptr[1:])
+            self._ff_geom[obj.name] = entry
+        return entry
+
     def _ff_read_table(self, obj: MediaObject,
-                       ) -> Optional[tuple[list[tuple[int, ...]],
-                                           list[int], int]]:
+                       ) -> Optional[tuple[np.ndarray, np.ndarray,
+                                           np.ndarray, np.ndarray, int]]:
         """Per-object read table for the vector engine, or None.
 
-        ``(members, next_pointers, divisor)``: a stream whose read
-        pointer is ``p`` (with ``p % divisor == 0`` for group-at-a-time
-        schemes) performs one read on each disk in
-        ``members[p // divisor]`` and its pointer becomes
-        ``next_pointers[p // divisor]``.  The base table is the healthy
-        group walk; NC overrides with a one-track-per-position table.
+        ``(cnt, ptr, disks, next_pointers, divisor)``: a stream whose
+        read pointer is ``p`` (with ``p % divisor == 0`` for
+        group-at-a-time schemes) performs one read on each disk in
+        ``disks[ptr[q]:ptr[q] + cnt[q]]`` for ``q = p // divisor`` and
+        its pointer becomes ``next_pointers[q]``.  The base table is the
+        healthy group walk straight from the cached geometry (failed
+        members dropped by overlay); NC overrides with a
+        one-track-per-position table.
         """
-        stripe = self._stripe
-        positions = -(-obj.num_tracks // stripe)
-        members: list[tuple[int, ...]] = []
-        nexts: list[int] = []
-        for position in range(positions):
-            entry = self._group_plan(obj.name, position)
-            members.append(tuple(d for d, _pos, _track in entry.healthy))
-            nexts.append(entry.next_read_track)
-        return members, nexts, stripe
+        cnt, ptr, disks, _parity, nxt = self._ff_object_geometry(obj)
+        if not self._all_disks_up:
+            failed = self.array.failed_ids
+            down = (disks == failed[0] if len(failed) == 1
+                    else np.isin(disks, np.asarray(failed, dtype=np.int64)))
+            if bool(down.any()):
+                fcnt = np.add.reduceat(down.astype(np.int64), ptr[:-1])
+                cnt = cnt - fcnt
+                disks = disks[~down]
+                ptr = np.zeros(len(cnt) + 1, dtype=np.int64)
+                np.cumsum(cnt, out=ptr[1:])
+        return cnt, ptr, disks, nxt, self._stripe
 
     def _ff_flat_tables(self, objects: list[MediaObject],
                         ) -> Optional[tuple[np.ndarray, np.ndarray,
@@ -1003,19 +1155,9 @@ class CycleScheduler(abc.ABC):
         for obj in objects:
             entry = cache.get(obj.name)
             if entry is None:
-                raw = self._ff_read_table(obj)
-                if raw is None:
+                entry = self._ff_read_table(obj)
+                if entry is None:
                     return None
-                members, nexts, divisor = raw
-                cnt = np.fromiter((len(m) for m in members),
-                                  dtype=np.int64, count=len(members))
-                ptr = np.zeros(len(members) + 1, dtype=np.int64)
-                np.cumsum(cnt, out=ptr[1:])
-                disks = np.fromiter(
-                    (d for m in members for d in m),
-                    dtype=np.int64, count=int(ptr[-1]))
-                nxt = np.asarray(nexts, dtype=np.int64)
-                entry = (cnt, ptr, disks, nxt, divisor)
                 cache[obj.name] = entry
             per_obj.append(entry)
         divisor = per_obj[0][4]
@@ -1036,7 +1178,8 @@ class CycleScheduler(abc.ABC):
         return flat
 
     def _fast_forward_vector(self, limit: int, live: list[Stream],
-                             reports: list[CycleReport]) -> int:
+                             reports: list[CycleReport],
+                             stop_on_completion: bool = False) -> int:
         """Vectorised quiescent engine for uniform rate-1 streams.
 
         Stream state lives in numpy arrays for the whole epoch; each
@@ -1111,6 +1254,7 @@ class CycleScheduler(abc.ABC):
                 terminated += 1
         samples: list[int] = []
         done = 0
+        bail: Optional[str] = None
         while done < limit:
             cycle = self.cycle_index
             # -- stage (no mutation yet, so a bail leaves no trace) -------
@@ -1118,7 +1262,8 @@ class CycleScheduler(abc.ABC):
             due = np.where(started,
                            np.minimum(quota, num_tracks - next_del), 0)
             if bool((due > next_read - next_del).any()):
-                break  # an imminent hiccup: go scalar
+                bail = "imminent-hiccup"  # go scalar
+                break
             reading = live_mask & (next_read < num_tracks)
             if not ungated:
                 reading &= (cycle % phase_mod) == phase_val
@@ -1126,7 +1271,8 @@ class CycleScheduler(abc.ABC):
                                   < (cycle + 1 - pace_base) * pace_rate)
             if divisor > 1 \
                     and bool((reading & (next_read % divisor != 0)).any()):
-                break  # mid-group pointer: the scalar path raises
+                bail = "mid-group-pointer"  # the scalar path raises
+                break
             idx = np.where(reading, obj_base + next_read // divisor, 0)
             cnt = np.where(reading, counts[idx], 0)
             planned_total = int(cnt.sum())
@@ -1140,7 +1286,8 @@ class CycleScheduler(abc.ABC):
                                         + within]
                 loads = np.bincount(disk_ids, minlength=num_disks)
                 if int(loads.max(initial=0)) > slots:
-                    break  # slot overflow: scalar drops / cascades
+                    bail = "slot-overflow"  # scalar drops / cascades
+                    break
                 total_loads += loads
             # -- commit ---------------------------------------------------
             newly = admitted & (due > 0)
@@ -1154,7 +1301,8 @@ class CycleScheduler(abc.ABC):
             deliv_delta += due
             next_read = np.where(reading, next_pointers[idx], next_read)
             finished = live_mask & (next_del >= num_tracks)
-            if bool(finished.any()):
+            finished_any = bool(finished.any())
+            if finished_any:
                 active -= int(finished.sum())
                 live_mask &= ~finished
             held = np.where(live_mask, next_read - next_del, 0)
@@ -1172,6 +1320,9 @@ class CycleScheduler(abc.ABC):
             self.report.record(report)
             self.cycle_index = cycle + 1
             done += 1
+            if stop_on_completion and finished_any:
+                bail = "stream-completed"
+                break
         if done:
             # -- write the epoch's state back to the Python objects -------
             for i, stream in enumerate(live):
@@ -1196,6 +1347,461 @@ class CycleScheduler(abc.ABC):
             disks = self.array.disks
             for disk_id in np.nonzero(total_loads)[0]:
                 disks[int(disk_id)].reads += int(total_loads[disk_id])
+            self.report.ff_engaged_cycles += done
+        self._ff_note(bail)
+        return done
+
+    # -- degraded-epoch fast-forward --------------------------------------------------
+
+    def _ff_degraded_ready(self) -> bool:
+        """Scheme veto for the degraded-epoch engine.
+
+        Defaults to the quiescent veto (:meth:`_fast_forward_ready`): a
+        scheme whose healthy steady state the engine cannot model
+        certainly cannot be modelled degraded.  Non-clustered overrides
+        this — its quiescent veto fires on any degraded cluster, but the
+        degraded engine models exactly that state, open accumulators
+        included.
+        """
+        return self._fast_forward_ready()
+
+    def _ff_degraded_stream_ok(self, stream: Stream) -> bool:
+        """Per-stream canonical-state check at degraded-engine entry.
+
+        The group schemes never hold accumulators, so any accumulator is
+        leftover transition state: the stream stays on the scalar path
+        until its buffers return to the canonical degraded shape (at
+        most one group's worth of cycles).
+        """
+        return not stream.accumulators
+
+    def _ff_degraded_sync_stream(self, stream: Stream) -> None:
+        """Rematerialise scheme-specific stream state at epoch exit."""
+
+    def _ff_degraded_credit(self, reconstructions: int) -> None:
+        """Fold an epoch's reconstruction count into scheme counters."""
+
+    def _ff_degraded_pool_tracks(self, open_accumulators: int) -> int:
+        """Pool tracks held outside streams for ``open_accumulators``."""
+        return 0
+
+    def _ff_degraded_read_table(self, obj: MediaObject,
+                                failed: list[int]) -> Optional[tuple]:
+        """Per-object read table under the current single failure.
+
+        Mirrors :meth:`_ff_read_table` with the degraded columns the
+        epoch engine needs: ``(cnt, ptr, disks, next_pointers,
+        data_counts, parity_flags, valid, deg_pairs, acc_info,
+        divisor)`` where a degraded position's member slice includes the
+        parity-fallback disk, *parity_flags* marks positions whose read
+        carries one parity fetch **and** one same-cycle reconstruction,
+        and *valid* is False where the scalar planner cannot recover the
+        position (the engine bails before touching it).  ``deg_pairs``
+        are the ``(group, acquired-at-pointer)`` pairs that predict a
+        stream's parity buffer; ``acc_info`` the accumulator
+        open-windows (empty for group-at-a-time schemes).  ``None``
+        means the scheme has no vectorisable degraded plan.
+
+        Built as a failure overlay on the cached geometry: only groups
+        that actually lost a member are re-derived in Python, so a
+        single failure in a large farm touches a handful of groups and
+        every other object's table is a zero-copy view of its geometry.
+        """
+        cnt, ptr, disks, parity, nxt = self._ff_object_geometry(obj)
+        positions = len(cnt)
+        if len(failed) == 1:
+            down = disks == failed[0]
+            parity_down = parity == failed[0]
+        else:
+            failed_arr = np.asarray(failed, dtype=np.int64)
+            down = np.isin(disks, failed_arr)
+            parity_down = np.isin(parity, failed_arr)
+        if not bool(down.any()):
+            # No data member down (a failed parity disk never appears
+            # in a healthy group read): the healthy walk verbatim.
+            return (cnt, ptr, disks, nxt, cnt,
+                    np.zeros(positions, dtype=np.int64),
+                    np.ones(positions, dtype=bool), (), {}, self._stripe)
+        fcnt = np.add.reduceat(down.astype(np.int64), ptr[:-1])
+        recoverable = (fcnt == 1) & ~parity_down
+        dat = cnt - fcnt
+        par = np.zeros(positions, dtype=np.int64)
+        val = np.ones(positions, dtype=bool)
+        new_cnt = dat.copy()
+        keep = ~down
+        deg_pairs: list[tuple[int, int]] = []
+        segments: list[np.ndarray] = []
+        prev = 0
+        for group in np.nonzero(fcnt > 0)[0]:
+            lo, hi = int(ptr[group]), int(ptr[group + 1])
+            if prev < lo:
+                segments.append(disks[prev:lo])
+            survivors = disks[lo:hi][keep[lo:hi]]
+            if recoverable[group]:
+                segments.append(np.append(survivors, parity[group]))
+                new_cnt[group] += 1
+                par[group] = 1
+                deg_pairs.append((int(group), int(nxt[group])))
+            else:
+                # Unreconstructable group: the scalar path sheds the
+                # stream here (data loss) — a state transition the
+                # engine must never cross.
+                segments.append(survivors)
+                val[group] = False
+            prev = hi
+        if prev < len(disks):
+            segments.append(disks[prev:])
+        new_disks = np.concatenate(segments)
+        new_ptr = np.zeros(positions + 1, dtype=np.int64)
+        np.cumsum(new_cnt, out=new_ptr[1:])
+        return (new_cnt, new_ptr, new_disks, nxt, dat, par, val,
+                tuple(deg_pairs), {}, self._stripe)
+
+    def _ff_degraded_flat_tables(self, objects: list[MediaObject],
+                                 ) -> Optional[tuple]:
+        """Concatenated degraded read tables for a set of objects.
+
+        The degraded counterpart of :meth:`_ff_flat_tables`: per-object
+        tables (including the pointer-indexed parity-held / released /
+        accumulator-window prefix sums the engine uses to reproduce
+        ``buffered_track_count`` arithmetically) are cached against the
+        plan-cache key, so every fail/repair/media transition re-derives
+        them; the concatenation is memoized against the object tuple.
+        """
+        if self._ff_deg_tables_key != self._plan_cache_key:
+            self._ff_deg_tables = {}
+            self._ff_deg_tables_key = self._plan_cache_key
+            self._ff_deg_flat = None
+            self._ff_deg_flat_names = None
+        names = tuple(obj.name for obj in objects)
+        if self._ff_deg_flat is not None \
+                and self._ff_deg_flat_names == names:
+            return self._ff_deg_flat
+        cache = self._ff_deg_tables
+        stripe = self._stripe
+        failed = self.array.failed_ids
+        per_obj = []
+        for obj in objects:
+            entry = cache.get(obj.name)
+            if entry is None:
+                raw = self._ff_degraded_read_table(obj, failed)
+                if raw is None:
+                    return None
+                (cnt, ptr, disks, nxt, dat, par, val,
+                 deg_pairs, acc_info, divisor) = raw
+                # Pointer-indexed prefix sums: with read pointer ``r``
+                # and delivery pointer ``d``, a canonical stream holds
+                # ``pheld[r] - prel[d]`` parity blocks and ``acch[r]``
+                # open accumulators (acquired at the group's end
+                # pointer, released once delivery passes the group).
+                tracks = obj.num_tracks
+                diff_held = np.zeros(tracks + 2, dtype=np.int64)
+                diff_rel = np.zeros(tracks + 2, dtype=np.int64)
+                for group, acquired in deg_pairs:
+                    diff_held[acquired] += 1
+                    released = (group + 1) * stripe
+                    if released <= tracks:
+                        diff_rel[released] += 1
+                pheld = np.cumsum(diff_held)[:tracks + 1]
+                prel = np.cumsum(diff_rel)[:tracks + 1]
+                acch = np.zeros(tracks + 1, dtype=np.int64)
+                for lo, hi in acc_info.values():
+                    acch[lo:hi + 1] += 1
+                entry = (cnt, ptr, disks, nxt, dat, par, val,
+                         pheld, prel, acch, deg_pairs, acc_info, divisor)
+                cache[obj.name] = entry
+            per_obj.append(entry)
+        divisor = per_obj[0][12]
+        pos_base: list[int] = []
+        ptr_base: list[int] = []
+        position_total = pointer_total = 0
+        for entry in per_obj:
+            pos_base.append(position_total)
+            position_total += len(entry[0])
+            ptr_base.append(pointer_total)
+            pointer_total += len(entry[7])
+        counts = np.concatenate([e[0] for e in per_obj])
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        member_disks = np.concatenate([e[2] for e in per_obj])
+        next_pointers = np.concatenate([e[3] for e in per_obj])
+        data_counts = np.concatenate([e[4] for e in per_obj])
+        parity_flags = np.concatenate([e[5] for e in per_obj])
+        valid = np.concatenate([e[6] for e in per_obj])
+        pheld = np.concatenate([e[7] for e in per_obj])
+        prel = np.concatenate([e[8] for e in per_obj])
+        acch = np.concatenate([e[9] for e in per_obj])
+        deg_by_name = {name: per_obj[i][10] for i, name in enumerate(names)}
+        flat = (counts, offsets, member_disks, next_pointers, data_counts,
+                parity_flags, valid, pheld, prel, acch, pos_base, ptr_base,
+                deg_by_name, divisor)
+        self._ff_deg_flat = flat
+        self._ff_deg_flat_names = names
+        return flat
+
+    def _fast_forward_degraded(self, limit: int, live: list[Stream],
+                               reports: list[CycleReport],
+                               stop_on_completion: bool = False) -> int:
+        """Vectorised epoch engine for the stable single-failure state.
+
+        Per-group reconstruction reads appear as extra rows in the flat
+        read tables (the parity-fallback disk joins the group's member
+        list), reconstruction commits are pure arithmetic (a degraded
+        group read always completes its rebuild in the same cycle, since
+        every survivor is resident by construction), and an in-flight
+        online rebuild advances as a vectorised cursor fed with the
+        cycle's idle slots.  The engine bails only on state transitions:
+        rebuild completion, a stream crossing an unreconstructable
+        position, or the generic quiescence breaks (imminent hiccup,
+        slot overflow).  Cycle reports, disk loads, tracker samples and
+        per-stream peaks are bit-identical to the scalar path.
+        """
+        distinct: dict[str, int] = {}
+        objects: list[MediaObject] = []
+        for stream in live:
+            name = stream.object.name
+            if name not in distinct:
+                distinct[name] = len(objects)
+                objects.append(stream.object)
+        if objects:
+            flat = self._ff_degraded_flat_tables(objects)
+            if flat is None:
+                self._ff_note("no-read-table")
+                return 0
+        else:
+            zeros = np.zeros(0, dtype=np.int64)
+            flat = (zeros, np.zeros(1, dtype=np.int64), zeros, zeros,
+                    zeros, zeros, np.zeros(0, dtype=bool), zeros, zeros,
+                    zeros, [], [], {}, 1)
+        (counts, offsets, member_disks, next_pointers, data_counts,
+         parity_flags, valid, pheld, prel, acch, pos_base, ptr_base,
+         deg_by_name, divisor) = flat
+        stripe = self._stripe
+        # -- canonical-state entry checks: every stream must sit exactly
+        #    where the scalar degraded steady state would leave it ------
+        for stream in live:
+            pairs = deg_by_name[stream.object.name]
+            pointer = stream.next_read_track
+            floor = stream.next_delivery_track // stripe
+            predicted = [g for g, acquired in pairs
+                         if acquired <= pointer and g >= floor]
+            if sorted(stream.parity_buffer) != predicted:
+                self._ff_note("stream-state")
+                return 0
+            if not self._ff_degraded_stream_ok(stream):
+                self._ff_note("stream-state")
+                return 0
+        rebuilder = self.rebuilders[0] if self.rebuilders else None
+        if rebuilder is not None \
+                and rebuilder.prepare_fast_plan() is None:
+            self._ff_note("rebuild-veto")
+            return 0
+        n = len(live)
+        num_disks = len(self.array.disks)
+        slots = self.config.slots_per_disk
+        k_prime = self.config.k_prime
+        base_quota = self._base_quota
+        obj_base = np.fromiter(
+            (pos_base[distinct[s.object.name]] for s in live),
+            dtype=np.int64, count=n)
+        held_base = np.fromiter(
+            (ptr_base[distinct[s.object.name]] for s in live),
+            dtype=np.int64, count=n)
+        next_read = np.fromiter((s.next_read_track for s in live),
+                                dtype=np.int64, count=n)
+        next_del = np.fromiter((s.next_delivery_track for s in live),
+                               dtype=np.int64, count=n)
+        num_tracks = np.fromiter((s.num_tracks for s in live),
+                                 dtype=np.int64, count=n)
+        start = np.fromiter(
+            (-1 if s.delivery_start_cycle is None
+             else s.delivery_start_cycle for s in live),
+            dtype=np.int64, count=n)
+        quota = np.fromiter(
+            (k_prime * s.rate if base_quota
+             else self.deliveries_per_cycle(s) for s in live),
+            dtype=np.int64, count=n)
+        gates = [self._ff_gate_params(s) for s in live]
+        pace_rate = np.fromiter((g[0] for g in gates), dtype=np.int64,
+                                count=n)
+        pace_base = np.fromiter((g[1] for g in gates), dtype=np.int64,
+                                count=n)
+        phase_mod = np.fromiter((g[2] for g in gates), dtype=np.int64,
+                                count=n)
+        phase_val = np.fromiter((g[3] for g in gates), dtype=np.int64,
+                                count=n)
+        unpaced = pace_rate == 0
+        ungated = bool((phase_mod == 1).all())
+        admitted = np.fromiter(
+            (s.status is StreamStatus.ADMITTED for s in live),
+            dtype=bool, count=n)
+        live_mask = np.ones(n, dtype=bool)
+        deliv_delta = np.zeros(n, dtype=np.int64)
+        recon_delta = np.zeros(n, dtype=np.int64)
+        tracker = self.tracker
+        peak0 = np.fromiter(
+            (tracker.stream_peak(s.stream_id) for s in live),
+            dtype=np.int64, count=n)
+        peak = peak0.copy()
+        total_loads = np.zeros(num_disks, dtype=np.int64)
+        failed_ids = np.asarray(self.array.failed_ids, dtype=np.int64)
+        # The shared pool must hold exactly the open accumulators' pages
+        # (anything else is unmodelled transition state).
+        entry_open = int(np.where(live_mask, acch[held_base + next_read],
+                                  0).sum()) if n else 0
+        if self._ff_degraded_pool_tracks(entry_open) \
+                != self._extra_buffer_tracks():
+            self._ff_note("pool-buffers")
+            return 0
+        active = terminated = 0
+        for stream in self.streams.values():
+            if stream.status is StreamStatus.ACTIVE:
+                active += 1
+            elif stream.status is StreamStatus.TERMINATED:
+                terminated += 1
+        samples: list[int] = []
+        done = 0
+        bail: Optional[str] = None
+        while done < limit:
+            cycle = self.cycle_index
+            # -- stage (no mutation yet, so a bail leaves no trace) -------
+            if rebuilder is not None \
+                    and (rebuilder.total_blocks - rebuilder.blocks_rebuilt
+                         <= rebuilder.writes_per_cycle):
+                # The rebuild could finish this cycle.  Completion is a
+                # state transition with in-cycle side effects the engine
+                # does not model (repair_disk releases pool leases and
+                # clears scheme degraded state *before* the cycle's
+                # buffer sample) — hand the tail to the scalar path.
+                bail = "rebuild-complete"
+                break
+            started = live_mask & (start >= 0) & (start <= cycle)
+            due = np.where(started,
+                           np.minimum(quota, num_tracks - next_del), 0)
+            if bool((due > next_read - next_del).any()):
+                bail = "imminent-hiccup"
+                break
+            reading = live_mask & (next_read < num_tracks)
+            if not ungated:
+                reading &= (cycle % phase_mod) == phase_val
+            reading &= unpaced | (next_read
+                                  < (cycle + 1 - pace_base) * pace_rate)
+            if divisor > 1 \
+                    and bool((reading & (next_read % divisor != 0)).any()):
+                bail = "mid-group-pointer"
+                break
+            idx = np.where(reading, obj_base + next_read // divisor, 0)
+            if bool((reading & ~valid[idx]).any()):
+                bail = "unrecoverable-group"  # scalar sheds: transition
+                break
+            cnt = np.where(reading, counts[idx], 0)
+            planned_total = int(cnt.sum())
+            loads = None
+            if planned_total:
+                r_idx = idx[reading]
+                r_cnt = counts[r_idx]
+                ends = np.cumsum(r_cnt)
+                within = np.arange(planned_total) \
+                    - np.repeat(ends - r_cnt, r_cnt)
+                disk_ids = member_disks[np.repeat(offsets[r_idx], r_cnt)
+                                        + within]
+                loads = np.bincount(disk_ids, minlength=num_disks)
+                if int(loads.max(initial=0)) > slots:
+                    bail = "slot-overflow"
+                    break
+                total_loads += loads
+            recon_vec = np.where(reading, parity_flags[idx], 0)
+            parity_cycle = int(recon_vec.sum())
+            # -- commit ---------------------------------------------------
+            recon_delta += recon_vec
+            newly = admitted & (due > 0)
+            if bool(newly.any()):
+                active += int(newly.sum())
+                admitted &= ~newly
+            # Parity fetches never start the delivery clock: only a
+            # cycle with at least one *data* read does.
+            first_read = (start < 0) \
+                & (np.where(reading, data_counts[idx], 0) > 0)
+            if bool(first_read.any()):
+                start[first_read] = cycle + 1
+            next_del += due
+            deliv_delta += due
+            next_read = np.where(reading, next_pointers[idx], next_read)
+            finished = live_mask & (next_del >= num_tracks)
+            finished_any = bool(finished.any())
+            if finished_any:
+                active -= int(finished.sum())
+                live_mask &= ~finished
+            # -- rebuild: lowest priority, idle slots only ----------------
+            blocks = 0
+            if rebuilder is not None:
+                idle = np.full(num_disks, slots, dtype=np.int64)
+                if loads is not None:
+                    idle -= loads
+                idle[failed_ids] = 0
+                blocks = rebuilder.fast_step(idle, total_loads)
+            pointer_idx = held_base + next_read
+            acc_open = np.where(live_mask, acch[pointer_idx], 0)
+            held = np.where(live_mask,
+                            next_read - next_del + pheld[pointer_idx]
+                            - prel[held_base + next_del] + acc_open, 0)
+            np.maximum(peak, held, out=peak)
+            pool_now = self._ff_degraded_pool_tracks(int(acc_open.sum()))
+            buffered = int(held.sum()) + pool_now
+            samples.append(buffered)
+            report = CycleReport(cycle=cycle)
+            report.reads_planned = planned_total
+            report.reads_executed = planned_total
+            report.parity_reads = parity_cycle
+            report.reconstructions = parity_cycle
+            report.blocks_rebuilt = blocks
+            report.tracks_delivered = int(due.sum())
+            report.streams_active = active
+            report.streams_terminated = terminated
+            report.buffered_tracks = buffered
+            report.pool_tracks_in_use = pool_now
+            reports.append(report)
+            self.report.record(report)
+            self.cycle_index = cycle + 1
+            done += 1
+            if stop_on_completion and finished_any:
+                bail = "stream-completed"
+                break
+        if done:
+            # -- write the epoch's state back to the Python objects -------
+            for i, stream in enumerate(live):
+                stream.next_read_track = int(next_read[i])
+                stream.next_delivery_track = int(next_del[i])
+                stream.delivered_tracks += int(deliv_delta[i])
+                stream.reconstructed_tracks += int(recon_delta[i])
+                if stream.delivery_start_cycle is None and start[i] >= 0:
+                    stream.delivery_start_cycle = int(start[i])
+                if stream.status is StreamStatus.ADMITTED \
+                        and not admitted[i]:
+                    stream.activate()
+                if live_mask[i]:
+                    stream.buffer = dict.fromkeys(
+                        range(stream.next_delivery_track,
+                              stream.next_read_track), META_PAYLOAD)
+                    pairs = deg_by_name[stream.object.name]
+                    pointer = stream.next_read_track
+                    floor = stream.next_delivery_track // stripe
+                    stream.parity_buffer = {
+                        g: META_PAYLOAD for g, acquired in pairs
+                        if acquired <= pointer and g >= floor}
+                else:
+                    stream.complete()
+                self._ff_degraded_sync_stream(stream)
+            self._ff_degraded_credit(int(recon_delta.sum()))
+            raised = np.nonzero(peak > peak0)[0]
+            tracker.fold_epoch(
+                samples,
+                {live[int(i)].stream_id: int(peak[int(i)]) for i in raised})
+            disks = self.array.disks
+            for disk_id in np.nonzero(total_loads)[0]:
+                disks[int(disk_id)].reads += int(total_loads[disk_id])
+            self.report.ff_engaged_cycles += done
+        self._ff_note(bail)
         return done
 
     # -- churn-tolerant fast-forward --------------------------------------------------
@@ -1228,6 +1834,17 @@ class CycleScheduler(abc.ABC):
                 rejected += r
                 if self.cycle_index >= end:
                     break
+                if not consumed and not arrivals.get(self.cycle_index):
+                    # The churn engine only models healthy epochs; a
+                    # degraded stretch between arrival cycles can still
+                    # ride the degraded epoch engine up to the next
+                    # arrival boundary.
+                    boundary = min((c for c in arrivals
+                                    if self.cycle_index < c < end),
+                                   default=end)
+                    if self._fast_forward(boundary - self.cycle_index,
+                                          reports):
+                        continue
             if not consumed:
                 a, r = self._admit_cycle_arrivals(arrivals)
                 admitted += a
@@ -1264,10 +1881,15 @@ class CycleScheduler(abc.ABC):
         fallback must not re-admit them.
         """
         self._refresh_plan_cache()
-        if limit <= 0 or not self._ff_eligible():
+        if limit <= 0:
+            return 0, 0, 0, False
+        mode, reason = self._ff_classify()
+        if mode != "healthy":
+            self._ff_note(reason if mode is None else "churn-degraded")
             return 0, 0, 0, False
         rows = [s for s in self.streams.values() if s.is_active]
         if any(s.rate != 1 for s in rows):
+            self._ff_note("mixed-rates")
             return 0, 0, 0, False
         start_cycle = self.cycle_index
         end_cycle = start_cycle + limit
@@ -1423,6 +2045,7 @@ class CycleScheduler(abc.ABC):
                            np.minimum(quota, num_tracks - next_del), 0)
             if bool((due > next_read - next_del).any()):
                 bailed = True  # an imminent hiccup: go scalar
+                self._ff_note("imminent-hiccup")
                 break
             reading = live_mask & (next_read < num_tracks)
             if not ungated:
@@ -1432,6 +2055,7 @@ class CycleScheduler(abc.ABC):
             if divisor > 1 \
                     and bool((reading & (next_read % divisor != 0)).any()):
                 bailed = True  # mid-group pointer: the scalar path raises
+                self._ff_note("mid-group-pointer")
                 break
             idx = np.where(reading, obj_base + next_read // divisor, 0)
             cnt = np.where(reading, counts[idx], 0)
@@ -1447,6 +2071,7 @@ class CycleScheduler(abc.ABC):
                 loads = np.bincount(disk_ids, minlength=num_disks)
                 if int(loads.max(initial=0)) > slots:
                     bailed = True  # slot overflow: scalar drops / cascades
+                    self._ff_note("slot-overflow")
                     break
                 total_loads += loads
             # -- commit ---------------------------------------------------
@@ -1507,6 +2132,7 @@ class CycleScheduler(abc.ABC):
             disks = self.array.disks
             for disk_id in np.nonzero(total_loads)[0]:
                 disks[int(disk_id)].reads += int(total_loads[disk_id])
+            self.report.ff_engaged_cycles += done
         return done, admitted_n, rejected_n, bailed
 
     # -- phases ------------------------------------------------------------------------

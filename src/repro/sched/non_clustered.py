@@ -39,6 +39,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+import numpy as np
+
 from repro.buffers.pool import BufferPool
 from repro.errors import BufferExhausted
 from repro.media.objects import MediaObject
@@ -439,14 +441,19 @@ class NonClusteredScheduler(CycleScheduler):
         return stream.rate, stream.admitted_cycle, 1, 0
 
     def _ff_read_table(self, obj: MediaObject,
-                       ) -> Optional[tuple[list[tuple[int, ...]],
-                                           list[int], int]]:
-        """Vector table: one data-disk read per track, natural order."""
-        data_address = self.layout.data_address
-        name = obj.name
-        members = [(data_address(name, track).disk_id,)
-                   for track in range(obj.num_tracks)]
-        return members, list(range(1, obj.num_tracks + 1)), 1
+                       ) -> Optional[tuple[np.ndarray, np.ndarray,
+                                           np.ndarray, np.ndarray, int]]:
+        """Vector table: one data-disk read per track, natural order.
+
+        The cached geometry's flat member array already lists the data
+        disk of every track in order, so the per-track table is a
+        reindexing of it — no per-track address lookups.
+        """
+        _cnt, _ptr, disks, _parity, _nxt = self._ff_object_geometry(obj)
+        tracks = obj.num_tracks
+        pointers = np.arange(tracks + 1, dtype=np.int64)
+        return (np.ones(tracks, dtype=np.int64), pointers, disks,
+                pointers[1:], 1)
 
     def _ff_stream_plan(self, stream: Stream, cycle: int,
                         loads: list[int]) -> Optional[tuple[int, int]]:
@@ -465,3 +472,232 @@ class NonClusteredScheduler(CycleScheduler):
             planned += 1
             new_read += 1
         return new_read, planned
+
+    # -- degraded fast-forward ---------------------------------------------------------
+
+    def _ff_degraded_ready(self) -> bool:
+        """The degraded engine models exactly the states the quiescent
+        veto refuses: degraded clusters, open running XORs, and even
+        unprotected clusters (whose lost-track positions the read table
+        marks invalid, bailing before the scalar path would shed)."""
+        return True
+
+    def _ff_lazy_window(self, stream: Stream,
+                        ) -> Optional[tuple[int, list[int], int]]:
+        """``(group, tracks, failed offset)`` when the canonical LAZY
+        schedule holds an open accumulator at the stream's read pointer
+        (strictly after the group start, at or before the failed
+        offset), else None."""
+        if self.protocol is not TransitionProtocol.LAZY:
+            return None
+        if not stream.reads_remaining:
+            return None
+        group, offset = divmod(stream.next_read_track, self._stripe)
+        name = stream.object.name
+        tracks = self.layout.group_tracks(name, group)
+        cluster = self.layout.group_cluster(name, group)
+        failed = [o for o in sorted(self._degraded.get(cluster, ()))
+                  if o < len(tracks)]
+        if len(failed) != 1 or cluster in self._unprotected:
+            return None
+        if not self._parity_available(stream, group):
+            return None
+        if not 1 <= offset <= failed[0]:
+            return None
+        return group, tracks, failed[0]
+
+    def _ff_degraded_stream_ok(self, stream: Stream) -> bool:
+        """The stream must rest exactly on the canonical degraded
+        trajectory: one open running XOR iff the pointer is inside a
+        LAZY recovery window (with precisely the already-read members
+        folded), and never strictly past a recoverable group's burst
+        offset — a stream there crossed the group before the failure, so
+        it holds neither parity nor XOR and the static tables cannot
+        predict its buffers (it re-enters once delivery drains the
+        group)."""
+        sid = stream.stream_id
+        window = self._ff_lazy_window(stream)
+        if window is None:
+            if stream.accumulators or any(
+                    key[0] == sid for key in self._accumulators):
+                return False
+        else:
+            group, tracks, f = window
+            if set(stream.accumulators) != {group}:
+                return False
+            if any(key[0] == sid and key[1] != group
+                   for key in self._accumulators):
+                return False
+            acc = self._accumulators.get((sid, group))
+            if acc is None:
+                return False
+            offset = stream.next_read_track - tracks[0]
+            needed: set[object] = {t for i, t in enumerate(tracks)
+                                   if i != f}
+            needed.add("parity")
+            if not (acc.target_track == tracks[f]
+                    and acc.needed == needed
+                    and acc.folded == set(tracks[:offset])):
+                return False
+        if not stream.reads_remaining:
+            return True
+        group, offset = divmod(stream.next_read_track, self._stripe)
+        name = stream.object.name
+        tracks = self.layout.group_tracks(name, group)
+        cluster = self.layout.group_cluster(name, group)
+        failed = [o for o in sorted(self._degraded.get(cluster, ()))
+                  if o < len(tracks)]
+        if (len(failed) == 1 and cluster not in self._unprotected
+                and self._parity_available(stream, group)):
+            burst_offset = (0 if self.protocol is TransitionProtocol.EAGER
+                            or failed[0] == 0 else failed[0])
+            if offset > burst_offset:
+                return False
+        return True
+
+    def _ff_degraded_sync_stream(self, stream: Stream) -> None:
+        """Rematerialise the stream's running XOR at its new pointer.
+
+        In metadata mode every fold yields the zero-length token, so the
+        accumulator's payload is :meth:`ParityCodec.zero_block` verbatim
+        and only the bookkeeping (needed/folded/target) must be rebuilt.
+        """
+        sid = stream.stream_id
+        for key in [k for k in self._accumulators if k[0] == sid]:
+            del self._accumulators[key]
+        if not stream.is_active:
+            return  # complete() already cleared the stream side
+        stream.accumulators.clear()
+        window = self._ff_lazy_window(stream)
+        if window is None:
+            return
+        group, tracks, f = window
+        offset = stream.next_read_track - tracks[0]
+        needed: set[object] = {t for i, t in enumerate(tracks) if i != f}
+        needed.add("parity")
+        acc = _Accumulator(
+            payload=self.codec.zero_block(),
+            needed=needed,
+            folded=set(tracks[:offset]),
+            target_track=tracks[f],
+        )
+        self._accumulators[(sid, group)] = acc
+        stream.accumulators[group] = acc.payload
+
+    def _ff_degraded_credit(self, reconstructions: int) -> None:
+        """LAZY reconstructions complete through the accumulator path,
+        which the scalar run counts on the scheme's counters and credits
+        in :meth:`_finalise`; the engine has already folded the count
+        into its cycle reports, so both counters advance together.
+        EAGER reconstructions go through the base reconstruct phase and
+        touch neither counter."""
+        if self.protocol is TransitionProtocol.LAZY:
+            self._completed_reconstructions += reconstructions
+            self._reconstructions_credited += reconstructions
+
+    def _ff_degraded_pool_tracks(self, open_accumulators: int) -> int:
+        """Pool commitment is lease-granular (per degraded cluster), not
+        per accumulator, so it is constant across a degraded epoch."""
+        return self.pool.tracks_in_use if self.pool is not None else 0
+
+    def _ff_degraded_read_table(self, obj: MediaObject,
+                                failed: list[int]) -> Optional[tuple]:
+        """Per-track degraded table (divisor 1): natural-pace single
+        reads, with the protocol's recovery burst folded into the group's
+        scalar burst position — EAGER at the group start, LAZY at the
+        failed offset (where the running XOR completes same-cycle).
+        Unrecoverable failed offsets are invalid rows: the scalar path
+        sheds the track there, a transition the engine must not cross.
+        """
+        stripe = self._stripe
+        layout = self.layout
+        name = obj.name
+        data_address = layout.data_address
+        sizes: list[int] = []
+        flat: list[int] = []
+        nexts: list[int] = []
+        data_counts: list[int] = []
+        parity_flags: list[int] = []
+        valid: list[bool] = []
+        deg_pairs: list[tuple[int, int]] = []
+        acc_info: dict[int, tuple[int, int]] = {}
+        eager = self.protocol is TransitionProtocol.EAGER
+
+        def single(track: int) -> None:
+            sizes.append(1)
+            flat.append(data_address(name, track).disk_id)
+            nexts.append(track + 1)
+            data_counts.append(1)
+            parity_flags.append(0)
+            valid.append(True)
+
+        def lost(track: int) -> None:
+            sizes.append(0)
+            nexts.append(track + 1)
+            data_counts.append(0)
+            parity_flags.append(0)
+            valid.append(False)
+
+        for group in range(-(-obj.num_tracks // stripe)):
+            tracks = layout.group_tracks(name, group)
+            cluster = layout.group_cluster(name, group)
+            failed = [o for o in sorted(self._degraded.get(cluster, ()))
+                      if o < len(tracks)]
+            if not failed:
+                for track in tracks:
+                    single(track)
+                continue
+            parity_disk = layout.parity_address(name, group).disk_id
+            recoverable = (len(failed) == 1
+                           and cluster not in self._unprotected
+                           and not self.array[parity_disk].is_failed)
+            f = failed[0]
+            after = tracks[-1] + 1
+            for offset, track in enumerate(tracks):
+                if not recoverable:
+                    if offset in failed:
+                        lost(track)
+                    else:
+                        single(track)
+                elif eager:
+                    if offset == 0:
+                        burst = [data_address(name, m).disk_id
+                                 for o, m in enumerate(tracks) if o != f]
+                        burst.append(parity_disk)
+                        sizes.append(len(burst))
+                        flat.extend(burst)
+                        nexts.append(after)
+                        data_counts.append(len(tracks) - 1)
+                        parity_flags.append(1)
+                        valid.append(True)
+                        deg_pairs.append((group, after))
+                    elif offset == f:
+                        # Mid-group under EAGER: the burst was missed, so
+                        # the scalar path sheds the failed track here.
+                        lost(track)
+                    else:
+                        single(track)
+                elif offset == f:
+                    burst = [data_address(name, m).disk_id
+                             for m in tracks[f + 1:]]
+                    burst.append(parity_disk)
+                    sizes.append(len(burst))
+                    flat.extend(burst)
+                    nexts.append(after)
+                    data_counts.append(len(tracks) - f - 1)
+                    parity_flags.append(1)
+                    valid.append(True)
+                    deg_pairs.append((group, after))
+                    if f >= 1:
+                        acc_info[group] = (tracks[0] + 1, tracks[f])
+                else:
+                    single(track)
+        cnt = np.asarray(sizes, dtype=np.int64)
+        ptr = np.zeros(len(cnt) + 1, dtype=np.int64)
+        np.cumsum(cnt, out=ptr[1:])
+        return (cnt, ptr, np.asarray(flat, dtype=np.int64),
+                np.asarray(nexts, dtype=np.int64),
+                np.asarray(data_counts, dtype=np.int64),
+                np.asarray(parity_flags, dtype=np.int64),
+                np.asarray(valid, dtype=bool),
+                tuple(deg_pairs), acc_info, 1)

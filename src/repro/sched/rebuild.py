@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 if TYPE_CHECKING:
     from repro.sched.base import CycleScheduler
 
@@ -33,7 +35,7 @@ from repro.errors import (
     ReconstructionError,
 )
 from repro.layout.address import BlockKind, DiskAddress, StoredBlock
-from repro.parity.xor import ParityCodec
+from repro.parity.xor import META_PAYLOAD, ParityCodec
 
 
 class OnlineRebuilder:
@@ -48,7 +50,8 @@ class OnlineRebuilder:
 
     __slots__ = ("scheduler", "disk_id", "writes_per_cycle", "codec",
                  "_pending", "total_blocks", "blocks_rebuilt",
-                 "reads_consumed", "completed", "media_blocked")
+                 "reads_consumed", "completed", "media_blocked",
+                 "_ff_plan", "_ff_plan_key")
 
     def __init__(self, scheduler: "CycleScheduler", disk_id: int,
                  writes_per_cycle: Optional[int] = None) -> None:
@@ -71,6 +74,10 @@ class OnlineRebuilder:
         #: Rebuild steps deferred because a source read hit a media error.
         self.media_blocked = 0
         self.completed = self.total_blocks == 0
+        # Flattened source/target plan for the degraded fast-forward
+        # engine; rebuilt lazily and re-keyed on layout/array epochs.
+        self._ff_plan: Optional[tuple] = None
+        self._ff_plan_key: Optional[tuple] = None
         # FAILED -> REBUILDING: the fault-domain state machine marks the
         # spare reconstruction in progress (reads keep failing until done).
         scheduler.array[disk_id].begin_rebuild()
@@ -140,6 +147,86 @@ class OnlineRebuilder:
             self.completed = True
             self.scheduler.repair_disk(self.disk_id)
         return rebuilt
+
+    # -- fast-forward support --------------------------------------------------
+
+    def prepare_fast_plan(self) -> Optional[tuple]:
+        """Flatten the pending queue into numpy source/target arrays.
+
+        Returns ``(src, off, pos, built_at)`` where block ``i`` of the
+        planned order reads disks ``src[off[i]:off[i+1]]`` and writes the
+        spare at ``pos[i]``; ``built_at`` anchors the cursor so
+        ``blocks_rebuilt - built_at`` indexes the next pending block.
+        Returns ``None`` when any source sits on a failed disk (a second
+        failure in the group — the scalar path raises, so the engine must
+        bail and let it).  The plan is memoised against the scheduler's
+        plan-cache key plus ``media_blocked`` (media deferrals rotate the
+        queue, invalidating the flattened order).
+        """
+        key = (self.scheduler._plan_cache_key, self.media_blocked)
+        plan = self._ff_plan
+        if plan is not None and self._ff_plan_key == key:
+            built_at = plan[3]
+            if built_at + len(plan[2]) == (self.blocks_rebuilt
+                                           + len(self._pending)):
+                return plan
+        array = self.scheduler.array
+        src_ids: list[int] = []
+        offsets = [0]
+        positions: list[int] = []
+        for block in self._pending:
+            sources = self._source_addresses(block)
+            if any(array[a.disk_id].is_failed for a in sources):
+                return None
+            src_ids.extend(a.disk_id for a in sources)
+            offsets.append(len(src_ids))
+            positions.append(self._target_address(block).position)
+        plan = (np.asarray(src_ids, dtype=np.int64),
+                np.asarray(offsets, dtype=np.int64),
+                np.asarray(positions, dtype=np.int64),
+                self.blocks_rebuilt)
+        self._ff_plan = plan
+        self._ff_plan_key = key
+        return plan
+
+    def fast_step(self, idle: "np.ndarray", load_sink: "np.ndarray") -> int:
+        """One cycle's rebuild against a vectorised idle-slot budget.
+
+        Mirrors :meth:`run_step` bit-for-bit in metadata mode: same
+        slot-availability check (all sources ≥ 1 before consuming, so
+        duplicate source disks can legitimately drive a slot negative,
+        exactly as the scalar loop does), same break-on-short-slot, same
+        spare writes in queue order.  Source reads are accounted through
+        ``load_sink`` — the engine folds them into its bulk per-disk
+        ``reads`` writeback — rather than issued per block.  The engine
+        never lets a fast cycle reach completion (it bails one cycle
+        early), but completion here matches the scalar path regardless.
+        """
+        if self.completed:
+            return 0
+        src, off, pos, built_at = self._ff_plan
+        base = self.blocks_rebuilt - built_at
+        limit = min(self.writes_per_cycle, len(self._pending))
+        take = 0
+        while take < limit:
+            block_src = src[off[base + take]:off[base + take + 1]]
+            if (idle[block_src] < 1).any():
+                break
+            np.subtract.at(idle, block_src, 1)
+            take += 1
+        if take:
+            span = src[off[base]:off[base + take]]
+            np.add.at(load_sink, span, 1)
+            self.reads_consumed += int(off[base + take] - off[base])
+            spare = self.scheduler.array[self.disk_id]
+            for index in range(take):
+                spare.write(int(pos[base + index]), META_PAYLOAD)
+                self._pending.popleft()
+            self.blocks_rebuilt += take
+        if not self._pending:
+            self.completed = True
+            self.scheduler.repair_disk(self.disk_id)
+        return take
 
     # -- helpers ---------------------------------------------------------------
 

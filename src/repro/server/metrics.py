@@ -156,6 +156,14 @@ class SimulationReport:
     tail: Optional[int] = None
     #: Streaming aggregates; created on first record when ``tail`` is set.
     reducer: Optional[MetricsReducer] = None
+    #: Cycles advanced by a fast-forward engine (diagnostic; deliberately
+    #: outside :meth:`to_rows`/:meth:`summary` so fast and scalar runs
+    #: stay fingerprint-identical).
+    ff_engaged_cycles: int = 0
+    #: Why the fast path declined or bailed, reason -> event count.
+    #: Event-granular, not cycle-granular: one entry per engine entry
+    #: that was refused plus one per in-epoch bail.
+    ff_disengagements: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.tail is not None and self.tail < 0:
@@ -279,6 +287,17 @@ class SimulationReport:
     def hiccup_free(self) -> bool:
         """True if no track ever missed its deadline."""
         return self.total_hiccups == 0
+
+    def ff_residency(self) -> float:
+        """Fraction of the run's cycles advanced by a fast-forward engine.
+
+        Benchmarks and chaos campaigns assert on this instead of (only)
+        wall-clock: a perf regression that silently drops the fast path
+        shows up here even on machines too fast to trip a time gate.
+        """
+        total = (self.reducer.cycles_seen if self.reducer is not None
+                 else len(self.cycles))
+        return self.ff_engaged_cycles / total if total else 0.0
 
     def to_rows(self) -> list[dict[str, int]]:
         """Per-cycle metrics as flat dicts (CSV/DataFrame-friendly)."""

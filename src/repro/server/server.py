@@ -221,7 +221,8 @@ class MultimediaServer:
         advances to the next event boundary with the quiescent-epoch
         engine enabled — scripted faults therefore land on exactly the
         cycle they name, and results stay bit-identical to the scalar
-        loop.
+        loop.  The cycle before a mid-cycle failure strike always runs
+        scalar, so the strike finds the in-flight reads it invalidates.
         """
         reports: list[CycleReport] = []
         if not fast_forward:
@@ -231,13 +232,21 @@ class MultimediaServer:
             return reports
         end = self.scheduler.cycle_index + cycles
         event_cycles = schedule.event_cycles()
+        mid_cycles = set(schedule.mid_cycle_event_cycles())
         while self.scheduler.cycle_index < end:
             current = self.scheduler.cycle_index
             schedule.apply(self.scheduler, current)
             boundary = min((c for c in event_cycles if current < c < end),
                            default=end)
-            reports.extend(self.scheduler.run_cycles(
-                boundary - current, fast_forward=True))
+            span = boundary - current
+            if boundary in mid_cycles:
+                if span > 1:
+                    reports.extend(self.scheduler.run_cycles(
+                        span - 1, fast_forward=True))
+                reports.append(self.scheduler.run_cycle())
+            else:
+                reports.extend(self.scheduler.run_cycles(
+                    span, fast_forward=True))
         return reports
 
     def run_workload(self, trace: Union[Sequence["StreamRequest"],
@@ -293,16 +302,30 @@ class MultimediaServer:
             }
             event_cycles = (schedule.event_cycles()
                             if schedule is not None else ())
+            mid_cycles = (set(schedule.mid_cycle_event_cycles())
+                          if schedule is not None else set())
             while self.scheduler.cycle_index < end:
                 current = self.scheduler.cycle_index
                 if schedule is not None:
                     schedule.apply(self.scheduler, current)
                 boundary = min((c for c in event_cycles
                                 if current < c < end), default=end)
-                _, batch_admitted, batch_rejected = self.scheduler.run_churn(
-                    boundary - current, arrivals)
-                admitted += batch_admitted
-                rejected += batch_rejected
+                span = boundary - current
+                # The cycle feeding a mid-cycle strike must execute real
+                # reads, so keep it scalar (see run_with_schedule).
+                scalar_tail = 1 if boundary in mid_cycles else 0
+                if span - scalar_tail > 0:
+                    _, batch_admitted, batch_rejected = \
+                        self.scheduler.run_churn(span - scalar_tail,
+                                                 arrivals)
+                    admitted += batch_admitted
+                    rejected += batch_rejected
+                if scalar_tail:
+                    _, batch_admitted, batch_rejected = \
+                        self.scheduler.run_churn(1, arrivals,
+                                                 fast_forward=False)
+                    admitted += batch_admitted
+                    rejected += batch_rejected
         unarrived = compiled.total - (compiled.arrivals_before(end)
                                       - compiled.arrivals_before(start))
         return WorkloadResult(admitted, rejected, unarrived)

@@ -84,6 +84,20 @@ class TestReplay:
         second = replay(Scheme.NON_CLUSTERED, events, SHORT.cycles)
         assert snapshot_digest(first) == snapshot_digest(second)
 
+    @pytest.mark.parametrize("scheme", [
+        Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP,
+        Scheme.NON_CLUSTERED, Scheme.IMPROVED_BANDWIDTH,
+    ], ids=lambda s: s.value)
+    def test_fast_forward_replay_matches_scalar(self, scheme):
+        """The segmented fast-forward replay is digest-identical to the
+        scalar loop on a full-length campaign (degraded epochs, mid-cycle
+        strikes, latent errors and all)."""
+        profile = ChaosProfile()
+        events = generate_script(scheme, 7, profile)
+        scalar = replay(scheme, events, profile.cycles, fast_forward=False)
+        fast = replay(scheme, events, profile.cycles, fast_forward=True)
+        assert snapshot_digest(fast) == snapshot_digest(scalar)
+
     def test_snapshot_captures_the_fault_surface(self):
         snap = replay(Scheme.STREAMING_RAID,
                       generate_script(Scheme.STREAMING_RAID, 7, SHORT),
@@ -144,3 +158,14 @@ class TestCampaign:
                              check_payload_mode=False)
         assert first.passed and second.passed
         assert first.digest == second.digest
+
+    def test_campaign_digest_is_fast_forward_invariant(self):
+        """Campaigns ride the epoch engines by default; forcing the
+        scalar loop must reproduce the same digest."""
+        fast = run_campaign(Scheme.NON_CLUSTERED, 7, profile=SHORT,
+                            check_payload_mode=False, fast_forward=True)
+        scalar = run_campaign(Scheme.NON_CLUSTERED, 7, profile=SHORT,
+                              check_payload_mode=False, fast_forward=False)
+        assert fast.passed, fast.violations
+        assert scalar.passed, scalar.violations
+        assert fast.digest == scalar.digest

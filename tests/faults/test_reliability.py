@@ -15,7 +15,9 @@ from repro.analysis import (
 from repro.faults import (
     catastrophic_condition,
     k_concurrent_condition,
+    measure_rebuild_window,
     simulate_mean_time_to,
+    simulate_mttds_with_measured_window,
 )
 from repro.layout import ClusteredParityLayout, ImprovedBandwidthLayout
 from repro.schemes import Scheme
@@ -108,3 +110,42 @@ def test_validation():
                               replications=0)
     with pytest.raises(ValueError):
         k_concurrent_condition(0)
+
+
+# -- measured rebuild windows ----------------------------------------------------
+
+
+def _warm_server(scheme=Scheme.STREAMING_RAID):
+    from tests.conftest import build_server
+    server = build_server(scheme, num_disks=10, verify_payloads=False)
+    for name in server.catalog.names()[:3]:
+        server.admit(name)
+    for _ in range(5):
+        server.run_cycle()
+    return server
+
+
+def test_measured_rebuild_window_is_fast_forward_invariant():
+    windows = []
+    for fast_forward in (False, True):
+        server = _warm_server()
+        windows.append(measure_rebuild_window(
+            server, disk_id=0, writes_per_cycle=1,
+            fast_forward=fast_forward))
+    scalar, fast = windows
+    assert (scalar.cycles, scalar.blocks) == (fast.cycles, fast.blocks)
+    assert scalar.hours == fast.hours
+    assert scalar.ff_engaged_cycles == 0
+    assert fast.ff_engaged_cycles > 0
+    assert 0.0 < fast.ff_residency <= 1.0
+
+
+def test_measured_window_feeds_the_monte_carlo():
+    server = _warm_server()
+    window, estimate = simulate_mttds_with_measured_window(
+        server, k_concurrent_condition(2), mttf_disk_hours=0.01,
+        replications=40, seed=3)
+    assert window.cycles > 0
+    assert window.blocks > 0
+    assert estimate.samples == 40
+    assert estimate.mean_hours > 0

@@ -125,3 +125,134 @@ def test_fast_forward_advances_cycle_index() -> None:
     server.run_cycles(CYCLES, fast_forward=True)
     assert server.scheduler.cycle_index == CYCLES
     assert len(server.report.cycles) == CYCLES
+
+
+# -- stable-degraded epochs ------------------------------------------------------
+
+
+def _deep_fingerprint(server: MultimediaServer, reports: list) -> tuple:
+    """The PR-4 fingerprint plus the degraded/rebuild surface: per-disk
+    writes and fault-domain states, per-stream reconstruction credit,
+    and every rebuilder's cursor."""
+    streams = sorted(server.scheduler.streams.values(),
+                     key=lambda s: s.stream_id)
+    return _fingerprint(server, reports) + (
+        tuple(disk.writes for disk in server.array.disks),
+        tuple(disk.state.name for disk in server.array.disks),
+        tuple(s.reconstructed_tracks for s in streams),
+        tuple(sorted(s.lost_tracks) for s in streams),
+        tuple((r.disk_id, r.blocks_rebuilt, r.reads_consumed, r.completed)
+              for r in server.scheduler.rebuilders),
+    )
+
+
+def _run_degraded_pair(scheme: Scheme, drive,
+                       **kwargs: object) -> tuple[tuple, tuple, object]:
+    slow = _scheme_server(scheme, **kwargs)
+    fast = _scheme_server(scheme, **kwargs)
+    for name in slow.catalog.names()[:3]:
+        slow.admit(name)
+        fast.admit(name)
+    slow_reports = drive(slow, False)
+    fast_reports = drive(fast, True)
+    return (_deep_fingerprint(slow, slow_reports),
+            _deep_fingerprint(fast, fast_reports),
+            fast.report)
+
+
+def _rebuild_drive(server: MultimediaServer, fast_forward: bool) -> list:
+    """fail -> degraded steady state -> online rebuild -> restored."""
+    reports = server.run_cycles(5, fast_forward=fast_forward)
+    server.scheduler.fail_disk(0)
+    reports += server.run_cycles(10, fast_forward=fast_forward)
+    server.scheduler.start_rebuild(0, writes_per_cycle=1)
+    reports += server.run_cycles(45, fast_forward=fast_forward)
+    return reports
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_degraded_rebuild_matches_scalar(scheme: Scheme) -> None:
+    """The stable-degraded engine is bit-equal through an entire
+    fail -> degraded -> rebuild -> restore arc, and actually engages."""
+    slow, fast, report = _run_degraded_pair(scheme, _rebuild_drive)
+    assert fast == slow
+    assert report.ff_engaged_cycles > 0
+    # The engine must hand rebuild completion back to the scalar path.
+    assert report.ff_disengagements.get("rebuild-complete", 0) >= 1
+
+
+@pytest.mark.parametrize("protocol", ["lazy", "eager"])
+def test_degraded_nc_protocols_match_scalar(protocol: str) -> None:
+    """Both NC transition protocols ride the degraded engine."""
+    from repro.sched.non_clustered import TransitionProtocol
+    proto = (TransitionProtocol.EAGER if protocol == "eager"
+             else TransitionProtocol.LAZY)
+    slow, fast, report = _run_degraded_pair(
+        Scheme.NON_CLUSTERED, _rebuild_drive, protocol=proto)
+    assert fast == slow
+    assert report.ff_engaged_cycles > 0
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_degraded_media_error_matches_scalar(scheme: Scheme) -> None:
+    """A latent sector error mid-epoch forces a scalar interlude; the
+    run stays bit-equal and the engine re-engages once it clears."""
+    def drive(server: MultimediaServer, fast_forward: bool) -> list:
+        reports = server.run_cycles(5, fast_forward=fast_forward)
+        server.scheduler.fail_disk(0)
+        reports += server.run_cycles(5, fast_forward=fast_forward)
+        position = sorted(server.array[1].positions())[0]
+        server.inject_media_error(1, position, transient=True)
+        reports += server.run_cycles(20, fast_forward=fast_forward)
+        return reports
+
+    slow, fast, report = _run_degraded_pair(scheme, drive)
+    assert fast == slow
+    assert report.ff_engaged_cycles > 0
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_degraded_double_failure_matches_scalar(scheme: Scheme) -> None:
+    """A second failure (data loss + shed) bails the engine; the scalar
+    interlude and the surviving epochs stay bit-equal."""
+    def drive(server: MultimediaServer, fast_forward: bool) -> list:
+        reports = server.run_cycles(5, fast_forward=fast_forward)
+        server.scheduler.fail_disk(0)
+        reports += server.run_cycles(5, fast_forward=fast_forward)
+        server.scheduler.fail_disk(1)
+        reports += server.run_cycles(10, fast_forward=fast_forward)
+        server.scheduler.repair_disk(0)
+        server.scheduler.repair_disk(1)
+        reports += server.run_cycles(10, fast_forward=fast_forward)
+        return reports
+
+    slow, fast, report = _run_degraded_pair(scheme, drive)
+    assert fast == slow
+    assert report.ff_engaged_cycles > 0
+
+
+def test_residency_counters_stay_out_of_the_fingerprint() -> None:
+    """ff_engaged_cycles / ff_disengagements diverge between modes by
+    design — the fingerprint (which both runs must share) excludes them,
+    and ff_residency() reports the engaged fraction."""
+    slow = _scheme_server(Scheme.STREAMING_RAID)
+    fast = _scheme_server(Scheme.STREAMING_RAID)
+    for name in slow.catalog.names()[:3]:
+        slow.admit(name)
+        fast.admit(name)
+    slow.run_cycles(CYCLES, fast_forward=False)
+    fast.run_cycles(CYCLES, fast_forward=True)
+    assert slow.report.ff_engaged_cycles == 0
+    assert slow.report.ff_residency() == 0.0
+    assert fast.report.ff_engaged_cycles > 0
+    assert 0.0 < fast.report.ff_residency() <= 1.0
+
+
+def test_disengagement_reasons_are_tallied() -> None:
+    """Every refused entry names its reason; payload mode is the
+    canonical always-refused state."""
+    server = _scheme_server(Scheme.STREAMING_RAID, verify_payloads=True)
+    server.admit(server.catalog.names()[0])
+    server.run_cycles(5, fast_forward=True)
+    assert server.report.ff_engaged_cycles == 0
+    assert server.report.ff_disengagements.get("payload-mode", 0) > 0

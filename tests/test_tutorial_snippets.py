@@ -162,3 +162,22 @@ def test_section8_scale_levers():
     serial = simulate_mean_time_to(10, 1000.0, 24.0, condition,
                                    replications=8, workers=1)
     assert estimate.mean_hours == serial.mean_hours
+
+
+def test_section8_degraded_fast_forward():
+    params = SystemParameters.paper_table1(num_disks=10)
+    server = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID)
+    for name in server.catalog.names()[:3]:
+        server.admit(name)
+
+    server.run_cycles(5, fast_forward=True)      # healthy engine
+    server.fail_disk(0)
+    server.run_cycles(10, fast_forward=True)     # degraded engine
+    server.scheduler.start_rebuild(0, writes_per_cycle=1)
+    server.run_cycles(45, fast_forward=True)     # rebuild rides along
+
+    report = server.report
+    assert report.total_hiccups == 0             # failure fully masked
+    assert round(report.ff_residency(), 2) == 0.98
+    assert report.ff_disengagements == {"rebuild-complete": 1}
+    assert not server.array[0].is_failed         # rebuild restored it
