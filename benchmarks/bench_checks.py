@@ -1,0 +1,124 @@
+"""Analyzer benchmark: full run vs ``--changed-only`` incremental run.
+
+The interprocedural rules need the whole tree parsed either way (the
+call graph must be project-wide to be sound), so the win from
+``--changed-only`` is in *reporting scope*, not parse time — the gate
+here is correctness plus a sanity bound, not a raw speedup claim:
+
+1. **Scope soundness** — the findings a changed-only run reports on a
+   single touched file must be exactly the full run's findings filtered
+   to that file's dependent closure (here: both clean).
+2. **Wall-clock sanity** — the incremental run must not be dramatically
+   slower than the full run (it adds one extra parse pass plus the git
+   diff); the gate allows 2.5x.
+
+Results land in ``benchmarks/BENCH_checks.json``.  Run standalone::
+
+    python benchmarks/bench_checks.py
+
+or through pytest (the acceptance gates)::
+
+    pytest benchmarks/bench_checks.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+from repro.checks.core import Analyzer
+from repro.checks.incremental import GitError, affected_files
+from repro.checks.rules import default_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "benchmarks" / "BENCH_checks.json"
+ANALYZE_PATHS = [REPO_ROOT / "src", REPO_ROOT / "tests"]
+#: Slowdown budget for the incremental path (it re-parses once for the
+#: dependent closure and shells out to git).
+MAX_INCREMENTAL_RATIO = 2.5
+
+
+def _git_head() -> str | None:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return completed.stdout.strip() or None
+
+
+def run_benchmark() -> dict[str, object]:
+    """Time a full run and a changed-only run; return the record."""
+    analyzer = Analyzer(default_rules())
+
+    start = time.perf_counter()
+    full = analyzer.check_paths(ANALYZE_PATHS)
+    full_s = time.perf_counter() - start
+
+    head = _git_head()
+    incremental: dict[str, object] = {"available": False}
+    if head is not None:
+        analyzed = sorted(analyzer._expand(ANALYZE_PATHS))
+        start = time.perf_counter()
+        try:
+            scope = affected_files(head, analyzed, repo_root=REPO_ROOT)
+            report = analyzer.check_paths(ANALYZE_PATHS, only_files=scope)
+        except GitError:
+            scope, report = None, None
+        incremental_s = time.perf_counter() - start
+        if report is not None and scope is not None:
+            in_scope = {f for f in scope}
+            expected = [f for f in full.findings if f.path in in_scope]
+            incremental = {
+                "available": True,
+                "ref": head,
+                "files_in_scope": len(scope),
+                "wall_s": round(incremental_s, 4),
+                "ratio_vs_full": round(incremental_s / full_s, 2)
+                if full_s > 0 else 0.0,
+                "findings": len(report.findings),
+                "scope_sound": [f.to_dict() for f in report.findings]
+                == [f.to_dict() for f in expected],
+            }
+
+    return {
+        "benchmark": "bench_checks",
+        "full": {
+            "files_checked": full.files_checked,
+            "rules": len(full.rules_run),
+            "findings": len(full.findings),
+            "clean": full.ok,
+            "wall_s": round(full_s, 4),
+        },
+        "incremental": incremental,
+    }
+
+
+def write_results(record: dict[str, object]) -> None:
+    RESULT_PATH.write_text(json.dumps(record, indent=1) + "\n",
+                           encoding="utf-8")
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def test_checks_benchmark() -> None:
+    record = run_benchmark()
+    write_results(record)
+    full = record["full"]
+    assert full["clean"], f"tree not clean: {full['findings']} finding(s)"
+    incremental = record["incremental"]
+    if incremental.get("available"):
+        assert incremental["scope_sound"], \
+            "changed-only findings diverge from full-run filter"
+        assert incremental["ratio_vs_full"] <= MAX_INCREMENTAL_RATIO, \
+            (f"incremental run {incremental['ratio_vs_full']}x slower "
+             f"than full (budget {MAX_INCREMENTAL_RATIO}x)")
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    write_results(result)
+    print(json.dumps(result, indent=1))

@@ -12,6 +12,9 @@ Usage::
     python -m repro.checks --list-rules           # rule catalog
     python -m repro.checks --self-test            # built-in fixtures
     python -m repro.checks --format json src/     # CI output
+    python -m repro.checks --format sarif src/    # code-scanning output
+    python -m repro.checks --changed-only REF     # diff + dependents only
+    python -m repro.checks --mutation-audit       # audit the analyzer
 """
 
 from __future__ import annotations
@@ -25,21 +28,36 @@ from repro.checks.core import (
     Report,
     Rule,
 )
-from repro.checks.fixtures import FIXTURES, Fixture, run_self_test
+from repro.checks.callgraph import CallGraph
+from repro.checks.effects import EffectSummary, ProjectAnalysis
+from repro.checks.fixtures import (
+    FIXTURES,
+    PROJECT_FIXTURES,
+    Fixture,
+    ProjectFixture,
+    run_self_test,
+)
+from repro.checks.mutation import run_mutation_audit
 from repro.checks.rules import ALL_RULES, default_rules, rules_by_id
 
 __all__ = [
     "ALL_RULES",
     "AnalysisError",
     "Analyzer",
+    "CallGraph",
+    "EffectSummary",
     "FIXTURES",
     "FileContext",
     "Finding",
     "Fixture",
+    "PROJECT_FIXTURES",
+    "ProjectAnalysis",
+    "ProjectFixture",
     "ProjectIndex",
     "Report",
     "Rule",
     "default_rules",
     "rules_by_id",
+    "run_mutation_audit",
     "run_self_test",
 ]

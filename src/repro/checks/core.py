@@ -225,6 +225,10 @@ class FileContext:
     tree: ast.Module
     index: ProjectIndex
     lines: list[str] = field(default_factory=list)
+    #: Project-wide call graph + effect summaries (``ProjectAnalysis``).
+    #: Always set by the analyzer; typed loosely to avoid an import
+    #: cycle with :mod:`repro.checks.effects`.
+    project: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -365,8 +369,14 @@ class Analyzer:
             rules = default_rules()
         self.rules: tuple[Rule, ...] = tuple(rules)
 
-    def check_paths(self, paths: Iterable[str | Path]) -> Report:
-        """Analyze every ``.py`` file under the given paths."""
+    def check_paths(self, paths: Iterable[str | Path],
+                    only_files: Optional[set[str]] = None) -> Report:
+        """Analyze every ``.py`` file under the given paths.
+
+        ``only_files`` restricts which files *report* findings (the
+        incremental ``--changed-only`` mode); every file is still parsed
+        so the project index and call graph stay whole.
+        """
         files = sorted(self._expand(paths))
         parsed: list[tuple[str, str, ast.Module]] = []
         index = ProjectIndex()
@@ -381,10 +391,17 @@ class Analyzer:
             rel = _relativise(file_path)
             parsed.append((rel, source, tree))
             index.add_tree(rel, tree)
+        from repro.checks.effects import ProjectAnalysis
+        project = ProjectAnalysis.build(parsed)
+        checked = 0
         for rel, source, tree in parsed:
-            findings.extend(self._run_rules(rel, source, tree, index))
+            if only_files is not None and rel not in only_files:
+                continue
+            checked += 1
+            findings.extend(self._run_rules(rel, source, tree, index,
+                                            project))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-        return Report(findings=findings, files_checked=len(parsed),
+        return Report(findings=findings, files_checked=checked,
                       rules_run=tuple(rule.rule_id for rule in self.rules))
 
     def check_source(self, source: str, path: str,
@@ -392,19 +409,45 @@ class Analyzer:
         """Analyze one in-memory snippet as if it lived at ``path``.
 
         The synthetic path decides which rules run — fixtures place
-        snippets at paths inside each rule's scope.
+        snippets at paths inside each rule's scope.  The call graph the
+        flow rules see spans just this snippet, so fixtures exercise
+        them with self-contained call chains.
         """
         tree = ast.parse(source, filename=path)
         if index is None:
             index = ProjectIndex()
             index.add_tree(path, tree)
-        return sorted(self._run_rules(path, source, tree, index),
+        from repro.checks.effects import ProjectAnalysis
+        project = ProjectAnalysis.build([(path, source, tree)])
+        return sorted(self._run_rules(path, source, tree, index, project),
                       key=lambda f: (f.line, f.col, f.rule_id))
 
+    def check_sources(self, files: Sequence[tuple[str, str]],
+                      ) -> list[Finding]:
+        """Analyze several in-memory ``(path, source)`` files as one
+        project — the multi-file counterpart of :meth:`check_source`,
+        used by fixtures and tests that exercise cross-file flow rules
+        (cross-subsystem taint, caller-side cache guards)."""
+        parsed: list[tuple[str, str, ast.Module]] = []
+        index = ProjectIndex()
+        for path, source in files:
+            tree = ast.parse(source, filename=path)
+            parsed.append((path, source, tree))
+            index.add_tree(path, tree)
+        from repro.checks.effects import ProjectAnalysis
+        project = ProjectAnalysis.build(parsed)
+        findings: list[Finding] = []
+        for path, source, tree in parsed:
+            findings.extend(self._run_rules(path, source, tree, index,
+                                            project))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
     def _run_rules(self, path: str, source: str, tree: ast.Module,
-                   index: ProjectIndex) -> list[Finding]:
+                   index: ProjectIndex, project: object) -> list[Finding]:
         suppressions = collect_suppressions(source)
-        ctx = FileContext(path=path, source=source, tree=tree, index=index)
+        ctx = FileContext(path=path, source=source, tree=tree, index=index,
+                          project=project)
         out: list[Finding] = []
         for rule in self.rules:
             if not rule.applies_to(path):

@@ -539,6 +539,29 @@ FIXTURES: tuple[Fixture, ...] = (
                 return disks * price_per_disk
         """),
     ),
+    Fixture(
+        label="R6-bad-lambda-assigned",
+        path="src/repro/analysis/example.py",
+        code=_snippet("""
+            cost = lambda disks: disks * 2.0
+
+
+            class Sizer:
+                __slots__ = ("streams",)
+
+                scale = lambda factor: factor
+        """),
+        expect=(("R6", 1), ("R6", 7)),
+    ),
+    Fixture(
+        label="R6-good-annotated-lambda",
+        path="src/repro/analysis/example.py",
+        code=_snippet("""
+            from typing import Callable
+
+            cost: Callable[[int], float] = lambda disks: disks * 2.0
+        """),
+    ),
     # -- R7 spawn-safety -----------------------------------------------------
     Fixture(
         label="R7-bad-lambda-payload",
@@ -610,6 +633,333 @@ FIXTURES: tuple[Fixture, ...] = (
                 return TaskSpec(lambda: 1, label="ok")  # repro: allow(R7)
         """),
     ),
+    # -- R8 ff-purity --------------------------------------------------------
+    Fixture(
+        label="R8-bad-impure-probe",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_queue",)
+
+                def _fast_forward_ready(self) -> bool:
+                    self._queue.pop()
+                    return True
+        """),
+        expect=(("R8", 4),),
+    ),
+    Fixture(
+        label="R8-bad-reachable-helper",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_pending",)
+
+                def _ff_classify(self) -> int:
+                    return self._scan()
+
+                def _scan(self) -> int:
+                    self._pending.append(1)
+                    return len(self._pending)
+        """),
+        expect=(("R8", 7),),
+    ),
+    Fixture(
+        label="R8-good-probe-writes-report",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("report", "active")
+
+                def _ff_classify(self) -> int:
+                    self.report.setdefault("probes", 0)
+                    return len(self.active)
+        """),
+    ),
+    Fixture(
+        label="R8-suppressed-callee-def",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_pending",)
+
+                def _ff_classify(self) -> int:
+                    return self._scan()
+
+                def _scan(self) -> int:  # repro: allow(R8)
+                    self._pending.append(1)
+                    return len(self._pending)
+        """),
+    ),
+    Fixture(
+        label="R8-suppressed-call-site",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_pending",)
+
+                def _ff_classify(self) -> int:
+                    return self._scan()  # repro: allow(R8)
+
+                def _scan(self) -> int:
+                    self._pending.append(1)
+                    return len(self._pending)
+        """),
+    ),
+    # -- R9 cache-keys -------------------------------------------------------
+    Fixture(
+        label="R9-bad-incomplete-key",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_plan_cache", "_plan_cache_key", "layout")
+
+                def refresh(self) -> None:
+                    self._plan_cache = {}
+                    self._plan_cache_key = (self.layout.epoch,)
+        """),
+        expect=(("R9", 6),),
+    ),
+    Fixture(
+        label="R9-bad-unguarded-read",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_plan_cache",)
+
+                def peek(self, name: str) -> object:
+                    return self._plan_cache.get(name)
+        """),
+        expect=(("R9", 5),),
+    ),
+    Fixture(
+        label="R9-good-caller-guards-read",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_plan_cache", "_plan_cache_key",
+                             "layout", "array")
+
+                def run(self) -> object:
+                    key = (self.layout.epoch, self.array.state_epoch)
+                    if self._plan_cache_key != key:
+                        self._plan_cache = {}
+                        self._plan_cache_key = key
+                    return self._lookup()
+
+                def _lookup(self) -> object:
+                    return self._plan_cache.get("x")
+        """),
+    ),
+    Fixture(
+        label="R9-suppressed-read",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_plan_cache",)
+
+                def peek(self, name: str) -> object:
+                    # caller re-keys every cycle  # repro: allow(R9)
+                    return self._plan_cache.get(name)
+        """),
+    ),
+    # -- R11 dtype-hygiene ---------------------------------------------------
+    Fixture(
+        label="R11-bad-accumulation",
+        path="src/repro/sched/vec_example.py",
+        code=_snippet("""
+            import numpy as np
+
+
+            def loads(ids: object) -> object:
+                return np.bincount(ids)
+
+
+            def fcount(disks: object, ptr: object) -> object:
+                down = disks == 3
+                return np.add.reduceat(down, ptr)
+
+
+            def tally(ids: object) -> object:
+                counts = np.zeros(8, dtype=np.int64)
+                counts[ids] += 0.5
+                return counts
+        """),
+        expect=(("R11", 5), ("R11", 10), ("R11", 15)),
+    ),
+    Fixture(
+        label="R11-bad-empty-partial-seed",
+        path="src/repro/workload/vec_example.py",
+        code=_snippet("""
+            import numpy as np
+
+
+            def carry(gaps: object, start: float) -> object:
+                steps = np.empty(4)
+                steps[0] = start
+                return np.cumsum(steps)
+        """),
+        expect=(("R11", 5),),
+    ),
+    Fixture(
+        label="R11-good-real-idioms",
+        path="src/repro/sched/vec_example.py",
+        code=_snippet("""
+            import numpy as np
+
+
+            def loads(ids: object, n: int) -> object:
+                return np.bincount(ids, minlength=n)
+
+
+            def fcount(disks: object, ptr: object) -> object:
+                down = disks == 3
+                return np.add.reduceat(down.astype(np.int64), ptr)
+
+
+            def carry(gaps: object, start: float) -> object:
+                steps = np.empty(4)
+                steps[0] = start
+                steps[1:] = gaps
+                return np.cumsum(steps)
+        """),
+    ),
+    Fixture(
+        label="R11-suppressed",
+        path="src/repro/sched/vec_example.py",
+        code=_snippet("""
+            import numpy as np
+
+
+            def loads(ids: object) -> object:
+                return np.bincount(ids)  # repro: allow(R11)
+        """),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ProjectFixture:
+    """A multi-file self-test project for the cross-file flow rules.
+
+    Findings are expected as exact ``(rule_id, path, line)`` triples
+    across the whole analyzed set.
+    """
+
+    label: str
+    files: tuple[tuple[str, str], ...]
+    expect: tuple[tuple[str, str, int], ...] = ()
+
+
+PROJECT_FIXTURES: tuple[ProjectFixture, ...] = (
+    ProjectFixture(
+        label="R10-bad-cross-subsystem-collision",
+        files=(
+            ("src/repro/faults/example.py", _snippet("""
+                class FaultClock:
+                    __slots__ = ("rng",)
+
+                    def next_fail(self) -> float:
+                        return self.rng.exponential("events", 100.0)
+            """)),
+            ("src/repro/workload/example.py", _snippet("""
+                class Arrivals:
+                    __slots__ = ("rng",)
+
+                    def next_gap(self) -> float:
+                        return self.rng.exponential("events", 1.0)
+            """)),
+        ),
+        expect=(("R10", "src/repro/faults/example.py", 5),
+                ("R10", "src/repro/workload/example.py", 5)),
+    ),
+    ProjectFixture(
+        label="R10-bad-handle-escape",
+        files=(
+            ("src/repro/workload/example.py", _snippet("""
+                class Sampler:
+                    __slots__ = ("_rng",)
+
+                    def handle(self) -> object:
+                        return self._rng.stream("arrivals")
+            """)),
+            ("src/repro/sched/example.py", _snippet("""
+                class Consumer:
+                    __slots__ = ()
+
+                    def pull(self, sampler: Sampler) -> float:
+                        gen = sampler.handle()
+                        return float(next(gen))
+            """)),
+        ),
+        expect=(("R10", "src/repro/workload/example.py", 5),),
+    ),
+    ProjectFixture(
+        label="R10-good-isolated-streams",
+        files=(
+            ("src/repro/faults/example.py", _snippet("""
+                class FaultClock:
+                    __slots__ = ("rng",)
+
+                    def next_fail(self) -> float:
+                        return self.rng.exponential("events", 100.0)
+            """)),
+            ("src/repro/workload/example.py", _snippet("""
+                class Arrivals:
+                    __slots__ = ("rng",)
+
+                    def next_gap(self) -> float:
+                        return self.rng.exponential("arrivals", 1.0)
+            """)),
+        ),
+    ),
+    ProjectFixture(
+        label="R10-suppressed-one-site",
+        files=(
+            ("src/repro/faults/example.py", _snippet("""
+                class FaultClock:
+                    __slots__ = ("rng",)
+
+                    def next_fail(self) -> float:
+                        # legacy shared stream  # repro: allow(R10)
+                        return self.rng.exponential("events", 100.0)
+            """)),
+            ("src/repro/workload/example.py", _snippet("""
+                class Arrivals:
+                    __slots__ = ("rng",)
+
+                    def next_gap(self) -> float:
+                        return self.rng.exponential("events", 1.0)
+            """)),
+        ),
+        expect=(("R10", "src/repro/workload/example.py", 5),),
+    ),
+    ProjectFixture(
+        label="R9-good-cross-file-guard",
+        files=(
+            ("src/repro/sched/example.py", _snippet("""
+                class Scheduler:
+                    __slots__ = ("_plan_cache", "_plan_cache_key",
+                                 "layout", "array")
+
+                    def _refresh_plan_cache(self) -> None:
+                        key = (self.layout.epoch, self.array.state_epoch)
+                        if self._plan_cache_key != key:
+                            self._plan_cache = {}
+                            self._plan_cache_key = key
+
+                    def _lookup(self) -> object:
+                        return self._plan_cache.get("x")
+            """)),
+            ("src/repro/sched/driver_example.py", _snippet("""
+                class Driver(Scheduler):
+                    __slots__ = ()
+
+                    def run_cycle(self) -> object:
+                        self._refresh_plan_cache()
+                        return self._lookup()
+            """)),
+        ),
+    ),
 )
 
 
@@ -624,7 +974,21 @@ def run_self_test() -> list[str]:
             failures.append(
                 f"{fixture.label}: expected {list(fixture.expect)}, "
                 f"got {_describe(found)}")
+    for project in PROJECT_FIXTURES:
+        found = analyzer.check_sources(list(project.files))
+        triples = tuple(sorted(
+            (finding.rule_id, finding.path, finding.line)
+            for finding in found))
+        if triples != tuple(sorted(project.expect)):
+            failures.append(
+                f"{project.label}: expected {sorted(project.expect)}, "
+                f"got {_describe(found)}")
     return failures
+
+
+def fixture_count() -> int:
+    """Total fixtures the self-test runs (single-file + project)."""
+    return len(FIXTURES) + len(PROJECT_FIXTURES)
 
 
 def _describe(findings: list[Finding]) -> str:

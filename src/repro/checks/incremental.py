@@ -1,0 +1,77 @@
+"""Incremental analysis: restrict findings to files affected by a diff.
+
+``--changed-only <git-ref>`` analyzes the whole tree (the call graph and
+effect lattice must stay project-wide to be sound) but *reports* only on
+files that changed since ``<git-ref>`` plus their reverse call-graph
+dependents — a caller of a changed function can pick up a new R8/R9/R10
+violation without itself changing, so dependents must stay in scope.
+
+The changed set is ``git diff --name-only <ref>`` unioned with untracked
+files (``git ls-files --others``): a brand-new module is "changed" too.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+from pathlib import Path
+from typing import Iterable
+
+from repro.checks.callgraph import CallGraph
+from repro.checks.core import AnalysisError, _relativise
+
+
+class GitError(AnalysisError):
+    """git could not produce a diff for the requested ref."""
+
+
+def _git_lines(args: list[str], repo_root: Path) -> list[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *args], cwd=repo_root, capture_output=True,
+            text=True, check=True)
+    except FileNotFoundError as exc:
+        raise GitError("git is not available on PATH") from exc
+    except subprocess.CalledProcessError as exc:
+        detail = exc.stderr.strip() or exc.stdout.strip() or str(exc)
+        raise GitError(f"git {' '.join(args)} failed: {detail}") from exc
+    return [line for line in completed.stdout.splitlines() if line]
+
+
+def changed_files(ref: str, repo_root: Path) -> set[str]:
+    """Repo-relative ``.py`` paths changed since ``ref`` (plus untracked)."""
+    changed = _git_lines(["diff", "--name-only", ref, "--", "*.py"],
+                         repo_root)
+    untracked = _git_lines(
+        ["ls-files", "--others", "--exclude-standard", "--", "*.py"],
+        repo_root)
+    return {line for line in changed + untracked if line.endswith(".py")}
+
+
+def affected_files(ref: str, analyzed: Iterable[Path],
+                   repo_root: Path | None = None) -> set[str]:
+    """The reporting scope for ``--changed-only ref``.
+
+    ``analyzed`` is every file the analyzer will parse; the result is the
+    subset (as analyzer-relative path strings) that changed since ``ref``
+    or transitively calls into a changed file.  Deleted files appear in
+    the diff but not in ``analyzed``; they drop out naturally.
+    """
+    root = repo_root if repo_root is not None else Path(".")
+    changed = changed_files(ref, root)
+    parsed: list[tuple[str, ast.Module]] = []
+    rel_paths: set[str] = set()
+    for file_path in analyzed:
+        rel = _relativise(Path(file_path))
+        rel_paths.add(rel)
+        try:
+            tree = ast.parse(file_path.read_text(encoding="utf-8"),
+                             filename=str(file_path))
+        except (OSError, SyntaxError):
+            continue  # check_paths will surface the real error
+        parsed.append((rel, tree))
+    targets = changed & rel_paths
+    if not targets:
+        return set()
+    graph = CallGraph.build(parsed)
+    return graph.file_dependents(targets)

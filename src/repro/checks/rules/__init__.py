@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from repro.checks.core import Rule
+from repro.checks.rules.cachekeys import CacheKeyRule
 from repro.checks.rules.determinism import DeterminismRule
+from repro.checks.rules.dtypes import DtypeHygieneRule
 from repro.checks.rules.epoch import EpochCacheRule
+from repro.checks.rules.ffpurity import FfPurityRule
 from repro.checks.rules.floatcmp import FloatEqualityRule
+from repro.checks.rules.rngtaint import RngTaintRule
 from repro.checks.rules.slots import SlotsRule
 from repro.checks.rules.spawn_safety import SpawnSafetyRule
 from repro.checks.rules.typed_defs import TypedDefsRule
@@ -20,6 +24,10 @@ ALL_RULES: tuple[type[Rule], ...] = (
     FloatEqualityRule,
     TypedDefsRule,
     SpawnSafetyRule,
+    FfPurityRule,
+    CacheKeyRule,
+    RngTaintRule,
+    DtypeHygieneRule,
 )
 
 
@@ -44,9 +52,13 @@ def rules_by_id(selected: list[str]) -> list[Rule]:
 
 __all__ = [
     "ALL_RULES",
+    "CacheKeyRule",
     "DeterminismRule",
+    "DtypeHygieneRule",
     "EpochCacheRule",
+    "FfPurityRule",
     "FloatEqualityRule",
+    "RngTaintRule",
     "SlotsRule",
     "SpawnSafetyRule",
     "TypedDefsRule",

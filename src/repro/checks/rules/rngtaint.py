@@ -1,0 +1,316 @@
+"""R10 — rng-taint: named RNG streams stay inside their subsystem.
+
+The determinism story (R1, PR 2) hangs on stream *isolation*: every
+consumer draws from its own named :class:`~repro.sim.rng.RandomSource`
+stream, so reordering consumers, batching draws, or fast-forwarding one
+subsystem never perturbs another's sequence.  Two ways to break that
+survive R1's per-file checks:
+
+1. **Name collision** — two subsystems drawing from the same stream
+   name interleave their draws; adding a fault event would then shift
+   every subsequent arrival time.  This rule builds a project-wide
+   registry of statically-known stream names (draw-call literals,
+   f-string prefixes like ``disk-*``, and ``stream=...`` parameter
+   defaults) keyed by subsystem (``src/repro/<pkg>``), and flags any
+   use of a name another subsystem also registers.
+
+2. **Handle escape** — a raw generator obtained via ``.stream(name)``
+   handed across a subsystem boundary (returned to a foreign caller or
+   passed into a foreign callee) lets that subsystem draw from the
+   stream without the name discipline.  Handles are tracked through
+   local aliases; escapes are resolved against the call graph.
+
+Dynamic names (``f"{tag}-fail"``) register nothing — they are the
+chaos-harness idiom and only collide if two call sites share a tag,
+which is a runtime property this rule does not guess at.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.checks.core import FileContext, Finding, Rule, in_project_source
+from repro.checks.callgraph import (
+    CallGraph, FunctionDecl, annotation_class, subsystem_of,
+)
+from repro.checks.effects import (
+    DYNAMIC_STREAM, RNG_DRAW_METHODS, ProjectAnalysis, is_rng_receiver,
+    stream_name_of,
+)
+
+#: Parameter names whose string default registers a stream name.
+_STREAM_PARAM_NAMES = frozenset({"stream", "stream_name"})
+
+#: Methods that take a stream name as their first argument.
+_NAMED_METHODS = RNG_DRAW_METHODS | {"stream", "spawn"}
+
+
+@dataclass(frozen=True)
+class _StreamUse:
+    """One statically-resolved stream-name use site."""
+
+    name: str  # exact name, or ``prefix*`` for f-string patterns
+    path: str
+    line: int
+    col: int
+    subsystem: str
+
+
+@dataclass
+class _Registry:
+    """Project-wide stream-name ownership."""
+
+    #: name/pattern -> subsystems that register it.
+    owners: dict[str, set[str]] = field(default_factory=dict)
+    #: path -> use sites in that file.
+    uses: dict[str, list[_StreamUse]] = field(default_factory=dict)
+
+    def register(self, name: str, subsystem: str) -> None:
+        if name != DYNAMIC_STREAM:
+            self.owners.setdefault(name, set()).add(subsystem)
+
+    def owners_of(self, name: str) -> set[str]:
+        """Subsystems owning an exact name or any pattern covering it."""
+        found = set(self.owners.get(name, ()))
+        exact = name.rstrip("*")
+        for pattern, subsystems in self.owners.items():
+            if pattern.endswith("*") and exact.startswith(pattern[:-1]):
+                found |= subsystems
+            elif name.endswith("*") and pattern.startswith(name[:-1]):
+                found |= subsystems
+        return found
+
+
+class RngTaintRule(Rule):
+    """R10: stream names and handles must not cross subsystems."""
+
+    rule_id = "R10"
+    name = "rng-taint"
+    description = ("named RNG streams must not escape their subsystem: "
+                   "no cross-subsystem stream-name collisions, no raw "
+                   "stream handles crossing package boundaries")
+
+    def applies_to(self, path: str) -> bool:
+        return in_project_source(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        project = ctx.project
+        if not isinstance(project, ProjectAnalysis):
+            return
+        registry = _registry_of(project)
+        for use in registry.uses.get(ctx.path, ()):
+            owners = registry.owners_of(use.name)
+            foreign = sorted(owners - {use.subsystem})
+            if foreign:
+                yield Finding(
+                    rule_id=self.rule_id, rule_name=self.name,
+                    path=ctx.path, line=use.line, col=use.col,
+                    message=(f"RNG stream '{use.name}' is drawn here in "
+                             f"subsystem '{use.subsystem}' but is also "
+                             f"registered by {', '.join(repr(s) for s in foreign)}; "
+                             "shared streams interleave draws and break "
+                             "replay isolation — pick a subsystem-unique "
+                             "name"),
+                )
+        yield from self._handle_escapes(ctx, project)
+
+    # -- handle-escape tracking ----------------------------------------------
+
+    def _handle_escapes(self, ctx: FileContext,
+                        project: ProjectAnalysis) -> Iterator[Finding]:
+        subsystem = subsystem_of(ctx.path)
+        graph = project.graph
+        for decl in project.functions_in(ctx.path):
+            tainted = _tainted_locals(decl, graph)
+            for node in ast.walk(decl.node):
+                if isinstance(node, ast.Return) and node.value is not None \
+                        and _is_handle(node.value, tainted, decl, graph):
+                    foreign = self._foreign_callers(decl.qualname, project,
+                                                    subsystem)
+                    if foreign:
+                        yield Finding(
+                            rule_id=self.rule_id, rule_name=self.name,
+                            path=ctx.path, line=node.lineno,
+                            col=node.col_offset,
+                            message=(f"'{decl.name}' returns a raw RNG "
+                                     "stream handle that escapes to "
+                                     f"subsystem '{foreign[0]}'; return "
+                                     "drawn values (or pass the "
+                                     "RandomSource) instead of the "
+                                     "generator"),
+                        )
+                elif isinstance(node, ast.Call):
+                    yield from self._escaping_args(ctx, node, tainted, decl,
+                                                   project, subsystem)
+
+    def _escaping_args(self, ctx: FileContext, call: ast.Call,
+                       tainted: set[str], decl: FunctionDecl,
+                       project: ProjectAnalysis,
+                       subsystem: str) -> Iterator[Finding]:
+        handle_args = [arg for arg in list(call.args)
+                       + [kw.value for kw in call.keywords]
+                       if _is_handle(arg, tainted, decl, project.graph)]
+        if not handle_args:
+            return
+        for edge in project.graph.edges_from.get(decl.qualname, ()):
+            if edge.line != call.lineno:
+                continue
+            callee = project.graph.functions[edge.callee]
+            callee_subsystem = subsystem_of(callee.path)
+            if in_project_source(callee.path) \
+                    and callee_subsystem != subsystem:
+                yield Finding(
+                    rule_id=self.rule_id, rule_name=self.name,
+                    path=ctx.path, line=call.lineno, col=call.col_offset,
+                    message=(f"raw RNG stream handle passed from "
+                             f"subsystem '{subsystem}' into "
+                             f"'{callee.name}' ({callee_subsystem}); "
+                             "cross-subsystem draws bypass stream-name "
+                             "isolation"),
+                )
+                return
+
+    @staticmethod
+    def _foreign_callers(qualname: str, project: ProjectAnalysis,
+                         subsystem: str) -> list[str]:
+        foreign: set[str] = set()
+        for edge in project.graph.edges_to.get(qualname, ()):
+            caller = project.graph.functions[edge.caller]
+            if in_project_source(caller.path):
+                caller_subsystem = subsystem_of(caller.path)
+                if caller_subsystem != subsystem:
+                    foreign.add(caller_subsystem)
+        return sorted(foreign)
+
+
+# -- project registry ---------------------------------------------------------
+
+_REGISTRY_CACHE: dict[int, tuple[object, _Registry]] = {}
+
+
+def _registry_of(project: ProjectAnalysis) -> _Registry:
+    entry = _REGISTRY_CACHE.get(id(project))
+    if entry is not None and entry[0] is project:
+        return entry[1]
+    registry = _Registry()
+    for qual, decl in project.graph.functions.items():
+        if not in_project_source(decl.path):
+            continue
+        subsystem = subsystem_of(decl.path)
+        _register_param_defaults(decl, subsystem, registry)
+        env = _single_assign_env(decl.node)
+        for node in ast.walk(decl.node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _NAMED_METHODS and node.args):
+                continue
+            if not is_rng_receiver(node.func.value, decl, project.graph,
+                                   _local_annotations(decl)):
+                continue
+            name = _resolved_stream_name(node.args[0], env)
+            if name == DYNAMIC_STREAM:
+                continue
+            registry.register(name, subsystem)
+            registry.uses.setdefault(decl.path, []).append(_StreamUse(
+                name=name, path=decl.path, line=node.lineno,
+                col=node.col_offset, subsystem=subsystem))
+    _REGISTRY_CACHE.clear()  # one project alive at a time
+    _REGISTRY_CACHE[id(project)] = (project, registry)
+    return registry
+
+
+def _register_param_defaults(decl: FunctionDecl, subsystem: str,
+                             registry: _Registry) -> None:
+    """``def __init__(..., stream: str = "arrivals")`` registers the
+    default name for the defining subsystem."""
+    args = decl.node.args
+    positional = args.posonlyargs + args.args
+    defaults = args.defaults
+    for arg, default in zip(positional[len(positional) - len(defaults):],
+                            defaults):
+        if _is_stream_param(arg.arg) and isinstance(default, ast.Constant) \
+                and isinstance(default.value, str):
+            registry.register(default.value, subsystem)
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if _is_stream_param(arg.arg) and isinstance(default, ast.Constant) \
+                and isinstance(default.value, str):
+            registry.register(default.value, subsystem)
+
+
+def _is_stream_param(name: str) -> bool:
+    return name in _STREAM_PARAM_NAMES or name.endswith("_stream")
+
+
+def _resolved_stream_name(node: ast.expr, env: dict[str, ast.expr]) -> str:
+    """Stream name of a draw argument, following one local alias."""
+    direct = stream_name_of(node)
+    if direct != DYNAMIC_STREAM:
+        return direct
+    if isinstance(node, ast.Name):
+        bound = env.get(node.id)
+        if bound is not None:
+            return stream_name_of(bound)
+    return DYNAMIC_STREAM
+
+
+def _single_assign_env(func: ast.AST) -> dict[str, ast.expr]:
+    """Locals assigned exactly once (safe to constant-fold names from)."""
+    counts: dict[str, int] = {}
+    values: dict[str, ast.expr] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            counts[name] = counts.get(name, 0) + 1
+            values[name] = node.value
+    return {name: value for name, value in values.items()
+            if counts[name] == 1}
+
+
+def _local_annotations(decl: FunctionDecl) -> dict[str, str]:
+    types: dict[str, str] = {}
+    args = decl.node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        annotated = annotation_class(arg.annotation)
+        if annotated:
+            types[arg.arg] = annotated
+    return types
+
+
+def _tainted_locals(decl: FunctionDecl, graph: CallGraph) -> set[str]:
+    """Local names bound (directly or via alias) to a raw stream handle."""
+    tainted: set[str] = set()
+    types = _local_annotations(decl)
+    assignments: list[tuple[str, ast.expr]] = []
+    for node in ast.walk(decl.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            assignments.append((node.targets[0].id, node.value))
+    changed = True
+    while changed:
+        changed = False
+        for name, value in assignments:
+            if name in tainted:
+                continue
+            if _is_stream_call(value, decl, graph, types) \
+                    or (isinstance(value, ast.Name) and value.id in tainted):
+                tainted.add(name)
+                changed = True
+    return tainted
+
+
+def _is_stream_call(node: ast.expr, decl: FunctionDecl,
+                    graph: CallGraph, types: dict[str, str]) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "stream" and bool(node.args)
+            and is_rng_receiver(node.func.value, decl, graph, types))
+
+
+def _is_handle(node: ast.expr, tainted: set[str], decl: FunctionDecl,
+               graph: CallGraph) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    return _is_stream_call(node, decl, graph, _local_annotations(decl))

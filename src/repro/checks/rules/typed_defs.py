@@ -43,6 +43,19 @@ class TypedDefsRule(Rule):
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_function(ctx, node, method)
                 # Nested defs are exempt: do not recurse into the body.
+            elif isinstance(node, ast.Assign) \
+                    and isinstance(node.value, ast.Lambda) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                # A module/class-level ``name = lambda ...`` is a de facto
+                # function definition that can never carry annotations;
+                # an AnnAssign (``name: Callable[...] = lambda ...``) is
+                # fine — mypy checks the lambda against the annotation.
+                yield self.finding(
+                    ctx, node,
+                    f"'{node.targets[0].id}' is a lambda-assigned "
+                    "function; use a typed 'def' (or annotate the "
+                    "assignment with a Callable type)")
 
     def _check_function(self, ctx: FileContext, node: FunctionNode,
                         method: bool) -> Iterator[Finding]:

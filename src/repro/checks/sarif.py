@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 serialisation of an analyzer :class:`Report`.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest: one ``run`` with a ``tool.driver`` rule catalog and one
+``result`` per finding, each anchored by a ``physicalLocation``.  The
+output is deterministic — findings are already sorted by the analyzer,
+rules are emitted in catalog order, and ``json.dumps`` keeps insertion
+order — so identical trees produce identical SARIF bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.checks.core import Finding, Report, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro.checks"
+TOOL_URI = "https://example.invalid/repro/docs/STATIC_ANALYSIS.md"
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    # SARIF columns are 1-based; ast columns are 0-based.
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    return result
+
+
+def report_to_sarif(report: Report,
+                    rules: Sequence[Rule]) -> dict[str, object]:
+    """The SARIF log object for one analyzer run."""
+    catalog = sorted(rules, key=lambda rule: rule.rule_id)
+    rule_index = {rule.rule_id: i for i, rule in enumerate(catalog)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": [_rule_descriptor(rule) for rule in catalog],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+            "results": [_result(finding, rule_index)
+                        for finding in report.findings],
+        }],
+    }
+
+
+def render_sarif(report: Report, rules: Sequence[Rule]) -> str:
+    """The SARIF log serialised to stable, indented JSON."""
+    return json.dumps(report_to_sarif(report, rules), indent=2,
+                      sort_keys=False)

@@ -359,6 +359,9 @@ class DataLayout(abc.ABC):
         stripe = self.data_disks_per_group
         return track // stripe, track % stripe
 
+    # Geometry memo: keyed by (name, group), placement is fixed at
+    # construction, so the write is idempotent and value-deterministic —
+    # safe for ff eligibility probes to trigger.  # repro: allow(R8)
     def group_tracks(self, name: str, group: int) -> list[int]:
         """The data-track indices of one parity group, ascending.
 
@@ -389,6 +392,9 @@ class DataLayout(abc.ABC):
             raise LayoutError(f"no parity group {group} for object {name!r}")
         return self._parity_addr[key]
 
+    # Geometry memo: keyed by (name, group), placement is fixed at
+    # construction, so the write is idempotent and value-deterministic —
+    # safe for ff eligibility probes to trigger.  # repro: allow(R8)
     def group_span(self, name: str, group: int) -> GroupSpan:
         """The full physical footprint of one parity group (memoized)."""
         key = (name, group)
@@ -432,6 +438,9 @@ class DataLayout(abc.ABC):
             self._geometry_cache[key] = cached
         return cached
 
+    # Geometry memo: keyed by (name, group), placement is fixed at
+    # construction, so the write is idempotent and value-deterministic —
+    # safe for ff eligibility probes to trigger.  # repro: allow(R8)
     def group_cluster(self, name: str, group: int) -> int:
         """Cluster holding the *data* blocks of one parity group."""
         key = (name, group)

@@ -80,6 +80,49 @@ def test_self_test_json(capsys) -> None:
     assert payload["failures"] == []
 
 
+def test_json_output_is_byte_stable(tmp_path, capsys) -> None:
+    # CI diffs consecutive runs; identical input must serialise to
+    # identical bytes.
+    path = _write(tmp_path, "src/repro/workload/mod.py",
+                  "import random\nx = 1 == 1.0\n")
+    main(["--format", "json", path])
+    first = capsys.readouterr().out
+    main(["--format", "json", path])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_sarif_output_shape(tmp_path, capsys) -> None:
+    path = _write(tmp_path, "src/repro/workload/mod.py",
+                  "import random\n")
+    assert main(["--format", "sarif", path]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.checks"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    (result,) = run["results"]
+    assert result["ruleId"] == "R1"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 1
+    assert region["startColumn"] >= 1  # SARIF columns are 1-based
+    assert driver["rules"][result["ruleIndex"]]["id"] == "R1"
+
+
+def test_sarif_clean_run_has_no_results(tmp_path, capsys) -> None:
+    path = _write(tmp_path, "src/repro/workload/mod.py", "X = 1\n")
+    assert main(["--format", "sarif", path]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []
+
+
+def test_changed_only_bad_ref_is_usage_error(capsys) -> None:
+    assert main(["--changed-only", "no-such-ref-xyz", "src"]) == 2
+    assert "git" in capsys.readouterr().err.lower()
+
+
 def test_module_entry_point() -> None:
     """``python -m repro.checks`` is wired up end to end."""
     import subprocess

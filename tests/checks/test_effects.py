@@ -1,0 +1,102 @@
+"""Unit tests for effect inference: direct effects + fixpoint propagation."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.checks.effects import ProjectAnalysis
+
+
+def _analysis(*files: tuple[str, str]) -> ProjectAnalysis:
+    parsed = []
+    for path, code in files:
+        source = textwrap.dedent(code).strip("\n") + "\n"
+        parsed.append((path, source, ast.parse(source)))
+    return ProjectAnalysis.build(parsed)
+
+
+def test_attribute_write_is_an_effect() -> None:
+    analysis = _analysis(("src/repro/sched/mod.py", """
+        class Sched:
+            def mutate(self) -> None:
+                self.cycle_index = 0
+        """))
+    summary = analysis.direct["repro.sched.mod.Sched.mutate"]
+    assert "cycle_index" in summary.writes
+
+
+def test_local_rebind_of_alias_is_not_a_write() -> None:
+    # ``rows = self.table`` then ``rows = []`` rebinds a local; only a
+    # *through* store (subscript, augmented, mutator call) reaches the
+    # attribute.
+    analysis = _analysis(("src/repro/sched/mod.py", """
+        class Sched:
+            def read_only(self) -> int:
+                rows = self.table
+                rows = []
+                return len(rows)
+
+            def mutates(self) -> None:
+                rows = self.table
+                rows[0] = 1
+        """))
+    read_only = analysis.direct["repro.sched.mod.Sched.read_only"]
+    mutates = analysis.direct["repro.sched.mod.Sched.mutates"]
+    assert not read_only.writes
+    assert "table" in mutates.writes
+
+
+def test_rng_draw_records_stream_name() -> None:
+    analysis = _analysis(("src/repro/workload/mod.py", """
+        class Arrivals:
+            def draw(self, rng) -> float:
+                return rng.exponential("arrivals", 1.0)
+        """))
+    summary = analysis.direct["repro.workload.mod.Arrivals.draw"]
+    assert "arrivals" in summary.rng_draws
+
+
+def test_effects_propagate_through_calls() -> None:
+    analysis = _analysis(("src/repro/sched/mod.py", """
+        class Sched:
+            def outer(self) -> None:
+                self.inner()
+
+            def inner(self) -> None:
+                self.cycle_index = 1
+        """))
+    outer = analysis.transitive["repro.sched.mod.Sched.outer"]
+    assert "cycle_index" in outer.writes
+
+
+def test_propagation_crosses_files() -> None:
+    analysis = _analysis(
+        ("src/repro/layout/geom.py", """
+            class Layout:
+                def bump(self) -> None:
+                    self._epoch += 1
+            """),
+        ("src/repro/sched/mod.py", """
+            from repro.layout.geom import Layout
+
+            def refresh(layout: Layout) -> None:
+                layout.bump()
+            """))
+    refresh = analysis.transitive["repro.sched.mod.refresh"]
+    assert refresh.epoch_bump or "_epoch" in refresh.writes
+
+
+def test_cache_subscript_fill_is_not_a_read() -> None:
+    analysis = _analysis(("src/repro/sched/mod.py", """
+        class Sched:
+            def fill(self, name, plan) -> None:
+                self._plan_cache[name] = plan
+
+            def read(self, name):
+                return self._plan_cache[name]
+        """))
+    fill = analysis.direct["repro.sched.mod.Sched.fill"]
+    read = analysis.direct["repro.sched.mod.Sched.read"]
+    assert not fill.cache_reads
+    assert "_plan_cache" in read.cache_reads

@@ -1,0 +1,74 @@
+"""Mutation audit gates: determinism, operator hygiene, 100% kill rate."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.checks.mutation import (
+    DEFAULT_SEED,
+    FIXTURE_OPS,
+    REAL_OPS,
+    AuditReport,
+    _replace_occurrence,
+    run_mutation_audit,
+)
+from repro.checks.rules import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture(scope="module")
+def audit() -> AuditReport:
+    return run_mutation_audit(DEFAULT_SEED, repo_root=REPO_ROOT)
+
+
+def test_every_mutant_is_killed(audit: AuditReport) -> None:
+    survivors = [r for r in audit.results if not r.killed]
+    assert not survivors, \
+        [f"{r.op}: {r.detail or 'survived'}" for r in survivors]
+
+
+def test_audit_covers_every_rule(audit: AuditReport) -> None:
+    exercised = {r.kill for r in audit.results}
+    catalog = {rule.rule_id for rule in ALL_RULES}
+    assert exercised == catalog
+
+
+def test_real_source_ops_cover_flow_rules(audit: AuditReport) -> None:
+    # The interprocedural rules must be exercised against the real tree,
+    # not only fixtures — that is what audits graph/effect resolution.
+    real_kills = {r.kill for r in audit.results if r.kind == "real"}
+    assert {"R8", "R9", "R10", "R11"} <= real_kills
+
+
+def test_audit_is_deterministic_per_seed(audit: AuditReport) -> None:
+    again = run_mutation_audit(DEFAULT_SEED, repo_root=REPO_ROOT)
+    assert again.to_dict() == audit.to_dict()
+
+
+def test_report_shape(audit: AuditReport) -> None:
+    payload = audit.to_dict()
+    assert payload["ok"] is True
+    assert payload["seed"] == DEFAULT_SEED
+    assert payload["mutants"] == len(FIXTURE_OPS) + len(REAL_OPS)
+    assert payload["killed"] == payload["mutants"]
+
+
+def test_occurrence_selection_wraps() -> None:
+    text = "a b a b a"
+    mutated, site, count = _replace_occurrence(text, "a", "X", 4)
+    assert count == 3
+    assert site == 1
+    assert mutated == "a b X b a"
+
+
+def test_missing_target_is_reported_not_raised() -> None:
+    # Idiom drift must surface as a failed (unkilled) mutant, not a crash.
+    from repro.checks.mutation import FixtureOp, _run_fixture_op
+    op = FixtureOp("drifted", "R1-good-random-source",
+                   "no such text", "x", "R1")
+    result = _run_fixture_op(op, 0, DEFAULT_SEED)
+    assert not result.killed
+    assert "not found" in result.detail
