@@ -15,7 +15,7 @@ Section 5 worked examples (see EXPERIMENTS.md).  The paper's shapes:
 import pytest
 
 from repro.analysis import SystemParameters, figure9_cost_series, total_cost
-from repro.schemes import ALL_SCHEMES, Scheme
+from repro.schemes import ALL_IMPLEMENTED_SCHEMES, ALL_SCHEMES, Scheme
 
 GROUP_SIZES = list(range(2, 11))
 WORKING_SET_MB = 100_000.0
@@ -23,17 +23,19 @@ WORKING_SET_MB = 100_000.0
 
 def compute_series():
     params = SystemParameters.paper_table1(reserve_k=5)
-    return figure9_cost_series(params, WORKING_SET_MB, GROUP_SIZES)
+    return figure9_cost_series(params, WORKING_SET_MB, GROUP_SIZES,
+                               schemes=ALL_IMPLEMENTED_SCHEMES)
 
 
 def test_figure9a_cost(benchmark):
     series = benchmark(compute_series)
     print()
     print("Figure 9(a): total storage cost ($) vs parity-group size")
-    print("C    " + "".join(f"{s.value:>12}" for s in ALL_SCHEMES))
+    print("C    " + "".join(f"{s.value:>12}"
+                            for s in ALL_IMPLEMENTED_SCHEMES))
     for i, c in enumerate(GROUP_SIZES):
         print(f"{c:<5}" + "".join(f"{series[s][i].total:>12,.0f}"
-                                  for s in ALL_SCHEMES))
+                                  for s in ALL_IMPLEMENTED_SCHEMES))
     # Shape: NC cheapest everywhere.
     for i in range(len(GROUP_SIZES)):
         costs = {s: series[s][i].total for s in ALL_SCHEMES}
@@ -46,6 +48,14 @@ def test_figure9a_cost(benchmark):
     # Shape: IB increases with C.
     ib = [p.total for p in series[Scheme.IMPROVED_BANDWIDTH]]
     assert ib == sorted(ib)
+    # Extension: PD costs about as much as SR (same disk count, same
+    # aggregate buffer: C/(C-1) x streams at (C-1)/C x buffers each) and
+    # never beats NC.
+    for i in range(len(GROUP_SIZES)):
+        pd = series[Scheme.PARITY_DECLUSTERED][i].total
+        sr = series[Scheme.STREAMING_RAID][i].total
+        assert pd == pytest.approx(sr, rel=0.05)
+        assert pd > series[Scheme.NON_CLUSTERED][i].total
     # Section 5 worked examples.
     params = SystemParameters.paper_table1(reserve_k=5)
     sr = total_cost(params, 4, Scheme.STREAMING_RAID, WORKING_SET_MB)

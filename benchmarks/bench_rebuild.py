@@ -1,69 +1,93 @@
-"""Rebuild mode (extension): rebuild duration versus load, and the
-reliability consequence.
+"""Distributed rebuild: declustered vs clustered window at 1000 disks.
 
-The paper's MTTF formulas all divide by MTTR — the window in which a
-second failure is catastrophic.  This bench measures how the on-line
-parity rebuild's duration (our MTTR, excluding the physical swap) grows
-with server load, and contrasts it with the tape-reload alternative the
-paper uses to motivate parity schemes in the first place (Section 1).
+One disk of a warm 1000-disk farm fails.  Streaming RAID reconstructs
+it from the 4 surviving members of one cluster — the rest of the farm
+idles while that cluster's spare idle bandwidth bounds the window.  The
+parity-declustered layout spreads the same parity groups over a
+balanced block design, so every survivor contributes a sliver and the
+window shrinks by roughly the declustering ratio
+``alpha = (C-1)/(D-1)``.
+
+The gates are honest by construction: for each scheme the measured run
+executes twice — scalar per-stream loop and degraded fast-forward
+engine — and their full-state digests must match before any window is
+compared (see :mod:`repro.experiments.rebuildbench`).  Then:
+
+* declustered window <= 0.5x the clustered window;
+* declustered survivor read spread (max/mean) <= 1.1, versus ~250 for
+  the clustered rebuild.
+
+Results land in ``benchmarks/BENCH_rebuild.json``.  Run standalone::
+
+    python benchmarks/bench_rebuild.py
+
+or through pytest (the acceptance gate)::
+
+    pytest benchmarks/bench_rebuild.py -s
 """
 
-import pytest
+from __future__ import annotations
 
-from repro.analysis import SystemParameters
+import json
+from pathlib import Path
+
+from repro.experiments.rebuildbench import (
+    MAX_READ_SPREAD,
+    MAX_WINDOW_RATIO,
+    check_gates,
+    run_scheme_pair,
+)
 from repro.schemes import Scheme
-from repro.tertiary import TapeLibrary, compare_rebuild_paths
-from scenarios import build_server, tiny_catalog, tiny_params
+
+OUTPUT = Path(__file__).resolve().parent / "BENCH_rebuild.json"
 
 
-def rebuild_duration_cycles(streams: int) -> int:
-    server = build_server(Scheme.STREAMING_RAID, num_disks=10,
-                          slots_per_disk=4,
-                          catalog=tiny_catalog(8, tracks=64),
-                          admission_limit=8)
-    for name in server.catalog.names()[:streams]:
-        server.admit(name)
-    server.run_cycle()
-    server.fail_disk(0)
-    rebuilder = server.scheduler.start_rebuild(0, writes_per_cycle=4)
-    cycles = 0
-    while not rebuilder.completed and cycles < 2000:
-        server.run_cycle()
-        cycles += 1
-    assert rebuilder.completed, "rebuild starved completely"
-    assert server.report.payload_mismatches == 0
-    return cycles
+def run_comparison() -> tuple[dict, dict, dict]:
+    pairs = {}
+    for scheme in (Scheme.STREAMING_RAID, Scheme.PARITY_DECLUSTERED):
+        pair = run_scheme_pair(scheme)
+        pairs[scheme] = pair
+        fast = pair["fast"]
+        print(f"  {pair['scheme']:>4} place {pair['place_s']:.0f}s  "
+              f"window {fast['window_cycles']} cycles "
+              f"({fast['rebuild_blocks']} blocks)  "
+              f"spread {fast['read_spread']:.3f}  "
+              f"digests_equal={pair['digests_equal']}")
+    sr = pairs[Scheme.STREAMING_RAID]
+    pd = pairs[Scheme.PARITY_DECLUSTERED]
+    gate = check_gates(sr, pd)
+    print(f"  window ratio PD/SR {gate['window_ratio']:.3f} "
+          f"(gate {gate['max_window_ratio']}), PD spread "
+          f"{gate['pd_read_spread']:.3f} (gate {gate['max_read_spread']}, "
+          f"SR {gate['sr_read_spread']:.1f})")
+    return sr, pd, gate
 
 
-def compute():
-    durations = {streams: rebuild_duration_cycles(streams)
-                 for streams in (0, 4, 8)}
-    params = SystemParameters.paper_table1(num_disks=10)
-    from repro.layout import ClusteredParityLayout
-    from repro.media import MediaObject
-    layout = ClusteredParityLayout(10, 5)
-    for i in range(8):
-        layout.place(MediaObject(f"m{i}", 0.1875, 500, seed=i))
-    comparison = compare_rebuild_paths(layout, 0, params, TapeLibrary(),
-                                       idle_fraction=0.2)
-    return durations, comparison
+def write_report(sr: dict, pd: dict, gate: dict) -> None:
+    OUTPUT.write_text(json.dumps({
+        "benchmark": "bench_rebuild",
+        "gate": gate,
+        "schemes": [sr, pd],
+    }, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
 
 
-def test_rebuild_duration_vs_load(benchmark):
-    durations, comparison = benchmark.pedantic(compute, rounds=1,
-                                               iterations=1)
-    print()
-    print("On-line rebuild duration (cycles) vs active streams "
-          "(10 disks, C = 5, 4 slots/disk):")
-    for streams, cycles in durations.items():
-        print(f"  {streams} streams: {cycles} cycles")
-    print(f"Tape vs parity rebuild for a {comparison.tracks}-track disk: "
-          f"{comparison.tape_time_s / 3600:.1f} h vs "
-          f"{comparison.online_time_s / 3600:.2f} h "
-          f"({comparison.speedup:,.0f}x)")
-    # Load stretches the rebuild window monotonically.
-    ordered = [durations[s] for s in (0, 4, 8)]
-    assert ordered == sorted(ordered)
-    assert ordered[-1] >= 1.5 * ordered[0]
-    # The paper's motivating gap: parity rebuild crushes tape reload.
-    assert comparison.speedup > 10
+# -- pytest entry point -------------------------------------------------------
+
+def test_declustered_rebuild_window_with_equality_guard():
+    """Bit-identical windows per scheme; PD <= 0.5x SR, spread <= 1.1."""
+    sr, pd, gate = run_comparison()
+    write_report(sr, pd, gate)
+    assert gate["digests_equal"], (
+        "fast-forward rebuild state diverged from the scalar loop")
+    assert gate["window_ratio"] <= MAX_WINDOW_RATIO, (
+        f"declustered window only {gate['window_ratio']}x the clustered "
+        f"one (gate {MAX_WINDOW_RATIO}x)")
+    assert gate["pd_read_spread"] <= MAX_READ_SPREAD, (
+        f"declustered survivor spread {gate['pd_read_spread']} above "
+        f"{MAX_READ_SPREAD}")
+    assert gate["passed"]
+
+
+if __name__ == "__main__":
+    write_report(*run_comparison())

@@ -32,7 +32,11 @@ from repro.analysis import (
     mean_time_to_k_concurrent_failures_hours,
     mttf_catastrophic_hours,
 )
-from repro.analysis.reliability import mttf_catastrophic_years
+from repro.analysis.reliability import (
+    declustered_mttds_hours,
+    declustering_ratio,
+    mttf_catastrophic_years,
+)
 from repro.experiments.scalegrid import build_scale_server
 from repro.faults import (
     catastrophic_condition,
@@ -59,6 +63,9 @@ def closed_forms():
             big, 10, Scheme.IMPROVED_BANDWIDTH),
         "five_concurrent_years": hours_to_years(
             mean_time_to_k_concurrent_failures_hours(1000, 5, 300_000, 1)),
+        "pd_alpha_1000_c10": declustering_ratio(1000, 10),
+        "pd_mttds_1000_c10_years": hours_to_years(
+            declustered_mttds_hours(big, 10)),
     }
 
 
@@ -86,7 +93,12 @@ def test_reliability_closed_forms(benchmark):
           "(paper: ~540)")
     print(f"  5 concurrent among 1000: "
           f"{values['five_concurrent_years'] / 1e6:,.0f} My (paper: >250 My)")
+    print(f"  PD, D=1000, alpha={values['pd_alpha_1000_c10']:.4f}: MTTDS "
+          f"{values['pd_mttds_1000_c10_years']:,.1f} years (the alpha in "
+          "the window cancels the wider D-1 exposure — eq. 4 exactly)")
     assert values["sr_1000_c10_years"] == pytest.approx(1141.6, abs=0.5)
+    assert values["pd_mttds_1000_c10_years"] == pytest.approx(
+        values["sr_1000_c10_years"])
     assert values["ib_1000_c10_years"] == pytest.approx(540.8, abs=0.5)
     assert values["five_concurrent_years"] > 250e6
 

@@ -43,7 +43,8 @@ SIZES = (100, 500, 1000)
 OUTPUT = Path(__file__).resolve().parent / "BENCH_scale.json"
 
 ALL_SCHEMES = (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP,
-               Scheme.NON_CLUSTERED, Scheme.IMPROVED_BANDWIDTH)
+               Scheme.NON_CLUSTERED, Scheme.IMPROVED_BANDWIDTH,
+               Scheme.PARITY_DECLUSTERED)
 
 
 def run_one(scheme: Scheme, num_disks: int, with_failure: bool) -> dict:

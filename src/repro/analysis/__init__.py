@@ -34,6 +34,10 @@ from repro.analysis.overheads import (
 )
 from repro.analysis.parameters import SystemParameters
 from repro.analysis.reliability import (
+    declustered_mttds_hours,
+    declustered_mttf_hours,
+    declustered_rebuild_hours,
+    declustering_ratio,
     mean_time_to_k_concurrent_failures_hours,
     mttds_hours,
     mttf_catastrophic_hours,
@@ -55,6 +59,10 @@ __all__ = [
     "buffer_mb",
     "buffer_tracks",
     "compare_schemes",
+    "declustered_mttds_hours",
+    "declustered_mttf_hours",
+    "declustered_rebuild_hours",
+    "declustering_ratio",
     "disks_for_working_set",
     "figure9_cost_series",
     "figure9_stream_series",

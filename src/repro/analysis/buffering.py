@@ -42,7 +42,9 @@ def buffers_per_stream(parity_group_size: int, scheme: Scheme) -> float:
         return c * (c + 1) / 2.0 / (c - 1)
     if scheme is Scheme.NON_CLUSTERED:
         return 2.0
-    return 2.0 * (c - 1)  # IMPROVED_BANDWIDTH
+    # IMPROVED_BANDWIDTH and PARITY_DECLUSTERED both double-buffer the
+    # C - 1 data tracks of a group with no parity slot held.
+    return 2.0 * (c - 1)
 
 
 def _buffer_tracks_real(params: SystemParameters, parity_group_size: int,

@@ -55,9 +55,16 @@ def disks_for_working_set(working_set_mb: float, disk_capacity_mb: float,
 
 
 def cluster_width(parity_group_size: int, scheme: Scheme) -> int:
-    """Disks per cluster: ``C`` for SR/SG/NC, ``C - 1`` for IB."""
+    """Disks per cluster: ``C`` for SR/SG/NC, ``C - 1`` for IB.
+
+    Parity declustering has no cluster constraint — groups are drawn from
+    the block design over all ``D`` disks, so any farm size >= C works
+    and the rounding unit is a single disk.
+    """
     if scheme is Scheme.IMPROVED_BANDWIDTH:
         return parity_group_size - 1
+    if scheme is Scheme.PARITY_DECLUSTERED:
+        return 1
     return parity_group_size
 
 

@@ -16,7 +16,7 @@ from repro.analysis.cost import CostBreakdown, total_cost
 from repro.analysis.parameters import SystemParameters
 from repro.analysis.reliability import mttds_years, mttf_catastrophic_years
 from repro.errors import ConfigurationError
-from repro.schemes import ALL_SCHEMES, Scheme
+from repro.schemes import ALL_IMPLEMENTED_SCHEMES, Scheme
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,7 @@ class DesignPoint:
 
 def enumerate_designs(params: SystemParameters, working_set_mb: float,
                       group_sizes: Iterable[int] = range(2, 11),
-                      schemes: Sequence[Scheme] = ALL_SCHEMES,
+                      schemes: Sequence[Scheme] = ALL_IMPLEMENTED_SCHEMES,
                       ) -> list[DesignPoint]:
     """Every (scheme, C) design sized to hold the working set."""
     designs = []

@@ -46,12 +46,17 @@ def bandwidth_overhead_mb_s(params: SystemParameters, parity_group_size: int,
     """``BW_p`` — MB/s of disk bandwidth reserved for fault tolerance.
 
     Equations (2)–(3): clustered schemes reserve the parity disks
-    (``d * D / C``); Improved-bandwidth reserves ``K_IB * d``.
+    (``d * D / C``); Improved-bandwidth reserves ``K_IB * d``.  The
+    parity-declustered extension reserves nothing up front — degraded
+    reads are paid for by trimming admission ``alpha * G`` slots per
+    failure — so its standing bandwidth overhead is zero.
     """
     _check_group(parity_group_size)
     d = params.disk_bandwidth_mb_s
     if scheme is Scheme.IMPROVED_BANDWIDTH:
         return params.reserve_k * d
+    if scheme is Scheme.PARITY_DECLUSTERED:
+        return 0.0
     return d * params.num_disks / parity_group_size
 
 

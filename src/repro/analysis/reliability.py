@@ -21,6 +21,15 @@ equals the mean time to **3** concurrent failures, i.e. ``k = K`` with the
 tables' ``K = 3``; the Section 3 worked example (D = 1000, "five disks at
 the same time", > 250 million years) instead uses ``k = K + 1``.  We expose
 the raw formula and let the comparison layer follow the tables.
+
+The parity-declustered extension (arXiv:1209.6152) trades exposure for
+window: every disk pair shares a group, so *any* second concurrent
+failure is catastrophic (exposure ``D - 1`` instead of ``C - 1``), but
+the distributed rebuild shrinks the vulnerability window by the
+declustering ratio ``alpha = (C-1)/(D-1)``.  The two factors cancel
+exactly — ``(D-1) * alpha = C - 1`` — so PD's closed-form MTTF equals
+Streaming RAID's, while the *measured* rebuild window (and hence the
+time spent degraded) shrinks by ``alpha``.
 """
 
 from __future__ import annotations
@@ -45,10 +54,111 @@ def mttf_catastrophic_hours(params: SystemParameters, parity_group_size: int,
         )
     if scheme is Scheme.IMPROVED_BANDWIDTH:
         exposure = 2 * parity_group_size - 1
+    elif scheme is Scheme.PARITY_DECLUSTERED:
+        # Every disk pair co-occurs in some group, so any second failure
+        # is catastrophic (exposure D - 1) — but the distributed rebuild
+        # shrinks the window to alpha * MTTR, and (D-1) * alpha = C - 1:
+        # the closed form collapses back to the Streaming-RAID value.
+        exposure = parity_group_size - 1
     else:
         exposure = parity_group_size - 1
     return (params.mttf_disk_hours ** 2) / (
         params.num_disks * exposure * params.mttr_disk_hours
+    )
+
+
+def declustering_ratio(num_disks: int, parity_group_size: int) -> float:
+    """``alpha = (C-1)/(D-1)`` — the declustered fraction of each survivor.
+
+    The fraction of every survivor's bandwidth touched when one disk is
+    rebuilt (arXiv:1209.6152).  ``alpha = 1`` recovers clustered RAID.
+
+    >>> declustering_ratio(11, 5)
+    0.4
+    >>> declustering_ratio(1000, 5) < 0.005
+    True
+    """
+    if parity_group_size < 2:
+        raise ConfigurationError(
+            f"parity group size must be >= 2, got {parity_group_size}"
+        )
+    if num_disks < parity_group_size:
+        raise ConfigurationError(
+            f"need at least C={parity_group_size} disks, got {num_disks}"
+        )
+    if num_disks < 2:
+        raise ConfigurationError(f"need at least 2 disks, got {num_disks}")
+    return (parity_group_size - 1) / (num_disks - 1)
+
+
+def declustered_rebuild_hours(clustered_rebuild_hours: float, num_disks: int,
+                              parity_group_size: int) -> float:
+    """Distributed-rebuild window: the clustered window scaled by ``alpha``.
+
+    Clustered rebuild reads are confined to the failed disk's ``C - 1``
+    surviving group members; declustering spreads the same read volume
+    over all ``D - 1`` survivors, so the window (and the vulnerable /
+    degraded interval) shrinks by ``alpha = (C-1)/(D-1)``.
+
+    >>> declustered_rebuild_hours(10.0, 11, 5)
+    4.0
+    """
+    if clustered_rebuild_hours < 0:
+        raise ConfigurationError(
+            f"rebuild window must be >= 0 hours, got {clustered_rebuild_hours}"
+        )
+    return clustered_rebuild_hours * declustering_ratio(
+        num_disks, parity_group_size)
+
+
+def declustered_mttf_hours(params: SystemParameters,
+                           parity_group_size: int) -> float:
+    """PD mean time to catastrophic failure via the explicit alpha form.
+
+    ``MTTF^2 / (D * (D-1) * alpha * MTTR)`` — exposure ``D - 1`` (any
+    second concurrent failure loses data) against an ``alpha``-shrunk
+    repair window.  Algebraically identical to eq. (4); kept as a
+    separate closed form so the cancellation is testable.
+
+    >>> p = SystemParameters.paper_table1()
+    >>> sr = mttf_catastrophic_hours(p, 5, Scheme.STREAMING_RAID)
+    >>> abs(declustered_mttf_hours(p, 5) / sr - 1) < 1e-12
+    True
+    """
+    alpha = declustering_ratio(params.num_disks, parity_group_size)
+    window = params.mttr_disk_hours * alpha
+    return (params.mttf_disk_hours ** 2) / (
+        params.num_disks * (params.num_disks - 1) * window
+    )
+
+
+def declustered_mttds_hours(params: SystemParameters, parity_group_size: int,
+                            alpha: float | None = None) -> float:
+    """PD mean time to degradation of service as a function of ``alpha``.
+
+    A single failure under PD is absorbed without hiccups — admission is
+    trimmed by only ``alpha * G`` slots farm-wide — so service degrades
+    when a *second* disk dies inside the (``alpha``-scaled) rebuild
+    window: ``MTTF^2 / (D * (D-1) * alpha * MTTR)``.  Pass ``alpha``
+    explicitly to sweep the trade-off curve; by default it is derived
+    from the farm geometry.  Smaller ``alpha`` (wider declustering)
+    monotonically improves MTTDS.
+
+    >>> p = SystemParameters.paper_table1()
+    >>> wide = declustered_mttds_hours(p, 5, alpha=0.01)
+    >>> narrow = declustered_mttds_hours(p, 5, alpha=0.5)
+    >>> wide > narrow
+    True
+    """
+    if alpha is None:
+        alpha = declustering_ratio(params.num_disks, parity_group_size)
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(
+            f"declustering ratio must be in (0, 1], got {alpha}"
+        )
+    window = params.mttr_disk_hours * alpha
+    return (params.mttf_disk_hours ** 2) / (
+        params.num_disks * (params.num_disks - 1) * window
     )
 
 
@@ -95,7 +205,12 @@ def mttds_hours(params: SystemParameters, parity_group_size: int,
     * NC/IB: DoS when ``K`` disks are concurrently down (buffer pool empty /
       reserved bandwidth exhausted) — following the Tables 2–3 convention
       (see module docstring).
+    * PD: a single failure only trims admission by ``alpha * G`` slots, so
+      DoS coincides with a second failure inside the alpha-scaled rebuild
+      window (see :func:`declustered_mttds_hours`).
     """
+    if scheme is Scheme.PARITY_DECLUSTERED:
+        return declustered_mttds_hours(params, parity_group_size)
     if scheme in (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP):
         return mttf_catastrophic_hours(params, parity_group_size, scheme)
     if params.reserve_k < 1:

@@ -45,11 +45,16 @@ def data_disk_count(params: SystemParameters, parity_group_size: int,
 
     Clustered schemes lose one disk per cluster to parity:
     ``D' = (C-1)/C * D``.  The Improved-bandwidth scheme reads data from
-    every non-reserved disk: ``D' = D - K_IB``.
+    every non-reserved disk: ``D' = D - K_IB``.  The parity-declustered
+    extension rotates parity through every disk and holds nothing in
+    reserve, so all ``D`` disks serve data; the degraded-mode cost is
+    charged at admission time instead (``alpha * G`` per failure).
     """
     _check_group(parity_group_size)
     if scheme is Scheme.IMPROVED_BANDWIDTH:
         return float(params.num_disks - params.reserve_k)
+    if scheme is Scheme.PARITY_DECLUSTERED:
+        return float(params.num_disks)
     c = parity_group_size
     return params.num_disks * (c - 1) / c
 

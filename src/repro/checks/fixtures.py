@@ -285,6 +285,30 @@ FIXTURES: tuple[Fixture, ...] = (
         """),
     ),
     Fixture(
+        label="R3-bad-design-cache-mutation",
+        path="src/repro/layout/example.py",
+        code=_snippet("""
+            class DeclusteredLayout:
+                def rescan(self) -> None:
+                    self._design_rows.clear()
+                    self._design_scanned = 0
+        """),
+        expect=(("R3", 2),),
+    ),
+    Fixture(
+        label="R3-good-design-cache-marked",
+        path="src/repro/layout/example.py",
+        code=_snippet("""
+            class DeclusteredLayout:
+                # Construction-time geometry: rows depend only on (D, C).
+                def _materialise_rows(self, count: int) -> None:  # repro: allow(epoch-cache)
+                    while len(self._design_rows) < count:
+                        self._design_rows.append(self._raw_row(
+                            self._design_scanned))
+                        self._design_scanned += 1
+        """),
+    ),
+    Fixture(
         label="R3-bad-delta-log-without-bump",
         path="src/repro/layout/example.py",
         code=_snippet("""

@@ -19,6 +19,12 @@ one of those counters.  This rule makes the contract machine-checked:
   placement delta log (``_delta_log``, ``_delta_floor``) must bump the
   epoch in the same body — a logged delta without an epoch move would
   let schedulers bridge to a key that never changed;
+* (declustered layout, PR 8) a function in ``layout/`` that mutates the
+  block-design geometry memo (``_design_rows``, ``_design_scanned``)
+  must bump the epoch or carry the ``allow(epoch-cache)`` marker — the
+  memo is construction-time geometry (rows depend only on ``(D, C)``),
+  but an unmarked mutation site could reorder or truncate the scan and
+  silently remap every placed group;
 * (delta path, PR 5) a function in ``sched/`` that *rewrites or evicts*
   from a plan cache (``_plan_cache``, ``_ff_tables``, and since PR 6 the
   degraded tables ``_ff_deg_tables``, the layout-epoch geometry
@@ -65,6 +71,12 @@ DISK_STATE_FIELDS = frozenset({
 #: The layout's placement delta log: appending or trimming without an
 #: epoch bump would desynchronise the log from the key it describes.
 DELTA_FIELDS = frozenset({"_delta_log", "_delta_floor"})
+
+#: The declustered layout's block-design memo: rows are scanned strictly
+#: in diagonal order and every placed group's addresses derive from row
+#: indices, so any mutation outside the designated (marked) materialiser
+#: could remap placed data without moving the epoch.
+DESIGN_CACHE_FIELDS = frozenset({"_design_rows", "_design_scanned"})
 
 #: Scheduler plan caches and the epoch-pair keys that guard them.
 #: ``_ff_deg_tables`` (degraded read tables, PR 6) is keyed like the
@@ -142,7 +154,8 @@ class EpochCacheRule(Rule):
     # -- detection helpers ---------------------------------------------------
 
     def _mutated_fields(self, func: ast.AST) -> set[str]:
-        protected = PLACEMENT_FIELDS | DISK_STATE_FIELDS | DELTA_FIELDS
+        protected = (PLACEMENT_FIELDS | DISK_STATE_FIELDS | DELTA_FIELDS
+                     | DESIGN_CACHE_FIELDS)
         fields: set[str] = set()
         for node in ast.walk(func):
             if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):

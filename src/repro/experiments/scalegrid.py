@@ -39,7 +39,11 @@ WALL_CLOCK_KEYS = frozenset({"build_s", "run_s", "us_per_cycle",
 
 
 def cluster_size(scheme: Scheme, parity_group_size: int = 5) -> int:
-    """Disks per cluster: C, except IB's C - 1 data-disk clusters."""
+    """Disks per cluster: C, except IB's C - 1 data-disk clusters.
+
+    Parity declustering has no clusters; C keeps its object count (one
+    object per C disks) comparable with the clustered layouts.
+    """
     if scheme is Scheme.IMPROVED_BANDWIDTH:
         return parity_group_size - 1
     return parity_group_size
@@ -168,9 +172,9 @@ def run_scale_grid(sizes: tuple[int, ...],
     serial-vs-parallel equality check.
     """
     from repro.parallel import ParallelRunner, TaskSpec
-    from repro.schemes import ALL_SCHEMES
+    from repro.schemes import ALL_IMPLEMENTED_SCHEMES
     if schemes is None:
-        schemes = tuple(ALL_SCHEMES)
+        schemes = tuple(ALL_IMPLEMENTED_SCHEMES)
     tasks = [
         TaskSpec(run_scale_cell, args=(scheme, num_disks, with_failure),
                  kwargs={"fast_forward": fast_forward},

@@ -96,7 +96,14 @@ def build_chaos_server(scheme: Scheme, verify_payloads: bool = False,
                        ) -> Any:
     """A small four-object server of one scheme, chaos-campaign sized."""
     from repro.server.server import MultimediaServer
-    num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    if scheme is Scheme.IMPROVED_BANDWIDTH:
+        num_disks = 12
+    elif scheme is Scheme.PARITY_DECLUSTERED:
+        # A prime farm size gives the declustered block design exact
+        # pairwise balance (no phantom rows).
+        num_disks = 11
+    else:
+        num_disks = 10
     params = SystemParameters.paper_table1(
         num_disks=num_disks,
         track_size_mb=TRACK_SIZE_MB,
@@ -454,7 +461,7 @@ def run_campaigns(seed: int, schemes: Optional[list[Scheme]] = None,
                   check_payload_mode: bool = True,
                   workers: int = 1,
                   fast_forward: bool = True) -> list[ChaosResult]:
-    """Run campaigns for several schemes (default: all four).
+    """Run campaigns for several schemes (default: every implemented scheme).
 
     ``workers > 1`` fans the campaigns out over a spawn process pool;
     each campaign is a pure function of ``(scheme, seed, profile)``, and
@@ -462,9 +469,9 @@ def run_campaigns(seed: int, schemes: Optional[list[Scheme]] = None,
     the serial run (the digests are compared by the regression guard in
     ``benchmarks/bench_parallel.py``).
     """
-    from repro.schemes import ALL_SCHEMES
+    from repro.schemes import ALL_IMPLEMENTED_SCHEMES
     if schemes is None:
-        schemes = list(ALL_SCHEMES)
+        schemes = list(ALL_IMPLEMENTED_SCHEMES)
     if workers == 1:
         return [run_campaign(scheme, seed, profile=profile,
                              check_payload_mode=check_payload_mode,
@@ -506,9 +513,9 @@ def run_campaign_grid(seeds: list[int],
     parallel width; the merged result order (seed-major, then scheme)
     is independent of workers.
     """
-    from repro.schemes import ALL_SCHEMES
+    from repro.schemes import ALL_IMPLEMENTED_SCHEMES
     if schemes is None:
-        schemes = list(ALL_SCHEMES)
+        schemes = list(ALL_IMPLEMENTED_SCHEMES)
     cells = [(seed, scheme) for seed in seeds for scheme in schemes]
     if workers == 1:
         return [run_campaign(scheme, seed, profile=profile,

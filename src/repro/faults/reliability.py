@@ -95,6 +95,11 @@ class RebuildWindow:
     hours: float
     blocks: int
     ff_engaged_cycles: int
+    #: Reconstruction reads served by each survivor (every disk except the
+    #: one being rebuilt, in disk-id order).  Clustered layouts concentrate
+    #: these on the failed disk's group mates; declustered layouts spread
+    #: them, which :attr:`read_spread` quantifies.
+    survivor_reads: tuple[int, ...] = ()
 
     @property
     def ff_residency(self) -> float:
@@ -102,6 +107,30 @@ class RebuildWindow:
         if self.cycles == 0:
             return 0.0
         return self.ff_engaged_cycles / self.cycles
+
+    @property
+    def max_survivor_reads(self) -> int:
+        """Reconstruction reads on the busiest survivor."""
+        return max(self.survivor_reads, default=0)
+
+    @property
+    def mean_survivor_reads(self) -> float:
+        """Reconstruction reads averaged over all survivors."""
+        if not self.survivor_reads:
+            return 0.0
+        return sum(self.survivor_reads) / len(self.survivor_reads)
+
+    @property
+    def read_spread(self) -> float:
+        """Max/mean survivor read load — 1.0 is perfectly balanced.
+
+        A clustered rebuild confined to one parity group scores ~``D/C``;
+        a well-declustered distributed rebuild stays near 1.
+        """
+        mean = self.mean_survivor_reads
+        if mean == 0.0:
+            return 0.0
+        return self.max_survivor_reads / mean
 
 
 def measure_rebuild_window(server: Any, disk_id: int = 0,
@@ -144,6 +173,10 @@ def measure_rebuild_window(server: Any, disk_id: int = 0,
         blocks=rebuilder.total_blocks,
         ff_engaged_cycles=(server.report.ff_engaged_cycles
                            - engaged_start),
+        survivor_reads=tuple(
+            rebuilder.source_reads.get(survivor, 0)
+            for survivor in range(len(server.array))
+            if survivor != disk_id),
     )
 
 

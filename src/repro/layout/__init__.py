@@ -9,17 +9,25 @@ Two families cover the paper's four schemes:
 * :class:`ImprovedBandwidthLayout` — no dedicated parity disks; the parity
   of cluster ``i`` is spread over the disks of cluster ``i + 1``
   (Section 4, Figure 8), so every disk serves data in normal mode.
+
+The parity-declustered extension adds a third family:
+
+* :class:`DeclusteredParityLayout` — parity groups on ``C``-subsets of
+  *all* disks via a balanced block design, so rebuild reads spread over
+  every survivor (PAPERS.md: Dau et al., arXiv:1209.6152).
 """
 
 from repro.layout.address import BlockKind, DiskAddress, GroupSpan, StoredBlock
 from repro.layout.base import DataLayout, PlacementDelta
 from repro.layout.clustered import ClusteredParityLayout
+from repro.layout.declustered import DeclusteredParityLayout
 from repro.layout.improved import ImprovedBandwidthLayout
 
 __all__ = [
     "BlockKind",
     "ClusteredParityLayout",
     "DataLayout",
+    "DeclusteredParityLayout",
     "DiskAddress",
     "GroupSpan",
     "ImprovedBandwidthLayout",

@@ -12,10 +12,13 @@ reconstruct from parity) and differ in *what* they plan each cycle:
   the eager (Figure 6) or lazy (Figure 7) degraded-mode transition.
 * :class:`ImprovedBandwidthScheduler` — SR-style reads on the shifted
   layout with the "shift to the right" parity cascade (Section 4).
+* :class:`DeclusteredParityScheduler` — SR-style reads on the
+  declustered layout, with distributed rebuild (extension).
 """
 
 from repro.sched.base import CycleScheduler
 from repro.sched.config import SchedulerConfig
+from repro.sched.declustered import DeclusteredParityScheduler
 from repro.sched.improved_bandwidth import ImprovedBandwidthScheduler
 from repro.sched.non_clustered import NonClusteredScheduler, TransitionProtocol
 from repro.sched.plan import PlannedRead, ReadKind, ReadPurpose
@@ -25,6 +28,7 @@ from repro.sched.streaming_raid import StreamingRAIDScheduler
 
 __all__ = [
     "CycleScheduler",
+    "DeclusteredParityScheduler",
     "ImprovedBandwidthScheduler",
     "NonClusteredScheduler",
     "PlannedRead",

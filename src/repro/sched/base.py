@@ -84,6 +84,11 @@ class GroupPlan:
 class CycleScheduler(abc.ABC):
     """Cycle-synchronous scheduler: the common engine for all schemes."""
 
+    #: Schemes whose layouts spread parity groups over arbitrary disk
+    #: subsets opt rebuilds into the distributed (source-disjoint
+    #: round-robin) pending order; see ``OnlineRebuilder``.
+    distributed_rebuild = False
+
     __slots__ = (
         "layout", "array", "config", "verify_payloads", "metadata_only",
         "track_bytes", "codec", "slot_table", "report", "tracker",
@@ -617,7 +622,8 @@ class CycleScheduler(abc.ABC):
         """
         from repro.sched.rebuild import OnlineRebuilder
         rebuilder = OnlineRebuilder(self, disk_id,
-                                    writes_per_cycle=writes_per_cycle)
+                                    writes_per_cycle=writes_per_cycle,
+                                    distributed=self.distributed_rebuild)
         self.rebuilders.append(rebuilder)
         return rebuilder
 

@@ -49,12 +49,13 @@ class OnlineRebuilder:
     """
 
     __slots__ = ("scheduler", "disk_id", "writes_per_cycle", "codec",
-                 "_pending", "total_blocks", "blocks_rebuilt",
-                 "reads_consumed", "completed", "media_blocked",
-                 "_ff_plan", "_ff_plan_key")
+                 "distributed", "_pending", "total_blocks", "blocks_rebuilt",
+                 "reads_consumed", "source_reads", "completed",
+                 "media_blocked", "_ff_plan", "_ff_plan_key")
 
     def __init__(self, scheduler: "CycleScheduler", disk_id: int,
-                 writes_per_cycle: Optional[int] = None) -> None:
+                 writes_per_cycle: Optional[int] = None,
+                 distributed: bool = False) -> None:
         if scheduler.array[disk_id].is_failed is False:
             raise ConfigurationError(
                 f"disk {disk_id} is not failed; nothing to rebuild"
@@ -66,11 +67,21 @@ class OnlineRebuilder:
         if self.writes_per_cycle < 1:
             raise ConfigurationError("spare needs at least one write/cycle")
         self.codec: ParityCodec = scheduler.codec
-        self._pending: deque[StoredBlock] = deque(
-            scheduler.layout.blocks_on_disk(disk_id))
+        #: Distributed rebuild (parity declustering): pending blocks are
+        #: ordered so consecutive blocks draw their reconstruction reads
+        #: from disjoint survivor sets, spreading the load round-robin
+        #: over all ``D - 1`` survivors.
+        self.distributed = distributed
+        blocks = scheduler.layout.blocks_on_disk(disk_id)
+        if distributed:
+            blocks = self._distributed_order(blocks)
+        self._pending: deque[StoredBlock] = deque(blocks)
         self.total_blocks = len(self._pending)
         self.blocks_rebuilt = 0
         self.reads_consumed = 0
+        #: Reconstruction reads issued per source disk — the raw material
+        #: for the survivor read-load spread (max/mean) metric.
+        self.source_reads: dict[int, int] = {}
         #: Rebuild steps deferred because a source read hit a media error.
         self.media_blocked = 0
         self.completed = self.total_blocks == 0
@@ -121,6 +132,8 @@ class OnlineRebuilder:
                 for address in sources:
                     idle_slots[address.disk_id] -= 1
                     self.reads_consumed += 1
+                    self.source_reads[address.disk_id] = \
+                        self.source_reads.get(address.disk_id, 0) + 1
                     payloads.append(
                         self.scheduler.array[address.disk_id].read(
                             address.position))
@@ -218,6 +231,9 @@ class OnlineRebuilder:
             span = src[off[base]:off[base + take]]
             np.add.at(load_sink, span, 1)
             self.reads_consumed += int(off[base + take] - off[base])
+            for source_id, count in zip(*np.unique(span, return_counts=True)):
+                self.source_reads[int(source_id)] = \
+                    self.source_reads.get(int(source_id), 0) + int(count)
             spare = self.scheduler.array[self.disk_id]
             for index in range(take):
                 spare.write(int(pos[base + index]), META_PAYLOAD)
@@ -229,6 +245,34 @@ class OnlineRebuilder:
         return take
 
     # -- helpers ---------------------------------------------------------------
+
+    def _distributed_order(self,
+                           blocks: list[StoredBlock]) -> list[StoredBlock]:
+        """Order blocks so consecutive blocks use disjoint source disks.
+
+        Deterministic greedy list scheduling: each block lands in the
+        earliest *round* in which none of its source disks is already
+        claimed, and the rounds are concatenated (stable within a
+        round).  On a clustered layout every block shares the same
+        handful of sources, so rounds hold one block each and the order
+        is unchanged; on a declustered layout each round packs
+        ``~(D - 1) / C`` source-disjoint blocks, so the head-first idle
+        slot consumption of :meth:`run_step` / :meth:`fast_step` drains
+        reads round-robin across *all* survivors instead of stalling on
+        one cluster.  O(blocks * C); no RNG, no wall clock.
+        """
+        next_free: dict[int, int] = {}
+        rounds: list[list[StoredBlock]] = []
+        for block in blocks:
+            sources = self._source_addresses(block)
+            start = max((next_free.get(a.disk_id, 0) for a in sources),
+                        default=0)
+            while len(rounds) <= start:
+                rounds.append([])
+            rounds[start].append(block)
+            for address in sources:
+                next_free[address.disk_id] = start + 1
+        return [block for bucket in rounds for block in bucket]
 
     def _group_of_block(self, block: StoredBlock) -> int:
         if block.kind is BlockKind.PARITY:

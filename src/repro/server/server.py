@@ -38,10 +38,12 @@ from repro.errors import ConfigurationError
 from repro.faults.injector import ExponentialFaultInjector, FaultSchedule
 from repro.layout.base import DataLayout
 from repro.layout.clustered import ClusteredParityLayout
+from repro.layout.declustered import DeclusteredParityLayout
 from repro.layout.improved import ImprovedBandwidthLayout
 from repro.media.catalog import Catalog, uniform_catalog
 from repro.sched.base import CycleScheduler
 from repro.sched.config import SchedulerConfig
+from repro.sched.declustered import DeclusteredParityScheduler
 from repro.sched.improved_bandwidth import ImprovedBandwidthScheduler
 from repro.sched.non_clustered import NonClusteredScheduler, TransitionProtocol
 from repro.sched.staggered_group import StaggeredGroupScheduler
@@ -117,6 +119,9 @@ class MultimediaServer:
         if scheme is Scheme.IMPROVED_BANDWIDTH:
             layout: DataLayout = ImprovedBandwidthLayout(
                 params.num_disks, parity_group_size)
+        elif scheme is Scheme.PARITY_DECLUSTERED:
+            layout = DeclusteredParityLayout(params.num_disks,
+                                             parity_group_size)
         else:
             layout = ClusteredParityLayout(params.num_disks,
                                            parity_group_size)
@@ -173,6 +178,8 @@ class MultimediaServer:
             return NonClusteredScheduler(layout, array, config,
                                          protocol=protocol, pool=pool,
                                          **common)
+        if scheme is Scheme.PARITY_DECLUSTERED:
+            return DeclusteredParityScheduler(layout, array, config, **common)
         return ImprovedBandwidthScheduler(
             layout, array, config, proactive_parity=proactive_parity,
             mirror_read_balance=mirror_read_balance, **common)

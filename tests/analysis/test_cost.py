@@ -5,7 +5,7 @@ import pytest
 from repro.analysis import SystemParameters, disks_for_working_set, total_cost
 from repro.analysis.cost import cluster_width
 from repro.errors import ConfigurationError
-from repro.schemes import Scheme
+from repro.schemes import ALL_SCHEMES, Scheme
 
 #: The Figure 9 parameterisation: W = 100,000 MB, s_d = 1000 MB, K = 5.
 FIG9 = SystemParameters.paper_table1(reserve_k=5)
@@ -88,14 +88,14 @@ class TestTotalCost:
     def test_figure9a_nc_is_cheapest_scheme(self):
         """Figure 9(a): the Non-clustered curve lies below the others."""
         for c in range(2, 11):
-            costs = {s: total_cost(FIG9, c, s, W).total for s in Scheme}
+            costs = {s: total_cost(FIG9, c, s, W).total for s in ALL_SCHEMES}
             assert min(costs, key=costs.get) == Scheme.NON_CLUSTERED
 
     def test_figure9a_sr_most_expensive_at_large_groups(self):
         """The paper's headline conclusion: disk savings from large parity
         groups are more than offset by SR's buffer cost."""
         for c in range(5, 11):
-            costs = {s: total_cost(FIG9, c, s, W).total for s in Scheme}
+            costs = {s: total_cost(FIG9, c, s, W).total for s in ALL_SCHEMES}
             assert max(costs, key=costs.get) == Scheme.STREAMING_RAID
 
     def test_buffer_cost_dominates_at_large_groups(self):
@@ -122,7 +122,8 @@ class TestTotalCost:
         """Section 5: IB is the scheme of choice when bandwidth is scarce
         (e.g. a 1500-stream requirement only IB can meet cheaply)."""
         for c in range(2, 8):
-            results = {s: total_cost(FIG9, c, s, W).streams for s in Scheme}
+            results = {s: total_cost(FIG9, c, s, W).streams
+                       for s in ALL_SCHEMES}
             assert max(results, key=results.get) == Scheme.IMPROVED_BANDWIDTH
 
     def test_ib_at_c2_serves_over_1500_streams(self):

@@ -17,7 +17,7 @@ W = 100_000.0
 
 def test_enumeration_covers_grid():
     designs = enumerate_designs(PARAMS, W)
-    assert len(designs) == 4 * 9
+    assert len(designs) == 5 * 9
     assert {d.scheme for d in designs} == set(Scheme)
     assert {d.parity_group_size for d in designs} == set(range(2, 11))
 
@@ -59,10 +59,20 @@ def test_impossible_requirement_returns_none():
 def test_reliability_floor_filters_ib():
     """Demanding SR-class MTTF pushes the choice off Improved bandwidth."""
     ib = recommend_design(PARAMS, W, required_streams=1500)
+    assert ib.scheme is Scheme.IMPROVED_BANDWIDTH
     floor = ib.mttf_years * 1.5
     constrained = recommend_design(PARAMS, W, required_streams=1500,
                                    min_mttf_years=floor)
-    assert constrained is None  # only IB could serve 1500
+    # Of the paper's four schemes only IB can serve 1500, so the floor
+    # used to leave nothing; parity declustering keeps IB-class stream
+    # counts while the D-1-wide rebuild beats the floor handily.
+    assert constrained is not None
+    assert constrained.scheme is Scheme.PARITY_DECLUSTERED
+    assert constrained.mttf_years >= floor
+    four = enumerate_designs(
+        PARAMS, W, schemes=[s for s in Scheme
+                            if s is not Scheme.PARITY_DECLUSTERED])
+    assert feasible_designs(four, 1500, min_mttf_years=floor) == []
 
 
 def test_describe_mentions_key_facts():

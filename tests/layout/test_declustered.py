@@ -1,0 +1,167 @@
+"""Parity-declustered layout: block-design balance properties.
+
+The two claims the distributed rebuild rests on:
+
+* **pairwise balance** — every disk pair co-occurs in (nearly) the same
+  number of parity groups: exactly ``lambda = C (C-1)`` on prime farm
+  sizes, within a few percent on composite ones (phantom-row filtering);
+* **survivor load balance** — after any single failure, the
+  reconstruction reads an object's blocks need spread (nearly) evenly
+  over all ``D - 1`` survivors, because each block's sources are simply
+  the other members of its design row.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.layout import DeclusteredParityLayout
+from repro.layout.declustered import smallest_prime_at_least
+from repro.media import MediaObject
+
+PRIME_FARMS = [(7, 3), (11, 5), (13, 4), (17, 5)]
+COMPOSITE_FARMS = [(10, 5), (12, 5), (40, 5)]
+
+
+def make_layout(disks=11, group=5):
+    return DeclusteredParityLayout(disks, group)
+
+
+def full_design_object(layout, name="full"):
+    """One object with exactly one group per design row (start 0)."""
+    groups = layout.design_size()
+    tracks = groups * (layout.parity_group_size - 1)
+    obj = MediaObject(name, 0.1875, tracks)
+    layout.place(obj, start_cluster=0)
+    return obj
+
+
+class TestPrimeConstruction:
+    def test_smallest_prime_at_least(self):
+        assert [smallest_prime_at_least(n) for n in (2, 3, 4, 10, 11, 1000)] \
+            == [2, 3, 5, 11, 11, 1009]
+
+    @pytest.mark.parametrize("disks,group", PRIME_FARMS)
+    def test_prime_farms_are_exact_designs(self, disks, group):
+        layout = make_layout(disks, group)
+        assert layout.is_exact_design
+        assert layout.design_modulus == disks
+        assert layout.design_size() == disks * (disks - 1)
+
+    @pytest.mark.parametrize("disks,group", COMPOSITE_FARMS)
+    def test_composite_farms_filter_phantom_rows(self, disks, group):
+        layout = make_layout(disks, group)
+        assert not layout.is_exact_design
+        assert layout.design_modulus > disks
+        assert 0 < layout.design_size() < layout.raw_design_size
+        for index in range(layout.design_size()):
+            assert max(layout.design_row(index)) < disks
+
+    def test_rows_have_distinct_members(self):
+        layout = make_layout(11, 5)
+        for index in range(layout.design_size()):
+            row = layout.design_row(index)
+            assert len(set(row)) == len(row) == 5
+
+    def test_row_index_wraps_past_design(self):
+        layout = make_layout(7, 3)
+        size = layout.design_size()
+        assert layout.design_row(size) == layout.design_row(0)
+        assert layout.design_row(size + 5) == layout.design_row(5)
+
+    def test_negative_row_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_layout().design_row(-1)
+
+
+class TestPairwiseBalance:
+    @pytest.mark.parametrize("disks,group", PRIME_FARMS)
+    def test_prime_design_is_exactly_balanced(self, disks, group):
+        counts = make_layout(disks, group).pair_concurrence()
+        assert set(counts.values()) == {group * (group - 1)}
+
+    @pytest.mark.parametrize("disks,group", COMPOSITE_FARMS)
+    def test_composite_design_is_nearly_balanced(self, disks, group):
+        counts = make_layout(disks, group).pair_concurrence()
+        values = list(counts.values())
+        mean = sum(values) / len(values)
+        assert min(values) > 0
+        assert max(values) / mean <= 1.11
+
+
+class TestSurvivorLoad:
+    def _reconstruction_loads(self, layout, obj, failed):
+        """Reads per survivor to reconstruct every block of ``failed``
+        (each design row containing the failed disk costs one read on
+        each of its other members, parity included)."""
+        loads = {d: 0 for d in range(layout.num_disks) if d != failed}
+        for group in range(layout.group_count(obj)):
+            span = layout.group_span(obj.name, group)
+            members = [a.disk_id for a in span.data] + [span.parity.disk_id]
+            if failed not in members:
+                continue
+            for member in members:
+                if member != failed:
+                    loads[member] += 1
+        return loads
+
+    @pytest.mark.parametrize("disks,group", PRIME_FARMS)
+    def test_full_design_rebuild_load_is_exactly_uniform(self, disks, group):
+        # One group per design row: every survivor serves exactly
+        # lambda = C (C-1) reconstruction reads, whichever disk fails.
+        layout = make_layout(disks, group)
+        obj = full_design_object(layout)
+        for failed in range(disks):
+            loads = self._reconstruction_loads(layout, obj, failed)
+            assert max(loads.values()) - min(loads.values()) == 0
+            assert set(loads.values()) == {group * (group - 1)}
+
+    @pytest.mark.parametrize("disks,group", COMPOSITE_FARMS)
+    def test_composite_rebuild_load_spread_within_gate(self, disks, group):
+        layout = make_layout(disks, group)
+        obj = full_design_object(layout)
+        for failed in range(disks):
+            loads = self._reconstruction_loads(layout, obj, failed)
+            mean = sum(loads.values()) / len(loads)
+            assert max(loads.values()) / mean <= 1.1
+
+
+class TestGeometry:
+    def test_every_disk_serves_data_and_no_parity_disks(self):
+        layout = make_layout(11, 5)
+        assert layout.data_disk_count == 11
+        assert layout.num_clusters == 11
+        assert not any(layout.is_parity_disk(d) for d in range(11))
+
+    def test_parity_rotates_over_every_disk(self):
+        layout = make_layout(11, 5)
+        obj = full_design_object(layout)
+        parity_disks = {layout.parity_address(obj.name, g).disk_id
+                        for g in range(layout.group_count(obj))}
+        assert parity_disks == set(range(11))
+
+    def test_group_members_distinct_and_parity_disjoint(self):
+        layout = make_layout(10, 5)
+        obj = MediaObject("x", 0.1875, 40)
+        layout.place(obj, start_cluster=3)
+        for group in range(layout.group_count(obj)):
+            span = layout.group_span("x", group)
+            data = [a.disk_id for a in span.data]
+            assert len(set(data)) == len(data)
+            assert span.parity.disk_id not in data
+
+    def test_declustering_ratio(self):
+        assert make_layout(11, 5).declustering_ratio == pytest.approx(0.4)
+        assert make_layout(41, 5).declustering_ratio == pytest.approx(0.1)
+
+    def test_any_two_failures_are_catastrophic(self):
+        layout = make_layout(11, 5)
+        assert not layout.is_catastrophic_geometric([])
+        assert not layout.is_catastrophic_geometric([3])
+        assert not layout.is_catastrophic_geometric([3, 3])
+        assert layout.is_catastrophic_geometric([3, 7])
+        with pytest.raises(ConfigurationError):
+            layout.is_catastrophic_geometric([11])
+
+    def test_needs_at_least_group_size_disks(self):
+        with pytest.raises(ConfigurationError):
+            DeclusteredParityLayout(4, 5)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.faults.injector import FaultSchedule
-from repro.schemes import ALL_SCHEMES, Scheme
+from repro.schemes import ALL_IMPLEMENTED_SCHEMES, Scheme
 from repro.server.server import MultimediaServer
 from tests.conftest import build_server, tiny_catalog
 
@@ -24,7 +24,12 @@ CYCLES = 30
 
 
 def _scheme_server(scheme: Scheme, **kwargs: object) -> MultimediaServer:
-    num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    if scheme is Scheme.IMPROVED_BANDWIDTH:
+        num_disks = 12
+    elif scheme is Scheme.PARITY_DECLUSTERED:
+        num_disks = 11  # prime: exact declustered design
+    else:
+        num_disks = 10
     kwargs.setdefault("verify_payloads", False)
     return build_server(scheme, num_disks=num_disks, **kwargs)
 
@@ -71,13 +76,15 @@ def _plain_run(server: MultimediaServer, fast_forward: bool) -> list:
     return server.run_cycles(CYCLES, fast_forward=fast_forward)
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_fast_forward_matches_scalar(scheme: Scheme) -> None:
     slow, fast = _run_pair(scheme, _plain_run)
     assert fast == slow
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_fast_forward_matches_scalar_through_fault(scheme: Scheme) -> None:
     """A scripted fail/repair interrupts the quiescent epoch mid-stride."""
     def drive(server: MultimediaServer, fast_forward: bool) -> list:
@@ -89,7 +96,8 @@ def test_fast_forward_matches_scalar_through_fault(scheme: Scheme) -> None:
     assert fast == slow
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_fast_forward_noop_in_payload_mode(scheme: Scheme) -> None:
     """Payload-verified servers silently fall back to scalar cycles."""
     slow, fast = _run_pair(scheme, _plain_run, verify_payloads=True)
@@ -170,7 +178,8 @@ def _rebuild_drive(server: MultimediaServer, fast_forward: bool) -> list:
     return reports
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_degraded_rebuild_matches_scalar(scheme: Scheme) -> None:
     """The stable-degraded engine is bit-equal through an entire
     fail -> degraded -> rebuild -> restore arc, and actually engages."""
@@ -193,7 +202,8 @@ def test_degraded_nc_protocols_match_scalar(protocol: str) -> None:
     assert report.ff_engaged_cycles > 0
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_degraded_media_error_matches_scalar(scheme: Scheme) -> None:
     """A latent sector error mid-epoch forces a scalar interlude; the
     run stays bit-equal and the engine re-engages once it clears."""
@@ -211,7 +221,8 @@ def test_degraded_media_error_matches_scalar(scheme: Scheme) -> None:
     assert report.ff_engaged_cycles > 0
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_degraded_double_failure_matches_scalar(scheme: Scheme) -> None:
     """A second failure (data loss + shed) bails the engine; the scalar
     interlude and the surviving epochs stay bit-equal."""

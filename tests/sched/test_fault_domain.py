@@ -112,6 +112,55 @@ class TestDegradedAdmission:
         server.degrade_disk(3, slowdown=1.5)
         server.run_cycles(6)
         assert stream.is_active or stream.status is StreamStatus.COMPLETED
+
+
+class TestSchemeCapacityPenalties:
+    """Per-scheme whole-disk-failure penalties on the admission limit.
+
+    The clustered schemes reserve the parity disks' bandwidth, so a
+    single failure costs nothing; parity declustering reserves nothing
+    and instead trims an ``alpha = (C-1)/(D-1)`` share of the limit per
+    failure (the survivors' reconstruction reads come out of the same
+    slots that would have served new streams).
+    """
+
+    def _server(self, scheme, num_disks, admission_limit=20):
+        params = SystemParameters.paper_table1(num_disks=num_disks)
+        return MultimediaServer.build(params, 5, scheme,
+                                      admission_limit=admission_limit)
+
+    @pytest.mark.parametrize("scheme,num_disks", [
+        (Scheme.STREAMING_RAID, 10),
+        (Scheme.STAGGERED_GROUP, 10),
+        (Scheme.NON_CLUSTERED, 10),
+        (Scheme.IMPROVED_BANDWIDTH, 12),
+    ], ids=lambda v: v.value if isinstance(v, Scheme) else str(v))
+    def test_reserved_schemes_absorb_one_failure(self, scheme, num_disks):
+        server = self._server(scheme, num_disks)
+        server.fail_disk(0)
+        assert server.scheduler.effective_admission_limit() == 20
+
+    def test_pd_single_failure_trims_alpha_share(self):
+        server = self._server(Scheme.PARITY_DECLUSTERED, 11)
+        scheduler = server.scheduler
+        assert scheduler.effective_admission_limit() == 20
+        server.fail_disk(0)
+        # alpha * limit = 20 * (5-1)/(11-1) = 8 slots farm-wide.
+        assert scheduler.effective_admission_limit() == 12
+        server.repair_disk(0)
+        assert scheduler.effective_admission_limit() == 20
+
+    def test_pd_penalty_scales_with_failures(self):
+        server = self._server(Scheme.PARITY_DECLUSTERED, 11)
+        server.fail_disk(0)
+        server.fail_disk(5)
+        assert server.scheduler.effective_admission_limit() == 4
+
+    def test_pd_penalty_is_at_least_one_slot(self):
+        server = self._server(Scheme.PARITY_DECLUSTERED, 11,
+                              admission_limit=2)
+        server.fail_disk(3)
+        assert server.scheduler.effective_admission_limit() == 1
         assert server.report.hiccup_free()
 
 

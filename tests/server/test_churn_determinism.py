@@ -13,7 +13,7 @@ import pytest
 
 from repro.errors import AdmissionError
 from repro.faults.injector import FaultSchedule
-from repro.schemes import ALL_SCHEMES, Scheme
+from repro.schemes import ALL_IMPLEMENTED_SCHEMES, Scheme
 from repro.server.server import MultimediaServer, WorkloadResult
 from repro.workload import WorkloadGenerator, compile_trace
 from tests.conftest import build_server, tiny_catalog
@@ -24,7 +24,12 @@ HORIZON_CYCLES = 40
 
 
 def _server(scheme: Scheme, **kwargs: object) -> MultimediaServer:
-    num_disks = 12 if scheme is Scheme.IMPROVED_BANDWIDTH else 10
+    if scheme is Scheme.IMPROVED_BANDWIDTH:
+        num_disks = 12
+    elif scheme is Scheme.PARITY_DECLUSTERED:
+        num_disks = 11  # prime: exact declustered design
+    else:
+        num_disks = 10
     kwargs.setdefault("catalog", tiny_catalog(4, tracks=8))
     kwargs.setdefault("verify_payloads", False)
     return build_server(scheme, num_disks=num_disks, **kwargs)
@@ -55,14 +60,16 @@ def _workload_pair(scheme: Scheme, rate: float = 0.8, seed: int = 7,
     return slow_result, fast_result
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_workload_fast_forward_matches_scalar(scheme: Scheme) -> None:
     slow, fast = _workload_pair(scheme)
     assert slow == fast
     assert slow.admitted > 0 and slow.rejected == 0
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_workload_rejections_identical(scheme: Scheme) -> None:
     # A tight admission limit forces in-engine rejections on the fast
     # path; the counts and the resulting system state must still match.
@@ -72,12 +79,29 @@ def test_workload_rejections_identical(scheme: Scheme) -> None:
     assert slow.rejected > 0
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_workload_matches_scalar_through_fault(scheme: Scheme) -> None:
     # A mid-trace failure and repair: the fast run segments at the fault
     # cycles and bails around degraded stretches, scalar-identically.
     slow, fast = _workload_pair(scheme, seed=5, with_fault=True)
     assert slow == fast
+
+
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
+def test_churn_degraded_stretch_notes_disengagement(scheme: Scheme) -> None:
+    # run_churn never refuses a degraded server: the churn engine
+    # disengages with an explicit reason and the stretch falls through
+    # to the degraded epoch engine or the scalar loop, per segment.
+    server = _server(scheme)
+    server.fail_disk(1)
+    arrivals = {2: (server.catalog.get(server.catalog.names()[0]),),
+                10: (server.catalog.get(server.catalog.names()[1]),)}
+    reports, admitted, rejected = server.scheduler.run_churn(20, arrivals)
+    assert len(reports) == 20
+    assert admitted + rejected == 2
+    assert server.report.ff_disengagements.get("churn-degraded", 0) >= 1
 
 
 def test_unarrived_requests_are_counted() -> None:
@@ -99,7 +123,8 @@ def test_precompiled_trace_is_accepted() -> None:
     assert _fingerprint(slow, []) == _fingerprint(fast, [])
 
 
-@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
 def test_admit_batch_matches_sequential(scheme: Scheme) -> None:
     sequential = _server(scheme, admission_limit=3)
     batched = _server(scheme, admission_limit=3)

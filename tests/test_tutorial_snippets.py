@@ -164,6 +164,32 @@ def test_section8_scale_levers():
     assert estimate.mean_hours == serial.mean_hours
 
 
+def test_section10_parity_declustering():
+    from repro.analysis import declustered_rebuild_hours, declustering_ratio
+    from repro.faults.reliability import measure_rebuild_window
+
+    params = SystemParameters.paper_table1(num_disks=11)
+    server = MultimediaServer.build(params, 5, Scheme.PARITY_DECLUSTERED)
+    for name in server.catalog.names()[:2]:
+        server.admit(name)
+    server.run_cycles(2)
+
+    window = measure_rebuild_window(server, disk_id=0)
+    assert window.cycles > 0
+    assert 0.0 < window.read_spread < 2.0
+    assert server.report.hiccup_free()        # the failure stayed masked
+    assert declustering_ratio(11, 5) == 0.4
+    assert declustered_rebuild_hours(10.0, 11, 5) == 4.0
+
+    # Admission pays for degraded mode: alpha * limit slots per failure.
+    capped = MultimediaServer.build(params, 5, Scheme.PARITY_DECLUSTERED,
+                                    admission_limit=20)
+    capped.fail_disk(0)
+    assert capped.scheduler.effective_admission_limit() == 12
+    capped.repair_disk(0)
+    assert capped.scheduler.effective_admission_limit() == 20
+
+
 def test_section8_degraded_fast_forward():
     params = SystemParameters.paper_table1(num_disks=10)
     server = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID)
