@@ -15,10 +15,15 @@ campaign digests match, and writes the before/after wall-clock to
 
     python benchmarks/bench_chaos.py [--smoke]
 
-Chaos servers are deliberately tiny (10 disks, 3 streams) and the storm
-scripts are dense, so the segmented engine roughly breaks even here —
-the artifact exists to keep that overhead visible, not to show a win.
-The at-scale degraded speedup gate is ``bench_degraded.py``.
+The standalone sweep rages over a **1000-disk farm with 200 streams**
+(the paper's production scale), so the recorded fast-forward speedup is
+honest about what the segmented engine buys under a real storm: the
+scripts are dense, epochs between events are short, and the engine wins
+modestly rather than by the 5x+ it shows on quiescent workloads.  The
+artifact exists to keep that number visible, not to inflate it — the
+at-scale degraded speedup gate is ``bench_degraded.py``.  The pytest
+micro-benchmarks above keep the classic 10-disk chaos server: they time
+the fault-domain harness itself, where farm size is noise.
 """
 
 import argparse
@@ -67,6 +72,18 @@ OUTPUT = Path(__file__).resolve().parent / "BENCH_chaos.json"
 ALL_SCHEMES = (Scheme.STREAMING_RAID, Scheme.STAGGERED_GROUP,
                Scheme.NON_CLUSTERED, Scheme.IMPROVED_BANDWIDTH)
 
+#: The standalone sweep's farm: paper scale, 200 concurrent streams.
+FARM_DISKS = 1000
+FARM_OBJECTS = 200
+FARM_TRACKS = 40
+
+
+def farm_profile(cycles: int) -> ChaosProfile:
+    """The 1000-disk campaign profile the standalone sweep runs on."""
+    return ChaosProfile(cycles=cycles, num_disks=FARM_DISKS,
+                        objects=FARM_OBJECTS,
+                        tracks_per_object=FARM_TRACKS)
+
 
 def run_campaign_pair(scheme: Scheme, profile: ChaosProfile) -> dict:
     """One campaign, fast-forward and scalar, digest-checked."""
@@ -83,6 +100,8 @@ def run_campaign_pair(scheme: Scheme, profile: ChaosProfile) -> dict:
     return {
         "scheme": scheme.value,
         "cycles": profile.cycles,
+        "num_disks": profile.num_disks,
+        "streams": profile.objects,
         "seed": SEED,
         "digests_equal": fast.digest == scalar.digest,
         "scalar_s": round(scalar_s, 4),
@@ -91,7 +110,7 @@ def run_campaign_pair(scheme: Scheme, profile: ChaosProfile) -> dict:
     }
 
 
-def run_sweep(profile: ChaosProfile = PROFILE) -> list[dict]:
+def run_sweep(profile: ChaosProfile) -> list[dict]:
     # One untimed campaign absorbs interpreter/numpy warm-up so the
     # first timed cell is not charged for it.
     run_campaign(Scheme.STREAMING_RAID, SEED, profile=ChaosProfile(cycles=12),
@@ -112,11 +131,13 @@ if __name__ == "__main__":
     parser.add_argument("--smoke", action="store_true",
                         help="shorter campaigns for CI smoke runs")
     args = parser.parse_args()
-    sweep = run_sweep(ChaosProfile(cycles=30 if args.smoke else 60))
+    sweep = run_sweep(farm_profile(cycles=30 if args.smoke else 60))
     assert all(cell["digests_equal"] for cell in sweep), \
         "fast-forward campaign digest diverged from scalar"
     OUTPUT.write_text(json.dumps({
         "benchmark": "bench_chaos",
+        "farm": {"num_disks": FARM_DISKS, "streams": FARM_OBJECTS,
+                 "tracks_per_object": FARM_TRACKS},
         "runs": sweep,
     }, indent=2) + "\n")
     print(f"wrote {OUTPUT}")

@@ -19,7 +19,13 @@ from repro.analysis.comparison import (
     figure9_stream_series,
     format_comparison_table,
 )
-from repro.analysis.cost import disks_for_working_set, total_cost
+from repro.analysis.cost import (
+    ClusterCostBreakdown,
+    cluster_cost,
+    cluster_cost_series,
+    disks_for_working_set,
+    total_cost,
+)
 from repro.analysis.design import (
     DesignPoint,
     enumerate_designs,
@@ -47,6 +53,7 @@ from repro.schemes import ALL_SCHEMES, Scheme
 
 __all__ = [
     "ALL_SCHEMES",
+    "ClusterCostBreakdown",
     "DesignPoint",
     "Scheme",
     "SchemeMetrics",
@@ -58,6 +65,8 @@ __all__ = [
     "bandwidth_overhead_mb_s",
     "buffer_mb",
     "buffer_tracks",
+    "cluster_cost",
+    "cluster_cost_series",
     "compare_schemes",
     "declustered_mttds_hours",
     "declustered_mttf_hours",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.analysis.buffering import buffer_mb
 from repro.analysis.parameters import SystemParameters
@@ -114,3 +115,79 @@ def total_cost(params: SystemParameters, parity_group_size: int,
         disk_cost=params.disk_cost_per_mb * disks * params.disk_capacity_mb,
         memory_cost=params.memory_cost_per_mb * memory_mb,
     )
+
+
+@dataclass(frozen=True)
+class ClusterCostBreakdown:
+    """Cost of an ``N``-shard cluster serving working set ``W``.
+
+    Each shard holds its ``(W - H) / N`` slice of the catalog plus the
+    ``H`` MB of hot titles replicated onto *every* shard, so the
+    per-shard breakdown is a plain eq. (16)–(19) evaluation at that
+    shard working set and the cluster multiplies it out.  Replication
+    buys routing freedom (least-loaded-copy dispatch) at a storage
+    premium of ``(N - 1) * H`` MB cluster-wide.
+    """
+
+    shards: int
+    replicated_mb: float
+    per_shard: CostBreakdown
+
+    @property
+    def streams(self) -> int:
+        """Cluster-wide stream capacity — shards are fault-isolated."""
+        return self.shards * self.per_shard.streams
+
+    @property
+    def total(self) -> float:
+        """Total cluster cost in dollars."""
+        return self.shards * self.per_shard.total
+
+    @property
+    def cost_per_stream(self) -> float:
+        """Dollars per concurrently served stream."""
+        return self.total / self.streams
+
+
+def cluster_cost(params: SystemParameters, parity_group_size: int,
+                 scheme: Scheme, working_set_mb: float, shards: int,
+                 replicated_mb: float = 0.0,
+                 round_to_cluster: bool = False) -> ClusterCostBreakdown:
+    """Cluster closed form: ``N`` shards splitting ``W`` MB of catalog.
+
+    ``replicated_mb`` is the hot-title set carried by every shard
+    (``H < W``); the remaining ``W - H`` is partitioned evenly.  With
+    ``shards=1`` and ``replicated_mb=0`` this degenerates to
+    :func:`total_cost` exactly, which anchors the series the cluster
+    benchmark plots: cost per stream versus shard count.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if replicated_mb < 0:
+        raise ConfigurationError(
+            f"replicated set must be non-negative, got {replicated_mb}")
+    if replicated_mb >= working_set_mb:
+        raise ConfigurationError(
+            f"replicated set ({replicated_mb} MB) must be smaller than "
+            f"the working set ({working_set_mb} MB)")
+    shard_ws = (working_set_mb - replicated_mb) / shards + replicated_mb
+    breakdown = total_cost(params, parity_group_size, scheme, shard_ws,
+                           round_to_cluster)
+    return ClusterCostBreakdown(
+        shards=shards,
+        replicated_mb=replicated_mb,
+        per_shard=breakdown,
+    )
+
+
+def cluster_cost_series(params: SystemParameters, parity_group_size: int,
+                        scheme: Scheme, working_set_mb: float,
+                        shard_counts: Sequence[int],
+                        replicated_mb: float = 0.0,
+                        ) -> list[ClusterCostBreakdown]:
+    """Figure-9 extension: the cost-per-stream curve over shard counts."""
+    return [
+        cluster_cost(params, parity_group_size, scheme, working_set_mb,
+                     shards, replicated_mb)
+        for shards in shard_counts
+    ]

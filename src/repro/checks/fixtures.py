@@ -958,6 +958,53 @@ PROJECT_FIXTURES: tuple[ProjectFixture, ...] = (
         expect=(("R10", "src/repro/workload/example.py", 5),),
     ),
     ProjectFixture(
+        # The cluster package is its own R10 subsystem: its
+        # ``cluster-placement`` stream must stay inside it ...
+        label="R10-good-cluster-stream-isolated",
+        files=(
+            ("src/repro/cluster/example.py", _snippet("""
+                class Placer:
+                    __slots__ = ("rng",)
+
+                    def pick(self, count: int) -> int:
+                        return self.rng.integers("cluster-placement", 0,
+                                                 count)
+            """)),
+            ("src/repro/workload/example.py", _snippet("""
+                class Arrivals:
+                    __slots__ = ("rng",)
+
+                    def next_gap(self) -> float:
+                        return self.rng.exponential("arrivals", 1.0)
+            """)),
+        ),
+    ),
+    ProjectFixture(
+        # ... and borrowing it from another subsystem is a collision on
+        # both sides of the boundary.
+        label="R10-bad-cluster-stream-borrowed",
+        files=(
+            ("src/repro/cluster/example.py", _snippet("""
+                class Placer:
+                    __slots__ = ("rng",)
+
+                    def pick(self, count: int) -> int:
+                        return self.rng.integers("cluster-placement", 0,
+                                                 count)
+            """)),
+            ("src/repro/workload/example.py", _snippet("""
+                class Arrivals:
+                    __slots__ = ("rng",)
+
+                    def shard_of(self, count: int) -> int:
+                        return self.rng.integers("cluster-placement", 0,
+                                                 count)
+            """)),
+        ),
+        expect=(("R10", "src/repro/cluster/example.py", 5),
+                ("R10", "src/repro/workload/example.py", 5)),
+    ),
+    ProjectFixture(
         label="R9-good-cross-file-guard",
         files=(
             ("src/repro/sched/example.py", _snippet("""

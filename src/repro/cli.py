@@ -18,6 +18,9 @@ Commands
     Compare tape versus on-line parity rebuild for a failed disk.
 ``chaos``
     Seeded randomized fault campaigns with invariant checks.
+``cluster``
+    Run a sharded multi-node cluster over the session pool and print
+    (or emit as JSON) the merged cluster report.
 """
 
 from __future__ import annotations
@@ -137,6 +140,38 @@ def build_parser() -> argparse.ArgumentParser:
                             "--seed (default 1)")
     chaos.add_argument("--workers", type=int, default=1,
                        help="process-pool width (default 1: in-process)")
+
+    cluster = sub.add_parser(
+        "cluster", help="run a sharded multi-node cluster")
+    cluster.add_argument("--shards", type=int, default=2,
+                         help="number of independent server shards "
+                              "(default 2)")
+    cluster.add_argument("--workers", type=int, default=1,
+                         help="session-pool width; results are "
+                              "bit-identical for any value (default 1)")
+    cluster.add_argument("--disks", type=int, default=20,
+                         help="disks per shard (default 20)")
+    cluster.add_argument("--scheme", type=_scheme,
+                         default=Scheme.STREAMING_RAID,
+                         help="SR, SG, NC, IB, or PD (default SR)")
+    cluster.add_argument("--group-size", type=int, default=5,
+                         help="parity group size C (default 5)")
+    cluster.add_argument("--cycles", type=int, default=40,
+                         help="simulated cycles (default 40)")
+    cluster.add_argument("--arrivals-per-cycle", type=float, default=4.0,
+                         help="cluster-wide Poisson arrival rate "
+                              "(default 4.0)")
+    cluster.add_argument("--replicate-top-k", type=int, default=0,
+                         help="replicate the k hottest titles onto an "
+                              "extra shard (default 0)")
+    cluster.add_argument("--fast-forward", action="store_true",
+                         help="vectorise quiescent stretches inside "
+                              "each shard window")
+    cluster.add_argument("--seed", type=int, default=0,
+                         help="root seed; every shard/trace/placement "
+                              "seed derives from it (default 0)")
+    cluster.add_argument("--json", action="store_true",
+                         help="emit the cluster report as JSON")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate paper experiments as data")
@@ -406,6 +441,47 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run one sharded cluster and print (or JSON-dump) the report."""
+    import json as json_module
+    from repro.cluster import ClusterSpec, run_cluster
+    spec = ClusterSpec(
+        scheme=args.scheme,
+        shards=args.shards,
+        disks_per_shard=args.disks,
+        parity_group_size=args.group_size,
+        cycles=args.cycles,
+        arrivals_per_cycle=args.arrivals_per_cycle,
+        replicate_top_k=args.replicate_top_k,
+        seed=args.seed,
+        fast_forward=args.fast_forward,
+    )
+    result = run_cluster(spec, workers=args.workers)
+    if args.json:
+        print(json_module.dumps({
+            "shards": spec.shards,
+            "workers": result.workers,
+            "admitted": result.admitted,
+            "rejected": result.rejected,
+            "unarrived": result.unarrived,
+            "capacity": result.capacity,
+            "hiccups": result.report.total_hiccups,
+            "digest": result.digest(),
+            "per_shard": [
+                {"shard": s.shard_id, "routed": s.routed,
+                 "admitted": s.admitted, "rejected": s.rejected,
+                 "effective_limit": s.effective_limit}
+                for s in result.per_shard],
+        }, indent=2))
+    else:
+        print(result.summary())
+        for shard in result.per_shard:
+            print(f"  shard {shard.shard_id}: routed {shard.routed}, "
+                  f"admitted {shard.admitted}, rejected {shard.rejected}, "
+                  f"effective limit {shard.effective_limit}")
+    return 0 if result.report.total_lost_tracks == 0 else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """Regenerate registered experiments; non-zero exit on any mismatch."""
     import json as json_module
@@ -445,6 +521,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scale": cmd_scale,
         "verify": cmd_verify,
         "chaos": cmd_chaos,
+        "cluster": cmd_cluster,
         "experiments": cmd_experiments,
     }
     return handlers[args.command](args)

@@ -1,0 +1,61 @@
+"""Sharded multi-node VoD cluster: scale-out over the session pool.
+
+The paper sizes a single disk farm; ROADMAP item 3 asks what it takes to
+serve the audience a single farm cannot.  This package answers with the
+classic scale-out move, grounded in Viennot et al.'s distributed-VoD
+bounds: run ``N`` fully independent shards — each a complete
+layout/array/scheduler/server build — behind a deterministic front door.
+
+* :mod:`repro.cluster.placement` — split the catalog over shards,
+  optionally replicating the hottest titles k-way;
+* :mod:`repro.cluster.shard` — the spawn-safe shard lifecycle
+  (init / windowed step / finalise) for ``repro.parallel.SessionPool``;
+* :mod:`repro.cluster.router` — least-loaded-copy dispatch with
+  barrier-fed degraded-capacity awareness;
+* :mod:`repro.cluster.runner` — orchestration and the merged
+  :class:`~repro.cluster.runner.ClusterReport`.
+
+``workers=1`` and ``workers=N`` are bit-identical by construction; the
+cluster benchmark gates its scaling numbers on that digest equality.
+"""
+
+from repro.cluster.placement import ShardPlacement, partition_catalog
+from repro.cluster.router import ClusterRouter
+from repro.cluster.runner import (
+    ClusterFault,
+    ClusterReport,
+    ClusterSpec,
+    ShardSummary,
+    run_cluster,
+)
+from repro.cluster.shard import (
+    ShardFault,
+    ShardResult,
+    ShardSpec,
+    ShardState,
+    WindowResult,
+    build_shard_server,
+    finalise_shard,
+    init_shard,
+    run_shard_window,
+)
+
+__all__ = [
+    "ClusterFault",
+    "ClusterReport",
+    "ClusterRouter",
+    "ClusterSpec",
+    "ShardFault",
+    "ShardPlacement",
+    "ShardResult",
+    "ShardSpec",
+    "ShardState",
+    "ShardSummary",
+    "WindowResult",
+    "build_shard_server",
+    "finalise_shard",
+    "init_shard",
+    "partition_catalog",
+    "run_cluster",
+    "run_shard_window",
+]

@@ -1,0 +1,112 @@
+"""Catalog partitioning across shards, with optional hot-title replication.
+
+The placement problem is Viennot et al.'s: split a movie catalog over
+``N`` independent servers so that load balances and popular titles do
+not bottleneck on a single machine.  The partitioner here is the
+deterministic core of their practical algorithms:
+
+* **primary placement** — greedy least-loaded by track count, walking
+  the catalog in insertion order with ties broken toward the lowest
+  shard id.  Insertion order is canonical catalog order everywhere in
+  this repo, so the result is a pure function of the catalog;
+* **hot-title replication** — the ``replicate_top_k`` hottest titles
+  (by catalog popularity weight) each gain extra copies on other
+  shards, giving the router a least-loaded-copy choice exactly where
+  skewed demand needs one.  Replica shards are drawn from the
+  ``cluster-placement`` named RNG stream, so the layout is fully
+  determined by ``(catalog, shards, k, seed)`` — the Markov-chain
+  replication strategies of arXiv:0912.1011 motivate the knob; dynamic
+  re-replication stays out of scope (ROADMAP item 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.media.catalog import Catalog
+from repro.media.objects import MediaObject
+from repro.sim.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """Which shards hold which objects.
+
+    ``copies`` maps object name to the shard ids holding it, primary
+    first; ``names`` lists each shard's objects in catalog insertion
+    order (the order its per-shard catalog is built in).
+    """
+
+    shards: int
+    copies: dict[str, tuple[int, ...]]
+    names: tuple[tuple[str, ...], ...]
+
+    def holders(self, name: str) -> tuple[int, ...]:
+        """Shard ids holding ``name``, primary first (KeyError if absent)."""
+        return self.copies[name]
+
+    def objects_for(self, shard: int,
+                    catalog: Catalog) -> tuple[MediaObject, ...]:
+        """The shard's catalog slice, in master-catalog insertion order."""
+        return tuple(catalog.get(name) for name in self.names[shard])
+
+    def replicated(self) -> tuple[str, ...]:
+        """Names held by more than one shard, in catalog order."""
+        return tuple(name for name, holders in self.copies.items()
+                     if len(holders) > 1)
+
+
+def partition_catalog(catalog: Catalog, shards: int,
+                      replicate_top_k: int = 0, seed: int = 0,
+                      replicas: int = 1) -> ShardPlacement:
+    """Place a catalog onto ``shards`` shards (see module docstring).
+
+    ``replicate_top_k`` titles (hottest first) each get ``replicas``
+    extra copies on distinct shards drawn from the ``cluster-placement``
+    stream; ``replicas`` saturates at ``shards - 1`` (a copy on every
+    shard).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if replicate_top_k < 0:
+        raise ValueError(
+            f"replicate_top_k must be >= 0, got {replicate_top_k}")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if len(catalog) < shards:
+        raise ValueError(
+            f"catalog has {len(catalog)} objects — cannot populate "
+            f"{shards} shards")
+    copies: dict[str, list[int]] = {}
+    load = [0] * shards
+    for obj in catalog:
+        primary = min(range(shards), key=lambda s: (load[s], s))
+        copies[obj.name] = [primary]
+        load[primary] += obj.num_tracks
+    if replicate_top_k and shards > 1:
+        rng = RandomSource(seed)
+        # Hottest first; insertion rank breaks weight ties so the order
+        # is total and deterministic.
+        ranked = sorted(
+            enumerate(catalog.names()),
+            key=lambda pair: (-catalog.popularity(pair[1]), pair[0]))
+        for _, name in ranked[:replicate_top_k]:
+            tracks = catalog.get(name).num_tracks
+            for _ in range(min(replicas, shards - 1)):
+                candidates = [s for s in range(shards)
+                              if s not in copies[name]]
+                if not candidates:
+                    break
+                pick = candidates[rng.integers("cluster-placement", 0,
+                                               len(candidates))]
+                copies[name].append(pick)
+                load[pick] += tracks
+    names: list[list[str]] = [[] for _ in range(shards)]
+    for name in catalog.names():
+        for shard in copies[name]:
+            names[shard].append(name)
+    return ShardPlacement(
+        shards=shards,
+        copies={name: tuple(holders) for name, holders in copies.items()},
+        names=tuple(tuple(held) for held in names),
+    )

@@ -50,7 +50,16 @@ MIN_EPOCH_SPAN = 4
 
 @dataclass(frozen=True)
 class ChaosProfile:
-    """Knobs of one campaign's fault mix (all probabilities per cycle)."""
+    """Knobs of one campaign's fault mix (all probabilities per cycle).
+
+    ``num_disks``/``objects``/``tracks_per_object`` size the farm the
+    storm rages over.  The defaults (``num_disks=None``) keep the
+    classic chaos-sized server — 10 disks (11 declustered, 12
+    improved-bandwidth), four 40-track objects — so existing campaign
+    digests are untouched; the chaos *benchmark* overrides them to a
+    1000-disk farm so its fast-forward numbers reflect production
+    scale, not a toy.
+    """
 
     cycles: int = 40
     max_concurrent_failures: int = 2
@@ -62,12 +71,24 @@ class ChaosProfile:
     media_probability: float = 0.25
     transient_probability: float = 0.50
     slowdowns: tuple[float, ...] = (1.5, 2.0)
+    num_disks: Optional[int] = None
+    objects: int = 4
+    tracks_per_object: int = 40
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
             raise ValueError("a campaign needs at least one cycle")
         if self.max_concurrent_failures < 0:
             raise ValueError("max_concurrent_failures must be >= 0")
+        if self.num_disks is not None and self.num_disks < 5:
+            raise ValueError(
+                f"a chaos farm needs >= 5 disks, got {self.num_disks}")
+        if self.objects < 1:
+            raise ValueError(f"objects must be >= 1, got {self.objects}")
+        if self.tracks_per_object < 1:
+            raise ValueError(
+                f"tracks_per_object must be >= 1, "
+                f"got {self.tracks_per_object}")
 
 
 @dataclass
@@ -93,10 +114,18 @@ class ChaosResult:
 
 
 def build_chaos_server(scheme: Scheme, verify_payloads: bool = False,
-                       ) -> Any:
-    """A small four-object server of one scheme, chaos-campaign sized."""
+                       profile: Optional[ChaosProfile] = None) -> Any:
+    """A chaos-campaign server; the profile sizes the farm.
+
+    Without a profile (or with ``profile.num_disks=None``) the classic
+    chaos server is built: 10 disks (11 declustered for block-design
+    balance, 12 improved-bandwidth for whole clusters) holding four
+    40-track objects.
+    """
     from repro.server.server import MultimediaServer
-    if scheme is Scheme.IMPROVED_BANDWIDTH:
+    if profile is not None and profile.num_disks is not None:
+        num_disks = profile.num_disks
+    elif scheme is Scheme.IMPROVED_BANDWIDTH:
         num_disks = 12
     elif scheme is Scheme.PARITY_DECLUSTERED:
         # A prime farm size gives the declustered block design exact
@@ -104,14 +133,16 @@ def build_chaos_server(scheme: Scheme, verify_payloads: bool = False,
         num_disks = 11
     else:
         num_disks = 10
+    objects = profile.objects if profile is not None else 4
+    tracks = profile.tracks_per_object if profile is not None else 40
     params = SystemParameters.paper_table1(
         num_disks=num_disks,
         track_size_mb=TRACK_SIZE_MB,
         disk_capacity_mb=TRACK_SIZE_MB * 4000,
     )
     catalog = Catalog()
-    for index in range(4):
-        catalog.add(MediaObject(f"m{index}", 0.1875, 40, seed=index))
+    for index in range(objects):
+        catalog.add(MediaObject(f"m{index}", 0.1875, tracks, seed=index))
     return MultimediaServer.build(
         params, 5, scheme, catalog=catalog, slots_per_disk=8,
         verify_payloads=verify_payloads)
@@ -127,7 +158,7 @@ def generate_script(scheme: Scheme, seed: int,
     spaces latent-error injections far enough apart for the per-cycle
     scrubber to keep up.
     """
-    probe = build_chaos_server(scheme)
+    probe = build_chaos_server(scheme, profile=profile)
     num_disks = len(probe.array)
     media_gap = probe.config.parity_group_size + 4
     # Candidate media-error targets: every stored block (data and parity)
@@ -202,7 +233,8 @@ def generate_script(scheme: Scheme, seed: int,
 
 def replay(scheme: Scheme, events: list[FaultEvent], cycles: int,
            verify_payloads: bool = False,
-           fast_forward: bool = True) -> dict[str, Any]:
+           fast_forward: bool = True,
+           profile: Optional[ChaosProfile] = None) -> dict[str, Any]:
     """Replay a fault script on a fresh server; returns the snapshot.
 
     With ``fast_forward`` the replay segments the campaign at the
@@ -226,7 +258,8 @@ def replay(scheme: Scheme, events: list[FaultEvent], cycles: int,
     """
     from repro.faults.injector import FaultSchedule
     from repro.errors import AdmissionError
-    server = build_chaos_server(scheme, verify_payloads=verify_payloads)
+    server = build_chaos_server(scheme, verify_payloads=verify_payloads,
+                                profile=profile)
     schedule = FaultSchedule(events)
     scrubber = SectorScrubber(server.array, tracks_per_pass=2)
     scheduler = server.scheduler
@@ -408,14 +441,14 @@ def run_campaign(scheme: Scheme, seed: int,
     """
     profile = profile if profile is not None else ChaosProfile()
     events = generate_script(scheme, seed, profile)
-    probe = build_chaos_server(scheme)
+    probe = build_chaos_server(scheme, profile=profile)
     window = probe.config.parity_group_size + 3
     violations: list[str] = []
 
     first = replay(scheme, events, profile.cycles,
-                   fast_forward=fast_forward)
+                   fast_forward=fast_forward, profile=profile)
     second = replay(scheme, events, profile.cycles,
-                    fast_forward=fast_forward)
+                    fast_forward=fast_forward, profile=profile)
     digest = snapshot_digest(first)
     if snapshot_digest(second) != digest:
         violations.append("replay of the same script diverged "
@@ -423,7 +456,7 @@ def run_campaign(scheme: Scheme, seed: int,
     if check_payload_mode:
         verified = replay(scheme, events, profile.cycles,
                           verify_payloads=True,
-                          fast_forward=fast_forward)
+                          fast_forward=fast_forward, profile=profile)
         if verified["payload_mismatches"]:
             violations.append(
                 f"{verified['payload_mismatches']} payload mismatches in "

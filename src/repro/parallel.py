@@ -27,6 +27,17 @@ Three design rules make parallel runs bit-identical to serial ones:
 
 ``workers=1`` never creates a pool: tasks run in-process, in order, so
 small runs and debugging sessions pay zero multiprocessing overhead.
+
+For stateful shards — a cluster of servers stepped through many trace
+segments — re-pickling the server per task would dominate the run.
+:class:`SessionPool` is the **persistent-worker session mode**: each
+session's state is built *once*, inside a long-lived spawn worker, from
+a self-contained :class:`TaskSpec`; subsequent steps ship only the step
+function and its (small) arguments, and the state never crosses a
+process boundary again.  Sessions are multiplexed round-robin over the
+worker processes, results always come back in session order, and
+``workers=1`` keeps every state in-process — so, exactly like
+:class:`ParallelRunner`, the two modes are interchangeable bit for bit.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ import functools
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from multiprocessing import get_context
+from multiprocessing.connection import Connection
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from numpy.random import SeedSequence
@@ -175,6 +187,187 @@ class ParallelRunner:
                     accumulator = reducer(accumulator, ready.pop(frontier))
                     frontier += 1
             return accumulator
+
+
+def _session_worker(conn: Connection) -> None:
+    """Long-lived worker loop: hold session states, run steps against them.
+
+    All state lives in locals (never at module scope — rule R7), so a
+    spawned worker cannot silently diverge from its parent: everything
+    it knows arrived through an explicit, validated :class:`TaskSpec`.
+
+    Protocol (parent -> worker):
+
+    * ``("init", sid, spec)``  — build session ``sid``'s state as
+      ``spec.fn(*spec.args, **spec.kwargs)``;
+    * ``("step", sid, spec)``  — run ``spec.fn(state, *spec.args,
+      **spec.kwargs)`` against the held state;
+    * ``("stop",)``            — drop every state and exit.
+
+    Every init/step is answered with ``(sid, ok, payload)`` where
+    ``payload`` is the result or, on failure, the exception.
+    """
+    states: dict[int, Any] = {}
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "stop":
+            conn.close()
+            return
+        _, sid, spec = message
+        try:
+            if kind == "init":
+                states[sid] = _execute(spec)
+                result: Any = None
+            else:
+                result = spec.fn(states[sid], *spec.args, **spec.kwargs)
+            conn.send((sid, True, result))
+        except Exception as exc:
+            conn.send((sid, False, exc))
+
+
+class SessionPool:
+    """Persistent per-session state over long-lived spawn workers.
+
+    ``sessions`` is one :class:`TaskSpec` per session; each is executed
+    exactly once to *build* that session's state (e.g. a fully loaded
+    shard server) inside whichever worker owns the session.  Sessions
+    are assigned round-robin: session ``i`` lives in worker ``i % W``
+    for the whole pool lifetime, so its state is built once and stepped
+    in place — never re-pickled between steps.
+
+    ``workers=1`` builds every state in-process and steps it directly:
+    no processes, no pickling, and — because steps are applied to each
+    session in the same order either way — results bit-identical to any
+    other worker count.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    __slots__ = ("workers", "_specs", "_states", "_conns", "_procs",
+                 "_owner", "_closed")
+
+    def __init__(self, sessions: Sequence[TaskSpec],
+                 workers: int = 1) -> None:
+        specs = list(sessions)
+        for spec in specs:
+            if not isinstance(spec, TaskSpec):
+                raise TypeError(
+                    f"SessionPool takes TaskSpec sessions, got "
+                    f"{type(spec).__name__}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not specs:
+            raise ValueError("SessionPool needs at least one session")
+        self.workers = min(workers, len(specs))
+        self._specs = specs
+        self._states: list[Any] = []
+        self._conns: list[Connection] = []
+        self._procs: list[Any] = []
+        #: session index -> owning worker index (round-robin pinning).
+        self._owner = [index % self.workers for index in range(len(specs))]
+        self._closed = False
+        if self.workers == 1:
+            self._states = [_execute(spec) for spec in specs]
+            return
+        context = get_context("spawn")
+        for _ in range(self.workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(target=_session_worker,
+                                      args=(child_conn,), daemon=True)
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+        # Ship every session's build spec to its owner, then collect the
+        # acknowledgements — builds proceed concurrently across workers.
+        for sid, spec in enumerate(specs):
+            self._conns[self._owner[sid]].send(("init", sid, spec))
+        self._collect(len(specs))
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def step_all(self, fn: Callable[..., Any],
+                 args: Optional[Sequence[tuple[Any, ...]]] = None,
+                 label: str = "") -> list[Any]:
+        """Run ``fn(state, *args[i])`` against every session's state.
+
+        Returns results in session order.  ``fn`` must be a module-level
+        function (spawn workers import it by qualified name); spawn
+        safety of the function and of every argument is validated up
+        front via :class:`TaskSpec`, identically for ``workers=1``.  All
+        step messages are dispatched before any result is awaited, so
+        sessions owned by different workers run concurrently.
+        """
+        if self._closed:
+            raise RuntimeError("SessionPool is closed")
+        count = len(self._specs)
+        if args is None:
+            args = [()] * count
+        if len(args) != count:
+            raise ValueError(
+                f"step_all got {len(args)} argument tuples for "
+                f"{count} sessions")
+        specs = [TaskSpec(fn, args=tuple(step_args),
+                          label=label or getattr(fn, "__name__", "step"))
+                 for step_args in args]
+        if self.workers == 1:
+            return [spec.fn(state, *spec.args)
+                    for state, spec in zip(self._states, specs)]
+        for sid, spec in enumerate(specs):
+            self._conns[self._owner[sid]].send(("step", sid, spec))
+        return self._collect(count)
+
+    def _collect(self, expected: int) -> list[Any]:
+        """Gather ``expected`` replies, restored to session order.
+
+        Each worker answers its own messages in the order they were
+        sent, so draining per-worker queues round-robin is deadlock-free
+        and deterministic.
+        """
+        results: list[Any] = [None] * len(self._specs)
+        pending = expected
+        per_worker = [0] * self.workers
+        for sid in range(len(self._specs)):
+            per_worker[self._owner[sid]] += 1
+        for worker, conn in enumerate(self._conns):
+            for _ in range(per_worker[worker]):
+                if pending == 0:
+                    break
+                sid, ok, payload = conn.recv()
+                if not ok:
+                    self.close()
+                    raise payload
+                results[sid] = payload
+                pending -= 1
+        return results
+
+    def close(self) -> None:
+        """Stop every worker and drop the held states (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._states = []
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except (BrokenPipeError, OSError):  # worker already gone
+                pass
+        for process in self._procs:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5.0)
+        self._conns = []
+        self._procs = []
 
 
 def derive_seeds(root_seed: int, count: int) -> tuple[int, ...]:

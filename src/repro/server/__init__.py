@@ -10,7 +10,7 @@ imports ``repro.server.metrics``/``repro.server.stream`` while the facade
 imports the schedulers, so an eager import here would be circular.
 """
 
-from repro.server.admission import AdmissionController
+from repro.server.admission import AdmissionController, cluster_capacity
 from repro.server.metrics import (
     CycleReport,
     HiccupRecord,
@@ -28,6 +28,7 @@ __all__ = [
     "StreamStatus",
     "VideoOnDemandSystem",
     "WorkloadResult",
+    "cluster_capacity",
 ]
 
 

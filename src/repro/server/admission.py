@@ -12,11 +12,17 @@ state of the disk array (fail-slow throttles plus a scheme-specific
 penalty for consumed redundancy), so the front door sheds or rejects
 instead of admitting load the degraded array will drop as slot-overflow
 hiccup storms.
+
+:func:`cluster_capacity` lifts the same idea one level up, to a sharded
+cluster: shards are fault-isolated (Viennot et al.'s independent-server
+model), so the cluster-wide admissible stream count is simply the sum of
+the shards' *effective* limits — a shard in degraded mode shrinks the
+cluster bound by exactly its own lost capacity and nothing more.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:
     from repro.disk.drive import DiskArray
@@ -52,6 +58,23 @@ def fault_aware_capacity(base_limit: int, array: "DiskArray",
     )
     limit = base_limit if fraction >= 1.0 else int(base_limit * fraction)
     return max(0, limit - penalty)
+
+
+def cluster_capacity(shard_limits: Sequence[int]) -> int:
+    """Cluster-wide admissible streams from per-shard effective limits.
+
+    Feed it each shard's :meth:`~repro.sched.base.CycleScheduler.\
+effective_admission_limit` — the fault-aware figure, not the healthy
+    bound — and the sum *is* the cluster's degraded capacity, because
+    shards share no disks, buffers, or parity groups.
+    """
+    if not shard_limits:
+        raise ValueError("cluster has no shards")
+    for limit in shard_limits:
+        if limit < 0:
+            raise ValueError(
+                f"shard limit must be non-negative, got {limit}")
+    return sum(shard_limits)
 
 
 class AdmissionController:

@@ -9,6 +9,7 @@ so the staggered-group memory profile (Figure 4) can be regenerated.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -135,6 +136,37 @@ class MetricsReducer:
         self.media_recovery_reads += report.media_recovery_reads
         self.streams_shed += report.streams_shed
 
+    def merge(self, other: "MetricsReducer") -> None:
+        """Absorb another reducer's aggregates (disjoint-server fold).
+
+        The cross-shard counterpart of :meth:`fold`: every additive
+        ``total_*`` source stays exact under the merge, and the peak
+        buffer is the max of the two peaks (shards do not share buffer
+        pools, so a cluster-wide simultaneous peak is not observable —
+        the per-shard max is the honest bound).  ``cycles_seen`` adds:
+        for a cluster it counts *server-cycles*, N shards running the
+        same wall-clock cycle contribute N.
+        """
+        self.cycles_seen += other.cycles_seen
+        self.reads_planned += other.reads_planned
+        self.reads_executed += other.reads_executed
+        self.reads_dropped += other.reads_dropped
+        self.parity_reads += other.parity_reads
+        self.tracks_delivered += other.tracks_delivered
+        self.reconstructions += other.reconstructions
+        self.blocks_rebuilt += other.blocks_rebuilt
+        self.hiccups += other.hiccups
+        for cause, count in other.hiccup_counts.items():
+            self.hiccup_counts[cause] = \
+                self.hiccup_counts.get(cause, 0) + count
+        if other.peak_buffered_tracks > self.peak_buffered_tracks:
+            self.peak_buffered_tracks = other.peak_buffered_tracks
+        self.media_errors += other.media_errors
+        self.media_retries += other.media_retries
+        self.media_reconstructions += other.media_reconstructions
+        self.media_recovery_reads += other.media_recovery_reads
+        self.streams_shed += other.streams_shed
+
 
 @dataclass
 class SimulationReport:
@@ -181,6 +213,68 @@ class SimulationReport:
                 del self.cycles[:excess]
             return
         self.cycles.append(cycle_report)
+
+    # -- cross-server merge ---------------------------------------------------
+
+    def _whole_run_reducer(self) -> MetricsReducer:
+        """A fresh reducer covering this report's *whole* run.
+
+        In tail mode the streaming reducer already holds the run-wide
+        aggregates (copied, so the merge never mutates an input); with
+        no tail the retained cycles are the complete run and folding
+        them reproduces the same aggregates exactly.
+        """
+        reducer = MetricsReducer()
+        if self.reducer is not None:
+            reducer.merge(self.reducer)
+            return reducer
+        for cycle_report in self.cycles:
+            reducer.fold(cycle_report)
+        return reducer
+
+    def merge(self, other: "SimulationReport") -> "SimulationReport":
+        """Fold two reports from *disjoint* servers into a new report.
+
+        Built for cluster aggregation: the two servers simulated
+        separate disk farms over (typically) the same cycle range, so
+        retained cycles interleave by cycle index (stable — ``self``'s
+        cycle first on ties) and equal indices are expected, meaning
+        *server-cycles* rather than wall-clock cycles.  Neither input is
+        mutated.
+
+        Every ``total_*`` aggregate stays exact regardless of tail
+        modes: if either side bounds its tail, the merged report keeps a
+        run-wide :class:`MetricsReducer` (merged from each side's whole
+        run) and bounds its retained cycles to the smaller tail;
+        otherwise both cycle lists are complete and plain summation
+        remains exact.
+        """
+        tails = [t for t in (self.tail, other.tail) if t is not None]
+        tail = min(tails) if tails else None
+        cycles = list(heapq.merge(self.cycles, other.cycles,
+                                  key=lambda report: report.cycle))
+        if tail is not None:
+            cycles = cycles[len(cycles) - tail:] if tail else []
+        merged = SimulationReport(
+            cycles=cycles,
+            payload_mismatches=(self.payload_mismatches
+                                + other.payload_mismatches),
+            data_loss_events=sorted(
+                self.data_loss_events + other.data_loss_events,
+                key=lambda event: event.cycle),
+            tail=tail,
+        )
+        if tail is not None:
+            reducer = self._whole_run_reducer()
+            reducer.merge(other._whole_run_reducer())
+            merged.reducer = reducer
+        merged.ff_engaged_cycles = (self.ff_engaged_cycles
+                                    + other.ff_engaged_cycles)
+        for reason, count in (*self.ff_disengagements.items(),
+                              *other.ff_disengagements.items()):
+            merged.ff_disengagements[reason] = \
+                merged.ff_disengagements.get(reason, 0) + count
+        return merged
 
     # -- aggregates -----------------------------------------------------------
 

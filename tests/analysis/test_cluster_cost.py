@@ -1,0 +1,78 @@
+"""Cluster cost closed form: shard splitting, replication premium."""
+
+import pytest
+
+from repro.analysis import (SystemParameters, cluster_cost,
+                            cluster_cost_series, total_cost)
+from repro.errors import ConfigurationError
+from repro.schemes import ALL_SCHEMES, Scheme
+
+FIG9 = SystemParameters.paper_table1(reserve_k=5)
+W = 100_000.0
+
+
+class TestClusterCost:
+    def test_single_shard_degenerates_to_total_cost(self):
+        for scheme in ALL_SCHEMES:
+            single = cluster_cost(FIG9, 5, scheme, W, shards=1)
+            flat = total_cost(FIG9, 5, scheme, W)
+            assert single.total == pytest.approx(flat.total)
+            assert single.streams == flat.streams
+            assert single.per_shard.num_disks == flat.num_disks
+
+    def test_shards_multiply_per_shard_breakdown(self):
+        result = cluster_cost(FIG9, 5, Scheme.STREAMING_RAID, W, shards=4)
+        per_shard = total_cost(FIG9, 5, Scheme.STREAMING_RAID, W / 4)
+        assert result.per_shard.total == pytest.approx(per_shard.total)
+        assert result.total == pytest.approx(4 * per_shard.total)
+        assert result.streams == 4 * per_shard.streams
+        assert result.cost_per_stream == pytest.approx(
+            result.total / result.streams)
+
+    def test_replication_carries_hot_set_on_every_shard(self):
+        hot = 2_000.0
+        replicated = cluster_cost(FIG9, 5, Scheme.STREAMING_RAID, W,
+                                  shards=4, replicated_mb=hot)
+        plain = cluster_cost(FIG9, 5, Scheme.STREAMING_RAID, W, shards=4)
+        # Each shard's working set grows by H * (N - 1) / N MB.
+        expected = total_cost(FIG9, 5, Scheme.STREAMING_RAID,
+                              (W - hot) / 4 + hot)
+        assert replicated.per_shard.total == pytest.approx(expected.total)
+        assert replicated.total > plain.total
+
+    def test_round_to_cluster_never_shrinks_the_farm(self):
+        rounded = cluster_cost(FIG9, 5, Scheme.STREAMING_RAID, W,
+                               shards=3, round_to_cluster=True)
+        plain = cluster_cost(FIG9, 5, Scheme.STREAMING_RAID, W, shards=3)
+        assert rounded.per_shard.num_disks >= plain.per_shard.num_disks
+        assert rounded.per_shard.num_disks % 5 == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cluster_cost(FIG9, 5, Scheme.STREAMING_RAID, W, shards=0)
+        with pytest.raises(ConfigurationError):
+            cluster_cost(FIG9, 5, Scheme.STREAMING_RAID, W, shards=2,
+                         replicated_mb=-1.0)
+        with pytest.raises(ConfigurationError):
+            cluster_cost(FIG9, 5, Scheme.STREAMING_RAID, W, shards=2,
+                         replicated_mb=W)
+
+
+class TestClusterCostSeries:
+    def test_series_walks_the_shard_counts(self):
+        series = cluster_cost_series(FIG9, 5, Scheme.STREAMING_RAID, W,
+                                     (1, 2, 4, 8))
+        assert [b.shards for b in series] == [1, 2, 4, 8]
+        for breakdown in series:
+            assert breakdown.total > 0
+            assert breakdown.cost_per_stream > 0
+
+    def test_replication_premium_grows_with_shard_count(self):
+        hot = 5_000.0
+        series = cluster_cost_series(FIG9, 5, Scheme.STREAMING_RAID, W,
+                                     (1, 2, 4, 8), replicated_mb=hot)
+        plain = cluster_cost_series(FIG9, 5, Scheme.STREAMING_RAID, W,
+                                    (1, 2, 4, 8))
+        premiums = [r.total - p.total for r, p in zip(series, plain)]
+        assert premiums[0] == pytest.approx(0.0)
+        assert premiums == sorted(premiums)

@@ -1,0 +1,122 @@
+"""ClusterSpec validation, accounting identities, and report plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (ClusterFault, ClusterSpec, ShardFault,
+                           run_cluster)
+from repro.cluster.runner import (build_cluster_catalog,
+                                  compile_cluster_trace, plan_shards)
+from repro.cluster.placement import partition_catalog
+from repro.parallel import derive_seeds
+from repro.schemes import Scheme
+
+
+def small_spec(**overrides) -> ClusterSpec:
+    base = dict(
+        scheme=Scheme.STREAMING_RAID,
+        shards=2,
+        disks_per_shard=10,
+        objects=6,
+        tracks_per_object=20,
+        admission_limit=8,
+        cycles=10,
+        window=5,
+        arrivals_per_cycle=4.0,
+        seed=17,
+    )
+    base.update(overrides)
+    return ClusterSpec(**base)
+
+
+def test_spec_validation() -> None:
+    with pytest.raises(ValueError, match="shards"):
+        small_spec(shards=0)
+    with pytest.raises(ValueError, match="cycles"):
+        small_spec(cycles=0)
+    with pytest.raises(ValueError, match="window"):
+        small_spec(window=0)
+    with pytest.raises(ValueError, match="arrival rate"):
+        small_spec(arrivals_per_cycle=0.0)
+    with pytest.raises(ValueError, match="addresses shard"):
+        small_spec(faults=(ClusterFault(shard=5, cycle=1, disk_id=0),))
+    with pytest.raises(ValueError, match="shard must be"):
+        ClusterFault(shard=-1, cycle=1, disk_id=0)
+
+
+def test_catalog_size_defaults_to_one_per_parity_group() -> None:
+    assert small_spec(objects=None).catalog_size() == 4  # 2*10//5
+    assert small_spec(objects=None, disks_per_shard=5,
+                      shards=3).catalog_size() == 3  # floor hits shards
+    assert small_spec(objects=9).catalog_size() == 9
+
+
+def test_cluster_fault_localises() -> None:
+    fault = ClusterFault(shard=1, cycle=4, disk_id=2, mid_cycle=True,
+                         repair_cycle=9)
+    assert fault.local() == ShardFault(4, 2, True, 9)
+
+
+def test_plan_shards_routes_faults_to_their_shard() -> None:
+    spec = small_spec(faults=(
+        ClusterFault(shard=0, cycle=2, disk_id=1),
+        ClusterFault(shard=1, cycle=3, disk_id=4),
+        ClusterFault(shard=1, cycle=6, disk_id=5),
+    ))
+    seeds = derive_seeds(spec.seed, spec.shards + 2)
+    catalog = build_cluster_catalog(spec)
+    placement = partition_catalog(catalog, spec.shards, seed=seeds[0])
+    shard_specs = plan_shards(spec, placement, catalog, seeds[2:])
+    assert [len(s.faults) for s in shard_specs] == [1, 2]
+    assert shard_specs[1].faults[0].cycle == 3
+    assert [s.seed for s in shard_specs] == list(seeds[2:])
+    assert all(s.scheme is spec.scheme for s in shard_specs)
+
+
+def test_trace_is_cluster_wide_and_seed_stable() -> None:
+    spec = small_spec()
+    catalog = build_cluster_catalog(spec)
+    first = compile_cluster_trace(spec, catalog, seed=99)
+    again = compile_cluster_trace(spec, catalog, seed=99)
+    other = compile_cluster_trace(spec, catalog, seed=100)
+    assert first.digest() == again.digest()
+    assert first.digest() != other.digest()
+    assert all(name in catalog for _, name in first.items())
+
+
+def test_run_accounts_for_every_request() -> None:
+    result = run_cluster(small_spec(), workers=1)
+    total = result.admitted + result.rejected + result.unarrived
+    assert total == sum(s.routed for s in result.per_shard) \
+        + result.unarrived
+    assert result.admitted == sum(s.admitted for s in result.per_shard)
+    assert result.rejected == sum(s.rejected for s in result.per_shard)
+    assert result.capacity == sum(s.effective_limit
+                                  for s in result.per_shard)
+    assert result.admitted > 0
+
+
+def test_digest_tracks_the_run_not_the_pool() -> None:
+    first = run_cluster(small_spec(), workers=1)
+    again = run_cluster(small_spec(), workers=1)
+    other_seed = run_cluster(small_spec(seed=18), workers=1)
+    assert first.digest() == again.digest()
+    assert first.digest() != other_seed.digest()
+
+
+def test_summary_names_the_shape() -> None:
+    result = run_cluster(small_spec(), workers=1)
+    line = result.summary()
+    assert "2 shards x 10 disks" in line
+    assert f"admitted {result.admitted}" in line
+    assert result.digest()[:12] in line
+
+
+def test_degraded_shard_dents_cluster_capacity() -> None:
+    quiet = run_cluster(small_spec(), workers=1)
+    faulted = run_cluster(small_spec(faults=(
+        ClusterFault(shard=1, cycle=2, disk_id=0),)), workers=1)
+    assert faulted.per_shard[1].effective_limit \
+        <= quiet.per_shard[1].effective_limit
+    assert faulted.capacity <= quiet.capacity

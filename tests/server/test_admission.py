@@ -7,7 +7,7 @@ from repro.disk import DiskArray, PAPER_TABLE1_DRIVE
 from repro.errors import AdmissionError
 from repro.schemes import Scheme
 from repro.server import AdmissionController
-from repro.server.admission import fault_aware_capacity
+from repro.server.admission import cluster_capacity, fault_aware_capacity
 
 P = SystemParameters.paper_table1()
 
@@ -108,3 +108,20 @@ class TestFaultAwareCapacity:
             fault_aware_capacity(-1, self._array())
         with pytest.raises(ValueError):
             fault_aware_capacity(1, self._array(), penalty=-1)
+
+
+class TestClusterCapacity:
+    def test_sums_shard_limits(self):
+        assert cluster_capacity([40, 40, 40]) == 120
+        assert cluster_capacity([40]) == 40
+
+    def test_degraded_shards_lower_the_sum(self):
+        # Shards are fault-isolated: one shard's degraded limit dents
+        # the cluster total without touching its peers.
+        assert cluster_capacity([40, 20, 0]) == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no shards"):
+            cluster_capacity([])
+        with pytest.raises(ValueError, match="non-negative"):
+            cluster_capacity([40, -1])

@@ -136,6 +136,54 @@ def test_experiments_unknown_name(capsys):
     assert "unknown experiment" in out
 
 
+def test_cluster_prints_summary(capsys):
+    code, out = run(capsys, "cluster", "--shards", "2", "--disks", "20",
+                    "--cycles", "20", "--seed", "7")
+    assert code == 0
+    assert "2 shards x 20 disks" in out
+    assert "shard 0:" in out and "shard 1:" in out
+    assert "digest" in out
+
+
+def test_cluster_json_shape(capsys):
+    import json
+    code, out = run(capsys, "cluster", "--shards", "2", "--disks", "20",
+                    "--cycles", "20", "--seed", "7", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert set(payload) == {"shards", "workers", "admitted", "rejected",
+                            "unarrived", "capacity", "hiccups", "digest",
+                            "per_shard"}
+    assert payload["shards"] == 2
+    assert len(payload["per_shard"]) == 2
+    assert (payload["admitted"] + payload["rejected"]
+            == sum(s["routed"] for s in payload["per_shard"]))
+
+
+def test_cluster_workers_do_not_change_digest(capsys):
+    import json
+    _, serial = run(capsys, "cluster", "--shards", "2", "--disks", "20",
+                    "--cycles", "20", "--seed", "7", "--fast-forward",
+                    "--json")
+    _, pooled = run(capsys, "cluster", "--shards", "2", "--disks", "20",
+                    "--cycles", "20", "--seed", "7", "--fast-forward",
+                    "--workers", "2", "--json")
+    assert json.loads(serial)["digest"] == json.loads(pooled)["digest"]
+
+
+def test_cluster_replication_and_fast_forward_flags(capsys):
+    code, out = run(capsys, "cluster", "--shards", "2", "--disks", "20",
+                    "--cycles", "20", "--scheme", "PD",
+                    "--replicate-top-k", "2", "--fast-forward")
+    assert code == 0
+    assert "PD: 2 shards" in out
+
+
+def test_cluster_rejects_bad_shards(capsys):
+    with pytest.raises(ValueError):
+        run(capsys, "cluster", "--shards", "0")
+
+
 def test_unknown_scheme_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["simulate", "--scheme", "XY"])

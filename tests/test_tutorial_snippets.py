@@ -207,3 +207,29 @@ def test_section8_degraded_fast_forward():
     assert round(report.ff_residency(), 2) == 0.98
     assert report.ff_disengagements == {"rebuild-complete": 1}
     assert not server.array[0].is_failed         # rebuild restored it
+
+
+def test_section11_sharded_cluster():
+    from repro.cluster import ClusterFault, ClusterSpec, run_cluster
+
+    spec = ClusterSpec(
+        scheme=Scheme.STREAMING_RAID,
+        shards=2, disks_per_shard=20,
+        objects=8, tracks_per_object=30,
+        admission_limit=10,
+        cycles=14, window=7,
+        arrivals_per_cycle=5.0,
+        replicate_top_k=2,
+        seed=29,
+        faults=(ClusterFault(shard=1, cycle=5, disk_id=3, mid_cycle=True,
+                             repair_cycle=10),),
+    )
+    serial = run_cluster(spec, workers=1)
+    pooled = run_cluster(spec, workers=2)
+    assert serial.digest() == pooled.digest()
+    assert serial.summary().startswith("SR: 2 shards x 20 disks")
+    assert serial.admitted > 0
+    # The mid-cycle failure left its mark on shard 1, and the repair at
+    # cycle 10 restored the full 2 x 10 fault-aware capacity by the end.
+    assert serial.report.total_hiccups > 0
+    assert serial.capacity == 20

@@ -1,0 +1,88 @@
+"""CompiledTrace batch construction, windowing, and shard partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.compiler import CompiledTrace
+
+BATCHES = {0: ["m0", "m1"], 3: ["m2"], 5: ["m0", "m3", "m1"]}
+
+
+def trace() -> CompiledTrace:
+    return CompiledTrace.from_batches(BATCHES, cycle_length_s=1.0)
+
+
+def test_from_batches_preserves_order_and_counts() -> None:
+    built = trace()
+    assert built.total == len(built) == 6
+    assert built.event_cycles() == (0, 3, 5)
+    assert built.arrivals_in(0) == ("m0", "m1")
+    assert built.arrivals_in(5) == ("m0", "m3", "m1")
+    assert built.arrivals_in(4) == ()
+    assert built.unarrived_after(5) == 3
+
+
+def test_from_batches_drops_empty_and_sorts_cycles() -> None:
+    built = CompiledTrace.from_batches({7: ["a"], 2: [], 4: ["b"]},
+                                       cycle_length_s=0.5)
+    assert built.event_cycles() == (4, 7)
+    assert built.total == 2
+
+
+def test_from_batches_rejects_bad_cycles() -> None:
+    with pytest.raises(ValueError, match="non-negative integer"):
+        CompiledTrace.from_batches({-1: ["a"]}, cycle_length_s=1.0)
+    with pytest.raises(ValueError, match="non-negative integer"):
+        CompiledTrace.from_batches({1.5: ["a"]}, cycle_length_s=1.0)
+    with pytest.raises(ValueError, match="cycle length"):
+        CompiledTrace.from_batches({0: ["a"]}, cycle_length_s=0.0)
+
+
+def test_items_yields_arrival_order_with_half_open_window() -> None:
+    built = trace()
+    assert built.items() == [(0, "m0"), (0, "m1"), (3, "m2"),
+                             (5, "m0"), (5, "m3"), (5, "m1")]
+    assert built.items(start=3, end=5) == [(3, "m2")]
+    assert built.items(start=5) == [(5, "m0"), (5, "m3"), (5, "m1")]
+    assert built.items(end=0) == []
+
+
+def test_partition_splits_and_reassembles_exactly() -> None:
+    built = trace()
+    assignment = [0, 1, 0, 1, 0, 1]
+    left, right = built.partition(assignment, shards=2)
+    assert left.items() == [(0, "m0"), (3, "m2"), (5, "m3")]
+    assert right.items() == [(0, "m1"), (5, "m0"), (5, "m1")]
+    assert left.total + right.total == built.total
+    assert left.cycle_length_s == built.cycle_length_s
+    # Re-merging the partitions' batches reproduces the original trace.
+    merged: dict[int, list[str]] = {}
+    for cycle, name in built.items():
+        merged.setdefault(cycle, []).append(name)
+    rebuilt = CompiledTrace.from_batches(merged, built.cycle_length_s)
+    assert rebuilt.digest() == built.digest()
+
+
+def test_partition_to_one_shard_is_identity() -> None:
+    built = trace()
+    (only,) = built.partition([0] * built.total, shards=1)
+    assert only.digest() == built.digest()
+
+
+def test_partition_may_leave_a_shard_empty() -> None:
+    built = trace()
+    first, second = built.partition([0] * built.total, shards=2)
+    assert first.total == built.total
+    assert second.total == 0
+    assert second.items() == []
+
+
+def test_partition_validates_assignment() -> None:
+    built = trace()
+    with pytest.raises(ValueError, match="assignment covers"):
+        built.partition([0], shards=2)
+    with pytest.raises(ValueError, match="names shard"):
+        built.partition([0, 0, 2, 0, 0, 0], shards=2)
+    with pytest.raises(ValueError, match="shards"):
+        built.partition([], shards=0)
