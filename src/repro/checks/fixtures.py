@@ -729,6 +729,38 @@ FIXTURES: tuple[Fixture, ...] = (
                     return len(self._pending)
         """),
     ),
+    Fixture(
+        # The degraded-churn engine re-probes per-stream eligibility on
+        # every epoch entry; an impure degraded probe would perturb the
+        # simulation exactly where fast==scalar matters most.
+        label="R8-bad-impure-degraded-probe",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("_deg_cache",)
+
+                def _ff_degraded_stream_ok(self, stream: object) -> bool:
+                    self._deg_cache.clear()
+                    return True
+        """),
+        expect=(("R8", 4),),
+    ),
+    Fixture(
+        label="R8-good-multi-failure-classify",
+        path="src/repro/sched/example.py",
+        code=_snippet("""
+            class Scheduler:
+                __slots__ = ("array", "_known_lost_tracks")
+
+                def _ff_classify(self) -> tuple:
+                    failed = self.array.failed_ids
+                    if self._known_lost_tracks:
+                        if len(failed) > 1:
+                            return (None, "shared-group")
+                        return (None, "pending-state")
+                    return ("degraded" if failed else "healthy", "")
+        """),
+    ),
     # -- R9 cache-keys -------------------------------------------------------
     Fixture(
         label="R9-bad-incomplete-key",

@@ -170,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=0,
                          help="root seed; every shard/trace/placement "
                               "seed derives from it (default 0)")
+    cluster.add_argument("--chaos", action="store_true",
+                         help="roll a seeded shard fault storm onto the "
+                              "cluster and gate the run on workers=1 vs "
+                              "workers=N digest equality")
+    cluster.add_argument("--chaos-max-failures", type=int, default=1,
+                         help="max concurrent scripted failures per "
+                              "shard (default 1)")
     cluster.add_argument("--json", action="store_true",
                          help="emit the cluster report as JSON")
 
@@ -444,7 +451,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_cluster(args: argparse.Namespace) -> int:
     """Run one sharded cluster and print (or JSON-dump) the report."""
     import json as json_module
-    from repro.cluster import ClusterSpec, run_cluster
+    from repro.cluster import (ClusterChaosProfile, ClusterSpec,
+                               run_cluster, run_cluster_campaign)
     spec = ClusterSpec(
         scheme=args.scheme,
         shards=args.shards,
@@ -456,10 +464,18 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         seed=args.seed,
         fast_forward=args.fast_forward,
     )
-    result = run_cluster(spec, workers=args.workers)
+    campaign = None
+    if args.chaos:
+        profile = ClusterChaosProfile(
+            max_concurrent_failures=args.chaos_max_failures)
+        campaign = run_cluster_campaign(spec, args.seed, profile=profile,
+                                        workers=args.workers)
+        result = campaign.report
+    else:
+        result = run_cluster(spec, workers=args.workers)
     if args.json:
-        print(json_module.dumps({
-            "shards": spec.shards,
+        payload = {
+            "shards": result.spec.shards,
             "workers": result.workers,
             "admitted": result.admitted,
             "rejected": result.rejected,
@@ -467,18 +483,35 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             "capacity": result.capacity,
             "hiccups": result.report.total_hiccups,
             "digest": result.digest(),
+            "ff_disengagements": result.ff_disengagement_totals(),
             "per_shard": [
                 {"shard": s.shard_id, "routed": s.routed,
                  "admitted": s.admitted, "rejected": s.rejected,
-                 "effective_limit": s.effective_limit}
+                 "effective_limit": s.effective_limit,
+                 "ff_engaged_cycles": s.ff_engaged_cycles,
+                 "ff_disengagements": dict(s.ff_disengagements)}
                 for s in result.per_shard],
-        }, indent=2))
+        }
+        if campaign is not None:
+            payload["chaos"] = {
+                "events": campaign.events,
+                "deterministic": campaign.passed,
+                "violations": campaign.violations,
+            }
+        print(json_module.dumps(payload, indent=2))
     else:
         print(result.summary())
         for shard in result.per_shard:
             print(f"  shard {shard.shard_id}: routed {shard.routed}, "
                   f"admitted {shard.admitted}, rejected {shard.rejected}, "
-                  f"effective limit {shard.effective_limit}")
+                  f"effective limit {shard.effective_limit}, "
+                  f"ff {shard.ff_engaged_cycles} cycles")
+        if campaign is not None:
+            verdict = ("deterministic" if campaign.passed
+                       else "DIVERGED: " + "; ".join(campaign.violations))
+            print(f"  chaos: {campaign.events} scripted faults, {verdict}")
+    if campaign is not None and not campaign.passed:
+        return 1
     return 0 if result.report.total_lost_tracks == 0 else 1
 
 

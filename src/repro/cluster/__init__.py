@@ -13,12 +13,20 @@ layout/array/scheduler/server build — behind a deterministic front door.
 * :mod:`repro.cluster.router` — least-loaded-copy dispatch with
   barrier-fed degraded-capacity awareness;
 * :mod:`repro.cluster.runner` — orchestration and the merged
-  :class:`~repro.cluster.runner.ClusterReport`.
+  :class:`~repro.cluster.runner.ClusterReport`;
+* :mod:`repro.cluster.chaos` — seeded shard fault storms replayed
+  through the runner, gated on worker-count digest invariance.
 
 ``workers=1`` and ``workers=N`` are bit-identical by construction; the
 cluster benchmark gates its scaling numbers on that digest equality.
 """
 
+from repro.cluster.chaos import (
+    ClusterChaosProfile,
+    ClusterChaosResult,
+    generate_cluster_script,
+    run_cluster_campaign,
+)
 from repro.cluster.placement import ShardPlacement, partition_catalog
 from repro.cluster.router import ClusterRouter
 from repro.cluster.runner import (
@@ -41,6 +49,8 @@ from repro.cluster.shard import (
 )
 
 __all__ = [
+    "ClusterChaosProfile",
+    "ClusterChaosResult",
     "ClusterFault",
     "ClusterReport",
     "ClusterRouter",
@@ -54,8 +64,10 @@ __all__ = [
     "WindowResult",
     "build_shard_server",
     "finalise_shard",
+    "generate_cluster_script",
     "init_shard",
     "partition_catalog",
     "run_cluster",
+    "run_cluster_campaign",
     "run_shard_window",
 ]

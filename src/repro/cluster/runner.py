@@ -121,7 +121,13 @@ class ClusterSpec:
 
 @dataclass(frozen=True)
 class ShardSummary:
-    """One shard's line in the cluster report."""
+    """One shard's line in the cluster report.
+
+    The fast-forward fields are diagnostic: they show how much of the
+    shard's run stayed vectorised and why the engines declined the rest,
+    and they are deliberately excluded from :meth:`ClusterReport.digest`
+    (engine engagement must never shift a fingerprint).
+    """
 
     shard_id: int
     routed: int
@@ -129,6 +135,8 @@ class ShardSummary:
     rejected: int
     effective_limit: int
     reads_digest: str
+    ff_engaged_cycles: int = 0
+    ff_disengagements: tuple[tuple[str, int], ...] = ()
 
 
 @dataclass
@@ -172,8 +180,18 @@ class ClusterReport:
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def ff_disengagement_totals(self) -> dict[str, int]:
+        """Cluster-wide fast-forward disengagement reasons, folded over
+        shards (diagnostic; never part of :meth:`digest`)."""
+        totals: dict[str, int] = {}
+        for shard in self.per_shard:
+            for reason, count in shard.ff_disengagements:
+                totals[reason] = totals.get(reason, 0) + count
+        return dict(sorted(totals.items()))
+
     def summary(self) -> str:
         """One human-readable line per run."""
+        engaged = sum(s.ff_engaged_cycles for s in self.per_shard)
         return (
             f"{self.spec.scheme.value}: {self.spec.shards} shards x "
             f"{self.spec.disks_per_shard} disks, {self.workers} worker(s); "
@@ -182,6 +200,7 @@ class ClusterReport:
             f"{self.admitted + self.rejected + self.unarrived} requests; "
             f"capacity {self.capacity}; "
             f"{self.report.total_hiccups} hiccups; "
+            f"ff {engaged} cycles; "
             f"digest {self.digest()[:12]}"
         )
 
@@ -282,6 +301,8 @@ def run_cluster(spec: ClusterSpec, workers: int = 1) -> ClusterReport:
                 rejected=shard_result.rejected,
                 effective_limit=shard_result.effective_limit,
                 reads_digest=shard_result.reads_digest,
+                ff_engaged_cycles=shard_result.ff_engaged_cycles,
+                ff_disengagements=shard_result.ff_disengagements,
             )
             for shard_result in finals),
     )

@@ -1,0 +1,189 @@
+"""Degraded-churn benchmark cell: faults and arrivals at the same time.
+
+``benchmarks/bench_degraded_churn.py`` runs a warm 1000-disk
+Streaming-RAID farm that loses a disk and then faces ~30 arrivals every
+cycle for the rest of the run — the "degraded + churning" state that
+dominates simulated time in replication studies and flash-crowd
+campaigns.  (No rebuild runs inside the measured segment: a toy farm
+rebuilds in a couple dozen cycles and the repaired farm would spend the
+rest of the segment healthy; the rebuild-under-churn merge is covered
+bit-exactly by the determinism tests.)  The measured segment runs
+twice, through the scalar per-cycle loop (admission at the front door)
+and through the merged degraded-churn engine (admission and
+reconstruction in one epoch), and the >= 5x wall-clock gate is
+evaluated only after the full-state digests and the admit/reject
+tallies prove the two runs bit-identical.
+
+A second, smaller arc exercises the multi-failure generalisation: two
+failed disks in *disjoint* parity groups must still build vectorised
+epochs (``ff_residency > 0``) where the engine was previously 100%
+scalar.
+
+The cell logic lives here (importable, spawn-safe) so notebooks and the
+benchmark script share one implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.experiments.degradedbench import degraded_digest
+from repro.experiments.scalegrid import build_scale_server
+from repro.schemes import Scheme
+from repro.units import seconds_to_microseconds
+
+NUM_DISKS = 1000
+SCHEME = Scheme.STREAMING_RAID
+#: Scalar-mode cycles before the failure lands (start-up transient).
+WARMUP_CYCLES = 5
+#: Degraded steady-state cycles before the rebuild starts.
+DEGRADED_WARMUP_CYCLES = 3
+#: The measured segment: degraded, rebuilding, and churning throughout.
+CYCLES = 150
+#: Requests per cycle, sustained over the whole measured segment.
+ARRIVALS_PER_CYCLE = 30
+FAILED_DISK = 0
+MIN_SPEEDUP = 5.0
+
+#: The double-failure arc runs on a smaller farm: residency, not
+#: wall-clock, is what it gates.
+ARC_DISKS = 200
+ARC_CYCLES = 40
+ARC_ARRIVALS_PER_CYCLE = 4
+
+
+def churn_arrivals(server: Any, start: int, cycles: int,
+                   per_cycle: int) -> dict[int, tuple[Any, ...]]:
+    """A deterministic round-robin arrival batch for every cycle."""
+    names = server.catalog.names()
+    arrivals: dict[int, tuple[Any, ...]] = {}
+    for offset in range(cycles):
+        base = offset * per_cycle
+        arrivals[start + offset] = tuple(
+            server.catalog.get(names[(base + k) % len(names)])
+            for k in range(per_cycle))
+    return arrivals
+
+
+def run_degraded_churn_cell(fast_forward: bool) -> dict[str, Any]:
+    """One measured run: warm farm, fail a disk, churn for the timer.
+
+    Warm-up segments run in the same mode as the measured segment, so
+    the fast cell enters the timed window with geometry and degraded
+    tables warm; the full-state digest plus the admit/reject tallies
+    keep the comparison honest.
+    """
+    t0 = time.perf_counter()
+    server = build_scale_server(SCHEME, NUM_DISKS)
+    names = server.catalog.names()
+    per_object = max(1, NUM_DISKS // len(names))
+    target = min(NUM_DISKS, server.scheduler.admission_limit)
+    streams = 0
+    for name in names:
+        for _ in range(per_object):
+            if streams >= target:
+                break
+            server.admit(name)
+            streams += 1
+    build_s = time.perf_counter() - t0
+
+    server.run_cycles(WARMUP_CYCLES, fast_forward=fast_forward)
+    server.scheduler.fail_disk(FAILED_DISK)
+    server.run_cycles(DEGRADED_WARMUP_CYCLES, fast_forward=fast_forward)
+    arrivals = churn_arrivals(server, server.cycle_index, CYCLES,
+                              ARRIVALS_PER_CYCLE)
+
+    t0 = time.perf_counter()
+    reports, admitted, rejected = server.scheduler.run_churn(
+        CYCLES, arrivals, fast_forward=fast_forward)
+    run_s = time.perf_counter() - t0
+    assert len(reports) == CYCLES
+
+    report = server.report
+    return {
+        "engine": "fast" if fast_forward else "scalar",
+        "scheme": SCHEME.value,
+        "num_disks": NUM_DISKS,
+        "streams": streams,
+        "cycles": CYCLES,
+        "arrivals_per_cycle": ARRIVALS_PER_CYCLE,
+        "admitted": admitted,
+        "rejected": rejected,
+        "build_s": round(build_s, 4),
+        "run_s": round(run_s, 4),
+        "us_per_cycle": round(seconds_to_microseconds(run_s) / CYCLES, 1),
+        "ff_engaged_cycles": report.ff_engaged_cycles,
+        "ff_residency": round(report.ff_residency(), 4),
+        "ff_disengagements": dict(sorted(
+            report.ff_disengagements.items())),
+        "state_sha256": degraded_digest(server),
+    }
+
+
+def check_pair(scalar: dict[str, Any], fast: dict[str, Any],
+               min_speedup: float = MIN_SPEEDUP) -> dict[str, Any]:
+    """The gate: state *and* admission tallies must match before the
+    speedup is evaluated."""
+    digests_equal = (
+        scalar["state_sha256"] == fast["state_sha256"]
+        and scalar["admitted"] == fast["admitted"]
+        and scalar["rejected"] == fast["rejected"])
+    speedup = (scalar["run_s"] / fast["run_s"]
+               if fast["run_s"] > 0 else float("inf"))
+    return {
+        "digests_equal": digests_equal,
+        "speedup": round(speedup, 2),
+        "min_speedup": min_speedup,
+        "fast_residency": fast["ff_residency"],
+        "passed": digests_equal and speedup >= min_speedup,
+    }
+
+
+def _disjoint_partner(server: Any, first: int) -> int:
+    """A second disk whose failure loses no data alongside ``first``."""
+    for candidate in range(len(server.array.disks)):
+        if candidate == first:
+            continue
+        probe = build_scale_server(SCHEME, len(server.array.disks))
+        probe.scheduler.fail_disk(first)
+        probe.scheduler.fail_disk(candidate)
+        if not probe.scheduler._known_lost_tracks:
+            return candidate
+    raise RuntimeError("no disjoint failure partner in this layout")
+
+
+def run_double_failure_arc(fast_forward: bool = True) -> dict[str, Any]:
+    """Two disjoint failures under churn: the multi-failure epoch arc.
+
+    Small on purpose — the gate here is residency (the engine builds
+    >= 1 vectorised epoch where it used to be 100% scalar) and digest
+    equality against the scalar loop, not wall-clock.
+    """
+    server = build_scale_server(SCHEME, ARC_DISKS)
+    partner = _disjoint_partner(server, FAILED_DISK)
+    names = server.catalog.names()
+    for name in names:
+        server.admit(name)
+    server.run_cycles(WARMUP_CYCLES, fast_forward=fast_forward)
+    server.scheduler.fail_disk(FAILED_DISK)
+    server.scheduler.fail_disk(partner)
+    arrivals = churn_arrivals(server, server.cycle_index + 2, ARC_CYCLES,
+                              ARC_ARRIVALS_PER_CYCLE)
+    reports, admitted, rejected = server.scheduler.run_churn(
+        ARC_CYCLES, arrivals, fast_forward=fast_forward)
+    assert len(reports) == ARC_CYCLES
+    report = server.report
+    return {
+        "engine": "fast" if fast_forward else "scalar",
+        "num_disks": ARC_DISKS,
+        "failed_disks": [FAILED_DISK, partner],
+        "cycles": ARC_CYCLES,
+        "admitted": admitted,
+        "rejected": rejected,
+        "ff_engaged_cycles": report.ff_engaged_cycles,
+        "ff_residency": round(report.ff_residency(), 4),
+        "ff_disengagements": dict(sorted(
+            report.ff_disengagements.items())),
+        "state_sha256": degraded_digest(server),
+    }

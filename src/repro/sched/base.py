@@ -22,6 +22,7 @@ metrics — lives here so the four schemes stay comparable.
 from __future__ import annotations
 
 import abc
+from bisect import bisect_right
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -811,20 +812,32 @@ class CycleScheduler(abc.ABC):
         """Which fast-forward engine the current state allows.
 
         Returns ``(mode, reason)``: mode is ``"healthy"`` (the quiescent
-        engines), ``"degraded"`` (the single-failure epoch engine —
-        optionally with one online rebuild in flight), or ``None`` with
-        the diagnostic reason callers tally via :meth:`_ff_note`.
-        Checked once per fast-forward entry (state cannot change under
-        the engine's feet — fault commands only land between
-        ``run_cycles`` calls).  Cheapest checks first, so permanently
-        ineligible runs (payload mode) pay next to nothing per scalar
-        cycle.
+        engines), ``"degraded"`` (the stable-failure epoch engine —
+        any number of group-disjoint failed disks, optionally with
+        online rebuilds in flight), or ``None`` with the diagnostic
+        reason callers tally via :meth:`_ff_note`.  Checked once per
+        fast-forward entry (state cannot change under the engine's feet
+        — fault commands only land between ``run_cycles`` calls).
+        Cheapest checks first, so permanently ineligible runs (payload
+        mode) pay next to nothing per scalar cycle.
         """
         if not self.metadata_only or self.verify_payloads:
             return None, "payload-mode"
         if self._pending_reconstructions or self._pending_shed \
-                or self._lost_causes or self._known_lost_tracks:
+                or self._lost_causes:
             return None, "pending-state"
+        if self._known_lost_tracks:
+            # Lost tracks mean some parity group holds two or more
+            # failed blocks: the degraded tables cannot express the
+            # shed transition, so shared-group failure sets stay
+            # scalar.  Conversely, an *empty* lost-track set under K
+            # failures proves every pair of failed disks is parity-
+            # group-disjoint — the geometric precondition the degraded
+            # engine needs — because a shared group would have lost a
+            # data track the sweep in ``_current_lost_tracks`` records.
+            return None, ("shared-group"
+                          if len(self.array.failed_ids) > 1
+                          else "pending-state")
         for disk in self.array.disks:
             if disk.service_fraction < 1.0:
                 return None, "fail-slow"
@@ -849,10 +862,6 @@ class CycleScheduler(abc.ABC):
                                           - stream.next_delivery_track):
                     return None, "stream-state"
             return "healthy", None
-        if len(self.array.failed_ids) != 1:
-            return None, "multi-failure"
-        if len(self.rebuilders) > 1:
-            return None, "multi-rebuild"
         if not self._ff_degraded_ready():
             return None, "degraded-veto"
         for stream in self.streams.values():
@@ -901,11 +910,12 @@ class CycleScheduler(abc.ABC):
 
         Healthy states run the quiescent engines: the vectorised path
         for uniform rate-1 populations, the per-stream generic loop
-        otherwise.  A stable single-failure state (optionally with one
-        online rebuild in flight) runs the degraded epoch engine, which
-        folds reconstruction and rebuild traffic into the same batched
-        accounting and bails only on state *transitions* (second
-        failure, rebuild completion, media error).  With
+        otherwise.  A stable degraded state — any number of failed
+        disks in pairwise-disjoint parity groups, optionally with
+        online rebuilds in flight — runs the degraded epoch engine,
+        which folds reconstruction and rebuild traffic into the same
+        batched accounting and bails only on state *transitions*
+        (shared-group failure, rebuild completion, media error).  With
         ``stop_on_completion`` every engine also ends its epoch right
         after a cycle in which a stream completed, so drivers that
         re-admit per completed object observe scalar admission timing.
@@ -923,7 +933,7 @@ class CycleScheduler(abc.ABC):
                 self._ff_note("mixed-rates")
                 return 0
             return self._fast_forward_degraded(limit, live, reports,
-                                               stop_on_completion)
+                                               stop_on_completion)[0]
         if live and all(s.rate == 1 for s in live):
             done = self._fast_forward_vector(limit, live, reports,
                                              stop_on_completion)
@@ -1393,7 +1403,7 @@ class CycleScheduler(abc.ABC):
 
     def _ff_degraded_read_table(self, obj: MediaObject,
                                 failed: list[int]) -> Optional[tuple]:
-        """Per-object read table under the current single failure.
+        """Per-object read table under the current failure set.
 
         Mirrors :meth:`_ff_read_table` with the degraded columns the
         epoch engine needs: ``(cnt, ptr, disks, next_pointers,
@@ -1545,35 +1555,88 @@ class CycleScheduler(abc.ABC):
         self._ff_deg_flat_names = names
         return flat
 
-    def _fast_forward_degraded(self, limit: int, live: list[Stream],
-                               reports: list[CycleReport],
-                               stop_on_completion: bool = False) -> int:
-        """Vectorised epoch engine for the stable single-failure state.
+    def _fast_forward_degraded(
+            self, limit: int, live: list[Stream],
+            reports: list[CycleReport],
+            stop_on_completion: bool = False,
+            arrivals: Optional[dict[int, tuple[MediaObject, ...]]] = None,
+    ) -> tuple[int, int, int, bool]:
+        """Vectorised epoch engine for stable degraded states, with churn.
 
-        Per-group reconstruction reads appear as extra rows in the flat
-        read tables (the parity-fallback disk joins the group's member
-        list), reconstruction commits are pure arithmetic (a degraded
-        group read always completes its rebuild in the same cycle, since
-        every survivor is resident by construction), and an in-flight
-        online rebuild advances as a vectorised cursor fed with the
-        cycle's idle slots.  The engine bails only on state transitions:
-        rebuild completion, a stream crossing an unreconstructable
+        Handles any number of failed disks whose parity groups are
+        pairwise disjoint (:meth:`_ff_classify` proves disjointness via
+        the empty lost-track set): per-group reconstruction reads appear
+        as extra rows in the flat read tables (the parity-fallback disk
+        joins the group's member list), reconstruction commits are pure
+        arithmetic (a degraded group read always completes its rebuild
+        in the same cycle, since every survivor is resident by
+        construction), and every in-flight online rebuild advances as a
+        vectorised cursor fed with the cycle's idle slots — in scalar
+        rebuilder order, sharing one idle budget, exactly like
+        :meth:`_rebuild_phase`.
+
+        With ``arrivals``, each arrival cycle admits its batch through
+        the *same* :meth:`_admit_checked` decision the scalar front
+        door uses — including degraded-capacity enforcement, since
+        :meth:`effective_admission_limit` is constant for the epoch
+        (every ``_capacity_penalty`` override is a pure function of
+        array/layout/degraded-cluster state, which only changes on the
+        transitions the engine bails on) — and accepted streams join
+        the row arrays in place at read pointer 0, which is trivially
+        canonical (no parity held, no open accumulators).
+
+        The engine bails only on state transitions: a rebuild that
+        could complete, a stream crossing an unreconstructable
         position, or the generic quiescence breaks (imminent hiccup,
         slot overflow).  Cycle reports, disk loads, tracker samples and
         per-stream peaks are bit-identical to the scalar path.
+
+        Returns ``(cycles done, admitted, rejected, consumed)`` where
+        ``consumed`` means the *current* cycle's arrivals were already
+        admitted before a bail, so the scalar fallback must not
+        re-admit them.
         """
+        rows = list(live)
         distinct: dict[str, int] = {}
         objects: list[MediaObject] = []
-        for stream in live:
+        for stream in rows:
             name = stream.object.name
             if name not in distinct:
                 distinct[name] = len(objects)
                 objects.append(stream.object)
+        start_cycle = self.cycle_index
+        end_cycle = start_cycle + limit
+        stop_cycle = end_cycle
+        cap = len(rows)
+        if arrivals:
+            # Working set: live objects plus every placed rate-1 arrival
+            # in the window.  A placed arrival whose rate is not 1
+            # cannot join the uniform row engine: the epoch must end
+            # *before* its cycle.
+            for cycle, batch in arrivals.items():
+                if not start_cycle <= cycle < end_cycle:
+                    continue
+                for obj in batch:
+                    if not self.layout.has_object(obj.name):
+                        continue  # _admit_checked rejects it in-engine
+                    try:
+                        rate = self._rate_of(obj)
+                    except AdmissionError:
+                        continue  # ditto
+                    if rate != 1:
+                        stop_cycle = min(stop_cycle, cycle)
+                        break
+                    cap += 1
+                    if obj.name not in distinct:
+                        distinct[obj.name] = len(objects)
+                        objects.append(obj)
+            if stop_cycle <= start_cycle:
+                return 0, 0, 0, False
         if objects:
             flat = self._ff_degraded_flat_tables(objects)
             if flat is None:
                 self._ff_note("no-read-table")
-                return 0
+                return 0, 0, 0, False
         else:
             zeros = np.zeros(0, dtype=np.int64)
             flat = (zeros, np.zeros(1, dtype=np.int64), zeros, zeros,
@@ -1585,7 +1648,7 @@ class CycleScheduler(abc.ABC):
         stripe = self._stripe
         # -- canonical-state entry checks: every stream must sit exactly
         #    where the scalar degraded steady state would leave it ------
-        for stream in live:
+        for stream in rows:
             pairs = deg_by_name[stream.object.name]
             pointer = stream.next_read_track
             floor = stream.next_delivery_track // stripe
@@ -1593,60 +1656,80 @@ class CycleScheduler(abc.ABC):
                          if acquired <= pointer and g >= floor]
             if sorted(stream.parity_buffer) != predicted:
                 self._ff_note("stream-state")
-                return 0
+                return 0, 0, 0, False
             if not self._ff_degraded_stream_ok(stream):
                 self._ff_note("stream-state")
-                return 0
-        rebuilder = self.rebuilders[0] if self.rebuilders else None
-        if rebuilder is not None \
-                and rebuilder.prepare_fast_plan() is None:
-            self._ff_note("rebuild-veto")
-            return 0
-        n = len(live)
+                return 0, 0, 0, False
+        rebuilders = list(self.rebuilders)
+        for rebuilder in rebuilders:
+            if rebuilder.prepare_fast_plan() is None:
+                self._ff_note("rebuild-veto")
+                return 0, 0, 0, False
+        n = len(rows)
         num_disks = len(self.array.disks)
         slots = self.config.slots_per_disk
         k_prime = self.config.k_prime
         base_quota = self._base_quota
-        obj_base = np.fromiter(
-            (pos_base[distinct[s.object.name]] for s in live),
-            dtype=np.int64, count=n)
-        held_base = np.fromiter(
-            (ptr_base[distinct[s.object.name]] for s in live),
-            dtype=np.int64, count=n)
-        next_read = np.fromiter((s.next_read_track for s in live),
-                                dtype=np.int64, count=n)
-        next_del = np.fromiter((s.next_delivery_track for s in live),
-                               dtype=np.int64, count=n)
-        num_tracks = np.fromiter((s.num_tracks for s in live),
-                                 dtype=np.int64, count=n)
-        start = np.fromiter(
-            (-1 if s.delivery_start_cycle is None
-             else s.delivery_start_cycle for s in live),
-            dtype=np.int64, count=n)
-        quota = np.fromiter(
-            (k_prime * s.rate if base_quota
-             else self.deliveries_per_cycle(s) for s in live),
-            dtype=np.int64, count=n)
-        gates = [self._ff_gate_params(s) for s in live]
-        pace_rate = np.fromiter((g[0] for g in gates), dtype=np.int64,
-                                count=n)
-        pace_base = np.fromiter((g[1] for g in gates), dtype=np.int64,
-                                count=n)
-        phase_mod = np.fromiter((g[2] for g in gates), dtype=np.int64,
-                                count=n)
-        phase_val = np.fromiter((g[3] for g in gates), dtype=np.int64,
-                                count=n)
-        unpaced = pace_rate == 0
-        ungated = bool((phase_mod == 1).all())
-        admitted = np.fromiter(
-            (s.status is StreamStatus.ADMITTED for s in live),
-            dtype=bool, count=n)
-        live_mask = np.ones(n, dtype=bool)
-        deliv_delta = np.zeros(n, dtype=np.int64)
-        recon_delta = np.zeros(n, dtype=np.int64)
         tracker = self.tracker
-        peak0 = np.fromiter(
-            (tracker.stream_peak(s.stream_id) for s in live),
+        phase_load = self._phase_loads()
+        width = len(phase_load)
+        limit_units = self.effective_admission_limit()
+        # Row arrays over the window's worst-case population; rows past
+        # the current count are neutral (not live, not reading).
+        obj_base = np.zeros(cap, dtype=np.int64)
+        held_base = np.zeros(cap, dtype=np.int64)
+        next_read = np.zeros(cap, dtype=np.int64)
+        next_del = np.zeros(cap, dtype=np.int64)
+        num_tracks = np.zeros(cap, dtype=np.int64)
+        start = np.full(cap, -1, dtype=np.int64)
+        quota = np.zeros(cap, dtype=np.int64)
+        pace_rate = np.zeros(cap, dtype=np.int64)
+        pace_base = np.zeros(cap, dtype=np.int64)
+        phase_mod = np.ones(cap, dtype=np.int64)
+        phase_val = np.zeros(cap, dtype=np.int64)
+        unpaced = np.ones(cap, dtype=bool)
+        admitted_mask = np.zeros(cap, dtype=bool)
+        live_mask = np.zeros(cap, dtype=bool)
+        deliv_delta = np.zeros(cap, dtype=np.int64)
+        recon_delta = np.zeros(cap, dtype=np.int64)
+        peak0 = np.zeros(cap, dtype=np.int64)
+        obj_base[:n] = np.fromiter(
+            (pos_base[distinct[s.object.name]] for s in rows),
+            dtype=np.int64, count=n)
+        held_base[:n] = np.fromiter(
+            (ptr_base[distinct[s.object.name]] for s in rows),
+            dtype=np.int64, count=n)
+        next_read[:n] = np.fromiter((s.next_read_track for s in rows),
+                                    dtype=np.int64, count=n)
+        next_del[:n] = np.fromiter((s.next_delivery_track for s in rows),
+                                   dtype=np.int64, count=n)
+        num_tracks[:n] = np.fromiter((s.num_tracks for s in rows),
+                                     dtype=np.int64, count=n)
+        start[:n] = np.fromiter(
+            (-1 if s.delivery_start_cycle is None
+             else s.delivery_start_cycle for s in rows),
+            dtype=np.int64, count=n)
+        quota[:n] = np.fromiter(
+            (k_prime * s.rate if base_quota
+             else self.deliveries_per_cycle(s) for s in rows),
+            dtype=np.int64, count=n)
+        gates = [self._ff_gate_params(s) for s in rows]
+        pace_rate[:n] = np.fromiter((g[0] for g in gates), dtype=np.int64,
+                                    count=n)
+        pace_base[:n] = np.fromiter((g[1] for g in gates), dtype=np.int64,
+                                    count=n)
+        phase_mod[:n] = np.fromiter((g[2] for g in gates), dtype=np.int64,
+                                    count=n)
+        phase_val[:n] = np.fromiter((g[3] for g in gates), dtype=np.int64,
+                                    count=n)
+        unpaced[:n] = pace_rate[:n] == 0
+        ungated = bool((phase_mod == 1).all())
+        admitted_mask[:n] = np.fromiter(
+            (s.status is StreamStatus.ADMITTED for s in rows),
+            dtype=bool, count=n)
+        live_mask[:n] = True
+        peak0[:n] = np.fromiter(
+            (tracker.stream_peak(s.stream_id) for s in rows),
             dtype=np.int64, count=n)
         peak = peak0.copy()
         total_loads = np.zeros(num_disks, dtype=np.int64)
@@ -1654,11 +1737,11 @@ class CycleScheduler(abc.ABC):
         # The shared pool must hold exactly the open accumulators' pages
         # (anything else is unmodelled transition state).
         entry_open = int(np.where(live_mask, acch[held_base + next_read],
-                                  0).sum()) if n else 0
+                                  0).sum()) if cap else 0
         if self._ff_degraded_pool_tracks(entry_open) \
                 != self._extra_buffer_tracks():
             self._ff_note("pool-buffers")
-            return 0
+            return 0, 0, 0, False
         active = terminated = 0
         for stream in self.streams.values():
             if stream.status is StreamStatus.ACTIVE:
@@ -1667,20 +1750,51 @@ class CycleScheduler(abc.ABC):
                 terminated += 1
         samples: list[int] = []
         done = 0
+        admitted_n = rejected_n = 0
+        consumed = False
         bail: Optional[str] = None
-        while done < limit:
+        while done < limit and self.cycle_index < stop_cycle:
             cycle = self.cycle_index
-            # -- stage (no mutation yet, so a bail leaves no trace) -------
-            if rebuilder is not None \
-                    and (rebuilder.total_blocks - rebuilder.blocks_rebuilt
-                         <= rebuilder.writes_per_cycle):
-                # The rebuild could finish this cycle.  Completion is a
+            if any(rb.total_blocks - rb.blocks_rebuilt
+                   <= rb.writes_per_cycle for rb in rebuilders):
+                # A rebuild could finish this cycle.  Completion is a
                 # state transition with in-cycle side effects the engine
                 # does not model (repair_disk releases pool leases and
                 # clears scheme degraded state *before* the cycle's
-                # buffer sample) — hand the tail to the scalar path.
+                # buffer sample) — hand the tail to the scalar path
+                # before this cycle's batch is admitted.
                 bail = "rebuild-complete"
                 break
+            # -- admit this cycle's batch through the scalar decision -----
+            batch = arrivals.get(cycle) if arrivals else None
+            if batch:
+                consumed = True
+                for obj in batch:
+                    try:
+                        stream = self._admit_checked(obj, phase_load,
+                                                     limit_units)
+                    except AdmissionError:
+                        rejected_n += 1
+                        continue
+                    admitted_n += 1
+                    i = len(rows)
+                    rows.append(stream)
+                    obj_base[i] = pos_base[distinct[obj.name]]
+                    held_base[i] = ptr_base[distinct[obj.name]]
+                    num_tracks[i] = stream.num_tracks
+                    quota[i] = (k_prime * stream.rate if base_quota
+                                else self.deliveries_per_cycle(stream))
+                    gate = self._ff_gate_params(stream)
+                    pace_rate[i], pace_base[i] = gate[0], gate[1]
+                    phase_mod[i], phase_val[i] = gate[2], gate[3]
+                    unpaced[i] = gate[0] == 0
+                    if gate[2] != 1:
+                        ungated = False
+                    admitted_mask[i] = True
+                    live_mask[i] = True
+                    peak0[i] = tracker.stream_peak(stream.stream_id)
+                    peak[i] = peak0[i]
+            # -- stage (no mutation yet, so a bail leaves no trace) -------
             started = live_mask & (start >= 0) & (start <= cycle)
             due = np.where(started,
                            np.minimum(quota, num_tracks - next_del), 0)
@@ -1720,10 +1834,10 @@ class CycleScheduler(abc.ABC):
             parity_cycle = int(recon_vec.sum())
             # -- commit ---------------------------------------------------
             recon_delta += recon_vec
-            newly = admitted & (due > 0)
+            newly = admitted_mask & (due > 0)
             if bool(newly.any()):
                 active += int(newly.sum())
-                admitted &= ~newly
+                admitted_mask &= ~newly
             # Parity fetches never start the delivery clock: only a
             # cycle with at least one *data* read does.
             first_read = (start < 0) \
@@ -1738,14 +1852,19 @@ class CycleScheduler(abc.ABC):
             if finished_any:
                 active -= int(finished.sum())
                 live_mask &= ~finished
+                # Completed rows free their capacity for later batches.
+                for i in np.nonzero(finished)[0]:
+                    row = rows[int(i)]
+                    phase_load[row.phase % width] -= row.rate
             # -- rebuild: lowest priority, idle slots only ----------------
             blocks = 0
-            if rebuilder is not None:
+            if rebuilders:
                 idle = np.full(num_disks, slots, dtype=np.int64)
                 if loads is not None:
                     idle -= loads
                 idle[failed_ids] = 0
-                blocks = rebuilder.fast_step(idle, total_loads)
+                for rebuilder in rebuilders:
+                    blocks += rebuilder.fast_step(idle, total_loads)
             pointer_idx = held_base + next_read
             acc_open = np.where(live_mask, acch[pointer_idx], 0)
             held = np.where(live_mask,
@@ -1770,12 +1889,13 @@ class CycleScheduler(abc.ABC):
             self.report.record(report)
             self.cycle_index = cycle + 1
             done += 1
+            consumed = False
             if stop_on_completion and finished_any:
                 bail = "stream-completed"
                 break
-        if done:
+        if done or len(rows) > n:
             # -- write the epoch's state back to the Python objects -------
-            for i, stream in enumerate(live):
+            for i, stream in enumerate(rows):
                 stream.next_read_track = int(next_read[i])
                 stream.next_delivery_track = int(next_del[i])
                 stream.delivered_tracks += int(deliv_delta[i])
@@ -1783,7 +1903,7 @@ class CycleScheduler(abc.ABC):
                 if stream.delivery_start_cycle is None and start[i] >= 0:
                     stream.delivery_start_cycle = int(start[i])
                 if stream.status is StreamStatus.ADMITTED \
-                        and not admitted[i]:
+                        and not admitted_mask[i]:
                     stream.activate()
                 if live_mask[i]:
                     stream.buffer = dict.fromkeys(
@@ -1802,13 +1922,13 @@ class CycleScheduler(abc.ABC):
             raised = np.nonzero(peak > peak0)[0]
             tracker.fold_epoch(
                 samples,
-                {live[int(i)].stream_id: int(peak[int(i)]) for i in raised})
+                {rows[int(i)].stream_id: int(peak[int(i)]) for i in raised})
             disks = self.array.disks
             for disk_id in np.nonzero(total_loads)[0]:
                 disks[int(disk_id)].reads += int(total_loads[disk_id])
             self.report.ff_engaged_cycles += done
         self._ff_note(bail)
-        return done
+        return done, admitted_n, rejected_n, consumed
 
     # -- churn-tolerant fast-forward --------------------------------------------------
 
@@ -1831,6 +1951,7 @@ class CycleScheduler(abc.ABC):
         reports: list[CycleReport] = []
         admitted = rejected = 0
         end = self.cycle_index + count
+        arrival_cycles = sorted(arrivals) if fast_forward else []
         consumed = False
         while self.cycle_index < end:
             if fast_forward:
@@ -1841,13 +1962,15 @@ class CycleScheduler(abc.ABC):
                 if self.cycle_index >= end:
                     break
                 if not consumed and not arrivals.get(self.cycle_index):
-                    # The churn engine only models healthy epochs; a
-                    # degraded stretch between arrival cycles can still
-                    # ride the degraded epoch engine up to the next
-                    # arrival boundary.
-                    boundary = min((c for c in arrivals
-                                    if self.cycle_index < c < end),
-                                   default=end)
+                    # The churn engine models healthy and stable-degraded
+                    # rate-1 populations; a mixed-rate stretch between
+                    # arrival cycles can still ride the generic epoch
+                    # engine up to the next arrival boundary.
+                    pos = bisect_right(arrival_cycles, self.cycle_index)
+                    boundary = (arrival_cycles[pos]
+                                if pos < len(arrival_cycles)
+                                and arrival_cycles[pos] < end
+                                else end)
                     if self._fast_forward(boundary - self.cycle_index,
                                           reports):
                         continue
@@ -1890,13 +2013,19 @@ class CycleScheduler(abc.ABC):
         if limit <= 0:
             return 0, 0, 0, False
         mode, reason = self._ff_classify()
-        if mode != "healthy":
-            self._ff_note(reason if mode is None else "churn-degraded")
+        if mode is None:
+            self._ff_note(reason)
             return 0, 0, 0, False
         rows = [s for s in self.streams.values() if s.is_active]
         if any(s.rate != 1 for s in rows):
             self._ff_note("mixed-rates")
             return 0, 0, 0, False
+        if mode == "degraded":
+            # Stable degraded state under churn: the merged engine
+            # absorbs arrivals in-epoch with reconstruction rows and
+            # rebuild cursors in the same batched accounting.
+            return self._fast_forward_degraded(limit, rows, reports,
+                                               arrivals=arrivals)
         start_cycle = self.cycle_index
         end_cycle = start_cycle + limit
         # Working set: live objects plus every placed rate-1 arrival in

@@ -242,6 +242,68 @@ def test_degraded_double_failure_matches_scalar(scheme: Scheme) -> None:
     assert report.ff_engaged_cycles > 0
 
 
+def _disjoint_partner(scheme: Scheme) -> "int | None":
+    """A disk whose failure alongside disk 0 loses no data (disjoint
+    parity groups), or None when the layout has no such pair."""
+    probe = _scheme_server(scheme)
+    num_disks = len(probe.array.disks)
+    for candidate in range(1, num_disks):
+        trial = _scheme_server(scheme)
+        trial.scheduler.fail_disk(0)
+        trial.scheduler.fail_disk(candidate)
+        if not trial.scheduler._known_lost_tracks:
+            return candidate
+    return None
+
+
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
+def test_disjoint_multi_failure_matches_scalar(scheme: Scheme) -> None:
+    """K=2 independent failures in disjoint parity groups build a
+    stable epoch: the engine engages instead of going 100% scalar."""
+    partner = _disjoint_partner(scheme)
+    if partner is None:
+        pytest.skip("no group-disjoint failure pair in this layout")
+
+    def drive(server: MultimediaServer, fast_forward: bool) -> list:
+        reports = server.run_cycles(5, fast_forward=fast_forward)
+        server.scheduler.fail_disk(0)
+        reports += server.run_cycles(5, fast_forward=fast_forward)
+        server.scheduler.fail_disk(partner)
+        reports += server.run_cycles(15, fast_forward=fast_forward)
+        return reports
+
+    slow, fast, report = _run_degraded_pair(scheme, drive)
+    assert fast == slow
+    assert report.ff_engaged_cycles > 0
+    assert report.ff_residency() > 0
+
+
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
+def test_disjoint_multi_failure_dual_rebuild_matches_scalar(
+        scheme: Scheme) -> None:
+    """Two online rebuilds in flight advance as vectorised cursors in
+    scalar rebuilder order, sharing one idle-slot budget per cycle."""
+    partner = _disjoint_partner(scheme)
+    if partner is None:
+        pytest.skip("no group-disjoint failure pair in this layout")
+
+    def drive(server: MultimediaServer, fast_forward: bool) -> list:
+        reports = server.run_cycles(5, fast_forward=fast_forward)
+        server.scheduler.fail_disk(0)
+        server.scheduler.fail_disk(partner)
+        reports += server.run_cycles(5, fast_forward=fast_forward)
+        server.scheduler.start_rebuild(0, writes_per_cycle=1)
+        server.scheduler.start_rebuild(partner, writes_per_cycle=1)
+        reports += server.run_cycles(50, fast_forward=fast_forward)
+        return reports
+
+    slow, fast, report = _run_degraded_pair(scheme, drive)
+    assert fast == slow
+    assert report.ff_engaged_cycles > 0
+
+
 def test_residency_counters_stay_out_of_the_fingerprint() -> None:
     """ff_engaged_cycles / ff_disengagements diverge between modes by
     design — the fingerprint (which both runs must share) excludes them,

@@ -88,20 +88,122 @@ def test_workload_matches_scalar_through_fault(scheme: Scheme) -> None:
     assert slow == fast
 
 
+def _churn_arrivals(server: MultimediaServer,
+                    spec: dict[int, tuple[int, ...]],
+                    ) -> dict[int, tuple[object, ...]]:
+    names = server.catalog.names()
+    return {cycle: tuple(server.catalog.get(names[i % len(names)])
+                         for i in picks)
+            for cycle, picks in spec.items()}
+
+
+def _degraded_churn_pair(scheme: Scheme,
+                         spec: dict[int, tuple[int, ...]],
+                         cycles: int = 20,
+                         prepare=None,
+                         **kwargs: object) -> tuple[tuple, tuple, object]:
+    """Scalar vs churn-engine run over a *degraded* server."""
+    results = []
+    fast_report = None
+    for fast_forward in (False, True):
+        server = _server(scheme, **kwargs)
+        server.fail_disk(1)
+        if prepare is not None:
+            prepare(server)
+        reports, admitted, rejected = server.scheduler.run_churn(
+            cycles, _churn_arrivals(server, spec),
+            fast_forward=fast_forward)
+        assert len(reports) == cycles
+        results.append(_fingerprint(server, reports) + (admitted, rejected))
+        if fast_forward:
+            fast_report = server.report
+    return results[0], results[1], fast_report
+
+
 @pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
                          ids=lambda s: s.value)
-def test_churn_degraded_stretch_notes_disengagement(scheme: Scheme) -> None:
-    # run_churn never refuses a degraded server: the churn engine
-    # disengages with an explicit reason and the stretch falls through
-    # to the degraded epoch engine or the scalar loop, per segment.
-    server = _server(scheme)
-    server.fail_disk(1)
-    arrivals = {2: (server.catalog.get(server.catalog.names()[0]),),
-                10: (server.catalog.get(server.catalog.names()[1]),)}
-    reports, admitted, rejected = server.scheduler.run_churn(20, arrivals)
-    assert len(reports) == 20
-    assert admitted + rejected == 2
-    assert server.report.ff_disengagements.get("churn-degraded", 0) >= 1
+def test_degraded_churn_matches_scalar_and_engages(scheme: Scheme) -> None:
+    # The merged engine absorbs arrivals *without leaving the epoch*:
+    # a single-failure server under churn stays vectorised, bit-equal
+    # to the scalar front door.
+    slow, fast, report = _degraded_churn_pair(
+        scheme, {2: (0,), 7: (1, 2), 13: (3,)})
+    assert fast == slow
+    assert report.ff_engaged_cycles > 0
+
+
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
+def test_degraded_churn_mid_rebuild_matches_scalar(scheme: Scheme) -> None:
+    # Arrivals landing while an online rebuild is in flight: admission,
+    # reconstruction rows, and the rebuild cursor share one epoch.
+    slow, fast, report = _degraded_churn_pair(
+        scheme, {3: (0,), 9: (1,), 15: (2,)}, cycles=30,
+        prepare=lambda server: server.scheduler.start_rebuild(
+            1, writes_per_cycle=1))
+    assert fast == slow
+    assert report.ff_engaged_cycles > 0
+
+
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
+def test_degraded_churn_saturation_matches_scalar(scheme: Scheme) -> None:
+    # Admission saturation while degraded: the in-engine decision must
+    # enforce the *degraded* capacity (fault-aware limit), rejecting
+    # exactly the requests the scalar front door rejects.
+    slow, fast, report = _degraded_churn_pair(
+        scheme, {2: (0, 1, 2, 3), 8: (0, 1), 14: (2, 3)},
+        admission_limit=3)
+    assert fast == slow
+    rejected = slow[-1]
+    assert rejected > 0
+
+
+def _disjoint_failure_partner(scheme: Scheme,
+                              shared: bool) -> "int | None":
+    """A disk to fail alongside disk 1: sharing a parity group with it
+    (``shared=True``) or disjoint from it (``shared=False``)."""
+    for candidate in range(2, 12):
+        probe = _server(scheme)
+        if candidate >= len(probe.array.disks):
+            break
+        probe.fail_disk(1)
+        probe.fail_disk(candidate)
+        if bool(probe.scheduler._known_lost_tracks) == shared:
+            return candidate
+    return None
+
+
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
+def test_double_failure_disjoint_churn_matches_scalar(
+        scheme: Scheme) -> None:
+    # Two failed disks in disjoint parity groups build a stable
+    # multi-failure epoch: the engine stays engaged under churn.
+    partner = _disjoint_failure_partner(scheme, shared=False)
+    if partner is None:
+        pytest.skip("no group-disjoint failure pair in this layout")
+    slow, fast, report = _degraded_churn_pair(
+        scheme, {2: (0,), 9: (1,)},
+        prepare=lambda server: server.fail_disk(partner))
+    assert fast == slow
+    assert report.ff_engaged_cycles > 0
+
+
+@pytest.mark.parametrize("scheme", ALL_IMPLEMENTED_SCHEMES,
+                         ids=lambda s: s.value)
+def test_double_failure_shared_group_bails(scheme: Scheme) -> None:
+    # Failures sharing a parity group lose data: the engine must refuse
+    # with the shared-group reason and stay bit-equal through the
+    # scalar fallback.
+    partner = _disjoint_failure_partner(scheme, shared=True)
+    if partner is None:
+        pytest.skip("no shared-group failure pair in this layout")
+    slow, fast, report = _degraded_churn_pair(
+        scheme, {2: (0,), 9: (1,)},
+        prepare=lambda server: server.fail_disk(partner))
+    assert fast == slow
+    assert report.ff_disengagements.get("shared-group", 0) >= 1
 
 
 def test_unarrived_requests_are_counted() -> None:

@@ -153,11 +153,32 @@ def test_cluster_json_shape(capsys):
     payload = json.loads(out)
     assert set(payload) == {"shards", "workers", "admitted", "rejected",
                             "unarrived", "capacity", "hiccups", "digest",
-                            "per_shard"}
+                            "ff_disengagements", "per_shard"}
     assert payload["shards"] == 2
     assert len(payload["per_shard"]) == 2
     assert (payload["admitted"] + payload["rejected"]
             == sum(s["routed"] for s in payload["per_shard"]))
+    assert all("ff_engaged_cycles" in s and "ff_disengagements" in s
+               for s in payload["per_shard"])
+
+
+def test_cluster_chaos_gate(capsys):
+    import json
+    code, out = run(capsys, "cluster", "--shards", "2", "--disks", "20",
+                    "--cycles", "20", "--seed", "7", "--fast-forward",
+                    "--workers", "2", "--chaos", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["chaos"]["deterministic"] is True
+    assert payload["chaos"]["events"] > 0
+    assert payload["chaos"]["violations"] == []
+
+
+def test_cluster_chaos_prints_verdict(capsys):
+    code, out = run(capsys, "cluster", "--shards", "2", "--disks", "20",
+                    "--cycles", "20", "--seed", "7", "--chaos")
+    assert code == 0
+    assert "chaos:" in out and "deterministic" in out
 
 
 def test_cluster_workers_do_not_change_digest(capsys):

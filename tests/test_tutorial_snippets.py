@@ -209,6 +209,40 @@ def test_section8_degraded_fast_forward():
     assert not server.array[0].is_failed         # rebuild restored it
 
 
+def test_section8_degraded_churn():
+    params = SystemParameters.paper_table1(
+        num_disks=20, track_size_mb=64 / 1e6, disk_capacity_mb=0.256)
+    degraded = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID,
+                                      slots_per_disk=8)
+    degraded.fail_disk(1)
+    cycle_s = degraded.config.cycle_length_s
+    generator = WorkloadGenerator(degraded.catalog,
+                                  arrival_rate_per_s=1 / cycle_s, seed=7)
+    trace = compile_trace(generator.trace(20 * cycle_s), cycle_s)
+    result = degraded.run_workload(trace, cycles=30, fast_forward=True)
+    assert degraded.report.ff_engaged_cycles > 0   # stayed vectorised
+    assert result.admitted > 0
+    # Bit-identical against the scalar front door, failure and all.
+    scalar = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID,
+                                    slots_per_disk=8)
+    scalar.fail_disk(1)
+    assert scalar.run_workload(trace, cycles=30) == result
+
+
+def test_section9_disjoint_double_failure():
+    params = SystemParameters.paper_table1(num_disks=10)
+    server = MultimediaServer.build(params, 5, Scheme.STREAMING_RAID,
+                                    admission_limit=40)
+    streams = [server.admit(n) for n in server.catalog.names()]
+    assert streams
+    server.run_cycles(2, fast_forward=True)
+    server.fail_disk(0)
+    server.fail_disk(7)                # a different parity group
+    server.run_cycles(10, fast_forward=True)
+    assert not server.lost_tracks                  # disjoint: nothing lost
+    assert server.report.ff_engaged_cycles > 0     # multi-failure epochs
+
+
 def test_section11_sharded_cluster():
     from repro.cluster import ClusterFault, ClusterSpec, run_cluster
 
